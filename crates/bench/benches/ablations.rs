@@ -1,0 +1,116 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! versioning granularity (per-field vs pair), commit-time quiescence
+//! (off vs on, idle vs with concurrent readers), and the §3.3 ordering-only
+//! read barrier vs the full eager read barrier.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use stm_core::config::{Granularity, StmConfig, Versioning};
+use stm_core::heap::{FieldDef, Heap, ObjRef, Shape};
+use stm_core::txn::atomic;
+
+fn heap_with(config: StmConfig) -> (Arc<Heap>, ObjRef) {
+    let heap = Heap::new(config);
+    let s = heap.define_shape(Shape::new(
+        "A",
+        vec![
+            FieldDef::int("f0"),
+            FieldDef::int("f1"),
+            FieldDef::int("f2"),
+            FieldDef::int("f3"),
+        ],
+    ));
+    let o = heap.alloc_public(s);
+    (heap, o)
+}
+
+fn bench_granularity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_granularity");
+    g.sample_size(50);
+    for (name, gran) in [("per_field", Granularity::PerField), ("pair", Granularity::Pair)] {
+        for versioning in [Versioning::Eager, Versioning::Lazy] {
+            let vname = match versioning {
+                Versioning::Eager => "eager",
+                Versioning::Lazy => "lazy",
+            };
+            let (heap, o) = heap_with(StmConfig { versioning, granularity: gran, ..Default::default() });
+            g.bench_function(format!("{vname}_{name}_write4"), |b| {
+                b.iter(|| {
+                    atomic(&heap, |tx| {
+                        for f in 0..4 {
+                            let v = tx.read(o, f)?;
+                            tx.write(o, f, v + 1)?;
+                        }
+                        Ok(())
+                    })
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_quiescence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_quiescence");
+    g.sample_size(40);
+    for (name, quiescence) in [("off", false), ("on_idle", true)] {
+        let (heap, o) = heap_with(StmConfig { quiescence, ..Default::default() });
+        g.bench_function(format!("commit_{name}"), |b| {
+            b.iter(|| {
+                atomic(&heap, |tx| {
+                    let v = tx.read(o, 0)?;
+                    tx.write(o, 0, v + 1)
+                })
+            })
+        });
+    }
+    // Quiescence with a concurrently active reader transaction population.
+    {
+        let (heap, o) = heap_with(StmConfig { quiescence: true, ..Default::default() });
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let heap = Arc::clone(&heap);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    atomic(&heap, |tx| {
+                        let v = tx.read(o, 1)?;
+                        Ok(black_box(v))
+                    });
+                }
+            })
+        };
+        g.bench_function("commit_on_with_reader", |b| {
+            b.iter(|| {
+                atomic(&heap, |tx| {
+                    let v = tx.read(o, 0)?;
+                    tx.write(o, 0, v + 1)
+                })
+            })
+        });
+        stop.store(true, Ordering::Relaxed);
+        reader.join().unwrap();
+    }
+    g.finish();
+}
+
+fn bench_ordering_barrier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_read_barriers");
+    g.sample_size(60);
+    // Eager heap: full Figure 9(a) barrier (record, data, recheck).
+    let (eager, eo) = heap_with(StmConfig::default());
+    g.bench_function("eager_full_read_barrier", |b| {
+        b.iter(|| black_box(stm_core::barrier::read_barrier(&eager, black_box(eo), 0)))
+    });
+    // Lazy heap: §3.3 ordering-only barrier (single bit test, no recheck).
+    let (lazy, lo) = heap_with(StmConfig::lazy());
+    g.bench_function("lazy_ordering_read_barrier", |b| {
+        b.iter(|| black_box(stm_core::barrier::read_barrier(&lazy, black_box(lo), 0)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_granularity, bench_quiescence, bench_ordering_barrier);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Microbenchmarks of the isolation-barrier sequences (paper §3.2, §4, §6):
+//! raw access vs read/write barrier vs DEA private fast path vs aggregated
+//! barrier. These are the real-time measurements behind the Figure 15–17
+//! cost model.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use stm_core::barrier::{aggregate, read_barrier, write_barrier};
+use stm_core::config::StmConfig;
+use stm_core::heap::{FieldDef, Heap, ObjRef, Shape};
+use std::sync::Arc;
+
+fn setup(dea: bool, public: bool) -> (Arc<Heap>, ObjRef) {
+    let heap = Heap::new(StmConfig { dea, ..StmConfig::default() });
+    let s = heap.define_shape(Shape::new(
+        "B",
+        vec![FieldDef::int("a"), FieldDef::int("b")],
+    ));
+    let o = if public { heap.alloc_public(s) } else { heap.alloc(s) };
+    (heap, o)
+}
+
+fn bench_barriers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("barrier");
+    g.sample_size(60);
+
+    let (heap, o) = setup(false, true);
+    g.bench_function("raw_read", |b| b.iter(|| black_box(heap.read_raw(black_box(o), 0))));
+    g.bench_function("raw_write", |b| {
+        b.iter(|| heap.write_raw(black_box(o), 0, black_box(1)))
+    });
+    g.bench_function("read_barrier", |b| {
+        b.iter(|| black_box(read_barrier(&heap, black_box(o), 0)))
+    });
+    g.bench_function("write_barrier", |b| {
+        b.iter(|| write_barrier(&heap, black_box(o), 0, black_box(1)))
+    });
+
+    let (dheap, dobj) = setup(true, false);
+    g.bench_function("read_barrier_private_fast", |b| {
+        b.iter(|| black_box(read_barrier(&dheap, black_box(dobj), 0)))
+    });
+    g.bench_function("write_barrier_private_fast", |b| {
+        b.iter(|| write_barrier(&dheap, black_box(dobj), 0, black_box(1)))
+    });
+
+    // Figure 14: two stores + one load, separate barriers vs one aggregate.
+    g.bench_function("three_accesses_separate", |b| {
+        b.iter(|| {
+            write_barrier(&heap, o, 0, 0);
+            let y = read_barrier(&heap, o, 1);
+            write_barrier(&heap, o, 1, y + 1);
+        })
+    });
+    g.bench_function("three_accesses_aggregated", |b| {
+        b.iter(|| {
+            aggregate(&heap, o, |v| {
+                v.set(0, 0);
+                let y = v.get(1);
+                v.set(1, y + 1);
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_publish(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dea_publish");
+    g.sample_size(40);
+    for n in [1usize, 16, 256] {
+        g.bench_function(format!("chain_{n}"), |b| {
+            let heap = Heap::new(StmConfig { dea: true, ..StmConfig::default() });
+            let s = heap.define_shape(Shape::new(
+                "L",
+                vec![FieldDef::int("v"), FieldDef::reference("next")],
+            ));
+            b.iter_batched(
+                || {
+                    // A private chain of n objects.
+                    let mut head = heap.alloc(s);
+                    for _ in 1..n {
+                        let nn = heap.alloc(s);
+                        heap.write_raw(nn, 1, head.to_word());
+                        head = nn;
+                    }
+                    head
+                },
+                |head| stm_core::dea::publish(&heap, black_box(head)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_barriers, bench_publish);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! The Figure 15 experiment as a Criterion bench: each JVM98-shaped kernel
+//! at the cumulative optimization levels. The per-level throughput ratios
+//! are the statistically rigorous version of `repro fig15`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use workloads::jvm98::{Kernel, KernelConfig, OptLevel};
+
+fn bench_kernels(c: &mut Criterion) {
+    for kernel in Kernel::ALL {
+        let mut g = c.benchmark_group(format!("fig15_{}", kernel.name()));
+        g.sample_size(12);
+        for level in OptLevel::ALL {
+            let cfg = KernelConfig::fig15(level, 1);
+            g.bench_function(level.label(), |b| {
+                b.iter(|| {
+                    let heap = cfg.heap();
+                    black_box(kernel.run(&heap, &cfg))
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion wrapper for the simulated scalability experiments
+//! (Figures 18–20): wall-clock here measures the *simulator*, while the
+//! scientifically meaningful output — virtual-time makespans — is printed
+//! by `repro fig18|fig19|fig20`. This bench keeps the simulator's own
+//! performance under regression control with a couple of representative
+//! points.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use workloads::scale::SyncMode;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_scalability");
+    g.sample_size(10);
+    g.bench_function("tsp_weak_4thr_tiny", |b| {
+        b.iter(|| {
+            black_box(workloads::tsp::run(&workloads::tsp::TspConfig::tiny(
+                SyncMode::WeakAtom,
+                4,
+            )))
+        })
+    });
+    g.bench_function("oo7_strong_4thr_tiny", |b| {
+        b.iter(|| {
+            black_box(workloads::oo7::run(&workloads::oo7::Oo7Config::tiny(
+                SyncMode::StrongNoOpts,
+                4,
+            )))
+        })
+    });
+    g.bench_function("jbb_locks_4thr_tiny", |b| {
+        b.iter(|| {
+            black_box(workloads::jbb::run(&workloads::jbb::JbbConfig::tiny(
+                SyncMode::Locks,
+                4,
+            )))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

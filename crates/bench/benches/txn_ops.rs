@@ -1,0 +1,115 @@
+//! Transaction-engine microbenchmarks: eager vs lazy commit cost as a
+//! function of read/write set size, abort/rollback cost, and the DEA
+//! private-object discount inside transactions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use stm_core::config::{StmConfig, Versioning};
+use stm_core::heap::{FieldDef, Heap, ObjRef, Shape};
+use stm_core::txn::{atomic, try_atomic};
+
+fn heap_with(versioning: Versioning, dea: bool) -> (Arc<Heap>, Vec<ObjRef>) {
+    let heap = Heap::new(StmConfig { versioning, dea, ..StmConfig::default() });
+    let s = heap.define_shape(Shape::new("T", vec![FieldDef::int("v")]));
+    let objs = (0..256).map(|_| heap.alloc_public(s)).collect();
+    (heap, objs)
+}
+
+fn bench_commit_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("txn_commit");
+    g.sample_size(50);
+    for versioning in [Versioning::Eager, Versioning::Lazy] {
+        let name = match versioning {
+            Versioning::Eager => "eager",
+            Versioning::Lazy => "lazy",
+        };
+        let (heap, objs) = heap_with(versioning, false);
+        for n in [1usize, 8, 64] {
+            g.bench_function(format!("{name}_rw_{n}"), |b| {
+                b.iter(|| {
+                    atomic(&heap, |tx| {
+                        for o in objs.iter().take(n) {
+                            let v = tx.read(*o, 0)?;
+                            tx.write(*o, 0, v + 1)?;
+                        }
+                        Ok(())
+                    })
+                })
+            });
+            g.bench_function(format!("{name}_ro_{n}"), |b| {
+                b.iter(|| {
+                    atomic(&heap, |tx| {
+                        let mut s = 0u64;
+                        for o in objs.iter().take(n) {
+                            s = s.wrapping_add(tx.read(*o, 0)?);
+                        }
+                        Ok(black_box(s))
+                    })
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_abort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("txn_abort");
+    g.sample_size(50);
+    let (heap, objs) = heap_with(Versioning::Eager, false);
+    g.bench_function("eager_rollback_16", |b| {
+        b.iter(|| {
+            let _: Option<()> = try_atomic(&heap, |tx| {
+                for o in objs.iter().take(16) {
+                    let v = tx.read(*o, 0)?;
+                    tx.write(*o, 0, v + 1)?;
+                }
+                tx.cancel()
+            });
+        })
+    });
+    let (lheap, lobjs) = heap_with(Versioning::Lazy, false);
+    g.bench_function("lazy_drop_buffer_16", |b| {
+        b.iter(|| {
+            let _: Option<()> = try_atomic(&lheap, |tx| {
+                for o in lobjs.iter().take(16) {
+                    let v = tx.read(*o, 0)?;
+                    tx.write(*o, 0, v + 1)?;
+                }
+                tx.cancel()
+            });
+        })
+    });
+    g.finish();
+}
+
+fn bench_dea_in_txn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("txn_dea");
+    g.sample_size(50);
+    let (heap, _) = heap_with(Versioning::Eager, true);
+    let s = heap.shape_id("T").unwrap();
+    // Private object: open-for-write skips the CAS (paper §4's
+    // open-for-write speedup).
+    let private = heap.alloc(s);
+    let public = heap.alloc_public(s);
+    g.bench_function("write_private_obj", |b| {
+        b.iter(|| {
+            atomic(&heap, |tx| {
+                let v = tx.read(private, 0)?;
+                tx.write(private, 0, v + 1)
+            })
+        })
+    });
+    g.bench_function("write_public_obj", |b| {
+        b.iter(|| {
+            atomic(&heap, |tx| {
+                let v = tx.read(public, 0)?;
+                tx.write(public, 0, v + 1)
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_commit_sizes, bench_abort, bench_dea_in_txn);
+criterion_main!(benches);

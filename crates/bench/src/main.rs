@@ -1,0 +1,40 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all [scale]      # everything (EXPERIMENTS.md content)
+//! repro fig1..fig5       # anomaly litmus tests (one report)
+//! repro fig6             # weak-atomicity behavior matrix
+//! repro fig13            # NAIT vs TL static counts
+//! repro fig14            # barrier aggregation demo
+//! repro fig15|16|17 [scale]  # JVM98 barrier overheads (measured)
+//! repro fig18|19|20      # Tsp / OO7 / JBB scalability (simulated)
+//! ```
+
+use bench::experiments as ex;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let scale: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let out = match which {
+        "all" => ex::all(scale),
+        "fig1" | "fig2" | "fig3" | "fig4" | "fig5" => ex::figs_1_to_5(),
+        "fig6" => ex::fig6(),
+        "fig13" => ex::fig13(),
+        "fig14" => ex::fig14(),
+        "fig15" => ex::fig15(scale),
+        "fig16" => ex::fig16(scale),
+        "fig17" => ex::fig17(scale),
+        "fig18" => ex::fig18(),
+        "fig19" => ex::fig19(),
+        "fig20" => ex::fig20(),
+        other => {
+            eprintln!("unknown experiment `{other}`; try: all, fig1..fig6, fig13..fig20");
+            std::process::exit(2);
+        }
+    };
+    println!("{out}");
+}

@@ -1,0 +1,193 @@
+//! Paper Figure 5: anomalies due to coarse-grained versioning — granular
+//! lost updates (GLU) and granular inconsistent reads (GIR). These require
+//! the STM to log or buffer at a granularity wider than a field
+//! ([`Granularity::Pair`] here: fields 0 and 1 share one versioning entry).
+
+use crate::harness::{run2, u, Env, T1, T2};
+use crate::Mode;
+use std::sync::Arc;
+use stm_core::config::Granularity;
+use stm_core::syncpoint::SyncPoint;
+use stm_core::txn::atomic;
+
+/// Figure 5(a): Thread 1's transaction writes only `x.f` (field 0); Thread 2
+/// writes `x.g` (field 1) outside any transaction; the transaction never
+/// touches `x.g`, yet its undo-log/write-buffer entry spans both fields.
+/// Returns `true` if Thread 2's update vanished (`x.g == 0`).
+pub fn granular_lost_update(mode: Mode) -> bool {
+    granular_lost_update_at(mode, Granularity::Pair)
+}
+
+/// [`granular_lost_update`] with explicit granularity: with
+/// [`Granularity::PerField`] the anomaly is impossible in every mode — the
+/// ablation the paper's §2.4 discussion implies.
+pub fn granular_lost_update_at(mode: Mode, granularity: Granularity) -> bool {
+    let env = Arc::new(Env::with_granularity(mode, granularity));
+    let x = env.obj(); // fields 0 ("f") and 1 ("g") share a Pair span
+    let d = env.obj();
+
+    let script = match mode {
+        // Eager: T2's store must land between the undo-log snapshot and the
+        // rollback; T2 also dooms T1 to force that rollback.
+        Mode::EagerWeak => vec![(T1, u(1)), (T2, u(2)), (T2, u(3)), (T1, u(4))],
+        // Lazy: T2's store must land between the buffer snapshot and the
+        // write-back; no abort needed.
+        Mode::LazyWeak => vec![
+            (T1, SyncPoint::LazyAfterBuffer),
+            (T2, u(2)),
+            (T2, u(3)),
+            (T1, SyncPoint::LazyAfterValidate),
+        ],
+        // Strong: T2's barriered store blocks on the record, so T1 cannot
+        // wait for T2's completion.
+        Mode::Strong | Mode::StrongLazy => vec![(T1, u(1)), (T2, u(2)), (T1, u(4))],
+        Mode::Locks => vec![(T1, u(1)), (T2, u(2)), (T2, u(3)), (T1, u(4))],
+    };
+
+    let e1 = Arc::clone(&env);
+    let e2 = Arc::clone(&env);
+    run2(
+        &env.heap,
+        script,
+        move || {
+            if e1.mode == Mode::Locks {
+                e1.sync.synchronized(d, || {
+                    e1.heap.write_raw(x, 0, 7);
+                    e1.heap.hit(u(1));
+                    e1.heap.hit(u(4));
+                });
+            } else {
+                atomic(&e1.heap, |tx| {
+                    let _doom = tx.read(d, 0)?;
+                    tx.write(x, 0, 7)?;
+                    e1.heap.hit(u(1));
+                    e1.heap.hit(u(4));
+                    Ok(())
+                });
+            }
+        },
+        move || {
+            e2.heap.hit(u(2));
+            e2.nt_write(x, 1, 1);
+            if e2.mode == Mode::EagerWeak {
+                e2.bump(d); // force the rollback that clobbers x.g
+            }
+            e2.heap.hit(u(3));
+        },
+    );
+    env.heap.read_raw(x, 1) == 0
+}
+
+/// Figure 5(b): Thread 2 stores `x.g = 1` then signals `y = 1`; Thread 1's
+/// transaction writes `x.f`, observes `y == 1`, and reads `x.g`. The
+/// ordering implies it must see `1`; returns `true` if it saw the stale `0`
+/// from its own wide buffer entry.
+pub fn granular_inconsistent_read(mode: Mode) -> bool {
+    granular_inconsistent_read_at(mode, Granularity::Pair)
+}
+
+/// [`granular_inconsistent_read`] with explicit granularity.
+pub fn granular_inconsistent_read_at(mode: Mode, granularity: Granularity) -> bool {
+    let env = Arc::new(Env::with_granularity(mode, granularity));
+    let x = env.obj();
+    let y = env.obj();
+
+    let script = match mode {
+        Mode::LazyWeak | Mode::StrongLazy => vec![
+            (T1, SyncPoint::LazyAfterBuffer),
+            (T2, u(2)),
+            (T2, u(3)),
+            (T1, u(4)),
+        ],
+        Mode::EagerWeak => {
+            vec![(T1, SyncPoint::EagerAfterWrite), (T2, u(2)), (T2, u(3)), (T1, u(4))]
+        }
+        // Strong eager: T2's barriered store to x.g blocks on T1's ownership
+        // of x, so T1 must not wait for T2's completion marker.
+        Mode::Strong => vec![(T1, SyncPoint::EagerAfterWrite), (T2, u(2)), (T1, u(4))],
+        Mode::Locks => vec![(T1, u(1)), (T2, u(2)), (T2, u(3)), (T1, u(4))],
+    };
+
+    let e1 = Arc::clone(&env);
+    let e2 = Arc::clone(&env);
+    let (observed, ()) = run2(
+        &env.heap,
+        script,
+        move || {
+            if e1.mode == Mode::Locks {
+                e1.sync.synchronized(x, || {
+                    e1.heap.write_raw(x, 0, 7);
+                    e1.heap.hit(u(1));
+                    e1.heap.hit(u(4));
+                    if e1.heap.read_raw(y, 0) == 1 {
+                        e1.heap.read_raw(x, 1) as i64
+                    } else {
+                        -1
+                    }
+                })
+            } else {
+                atomic(&e1.heap, |tx| {
+                    tx.write(x, 0, 7)?;
+                    e1.heap.hit(u(4));
+                    if tx.read(y, 0)? == 1 {
+                        Ok(tx.read(x, 1)? as i64)
+                    } else {
+                        Ok(-1)
+                    }
+                })
+            }
+        },
+        move || {
+            e2.heap.hit(u(2));
+            e2.nt_write(x, 1, 1);
+            e2.nt_write(y, 0, 1);
+            e2.heap.hit(u(3));
+        },
+    );
+    observed == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glu_matches_figure6() {
+        assert!(granular_lost_update(Mode::EagerWeak));
+        assert!(granular_lost_update(Mode::LazyWeak));
+        assert!(!granular_lost_update(Mode::Locks));
+        assert!(!granular_lost_update(Mode::Strong));
+    }
+
+    #[test]
+    fn gir_matches_figure6() {
+        assert!(!granular_inconsistent_read(Mode::EagerWeak));
+        assert!(granular_inconsistent_read(Mode::LazyWeak));
+        assert!(!granular_inconsistent_read(Mode::Locks));
+        assert!(!granular_inconsistent_read(Mode::Strong));
+    }
+
+    #[test]
+    fn per_field_granularity_removes_both() {
+        for mode in [Mode::EagerWeak, Mode::LazyWeak] {
+            assert!(
+                !granular_lost_update_at(mode, Granularity::PerField),
+                "{mode:?}: GLU impossible at field granularity"
+            );
+            assert!(
+                !granular_inconsistent_read_at(mode, Granularity::PerField),
+                "{mode:?}: GIR impossible at field granularity"
+            );
+        }
+    }
+
+    #[test]
+    fn strong_lazy_hides_granularity() {
+        // §2.4 end: "A strongly-atomic system hides this granularity" —
+        // with barriers, even the lazy engine avoids GLU/GIR because the
+        // span snapshot is validated and the barriered writer bumps the
+        // version.
+        assert!(!granular_lost_update(Mode::StrongLazy));
+        assert!(!granular_inconsistent_read(Mode::StrongLazy));
+    }
+}

@@ -1,0 +1,179 @@
+//! Shared scaffolding for the anomaly litmus tests.
+
+use crate::Mode;
+use std::sync::Arc;
+use stm_core::config::{BarrierMode, Granularity, StmConfig, Versioning};
+use stm_core::heap::{FieldDef, Heap, ObjRef, Shape, ShapeId, Word};
+use stm_core::locks::SyncTable;
+use stm_core::syncpoint::{as_actor, ActorId, Script, SyncPoint};
+use stm_core::txn::atomic;
+
+/// Thread 1's actor id in every script.
+pub const T1: ActorId = ActorId(1);
+/// Thread 2's actor id in every script.
+pub const T2: ActorId = ActorId(2);
+
+/// A litmus environment: a heap configured for one column of the paper's
+/// Figure 6 plus the barrier policy its non-transactional code compiles to.
+pub struct Env {
+    /// The shared heap.
+    pub heap: Arc<Heap>,
+    /// Barrier policy for non-transactional accesses.
+    pub barriers: BarrierMode,
+    /// The mode under test.
+    pub mode: Mode,
+    /// Monitor table for the lock-based column.
+    pub sync: Arc<SyncTable>,
+    obj_shape: ShapeId,
+    ref_shape: ShapeId,
+}
+
+impl Env {
+    /// Environment with per-field versioning granularity.
+    pub fn new(mode: Mode) -> Self {
+        Self::with_granularity(mode, Granularity::PerField)
+    }
+
+    /// Environment with explicit granularity (the §2.4 anomalies need
+    /// [`Granularity::Pair`]).
+    pub fn with_granularity(mode: Mode, granularity: Granularity) -> Self {
+        Self::with_config(mode, granularity, false)
+    }
+
+    /// Environment with quiescence enabled (§3.4 privatization studies).
+    pub fn with_quiescence(mode: Mode) -> Self {
+        Self::build(mode, Granularity::PerField, true, false)
+    }
+
+    /// Environment with barrier race recording enabled (§3.2's debugging
+    /// aid).
+    pub fn with_races(mode: Mode) -> Self {
+        Self::build(mode, Granularity::PerField, false, true)
+    }
+
+    /// Environment with TL2-style aggressive read-set validation (for the
+    /// §3.4 "validation is not enough" demonstrations).
+    pub fn with_eager_validation(mode: Mode) -> Self {
+        let mut env = Self::build(mode, Granularity::PerField, false, false);
+        // Rebuild the heap with validation enabled, reusing the same shapes.
+        let config = StmConfig {
+            eager_validation: true,
+            ..env.heap.config().clone()
+        };
+        let heap = Heap::new(config);
+        let obj_shape = heap.define_shape(Shape::new(
+            "LitmusObj",
+            vec![
+                FieldDef::int("f0"),
+                FieldDef::int("f1"),
+                FieldDef::int("f2"),
+                FieldDef::int("f3"),
+            ],
+        ));
+        let ref_shape = heap.define_shape(Shape::new(
+            "LitmusRef",
+            vec![FieldDef::reference("r"), FieldDef::int("pad")],
+        ));
+        env.heap = heap;
+        env.obj_shape = obj_shape;
+        env.ref_shape = ref_shape;
+        env
+    }
+
+    fn with_config(mode: Mode, granularity: Granularity, quiescence: bool) -> Self {
+        Self::build(mode, granularity, quiescence, false)
+    }
+
+    fn build(mode: Mode, granularity: Granularity, quiescence: bool, record_races: bool) -> Self {
+        let versioning = match mode {
+            Mode::LazyWeak | Mode::StrongLazy => Versioning::Lazy,
+            _ => Versioning::Eager,
+        };
+        let config = StmConfig {
+            versioning,
+            granularity,
+            quiescence,
+            record_races,
+            ..StmConfig::default()
+        };
+        let barriers = match mode {
+            Mode::Strong | Mode::StrongLazy => BarrierMode::Strong,
+            _ => BarrierMode::Weak,
+        };
+        let heap = Heap::new(config);
+        // A 4-int-field object covers every scalar scenario; the pairing
+        // (fields 0,1) and (2,3) matters under Pair granularity.
+        let obj_shape = heap.define_shape(Shape::new(
+            "LitmusObj",
+            vec![
+                FieldDef::int("f0"),
+                FieldDef::int("f1"),
+                FieldDef::int("f2"),
+                FieldDef::int("f3"),
+            ],
+        ));
+        let ref_shape = heap.define_shape(Shape::new(
+            "LitmusRef",
+            vec![FieldDef::reference("r"), FieldDef::int("pad")],
+        ));
+        Env { heap, barriers, mode, sync: Arc::new(SyncTable::new()), obj_shape, ref_shape }
+    }
+
+    /// Allocates a public scalar object (4 int fields, zeroed).
+    pub fn obj(&self) -> ObjRef {
+        self.heap.alloc_public(self.obj_shape)
+    }
+
+    /// Allocates a public object with a reference field (slot 0).
+    pub fn ref_obj(&self) -> ObjRef {
+        self.heap.alloc_public(self.ref_shape)
+    }
+
+    /// Non-transactional read under this mode's barrier policy.
+    pub fn nt_read(&self, o: ObjRef, f: usize) -> Word {
+        stm_core::barrier::read_access(&self.heap, self.barriers, o, f)
+    }
+
+    /// Non-transactional write under this mode's barrier policy.
+    pub fn nt_write(&self, o: ObjRef, f: usize, v: Word) {
+        stm_core::barrier::write_access(&self.heap, self.barriers, o, f, v);
+    }
+
+    /// Transactionally increments field 0 of `d` — the "doom" helper that
+    /// invalidates any in-flight transaction that read `d`.
+    pub fn bump(&self, d: ObjRef) {
+        atomic(&self.heap, |tx| {
+            let v = tx.read(d, 0)?;
+            tx.write(d, 0, v + 1)
+        });
+    }
+}
+
+/// Runs two closures as scripted threads `T1`/`T2`, returning both results.
+/// Installs `script` on `heap` for the duration and asserts it fully
+/// executed.
+pub fn run2<R1, R2>(
+    heap: &Arc<Heap>,
+    script: Vec<(ActorId, SyncPoint)>,
+    f1: impl FnOnce() -> R1 + Send + 'static,
+    f2: impl FnOnce() -> R2 + Send + 'static,
+) -> (R1, R2)
+where
+    R1: Send + 'static,
+    R2: Send + 'static,
+{
+    let script = Arc::new(Script::new(script));
+    heap.install_script(Arc::clone(&script));
+    let h1 = std::thread::spawn(move || as_actor(T1, f1));
+    let h2 = std::thread::spawn(move || as_actor(T2, f2));
+    let r1 = h1.join().expect("thread 1 completed");
+    let r2 = h2.join().expect("thread 2 completed");
+    assert_eq!(script.remaining(), 0, "litmus script fully executed");
+    heap.clear_script();
+    (r1, r2)
+}
+
+/// Shorthand for a user sync point.
+pub const fn u(n: u32) -> SyncPoint {
+    SyncPoint::User(n)
+}

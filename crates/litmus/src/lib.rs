@@ -1,0 +1,224 @@
+//! # litmus — deterministic weak-atomicity anomaly tests
+//!
+//! Executable reproductions of §2 of *"Enforcing Isolation and Ordering in
+//! STM"* (PLDI 2007): every program of Figures 1–5 runs as a choreographed
+//! two-thread litmus test against the real `stm-core` engines, under each
+//! synchronization regime of Figure 6 — weakly atomic eager STM, weakly
+//! atomic lazy STM, lock-based critical sections, and the paper's strongly
+//! atomic system. [`anomaly_matrix`] assembles the results into the paper's
+//! Figure 6 and [`expected_matrix`] pins the published values.
+//!
+//! ```
+//! use litmus::{anomaly_matrix, expected_matrix};
+//! assert_eq!(anomaly_matrix(), expected_matrix());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod granular;
+pub mod harness;
+pub mod ordering;
+pub mod privatization;
+pub mod race_debug;
+pub mod races;
+pub mod speculation;
+
+/// A synchronization regime — a column of the paper's Figure 6 (plus
+/// [`Mode::StrongLazy`], the §3.3 ordering-barrier variant, which the paper
+/// describes but does not tabulate).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Weakly atomic eager-versioning STM (McRT-like, no barriers).
+    EagerWeak,
+    /// Weakly atomic lazy-versioning STM.
+    LazyWeak,
+    /// Lock-based critical sections (`synchronized`).
+    Locks,
+    /// The paper's system: eager STM with non-transactional isolation
+    /// barriers.
+    Strong,
+    /// Lazy STM with the §3.3 ordering read barrier and write barriers.
+    StrongLazy,
+}
+
+impl Mode {
+    /// The four columns of Figure 6, in paper order.
+    pub const FIGURE6: [Mode; 4] = [Mode::EagerWeak, Mode::LazyWeak, Mode::Locks, Mode::Strong];
+
+    /// Column label as printed in the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::EagerWeak => "Eager",
+            Mode::LazyWeak => "Lazy",
+            Mode::Locks => "Locks",
+            Mode::Strong => "Strong",
+            Mode::StrongLazy => "Strong(lazy)",
+        }
+    }
+}
+
+/// The anomalies of Figure 6, with the non-transactional/transactional
+/// access pattern that produces each.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Anomaly {
+    /// Non-repeatable read (Figure 2(a)).
+    NonRepeatableRead,
+    /// Granular inconsistent read (Figure 5(b)).
+    GranularInconsistentRead,
+    /// Intermediate lost update (Figure 2(b)).
+    IntermediateLostUpdate,
+    /// Speculative lost update (Figure 3(a)).
+    SpeculativeLostUpdate,
+    /// Granular lost update (Figure 5(a)).
+    GranularLostUpdate,
+    /// Memory inconsistency (Figure 4(a); also the write-write row).
+    MemoryInconsistency,
+    /// Intermediate dirty read (Figure 2(c)).
+    IntermediateDirtyRead,
+    /// Speculative dirty read (Figure 3(b)).
+    SpeculativeDirtyRead,
+}
+
+impl Anomaly {
+    /// All rows, in Figure 6 order.
+    pub const ALL: [Anomaly; 8] = [
+        Anomaly::NonRepeatableRead,
+        Anomaly::GranularInconsistentRead,
+        Anomaly::IntermediateLostUpdate,
+        Anomaly::SpeculativeLostUpdate,
+        Anomaly::GranularLostUpdate,
+        Anomaly::MemoryInconsistency,
+        Anomaly::IntermediateDirtyRead,
+        Anomaly::SpeculativeDirtyRead,
+    ];
+
+    /// Paper abbreviation.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Anomaly::NonRepeatableRead => "NR",
+            Anomaly::GranularInconsistentRead => "GIR",
+            Anomaly::IntermediateLostUpdate => "ILU",
+            Anomaly::SpeculativeLostUpdate => "SLU",
+            Anomaly::GranularLostUpdate => "GLU",
+            Anomaly::MemoryInconsistency => "MI",
+            Anomaly::IntermediateDirtyRead => "IDR",
+            Anomaly::SpeculativeDirtyRead => "SDR",
+        }
+    }
+
+    /// The "Non-Txn / Txn" access pattern of the anomaly's Figure 6 row.
+    pub fn access_pattern(self) -> &'static str {
+        match self {
+            Anomaly::NonRepeatableRead | Anomaly::GranularInconsistentRead => "write / read",
+            Anomaly::IntermediateLostUpdate
+            | Anomaly::SpeculativeLostUpdate
+            | Anomaly::GranularLostUpdate
+            | Anomaly::MemoryInconsistency => "write / write",
+            Anomaly::IntermediateDirtyRead | Anomaly::SpeculativeDirtyRead => "read / write",
+        }
+    }
+
+    /// Runs the litmus test for this anomaly under `mode`; `true` means the
+    /// anomaly was observed.
+    pub fn observe(self, mode: Mode) -> bool {
+        match self {
+            Anomaly::NonRepeatableRead => races::non_repeatable_read(mode),
+            Anomaly::GranularInconsistentRead => granular::granular_inconsistent_read(mode),
+            Anomaly::IntermediateLostUpdate => races::intermediate_lost_update(mode),
+            Anomaly::SpeculativeLostUpdate => speculation::speculative_lost_update(mode),
+            Anomaly::GranularLostUpdate => granular::granular_lost_update(mode),
+            Anomaly::MemoryInconsistency => ordering::memory_inconsistency(mode),
+            Anomaly::IntermediateDirtyRead => races::intermediate_dirty_read(mode),
+            Anomaly::SpeculativeDirtyRead => speculation::speculative_dirty_read(mode),
+        }
+    }
+}
+
+/// The Figure 6 matrix: `matrix[row][col]` says whether `Anomaly::ALL[row]`
+/// is observable under `Mode::FIGURE6[col]`.
+pub type Matrix = [[bool; 4]; 8];
+
+/// Runs all 32 litmus executions and assembles Figure 6.
+pub fn anomaly_matrix() -> Matrix {
+    let mut m = [[false; 4]; 8];
+    for (i, anomaly) in Anomaly::ALL.iter().enumerate() {
+        for (j, mode) in Mode::FIGURE6.iter().enumerate() {
+            m[i][j] = anomaly.observe(*mode);
+        }
+    }
+    m
+}
+
+/// The published Figure 6 values.
+pub fn expected_matrix() -> Matrix {
+    //  Eager  Lazy   Locks  Strong
+    [
+        [true, true, true, false],   // NR
+        [false, true, false, false], // GIR
+        [true, true, true, false],   // ILU
+        [true, false, false, false], // SLU
+        [true, true, false, false],  // GLU
+        [false, true, false, false], // MI
+        [true, false, true, false],  // IDR
+        [true, false, false, false], // SDR
+    ]
+}
+
+/// Renders a matrix in the paper's Figure 6 layout.
+pub fn render_matrix(m: &Matrix) -> String {
+    let mut out = String::new();
+    out.push_str("Non-Txn/Txn     Anomaly  Eager  Lazy   Locks  Strong\n");
+    out.push_str("-----------------------------------------------------\n");
+    for (i, a) in Anomaly::ALL.iter().enumerate() {
+        let yn = |b: bool| if b { "yes" } else { "no" };
+        out.push_str(&format!(
+            "{:<15} {:<8} {:<6} {:<6} {:<6} {:<6}\n",
+            a.access_pattern(),
+            a.abbrev(),
+            yn(m[i][0]),
+            yn(m[i][1]),
+            yn(m[i][2]),
+            yn(m[i][3]),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure6_reproduced_exactly() {
+        let got = anomaly_matrix();
+        let want = expected_matrix();
+        for (i, a) in Anomaly::ALL.iter().enumerate() {
+            for (j, m) in Mode::FIGURE6.iter().enumerate() {
+                assert_eq!(
+                    got[i][j], want[i][j],
+                    "{} under {}: expected {}, observed {}",
+                    a.abbrev(),
+                    m.label(),
+                    want[i][j],
+                    got[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strong_column_is_all_no() {
+        for a in Anomaly::ALL {
+            assert!(!a.observe(Mode::Strong), "{} leaked under Strong", a.abbrev());
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let s = render_matrix(&expected_matrix());
+        for a in Anomaly::ALL {
+            assert!(s.contains(a.abbrev()));
+        }
+    }
+}

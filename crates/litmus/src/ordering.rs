@@ -1,0 +1,109 @@
+//! Paper Figure 4(a): memory inconsistency (MI) in lazy-versioning STMs —
+//! a transaction initializes an object's field and publishes the object, but
+//! write-back applies the publication before the initialization, so a
+//! non-transactional reader observes the object uninitialized.
+
+use crate::harness::{run2, u, Env, T1, T2};
+use crate::Mode;
+use std::sync::Arc;
+use stm_core::heap::ObjRef;
+use stm_core::syncpoint::SyncPoint;
+use stm_core::txn::atomic;
+
+/// Figure 4(a), overlapped writes. Thread 1 runs
+/// `atomic { el.val = 1; x = el }`; Thread 2 reads `r = x.val` if `x` is
+/// non-null (else `r = -1`). Returns `true` if Thread 2 observed the
+/// published object with its field still `0`.
+pub fn memory_inconsistency(mode: Mode) -> bool {
+    let env = Arc::new(Env::new(mode));
+    // Allocate the holder of `x` *before* `el` so its heap address is lower:
+    // our lazy write-back applies buffers in address order, which puts the
+    // publication before the initialization (the paper's "no particular
+    // order", made deterministic).
+    let holder = env.ref_obj(); // field 0: x (reference)
+    let el = env.obj(); // field 0: val
+
+    let script = match mode {
+        Mode::LazyWeak => vec![
+            // After the first buffered span (the publication) lands, T1 is
+            // held before the second (the initialization) while T2 reads.
+            (T1, SyncPoint::LazyBeforeWritebackEntry),
+            (T1, SyncPoint::LazyMidWriteback),
+            (T2, u(2)),
+            (T2, u(3)),
+            (T1, SyncPoint::LazyBeforeWritebackEntry),
+        ],
+        Mode::StrongLazy => vec![
+            // T2's ordering barrier will block on the held record, so T1
+            // must keep running; just order T2's attempt inside the window.
+            (T1, SyncPoint::LazyAfterValidate),
+            (T2, u(2)),
+        ],
+        Mode::EagerWeak | Mode::Strong => vec![
+            // The adversarial moment for eager versioning: between the two
+            // in-place writes (user points inside the atomic block, because
+            // `EagerAfterWrite` fires only after a store has landed).
+            (T1, u(1)),
+            (T2, u(2)),
+            (T2, u(3)),
+            (T1, u(4)),
+        ],
+        Mode::Locks => vec![(T1, u(1)), (T2, u(2)), (T2, u(3)), (T1, u(4))],
+    };
+
+    let e1 = Arc::clone(&env);
+    let e2 = Arc::clone(&env);
+    let (_, observed) = run2(
+        &env.heap,
+        script,
+        move || {
+            if e1.mode == Mode::Locks {
+                e1.sync.synchronized(holder, || {
+                    e1.heap.write_raw(el, 0, 1);
+                    e1.heap.hit(u(1));
+                    e1.heap.hit(u(4));
+                    e1.heap.write_raw(holder, 0, el.to_word());
+                });
+            } else {
+                atomic(&e1.heap, |tx| {
+                    tx.write(el, 0, 1)?;
+                    e1.heap.hit(u(1));
+                    e1.heap.hit(u(4));
+                    tx.write_ref(holder, 0, Some(el))?;
+                    Ok(())
+                });
+            }
+        },
+        move || {
+            e2.heap.hit(u(2));
+            let rx = e2.nt_read(holder, 0);
+            let r = match ObjRef::from_word(rx) {
+                Some(obj) => e2.nt_read(obj, 0) as i64,
+                None => -1,
+            };
+            e2.heap.hit(u(3));
+            r
+        },
+    );
+    observed == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mi_matches_figure6() {
+        assert!(!memory_inconsistency(Mode::EagerWeak));
+        assert!(memory_inconsistency(Mode::LazyWeak));
+        assert!(!memory_inconsistency(Mode::Locks));
+        assert!(!memory_inconsistency(Mode::Strong));
+    }
+
+    #[test]
+    fn ordering_barrier_fixes_lazy_mi() {
+        // §3.3: the ordering-only read barrier makes the lazy system wait
+        // out the write-back window.
+        assert!(!memory_inconsistency(Mode::StrongLazy));
+    }
+}

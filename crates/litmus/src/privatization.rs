@@ -1,0 +1,243 @@
+//! Paper Figure 1 (and Figure 4(b)): the privatization idiom. Thread 1
+//! atomically detaches an item from a shared list and then accesses it
+//! *outside* any transaction — which is safe with locks, but under weak
+//! atomicity races with Thread 2's doomed (eager) or committed-but-unflushed
+//! (lazy) transaction. Also demonstrates that commit-time quiescence (§3.4)
+//! repairs exactly this idiom without barriers.
+
+use crate::harness::{run2, u, Env, T1, T2};
+use crate::Mode;
+use std::sync::Arc;
+use stm_core::heap::{FieldDef, ObjRef, Shape};
+use stm_core::syncpoint::SyncPoint;
+use stm_core::txn::atomic;
+
+struct ListWorld {
+    list: ObjRef, // field 0: head (reference)
+    item: ObjRef, // field 0: val1, field 1: val2, field 2: next (unused)
+}
+
+fn build_world(env: &Env) -> ListWorld {
+    let list_shape = env
+        .heap
+        .define_shape(Shape::new("List", vec![FieldDef::reference("head")]));
+    let item_shape = env.heap.define_shape(Shape::new(
+        "Item",
+        vec![
+            FieldDef::int("val1"),
+            FieldDef::int("val2"),
+            FieldDef::reference("next"),
+        ],
+    ));
+    let list = env.heap.alloc_public(list_shape);
+    let item = env.heap.alloc_public(item_shape);
+    env.heap.write_raw(list, 0, item.to_word());
+    ListWorld { list, item }
+}
+
+/// Outcome of one privatization run: the two unprotected reads Thread 1
+/// performed after detaching the item.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PrivatizationOutcome {
+    /// `item.val1` as read outside the transaction.
+    pub r1: u64,
+    /// `item.val2` as read outside the transaction.
+    pub r2: u64,
+}
+
+impl PrivatizationOutcome {
+    /// The paper's question for Figure 1: "Can r1 != r2?"
+    pub fn anomalous(self) -> bool {
+        self.r1 != self.r2
+    }
+}
+
+/// Runs the Figure 1 privatization litmus under `mode`; pass
+/// `quiescence = true` to enable §3.4 commit-time quiescence.
+pub fn privatization_outcome(mode: Mode, quiescence: bool) -> PrivatizationOutcome {
+    let env = Arc::new(if quiescence {
+        Env::with_quiescence(mode)
+    } else {
+        Env::new(mode)
+    });
+    privatization_outcome_in(env, mode)
+}
+
+/// The same litmus under TL2-style aggressive read-set validation — the
+/// configuration the paper's §3.4 dismisses: "aggressive read-set
+/// validation solves neither the general problems nor the privatization
+/// problem."
+pub fn privatization_outcome_eager_validation(mode: Mode) -> PrivatizationOutcome {
+    privatization_outcome_in(Arc::new(Env::with_eager_validation(mode)), mode)
+}
+
+fn privatization_outcome_in(env: Arc<Env>, mode: Mode) -> PrivatizationOutcome {
+    let quiescence = env.heap.config().quiescence;
+    let w = build_world(&env);
+    let (list, item) = (w.list, w.item);
+
+    let script = match (mode, quiescence) {
+        // Eager weak: T2 increments val1 in place; T1 privatizes, commits,
+        // and reads both fields raw before T2's rollback.
+        (Mode::EagerWeak, false) => {
+            vec![(T2, u(1)), (T1, u(0)), (T1, u(2)), (T1, u(3)), (T2, u(4))]
+        }
+        // Eager weak + quiescence: T1's commit blocks in quiescence until
+        // the doomed T2 aborts; T2's remaining steps run while T1 waits.
+        (Mode::EagerWeak, true) => {
+            vec![(T2, u(1)), (T1, u(0)), (T1, SyncPoint::QuiesceStart), (T2, u(4))]
+        }
+        // Lazy weak: T2 commits (validated) but pauses before write-back;
+        // T1 privatizes and reads val1 stale; T2 writes back; T1 reads val2
+        // fresh.
+        (Mode::LazyWeak, false) => vec![
+            (T2, SyncPoint::LazyAfterValidate),
+            (T1, u(0)),
+            (T1, u(2)),
+            (T2, SyncPoint::LazyBeforeWritebackEntry),
+            (T2, SyncPoint::LazyMidWriteback),
+            (T2, SyncPoint::LazyMidWriteback),
+            (T1, u(3)),
+        ],
+        // Lazy weak + quiescence: T1's commit waits out T2's write-back.
+        (Mode::LazyWeak, true) => vec![
+            (T2, SyncPoint::LazyAfterValidate),
+            (T1, u(0)),
+            (T1, SyncPoint::QuiesceStart),
+            (T2, SyncPoint::LazyMidWriteback),
+            (T2, SyncPoint::LazyMidWriteback),
+        ],
+        // Locks: properly synchronized either way; serialize T2 first (T1
+        // blocks on the monitor until T2 leaves its critical section).
+        (Mode::Locks, _) => vec![(T2, u(1)), (T1, u(0)), (T2, u(4)), (T1, u(2)), (T1, u(3))],
+        // Strong: T1's barriered reads block while T2 owns the item.
+        (Mode::Strong | Mode::StrongLazy, _) => {
+            vec![(T2, u(1)), (T1, u(0)), (T1, u(2)), (T2, u(4))]
+        }
+    };
+
+    let e1 = Arc::clone(&env);
+    let e2 = Arc::clone(&env);
+    let (outcome, ()) = run2(
+        &env.heap,
+        script,
+        move || {
+            // Thread 1: privatize, then access without synchronization.
+            e1.heap.hit(u(0));
+            let detached = if e1.mode == Mode::Locks {
+                e1.sync.synchronized(list, || {
+                    let it = ObjRef::from_word(e1.heap.read_raw(list, 0));
+                    e1.heap.write_raw(list, 0, 0);
+                    it
+                })
+            } else {
+                atomic(&e1.heap, |tx| {
+                    let it = tx.read_ref(list, 0)?;
+                    tx.write_ref(list, 0, None)?;
+                    Ok(it)
+                })
+            };
+            let it = detached.expect("item was on the list");
+            e1.heap.hit(u(2));
+            let r1 = e1.nt_read(it, 0);
+            e1.heap.hit(u(3));
+            let r2 = e1.nt_read(it, 1);
+            PrivatizationOutcome { r1, r2 }
+        },
+        move || {
+            // Thread 2: the "proper" synchronized increment of both fields.
+            if e2.mode == Mode::Locks {
+                e2.sync.synchronized(list, || {
+                    if let Some(it) = ObjRef::from_word(e2.heap.read_raw(list, 0)) {
+                        let v = e2.heap.read_raw(it, 0);
+                        e2.heap.write_raw(it, 0, v + 1);
+                        e2.heap.hit(u(1));
+                        e2.heap.hit(u(4));
+                        let v = e2.heap.read_raw(it, 1);
+                        e2.heap.write_raw(it, 1, v + 1);
+                    }
+                });
+            } else {
+                atomic(&e2.heap, |tx| {
+                    if let Some(it) = tx.read_ref(list, 0)? {
+                        let v = tx.read(it, 0)?;
+                        tx.write(it, 0, v + 1)?;
+                        e2.heap.hit(u(1));
+                        e2.heap.hit(u(4));
+                        let v = tx.read(it, 1)?;
+                        tx.write(it, 1, v + 1)?;
+                    }
+                    Ok(())
+                });
+            }
+        },
+    );
+    let _ = item;
+    outcome
+}
+
+/// `true` if the Figure 1 anomaly (`r1 != r2`) is observable under `mode`
+/// without quiescence.
+pub fn privatization_violated(mode: Mode) -> bool {
+    privatization_outcome(mode, false).anomalous()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn privatization_eager_weak_breaks() {
+        let o = privatization_outcome(Mode::EagerWeak, false);
+        assert!(o.anomalous(), "expected r1 != r2, got {o:?}");
+        // Specifically: saw the speculative increment of val1 but not val2.
+        assert_eq!((o.r1, o.r2), (1, 0));
+    }
+
+    #[test]
+    fn privatization_lazy_weak_breaks() {
+        let o = privatization_outcome(Mode::LazyWeak, false);
+        assert!(o.anomalous(), "expected r1 != r2, got {o:?}");
+        // Saw val1 before write-back and val2 after.
+        assert_eq!((o.r1, o.r2), (0, 1));
+    }
+
+    #[test]
+    fn privatization_locks_safe() {
+        let o = privatization_outcome(Mode::Locks, false);
+        assert!(!o.anomalous());
+        assert_eq!((o.r1, o.r2), (1, 1));
+    }
+
+    #[test]
+    fn privatization_strong_safe() {
+        let o = privatization_outcome(Mode::Strong, false);
+        assert!(!o.anomalous(), "strong atomicity: {o:?}");
+    }
+
+    #[test]
+    fn quiescence_fixes_eager_privatization() {
+        let o = privatization_outcome(Mode::EagerWeak, true);
+        assert!(!o.anomalous(), "quiescence: {o:?}");
+        // T2 was doomed and rolled back before T1's reads.
+        assert_eq!((o.r1, o.r2), (0, 0));
+    }
+
+    #[test]
+    fn aggressive_validation_does_not_fix_privatization() {
+        // Paper §3.4: per-access read-set validation is not a substitute for
+        // barriers or quiescence.
+        let eager = privatization_outcome_eager_validation(Mode::EagerWeak);
+        assert!(eager.anomalous(), "eager + validation still broken: {eager:?}");
+        let lazy = privatization_outcome_eager_validation(Mode::LazyWeak);
+        assert!(lazy.anomalous(), "lazy + validation still broken: {lazy:?}");
+    }
+
+    #[test]
+    fn quiescence_fixes_lazy_privatization() {
+        let o = privatization_outcome(Mode::LazyWeak, true);
+        assert!(!o.anomalous(), "quiescence: {o:?}");
+        // T2's write-back completed before T1's reads.
+        assert_eq!((o.r1, o.r2), (1, 1));
+    }
+}

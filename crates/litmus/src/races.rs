@@ -1,0 +1,174 @@
+//! Paper Figure 2: isolation violations that also occur with locks when the
+//! non-transactional side is racy — non-repeatable reads (NR), intermediate
+//! lost updates (ILU), and intermediate dirty reads (IDR).
+
+use crate::harness::{run2, u, Env, T1, T2};
+use crate::Mode;
+use std::sync::Arc;
+use stm_core::txn::atomic;
+
+/// Figure 2(a): Thread 1 reads `x` twice inside one atomic block while
+/// Thread 2 writes `x` outside any transaction. Returns `true` if the two
+/// reads disagreed (the anomaly).
+pub fn non_repeatable_read(mode: Mode) -> bool {
+    let env = Arc::new(Env::new(mode));
+    let x = env.obj();
+    // Order: T1 reads r1 → T2 writes x=10 → T1 reads r2.
+    let script = vec![(T1, u(1)), (T2, u(2)), (T2, u(3)), (T1, u(4))];
+
+    let e1 = Arc::clone(&env);
+    let e2 = Arc::clone(&env);
+    let ((r1, r2), ()) = run2(
+        &env.heap,
+        script,
+        move || {
+            if e1.mode == Mode::Locks {
+                e1.sync.synchronized(x, || {
+                    let r1 = e1.heap.read_raw(x, 0);
+                    e1.heap.hit(u(1));
+                    e1.heap.hit(u(4));
+                    (r1, e1.heap.read_raw(x, 0))
+                })
+            } else {
+                atomic(&e1.heap, |tx| {
+                    let r1 = tx.read(x, 0)?;
+                    e1.heap.hit(u(1));
+                    e1.heap.hit(u(4));
+                    let r2 = tx.read(x, 0)?;
+                    Ok((r1, r2))
+                })
+            }
+        },
+        move || {
+            e2.heap.hit(u(2));
+            e2.nt_write(x, 0, 10);
+            e2.heap.hit(u(3));
+        },
+    );
+    r1 != r2
+}
+
+/// Figure 2(b): Thread 1 executes `x = x + 1` atomically while Thread 2
+/// stores `x = 10` non-transactionally in between. Returns `true` if the
+/// non-transactional update was lost (final `x == 1`).
+pub fn intermediate_lost_update(mode: Mode) -> bool {
+    let env = Arc::new(Env::new(mode));
+    let x = env.obj();
+    let script = vec![(T1, u(1)), (T2, u(2)), (T2, u(3)), (T1, u(4))];
+
+    let e1 = Arc::clone(&env);
+    let e2 = Arc::clone(&env);
+    run2(
+        &env.heap,
+        script,
+        move || {
+            if e1.mode == Mode::Locks {
+                e1.sync.synchronized(x, || {
+                    let r = e1.heap.read_raw(x, 0);
+                    e1.heap.hit(u(1));
+                    e1.heap.hit(u(4));
+                    e1.heap.write_raw(x, 0, r + 1);
+                });
+            } else {
+                atomic(&e1.heap, |tx| {
+                    let r = tx.read(x, 0)?;
+                    e1.heap.hit(u(1));
+                    e1.heap.hit(u(4));
+                    tx.write(x, 0, r + 1)
+                });
+            }
+        },
+        move || {
+            e2.heap.hit(u(2));
+            e2.nt_write(x, 0, 10);
+            e2.heap.hit(u(3));
+        },
+    );
+    env.heap.read_raw(x, 0) == 1
+}
+
+/// Figure 2(c): Thread 1 increments `x` twice atomically (keeping it even);
+/// Thread 2 reads `x` non-transactionally in between. Returns `true` if the
+/// observed value was odd (a dirty read of intermediate state).
+pub fn intermediate_dirty_read(mode: Mode) -> bool {
+    let env = Arc::new(Env::new(mode));
+    let x = env.obj();
+    // Under strong atomicity T2's barriered read *blocks* while T1 owns x,
+    // so T1 must not wait for T2's completion marker.
+    let script = match mode {
+        Mode::Strong | Mode::StrongLazy => vec![(T1, u(1)), (T2, u(2)), (T1, u(4))],
+        _ => vec![(T1, u(1)), (T2, u(2)), (T2, u(3)), (T1, u(4))],
+    };
+
+    let e1 = Arc::clone(&env);
+    let e2 = Arc::clone(&env);
+    let (_, observed) = run2(
+        &env.heap,
+        script,
+        move || {
+            if e1.mode == Mode::Locks {
+                e1.sync.synchronized(x, || {
+                    let v = e1.heap.read_raw(x, 0);
+                    e1.heap.write_raw(x, 0, v + 1);
+                    e1.heap.hit(u(1));
+                    e1.heap.hit(u(4));
+                    let v = e1.heap.read_raw(x, 0);
+                    e1.heap.write_raw(x, 0, v + 1);
+                });
+            } else {
+                atomic(&e1.heap, |tx| {
+                    let v = tx.read(x, 0)?;
+                    tx.write(x, 0, v + 1)?;
+                    e1.heap.hit(u(1));
+                    e1.heap.hit(u(4));
+                    let v = tx.read(x, 0)?;
+                    tx.write(x, 0, v + 1)
+                });
+            }
+        },
+        move || {
+            e2.heap.hit(u(2));
+            let r = e2.nt_read(x, 0);
+            e2.heap.hit(u(3));
+            r
+        },
+    );
+    observed % 2 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nr_matches_figure6() {
+        assert!(non_repeatable_read(Mode::EagerWeak));
+        assert!(non_repeatable_read(Mode::LazyWeak));
+        assert!(non_repeatable_read(Mode::Locks));
+        assert!(!non_repeatable_read(Mode::Strong));
+    }
+
+    #[test]
+    fn ilu_matches_figure6() {
+        assert!(intermediate_lost_update(Mode::EagerWeak));
+        assert!(intermediate_lost_update(Mode::LazyWeak));
+        assert!(intermediate_lost_update(Mode::Locks));
+        assert!(!intermediate_lost_update(Mode::Strong));
+    }
+
+    #[test]
+    fn idr_matches_figure6() {
+        assert!(intermediate_dirty_read(Mode::EagerWeak));
+        assert!(!intermediate_dirty_read(Mode::LazyWeak));
+        assert!(intermediate_dirty_read(Mode::Locks));
+        assert!(!intermediate_dirty_read(Mode::Strong));
+    }
+
+    #[test]
+    fn strong_lazy_also_clean() {
+        // §3.3: a lazy STM with ordering barriers avoids these too.
+        assert!(!non_repeatable_read(Mode::StrongLazy));
+        assert!(!intermediate_lost_update(Mode::StrongLazy));
+        assert!(!intermediate_dirty_read(Mode::StrongLazy));
+    }
+}

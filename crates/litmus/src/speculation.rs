@@ -1,0 +1,141 @@
+//! Paper Figure 3: anomalies manufactured by eager versioning's
+//! speculate-and-undo strategy — speculative lost updates (SLU) and
+//! speculative dirty reads (SDR). A rolled-back transaction writes values
+//! that exist in no sequentially-consistent execution.
+
+use crate::harness::{run2, u, Env, T1, T2};
+use crate::Mode;
+use std::sync::Arc;
+use stm_core::txn::atomic;
+
+/// Figure 3(a): Thread 1 atomically performs `if y == 0 { x = 1 }` but is
+/// doomed to abort; Thread 2 meanwhile stores `x = 2; y = 1` outside any
+/// transaction. Returns `true` if Thread 2's store to `x` vanished
+/// (final `x == 0`): the rollback manufactured a write of the old value.
+pub fn speculative_lost_update(mode: Mode) -> bool {
+    let env = Arc::new(Env::new(mode));
+    let x = env.obj();
+    let y = env.obj();
+    let d = env.obj(); // doom flag, read by T1's transaction
+    // Weak modes: T1 speculatively writes x, then T2 overwrites x, sets y,
+    // and dooms T1; T1's rollback then clobbers x. Under strong atomicity
+    // T2's barriered store blocks on T1's ownership of x, so T1 must not
+    // wait for T2's completion marker.
+    let script = match mode {
+        Mode::Strong => vec![(T1, u(1)), (T2, u(2)), (T1, u(4))],
+        _ => vec![(T1, u(1)), (T2, u(2)), (T2, u(3)), (T1, u(4))],
+    };
+
+    let e1 = Arc::clone(&env);
+    let e2 = Arc::clone(&env);
+    run2(
+        &env.heap,
+        script,
+        move || {
+            if e1.mode == Mode::Locks {
+                e1.sync.synchronized(d, || {
+                    if e1.heap.read_raw(y, 0) == 0 {
+                        e1.heap.write_raw(x, 0, 1);
+                    }
+                    e1.heap.hit(u(1));
+                    e1.heap.hit(u(4));
+                });
+            } else {
+                atomic(&e1.heap, |tx| {
+                    let _doom = tx.read(d, 0)?;
+                    if tx.read(y, 0)? == 0 {
+                        tx.write(x, 0, 1)?;
+                    }
+                    e1.heap.hit(u(1));
+                    e1.heap.hit(u(4));
+                    Ok(())
+                });
+            }
+        },
+        move || {
+            e2.heap.hit(u(2));
+            e2.nt_write(x, 0, 2);
+            e2.nt_write(y, 0, 1);
+            if e2.mode != Mode::Locks {
+                e2.bump(d); // dooms T1's first attempt
+            }
+            e2.heap.hit(u(3));
+        },
+    );
+    env.heap.read_raw(x, 0) == 0
+}
+
+/// Figure 3(b): Thread 2 observes Thread 1's speculative `x = 1`, publishes
+/// that observation as `y = 1`, and Thread 1 then rolls back and re-executes
+/// skipping the store. Returns `true` if `x == 0` at the end — a state
+/// justified only by a dirty read of speculative data.
+pub fn speculative_dirty_read(mode: Mode) -> bool {
+    let env = Arc::new(Env::new(mode));
+    let x = env.obj();
+    let y = env.obj();
+    let d = env.obj();
+    let script = match mode {
+        Mode::Strong => vec![(T1, u(1)), (T2, u(2)), (T1, u(4))],
+        _ => vec![(T1, u(1)), (T2, u(2)), (T2, u(3)), (T1, u(4))],
+    };
+
+    let e1 = Arc::clone(&env);
+    let e2 = Arc::clone(&env);
+    run2(
+        &env.heap,
+        script,
+        move || {
+            if e1.mode == Mode::Locks {
+                e1.sync.synchronized(d, || {
+                    if e1.heap.read_raw(y, 0) == 0 {
+                        e1.heap.write_raw(x, 0, 1);
+                    }
+                    e1.heap.hit(u(1));
+                    e1.heap.hit(u(4));
+                });
+            } else {
+                atomic(&e1.heap, |tx| {
+                    let _doom = tx.read(d, 0)?;
+                    if tx.read(y, 0)? == 0 {
+                        tx.write(x, 0, 1)?;
+                    }
+                    e1.heap.hit(u(1));
+                    e1.heap.hit(u(4));
+                    Ok(())
+                });
+            }
+        },
+        move || {
+            e2.heap.hit(u(2));
+            if e2.nt_read(x, 0) == 1 {
+                e2.nt_write(y, 0, 1);
+            }
+            if e2.mode != Mode::Locks {
+                e2.bump(d);
+            }
+            e2.heap.hit(u(3));
+        },
+    );
+    env.heap.read_raw(x, 0) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slu_matches_figure6() {
+        assert!(speculative_lost_update(Mode::EagerWeak));
+        assert!(!speculative_lost_update(Mode::LazyWeak));
+        assert!(!speculative_lost_update(Mode::Locks));
+        assert!(!speculative_lost_update(Mode::Strong));
+    }
+
+    #[test]
+    fn sdr_matches_figure6() {
+        assert!(speculative_dirty_read(Mode::EagerWeak));
+        assert!(!speculative_dirty_read(Mode::LazyWeak));
+        assert!(!speculative_dirty_read(Mode::Locks));
+        assert!(!speculative_dirty_read(Mode::Strong));
+    }
+}

@@ -1,0 +1,248 @@
+//! Virtual-time synchronization primitives.
+//!
+//! [`VMutex`] is a blocking monitor in *virtual* time: a contended lock
+//! parks the virtual thread (it neither burns simulated cycles nor occupies
+//! a simulated processor) and hands ownership to one waiter on unlock at the
+//! releaser's clock — exactly how lock convoys show up as flat scalability
+//! curves in the paper's lock-based OO7 runs. [`VBarrier`] releases all
+//! parties at the maximum arrival clock.
+
+use crate::machine::{charge, current_vid, Machine};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct VMutexState {
+    held: bool,
+    waiters: VecDeque<usize>,
+}
+
+/// A mutual-exclusion lock living in virtual time. Guards a `T` like
+/// `std::sync::Mutex`, but blocking advances the simulation rather than
+/// wall-clock time.
+#[derive(Debug)]
+pub struct VMutex<T> {
+    machine: Arc<Machine>,
+    state: Mutex<VMutexState>,
+    value: Mutex<T>,
+    acquire_cost: u64,
+}
+
+impl<T> VMutex<T> {
+    /// Creates a lock owned by `machine`.
+    pub fn new(machine: Arc<Machine>, value: T) -> Self {
+        VMutex {
+            machine,
+            state: Mutex::new(VMutexState::default()),
+            value: Mutex::new(value),
+            acquire_cost: 30,
+        }
+    }
+
+    /// Acquires the lock, parking the virtual thread if contended.
+    ///
+    /// # Panics
+    /// Panics if called outside a virtual thread of the owning machine.
+    pub fn lock(&self) -> VMutexGuard<'_, T> {
+        let vid = current_vid().expect("VMutex::lock outside a virtual thread");
+        charge(self.acquire_cost);
+        loop {
+            {
+                let mut st = self.state.lock();
+                if !st.held {
+                    st.held = true;
+                    break;
+                }
+                st.waiters.push_back(vid);
+            }
+            // Block; the unlocker hands us ownership and wakes us, but we
+            // re-check because the hand-off protocol below re-marks `held`
+            // before waking (so `held` stays true and we own it).
+            let machine = Arc::clone(&self.machine);
+            machine.block_current(|| {});
+            // Woken with ownership: the releaser kept `held == true` for us.
+            break;
+        }
+        VMutexGuard {
+            mutex: self,
+            inner: Some(self.value.lock()),
+        }
+    }
+
+    fn unlock(&self) {
+        let waiter = {
+            let mut st = self.state.lock();
+            match st.waiters.pop_front() {
+                Some(w) => Some(w), // hand-off: held stays true
+                None => {
+                    st.held = false;
+                    None
+                }
+            }
+        };
+        charge(12);
+        if let Some(w) = waiter {
+            let at = crate::machine::now();
+            self.machine.wake(w, at);
+        }
+    }
+}
+
+/// RAII guard for [`VMutex`]; releases in virtual time on drop.
+pub struct VMutexGuard<'a, T> {
+    mutex: &'a VMutex<T>,
+    inner: Option<parking_lot::MutexGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for VMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard alive")
+    }
+}
+
+impl<T> std::ops::DerefMut for VMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard alive")
+    }
+}
+
+impl<T> Drop for VMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None; // release the data lock before hand-off
+        self.mutex.unlock();
+    }
+}
+
+#[derive(Debug, Default)]
+struct VBarrierState {
+    waiting: Vec<usize>,
+    max_clock: u64,
+    generation: u64,
+}
+
+/// An N-party barrier in virtual time: every party's clock advances to the
+/// maximum arrival clock.
+#[derive(Debug)]
+pub struct VBarrier {
+    machine: Arc<Machine>,
+    parties: usize,
+    state: Mutex<VBarrierState>,
+}
+
+impl VBarrier {
+    /// Creates a barrier for `parties` virtual threads.
+    pub fn new(machine: Arc<Machine>, parties: usize) -> Self {
+        assert!(parties >= 1);
+        VBarrier {
+            machine,
+            parties,
+            state: Mutex::new(VBarrierState::default()),
+        }
+    }
+
+    /// Waits for all parties. Returns `true` for the last arriver.
+    pub fn wait(&self) -> bool {
+        let vid = current_vid().expect("VBarrier::wait outside a virtual thread");
+        let arrival = crate::machine::now();
+        let release = {
+            let mut st = self.state.lock();
+            st.max_clock = st.max_clock.max(arrival);
+            if st.waiting.len() + 1 == self.parties {
+                // Last arriver: release everyone at the max clock.
+                let at = st.max_clock;
+                let waiters = std::mem::take(&mut st.waiting);
+                st.max_clock = 0;
+                st.generation += 1;
+                drop(st);
+                for w in waiters {
+                    self.machine.wake(w, at);
+                }
+                return true;
+            }
+            st.waiting.push(vid);
+            false
+        };
+        let machine = Arc::clone(&self.machine);
+        machine.block_current(|| {});
+        release
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{charge, now, simulate_n, Machine, SimConfig};
+
+    #[test]
+    fn vmutex_serializes_in_virtual_time() {
+        let machine = Machine::new(SimConfig::with_processors(4));
+        let counter = Arc::new(VMutex::new(Arc::clone(&machine), 0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                machine.spawn(move || {
+                    for _ in 0..50 {
+                        let mut g = counter.lock();
+                        charge(100); // critical-section work
+                        *g += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(*counter.lock_native(), 200);
+        let report = machine.report();
+        // 200 critical sections of ≥100 cycles serialize: makespan must be
+        // at least 200 * 100 despite 4 processors.
+        assert!(report.makespan >= 20_000, "makespan {}", report.makespan);
+    }
+
+    #[test]
+    fn vmutex_uncontended_is_cheap() {
+        let (report, _) = simulate_n(SimConfig::with_processors(2), 1, |_| {});
+        let machine = Machine::new(SimConfig::with_processors(2));
+        let m = Arc::clone(&machine);
+        let h = machine.spawn(move || {
+            let lock = VMutex::new(Arc::clone(&m), ());
+            for _ in 0..10 {
+                drop(lock.lock());
+            }
+        });
+        h.join();
+        assert!(machine.report().makespan < report.makespan + 10 * 100 + 1000);
+    }
+
+    #[test]
+    fn vbarrier_aligns_clocks() {
+        let machine = Machine::new(SimConfig::with_processors(4));
+        let barrier = Arc::new(VBarrier::new(Arc::clone(&machine), 3));
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                let barrier = Arc::clone(&barrier);
+                machine.spawn(move || {
+                    charge((i as u64 + 1) * 1000);
+                    barrier.wait();
+                    now()
+                })
+            })
+            .collect();
+        let clocks: Vec<u64> = handles.into_iter().map(|h| h.join()).collect();
+        let max = *clocks.iter().max().unwrap();
+        for c in clocks {
+            assert!(c >= 3000, "all released at or after slowest arrival, got {c}");
+            assert!(max - c < 2000, "clocks roughly aligned");
+        }
+    }
+}
+
+impl<T> VMutex<T> {
+    /// Direct access to the protected value from *outside* the simulation
+    /// (e.g. assertions after all threads joined).
+    pub fn lock_native(&self) -> parking_lot::MutexGuard<'_, T> {
+        self.value.lock()
+    }
+}

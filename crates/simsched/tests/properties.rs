@@ -1,0 +1,107 @@
+//! Property-based tests of the simulated multiprocessor's timing model.
+
+use proptest::prelude::*;
+use simsched::{simulate_n, SimConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The makespan is bounded below by the critical path (any single
+    /// thread's total work) and above by total work plus scheduling slack.
+    #[test]
+    fn makespan_bounds(
+        work in prop::collection::vec(prop::collection::vec(1u64..200, 1..30), 1..6),
+        procs in 1usize..8,
+    ) {
+        let per_thread: Vec<u64> = work.iter().map(|w| w.iter().sum()).collect();
+        let n = work.len();
+        let work2 = work.clone();
+        let cfg = SimConfig { processors: procs, ..SimConfig::default() };
+        let spawn_cost = cfg.spawn_cost;
+        let (report, _) = simulate_n(cfg, n, move |i| {
+            for &c in &work2[i] {
+                simsched::charge(c);
+            }
+        });
+        let max_thread = *per_thread.iter().max().unwrap();
+        let total: u64 = per_thread.iter().sum();
+        prop_assert!(
+            report.makespan >= max_thread,
+            "makespan {} < critical path {max_thread}",
+            report.makespan
+        );
+        // Upper bound: all work serialized plus every thread's spawn offset.
+        prop_assert!(
+            report.makespan <= total + spawn_cost * n as u64,
+            "makespan {} > serial bound {}",
+            report.makespan,
+            total + spawn_cost * n as u64
+        );
+    }
+
+    /// With one processor the makespan is exactly total work plus the last
+    /// spawn offset (no parallelism to hide anything).
+    #[test]
+    fn single_processor_serializes(
+        work in prop::collection::vec(1u64..500, 1..6),
+    ) {
+        let n = work.len();
+        let work2 = work.clone();
+        let cfg = SimConfig { processors: 1, ..SimConfig::default() };
+        let spawn_cost = cfg.spawn_cost;
+        let (report, _) = simulate_n(cfg, n, move |i| simsched::charge(work2[i]));
+        let total: u64 = work.iter().sum();
+        // All threads start at spawn_cost; the single processor then runs
+        // their segments back to back.
+        prop_assert_eq!(report.makespan, total + spawn_cost);
+    }
+
+    /// Simulation is deterministic: same program, same makespan.
+    #[test]
+    fn deterministic(
+        work in prop::collection::vec(prop::collection::vec(1u64..100, 1..12), 1..5),
+        procs in 1usize..6,
+    ) {
+        let run = || {
+            let work = work.clone();
+            let (r, _) = simulate_n(
+                SimConfig { processors: procs, ..SimConfig::default() },
+                work.len(),
+                move |i| {
+                    for &c in &work[i] {
+                        simsched::charge(c);
+                    }
+                },
+            );
+            r
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.finish_clocks, b.finish_clocks);
+    }
+
+    /// Adding processors never slows a fixed fleet down.
+    #[test]
+    fn more_processors_never_hurt(
+        work in prop::collection::vec(prop::collection::vec(1u64..100, 1..10), 2..5),
+    ) {
+        let mk = |procs: usize| {
+            let work = work.clone();
+            simulate_n(
+                SimConfig { processors: procs, ..SimConfig::default() },
+                work.len(),
+                move |i| {
+                    for &c in &work[i] {
+                        simsched::charge(c);
+                    }
+                },
+            )
+            .0
+            .makespan
+        };
+        let one = mk(1);
+        let four = mk(4);
+        prop_assert!(four <= one, "4p {} > 1p {}", four, one);
+    }
+}

@@ -1,0 +1,154 @@
+//! Runtime configuration of the STM system.
+
+/// Version-management policy (paper §2.2 vs §2.3).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Versioning {
+    /// Eager versioning: transactions update shared memory in place and roll
+    /// back from an undo log on abort (McRT-STM; paper's base system).
+    #[default]
+    Eager,
+    /// Lazy versioning: transactions buffer writes privately and copy them
+    /// back to shared memory after commit.
+    Lazy,
+}
+
+/// The granularity at which the STM logs or buffers data versions
+/// (paper §2.4).
+///
+/// When the granularity is wider than a single field, the system manufactures
+/// writes to adjacent fields, producing the paper's *granular lost update*
+/// and *granular inconsistent read* anomalies under weak atomicity.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Granularity {
+    /// Undo-log / write-buffer entries cover exactly one field.
+    #[default]
+    PerField,
+    /// Entries cover an aligned pair of fields (modelling an 8-byte log
+    /// entry spanning two 4-byte fields, as in the paper's example).
+    Pair,
+}
+
+impl Granularity {
+    /// The field indices covered by the versioning entry containing `field`
+    /// in an object with `len` fields.
+    #[inline]
+    pub fn span(self, field: usize, len: usize) -> std::ops::Range<usize> {
+        match self {
+            Granularity::PerField => field..field + 1,
+            Granularity::Pair => {
+                let base = field & !1;
+                base..(base + 2).min(len)
+            }
+        }
+    }
+}
+
+/// Which non-transactional accesses execute isolation barriers.
+///
+/// This is a property of the *code* (the compiler decides per access site),
+/// so workloads carry it alongside the heap configuration.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub enum BarrierMode {
+    /// Weak atomicity: non-transactional accesses bypass the STM entirely.
+    #[default]
+    Weak,
+    /// Strong atomicity: reads and writes both use isolation barriers
+    /// (paper Figures 9 and 10).
+    Strong,
+    /// Only read barriers (paper Figure 16's experiment).
+    ReadOnly,
+    /// Only write barriers (paper Figure 17's experiment).
+    WriteOnly,
+}
+
+impl BarrierMode {
+    /// Whether non-transactional reads are barriered.
+    #[inline]
+    pub fn reads(self) -> bool {
+        matches!(self, BarrierMode::Strong | BarrierMode::ReadOnly)
+    }
+
+    /// Whether non-transactional writes are barriered.
+    #[inline]
+    pub fn writes(self) -> bool {
+        matches!(self, BarrierMode::Strong | BarrierMode::WriteOnly)
+    }
+}
+
+/// Top-level STM configuration, fixed at heap construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StmConfig {
+    /// Eager or lazy version management.
+    pub versioning: Versioning,
+    /// Versioning granularity (§2.4 anomalies).
+    pub granularity: Granularity,
+    /// Dynamic escape analysis (paper §4): objects are allocated *private*
+    /// and published on escape; barriers take the private fast path.
+    pub dea: bool,
+    /// Commit-time quiescence (paper §3.4): a committing transaction waits
+    /// until all concurrently running transactions reach a consistent state.
+    pub quiescence: bool,
+    /// Number of conflict-manager retries before a transaction aborts
+    /// itself (prevents deadlock between transactions).
+    pub conflict_retries: u32,
+    /// Record a [`crate::heap::RaceEvent`] whenever an isolation barrier
+    /// detects a conflict with a transaction (paper §3.2: "conflicts could
+    /// signal a race ... Isolation barriers can thus aid in debugging
+    /// concurrent programs"). The conflict is still resolved normally.
+    pub record_races: bool,
+    /// Aggressive (per-access) read-set validation, as in TL2-style systems
+    /// the paper cites (§3.4: "aggressive read-set validation [53, 18, 58]
+    /// solves neither the general problems nor the privatization problem").
+    /// Provided so the litmus suite can demonstrate exactly that claim.
+    pub eager_validation: bool,
+}
+
+impl Default for StmConfig {
+    fn default() -> Self {
+        StmConfig {
+            versioning: Versioning::Eager,
+            granularity: Granularity::PerField,
+            dea: false,
+            quiescence: false,
+            conflict_retries: 64,
+            record_races: false,
+            eager_validation: false,
+        }
+    }
+}
+
+impl StmConfig {
+    /// The paper's headline configuration: eager versioning with dynamic
+    /// escape analysis enabled.
+    pub fn strong_default() -> Self {
+        StmConfig { dea: true, ..StmConfig::default() }
+    }
+
+    /// A lazy-versioning configuration (used by the §2.3 anomaly studies and
+    /// the §3.3 ordering barrier).
+    pub fn lazy() -> Self {
+        StmConfig { versioning: Versioning::Lazy, ..StmConfig::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn granularity_spans() {
+        assert_eq!(Granularity::PerField.span(3, 8), 3..4);
+        assert_eq!(Granularity::Pair.span(3, 8), 2..4);
+        assert_eq!(Granularity::Pair.span(2, 8), 2..4);
+        assert_eq!(Granularity::Pair.span(0, 1), 0..1, "clamped at object end");
+        assert_eq!(Granularity::Pair.span(4, 5), 4..5);
+    }
+
+    #[test]
+    fn barrier_mode_axes() {
+        assert!(!BarrierMode::Weak.reads() && !BarrierMode::Weak.writes());
+        assert!(BarrierMode::Strong.reads() && BarrierMode::Strong.writes());
+        assert!(BarrierMode::ReadOnly.reads() && !BarrierMode::ReadOnly.writes());
+        assert!(!BarrierMode::WriteOnly.reads() && BarrierMode::WriteOnly.writes());
+    }
+}

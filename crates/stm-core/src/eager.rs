@@ -1,0 +1,386 @@
+//! Eager-versioning transactions (the paper's base McRT-STM, §3).
+//!
+//! Optimistic read concurrency with per-record version numbers, strict
+//! two-phase locking and in-place (eager) updates for writes, and an undo
+//! log for rollback. Conflicting record states are resolved by a bounded
+//! conflict manager: after `conflict_retries` backoffs the transaction
+//! aborts itself, which breaks deadlocks between writers.
+//!
+//! Dynamic escape analysis integration (paper §4): accesses to *private*
+//! records skip locking and read-set logging entirely. Because a reference
+//! written into a public object publishes immediately — even inside a
+//! transaction, since a doomed transaction may expose speculative
+//! references — the transaction compensates at publication time: objects it
+//! read or wrote while they were private are retroactively added to the
+//! read set / acquired for writing, preserving serializability.
+
+use crate::config::StmConfig;
+use crate::cost::{backoff_wait, charge, CostKind};
+use crate::dea;
+use crate::heap::{Heap, ObjRef, TxnSlot, Word};
+use crate::quiesce;
+use crate::syncpoint::SyncPoint;
+use crate::txn::{active_tokens, Abort, TxResult};
+use crate::txnrec::{OwnerToken, RecWord};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Maximum number of fields a single undo entry can span (the `Pair`
+/// granularity of [`crate::config::Granularity`]).
+const MAX_SPAN: usize = 2;
+
+#[derive(Debug)]
+struct UndoEntry {
+    obj: ObjRef,
+    base: u32,
+    len: u8,
+    vals: [Word; MAX_SPAN],
+}
+
+/// A savepoint for closed nesting: log lengths to roll back to.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct SavePoint {
+    read_len: usize,
+    undo_len: usize,
+    on_abort_len: usize,
+    on_commit_len: usize,
+}
+
+/// An eager-versioning transaction. Use via [`crate::txn::atomic`].
+pub struct EagerTxn<'h> {
+    heap: &'h Heap,
+    owner: OwnerToken,
+    read_set: Vec<(ObjRef, RecWord)>,
+    /// Records we own exclusively, with the shared word to restore-and-bump.
+    owned: HashMap<ObjRef, RecWord>,
+    undo: Vec<UndoEntry>,
+    /// Objects accessed while private (DEA compensation on publication).
+    private_reads: HashSet<ObjRef>,
+    private_writes: HashSet<ObjRef>,
+    on_abort: Vec<Box<dyn FnOnce() + 'h>>,
+    on_commit: Vec<Box<dyn FnOnce() + 'h>>,
+    slot: Option<Arc<TxnSlot>>,
+}
+
+impl<'h> EagerTxn<'h> {
+    pub(crate) fn new(heap: &'h Heap) -> Self {
+        let slot = if heap.config.quiescence {
+            Some(heap.registry.claim(heap.serial.load(Ordering::Acquire)))
+        } else {
+            None
+        };
+        charge(CostKind::TxnBegin);
+        EagerTxn {
+            heap,
+            owner: heap.fresh_owner(),
+            read_set: Vec::new(),
+            owned: HashMap::new(),
+            undo: Vec::new(),
+            private_reads: HashSet::new(),
+            private_writes: HashSet::new(),
+            on_abort: Vec::new(),
+            on_commit: Vec::new(),
+            slot,
+        }
+    }
+
+    pub(crate) fn heap(&self) -> &'h Heap {
+        self.heap
+    }
+
+    pub(crate) fn owner_word(&self) -> usize {
+        self.owner.word()
+    }
+
+    fn config(&self) -> &StmConfig {
+        &self.heap.config
+    }
+
+    /// Conflict-manager wait; aborts self after the configured retry budget
+    /// and panics on provable self-deadlock (open nesting touching an
+    /// enclosing transaction's lock).
+    fn conflict(&self, attempt: &mut u32, holder: RecWord) -> TxResult<()> {
+        if holder.is_txn_exclusive() && active_tokens().contains(&holder.raw()) {
+            panic!(
+                "open-nested transaction accessed data locked by an enclosing \
+                 transaction; open-nested code must use disjoint data"
+            );
+        }
+        if *attempt >= self.config().conflict_retries {
+            return Err(Abort::Conflict);
+        }
+        self.heap.stats.conflict_wait();
+        charge(CostKind::Backoff);
+        backoff_wait(*attempt);
+        *attempt += 1;
+        Ok(())
+    }
+
+    /// Opens `r` for reading (paper: open-for-read barrier) and returns the
+    /// field value.
+    pub(crate) fn read(&mut self, r: ObjRef, field: usize) -> TxResult<Word> {
+        if self.config().eager_validation && !self.read_set_valid() {
+            return Err(Abort::Conflict);
+        }
+        let obj = self.heap.obj(r);
+        let mut attempt = 0u32;
+        loop {
+            let rec = obj.rec.load();
+            if rec.is_private() {
+                // DEA fast path: no logging; compensated on publication.
+                self.private_reads.insert(r);
+                return Ok(obj.field(field).load(Ordering::Relaxed));
+            }
+            if rec.owned_by(self.owner) {
+                return Ok(obj.field(field).load(Ordering::Relaxed));
+            }
+            if rec.is_shared() {
+                charge(CostKind::TxnOpenRead);
+                let val = obj.field(field).load(Ordering::Acquire);
+                self.read_set.push((r, rec));
+                return Ok(val);
+            }
+            self.conflict(&mut attempt, rec)?;
+        }
+    }
+
+    /// Acquires `r` for writing and logs the undo span for `field`.
+    fn open_write(&mut self, r: ObjRef, field: usize) -> TxResult<()> {
+        if self.config().eager_validation && !self.read_set_valid() {
+            return Err(Abort::Conflict);
+        }
+        let obj = self.heap.obj(r);
+        let mut attempt = 0u32;
+        loop {
+            let rec = obj.rec.load();
+            if rec.is_private() {
+                self.private_writes.insert(r);
+                self.log_undo(r, field);
+                return Ok(());
+            }
+            if rec.owned_by(self.owner) {
+                self.log_undo(r, field);
+                return Ok(());
+            }
+            if rec.is_shared() {
+                charge(CostKind::TxnOpenWrite);
+                if obj.rec.try_acquire_txn(rec, self.owner).is_ok() {
+                    self.owned.insert(r, rec);
+                    self.log_undo(r, field);
+                    return Ok(());
+                }
+                continue; // record changed under us; re-read
+            }
+            self.conflict(&mut attempt, rec)?;
+        }
+    }
+
+    fn log_undo(&mut self, r: ObjRef, field: usize) {
+        let obj = self.heap.obj(r);
+        let span = self.config().granularity.span(field, obj.fields.len());
+        let mut vals = [0u64; MAX_SPAN];
+        for (i, f) in span.clone().enumerate() {
+            vals[i] = obj.field(f).load(Ordering::Relaxed);
+        }
+        self.undo.push(UndoEntry {
+            obj: r,
+            base: span.start as u32,
+            len: span.len() as u8,
+            vals,
+        });
+    }
+
+    /// Transactional write: acquire, undo-log, update in place, publish
+    /// escaping references immediately (doomed-transaction rule, paper §4).
+    pub(crate) fn write(&mut self, r: ObjRef, field: usize, value: Word) -> TxResult<()> {
+        self.open_write(r, field)?;
+        let obj = self.heap.obj(r);
+        let obj_private = obj.rec.load_relaxed().is_private();
+        if !obj_private && self.heap.config.dea && self.heap.field_is_ref(r, field) {
+            self.publish_escaping(value);
+        }
+        obj.field(field).store(value, Ordering::Relaxed);
+        self.heap.hit(SyncPoint::EagerAfterWrite);
+        Ok(())
+    }
+
+    /// Publishes the object graph behind `word` and compensates the
+    /// transaction's private-access bookkeeping: published objects this
+    /// transaction wrote while private are acquired; published objects it
+    /// read while private join the read set.
+    fn publish_escaping(&mut self, word: Word) {
+        let Some(root) = ObjRef::from_word(word) else { return };
+        if !self.heap.is_private(root) {
+            return;
+        }
+        let mut published = Vec::new();
+        dea::publish_with(self.heap, root, &mut |o| published.push(o));
+        for o in published {
+            if self.private_writes.remove(&o) {
+                // Freshly public with a fresh shared record; nobody else has
+                // a reference yet (the publishing store has not executed),
+                // so acquisition succeeds immediately.
+                let obj = self.heap.obj(o);
+                let rec = obj.rec.load();
+                debug_assert!(rec.is_shared());
+                if obj.rec.try_acquire_txn(rec, self.owner).is_ok() {
+                    self.owned.insert(o, rec);
+                }
+                self.private_reads.remove(&o);
+            } else if self.private_reads.remove(&o) {
+                let rec = self.heap.obj(o).rec.load();
+                if rec.is_shared() {
+                    self.read_set.push((o, rec));
+                }
+            }
+        }
+    }
+
+    /// Validates the read set (paper: optimistic read concurrency).
+    fn read_set_valid(&self) -> bool {
+        for &(r, logged) in &self.read_set {
+            charge(CostKind::TxnValidateEntry);
+            let cur = self.heap.obj(r).rec.load();
+            if cur == logged {
+                continue;
+            }
+            if cur.owned_by(self.owner) {
+                // We acquired it after reading; valid iff the version we
+                // locked is the version we read.
+                match self.owned.get(&r) {
+                    Some(prior) if prior.version() == logged.version() => continue,
+                    _ => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Incremental validation (usable mid-transaction to bound the work a
+    /// doomed transaction performs; the interpreter calls this periodically).
+    pub(crate) fn validate(&mut self) -> TxResult<()> {
+        if self.read_set_valid() {
+            if let Some(slot) = &self.slot {
+                slot.vserial
+                    .store(self.heap.serial.load(Ordering::Acquire), Ordering::Release);
+            }
+            Ok(())
+        } else {
+            Err(Abort::Conflict)
+        }
+    }
+
+    /// Attempts to commit. On validation failure the transaction is rolled
+    /// back and released before `Err(Abort::Conflict)` is returned.
+    pub(crate) fn commit(&mut self) -> TxResult<()> {
+        if !self.read_set_valid() {
+            self.abort();
+            return Err(Abort::Conflict);
+        }
+        self.heap.hit(SyncPoint::EagerAfterValidate);
+        for (r, prior) in self.owned.drain() {
+            charge(CostKind::TxnCommitEntry);
+            self.heap.obj(r).rec.release_txn(prior);
+        }
+        charge(CostKind::TxnCommit);
+        self.heap.stats.commit();
+        for h in self.on_commit.drain(..) {
+            h();
+        }
+        self.heap.hit(SyncPoint::TxnCommitted);
+        if let Some(slot) = self.slot.take() {
+            quiesce::finish_and_quiesce(self.heap, &slot, true);
+        }
+        self.clear();
+        Ok(())
+    }
+
+    /// Rolls back all speculative updates and releases all locks.
+    pub(crate) fn abort(&mut self) {
+        self.heap.hit(SyncPoint::EagerBeforeRollback);
+        for e in self.undo.drain(..).rev() {
+            charge(CostKind::TxnCommitEntry);
+            let obj = self.heap.obj(e.obj);
+            for i in 0..e.len as usize {
+                obj.field(e.base as usize + i).store(e.vals[i], Ordering::Relaxed);
+            }
+        }
+        for (r, prior) in self.owned.drain() {
+            // Version bump: concurrent optimistic readers that observed the
+            // speculative values must fail validation.
+            self.heap.obj(r).rec.release_txn(prior);
+        }
+        self.heap.hit(SyncPoint::EagerAfterRollback);
+        for h in self.on_abort.drain(..).rev() {
+            h();
+        }
+        charge(CostKind::TxnAbort);
+        self.heap.stats.abort();
+        if let Some(slot) = self.slot.take() {
+            quiesce::finish_and_quiesce(self.heap, &slot, false);
+        }
+        self.clear();
+    }
+
+    fn clear(&mut self) {
+        self.read_set.clear();
+        self.undo.clear();
+        self.owned.clear();
+        self.private_reads.clear();
+        self.private_writes.clear();
+        self.on_abort.clear();
+        self.on_commit.clear();
+    }
+
+    /// Snapshot of the read set, used by `retry` to wait for a change.
+    pub(crate) fn read_snapshot(&self) -> Vec<(ObjRef, RecWord)> {
+        self.read_set.clone()
+    }
+
+    pub(crate) fn savepoint(&self) -> SavePoint {
+        SavePoint {
+            read_len: self.read_set.len(),
+            undo_len: self.undo.len(),
+            on_abort_len: self.on_abort.len(),
+            on_commit_len: self.on_commit.len(),
+        }
+    }
+
+    /// Closed-nesting partial rollback (paper: "closed nesting" support).
+    /// Locks acquired inside the nested block are retained — safe under
+    /// two-phase locking, merely conservative.
+    pub(crate) fn rollback_to(&mut self, sp: SavePoint) {
+        for e in self.undo.drain(sp.undo_len..).rev() {
+            let obj = self.heap.obj(e.obj);
+            for i in 0..e.len as usize {
+                obj.field(e.base as usize + i).store(e.vals[i], Ordering::Relaxed);
+            }
+        }
+        self.read_set.truncate(sp.read_len);
+        for h in self.on_abort.drain(sp.on_abort_len..).rev() {
+            h();
+        }
+        self.on_commit.truncate(sp.on_commit_len);
+    }
+
+    pub(crate) fn push_on_abort(&mut self, h: Box<dyn FnOnce() + 'h>) {
+        self.on_abort.push(h);
+    }
+
+    pub(crate) fn push_on_commit(&mut self, h: Box<dyn FnOnce() + 'h>) {
+        self.on_commit.push(h);
+    }
+}
+
+impl std::fmt::Debug for EagerTxn<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EagerTxn")
+            .field("owner", &self.owner)
+            .field("reads", &self.read_set.len())
+            .field("owned", &self.owned.len())
+            .field("undo", &self.undo.len())
+            .finish()
+    }
+}

@@ -1,0 +1,605 @@
+//! The shared object heap.
+//!
+//! The paper's system is a Java VM: objects are headers plus typed fields,
+//! and every object header carries a transaction record. This module
+//! reproduces that substrate. Objects live in an append-only store
+//! ([`crate::segvec::SegVec`]) so references ([`ObjRef`]) are plain indices
+//! that never dangle; fields are 64-bit words held in atomics so that racy
+//! programs (the whole point of the weak-atomicity study) have well-defined
+//! Rust semantics. A *shape* describes which fields hold references — needed
+//! by `publishObject` (paper Figure 11) to traverse the private object
+//! graph — and which are `final` (the JIT elides their barriers, paper §6).
+
+use crate::config::StmConfig;
+use crate::segvec::SegVec;
+use crate::stats::Stats;
+use crate::syncpoint::{current_actor, Script, SyncPoint};
+use crate::txnrec::{OwnerToken, TxnRecord};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::num::NonZeroU64;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A 64-bit field value. Integer fields store the value directly; reference
+/// fields store [`ObjRef::to_word`] (0 = null).
+pub type Word = u64;
+
+/// A transactional/non-transactional conflict observed by an isolation
+/// barrier while [`StmConfig::record_races`] is set — evidence of a data
+/// race between code inside and outside transactions (paper §3.2's
+/// debugging aid).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RaceEvent {
+    /// The contended object.
+    pub obj: ObjRef,
+    /// What the non-transactional side was doing.
+    pub access: RaceAccess,
+    /// The record word observed at detection (identifies the owner state).
+    pub holder: crate::txnrec::RecWord,
+}
+
+/// The non-transactional access kind in a [`RaceEvent`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RaceAccess {
+    /// A barriered read found the object transactionally owned or modified.
+    Read,
+    /// A barriered write found the object owned.
+    Write,
+}
+
+/// A reference to a heap object. Copyable, never dangling (objects live as
+/// long as their [`Heap`]).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjRef(NonZeroU64);
+
+impl ObjRef {
+    #[inline]
+    pub(crate) fn from_index(index: usize) -> Self {
+        ObjRef(NonZeroU64::new(index as u64 + 1).expect("index + 1 is non-zero"))
+    }
+
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        (self.0.get() - 1) as usize
+    }
+
+    /// Encodes this reference as a field word.
+    #[inline]
+    pub fn to_word(self) -> Word {
+        self.0.get()
+    }
+
+    /// Decodes a field word into a reference; `0` is null.
+    #[inline]
+    pub fn from_word(word: Word) -> Option<ObjRef> {
+        NonZeroU64::new(word).map(ObjRef)
+    }
+}
+
+impl std::fmt::Debug for ObjRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ObjRef(#{})", self.index())
+    }
+}
+
+/// Identifier of a registered [`Shape`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ShapeId(pub(crate) u32);
+
+/// One declared field of a shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FieldDef {
+    /// Field name, used by TMIR and diagnostics.
+    pub name: String,
+    /// Whether the field holds an [`ObjRef`] word.
+    pub is_ref: bool,
+    /// `final` fields are written only during construction; the JIT elides
+    /// their isolation barriers (paper §6).
+    pub is_final: bool,
+}
+
+impl FieldDef {
+    /// A mutable integer field.
+    pub fn int(name: &str) -> Self {
+        FieldDef { name: name.to_string(), is_ref: false, is_final: false }
+    }
+    /// A mutable reference field.
+    pub fn reference(name: &str) -> Self {
+        FieldDef { name: name.to_string(), is_ref: true, is_final: false }
+    }
+    /// Marks the field `final`.
+    pub fn final_(mut self) -> Self {
+        self.is_final = true;
+        self
+    }
+}
+
+/// The layout of a class of objects.
+#[derive(Clone, Debug)]
+pub struct Shape {
+    /// Class name (unique per heap).
+    pub name: String,
+    /// Field declarations, in slot order.
+    pub fields: Vec<FieldDef>,
+    /// Indices of reference fields (precomputed for `publishObject`).
+    pub(crate) ref_fields: Vec<u32>,
+}
+
+impl Shape {
+    /// Builds a shape, precomputing its reference-slot map.
+    pub fn new(name: &str, fields: Vec<FieldDef>) -> Self {
+        let ref_fields = fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.is_ref)
+            .map(|(i, _)| i as u32)
+            .collect();
+        Shape { name: name.to_string(), fields, ref_fields }
+    }
+
+    /// Slot index of the field called `name`.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+}
+
+/// What kind of object a heap slot holds.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// A class instance laid out by a [`Shape`].
+    Object(ShapeId),
+    /// An array of integer words.
+    IntArray,
+    /// An array of reference words.
+    RefArray,
+}
+
+/// A heap object: transaction record, kind tag, and field words.
+pub(crate) struct Obj {
+    pub(crate) rec: TxnRecord,
+    pub(crate) kind: Kind,
+    pub(crate) fields: Box<[AtomicU64]>,
+}
+
+impl Obj {
+    #[inline]
+    pub(crate) fn field(&self, i: usize) -> &AtomicU64 {
+        &self.fields[i]
+    }
+}
+
+/// A slot in the quiescence registry (paper §3.4): whether a transaction is
+/// running in it and the serial number at which it last reached a consistent
+/// state (begin, validate, commit, or abort).
+#[derive(Debug)]
+pub(crate) struct TxnSlot {
+    pub(crate) active: AtomicBool,
+    pub(crate) vserial: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    slots: Mutex<Vec<Arc<TxnSlot>>>,
+}
+
+impl Registry {
+    /// Claims a slot (reusing inactive ones) and marks it active at `serial`.
+    pub(crate) fn claim(&self, serial: u64) -> Arc<TxnSlot> {
+        let mut slots = self.slots.lock();
+        for slot in slots.iter() {
+            if slot
+                .active
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                slot.vserial.store(serial, Ordering::Release);
+                return Arc::clone(slot);
+            }
+        }
+        let slot = Arc::new(TxnSlot {
+            active: AtomicBool::new(true),
+            vserial: AtomicU64::new(serial),
+        });
+        slots.push(Arc::clone(&slot));
+        slot
+    }
+
+    /// Snapshot of all slots (active or not).
+    pub(crate) fn all(&self) -> Vec<Arc<TxnSlot>> {
+        self.slots.lock().clone()
+    }
+}
+
+/// The shared transactional heap.
+///
+/// # Examples
+/// ```
+/// use stm_core::heap::{FieldDef, Heap, Shape};
+/// use stm_core::config::StmConfig;
+///
+/// let heap = Heap::new(StmConfig::default());
+/// let point = heap.define_shape(Shape::new(
+///     "Point",
+///     vec![FieldDef::int("x"), FieldDef::int("y")],
+/// ));
+/// let p = heap.alloc(point);
+/// heap.write_raw(p, 0, 42);
+/// assert_eq!(heap.read_raw(p, 0), 42);
+/// ```
+pub struct Heap {
+    store: SegVec<Obj>,
+    shapes: RwLock<Vec<Arc<Shape>>>,
+    shape_names: RwLock<HashMap<String, ShapeId>>,
+    pub(crate) config: StmConfig,
+    pub(crate) stats: Stats,
+    script_active: AtomicBool,
+    script: RwLock<Option<Arc<Script>>>,
+    /// Global serialization counter for quiescence (paper §3.4).
+    pub(crate) serial: AtomicU64,
+    pub(crate) registry: Registry,
+    desc_counter: AtomicUsize,
+    races: Mutex<Vec<RaceEvent>>,
+}
+
+impl Heap {
+    /// Creates a heap with the given configuration.
+    pub fn new(config: StmConfig) -> Arc<Heap> {
+        Arc::new(Heap {
+            store: SegVec::new(),
+            shapes: RwLock::new(Vec::new()),
+            shape_names: RwLock::new(HashMap::new()),
+            config,
+            stats: Stats::new(),
+            script_active: AtomicBool::new(false),
+            script: RwLock::new(None),
+            serial: AtomicU64::new(1),
+            registry: Registry::default(),
+            desc_counter: AtomicUsize::new(1),
+            races: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// This heap's configuration.
+    pub fn config(&self) -> &StmConfig {
+        &self.config
+    }
+
+    /// Runtime counters.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Registers a shape; names must be unique.
+    ///
+    /// # Panics
+    /// Panics if a shape with the same name already exists.
+    pub fn define_shape(&self, shape: Shape) -> ShapeId {
+        let mut names = self.shape_names.write();
+        assert!(
+            !names.contains_key(&shape.name),
+            "shape {:?} already defined",
+            shape.name
+        );
+        let mut shapes = self.shapes.write();
+        let id = ShapeId(shapes.len() as u32);
+        names.insert(shape.name.clone(), id);
+        shapes.push(Arc::new(shape));
+        id
+    }
+
+    /// Looks up a shape by name.
+    pub fn shape_id(&self, name: &str) -> Option<ShapeId> {
+        self.shape_names.read().get(name).copied()
+    }
+
+    /// The shape for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not issued by this heap.
+    pub fn shape(&self, id: ShapeId) -> Arc<Shape> {
+        Arc::clone(&self.shapes.read()[id.0 as usize])
+    }
+
+    fn fresh_record(&self, force_public: bool) -> TxnRecord {
+        if self.config.dea && !force_public {
+            TxnRecord::new_private()
+        } else {
+            TxnRecord::new_shared()
+        }
+    }
+
+    fn alloc_obj(&self, kind: Kind, len: usize, force_public: bool) -> ObjRef {
+        let fields: Box<[AtomicU64]> = (0..len).map(|_| AtomicU64::new(0)).collect();
+        let idx = self.store.push(Obj {
+            rec: self.fresh_record(force_public),
+            kind,
+            fields,
+        });
+        ObjRef::from_index(idx)
+    }
+
+    /// Allocates an instance of `shape`, zero-initialized. Under dynamic
+    /// escape analysis the object starts *private* (paper §4: "a freshly
+    /// minted object is private").
+    pub fn alloc(&self, shape: ShapeId) -> ObjRef {
+        let len = self.shape(shape).fields.len();
+        self.alloc_obj(Kind::Object(shape), len, false)
+    }
+
+    /// Allocates an instance already in the public (shared) state, e.g. for
+    /// global roots that are shared by construction.
+    pub fn alloc_public(&self, shape: ShapeId) -> ObjRef {
+        let len = self.shape(shape).fields.len();
+        self.alloc_obj(Kind::Object(shape), len, true)
+    }
+
+    /// Allocates an integer array of `len` zeroed elements.
+    pub fn alloc_int_array(&self, len: usize) -> ObjRef {
+        self.alloc_obj(Kind::IntArray, len, false)
+    }
+
+    /// Allocates an integer array already public (models Java `static`
+    /// arrays, which are visible to all threads — the `mpegaudio` case of
+    /// paper §7).
+    pub fn alloc_int_array_public(&self, len: usize) -> ObjRef {
+        self.alloc_obj(Kind::IntArray, len, true)
+    }
+
+    /// Allocates a reference array of `len` null elements.
+    pub fn alloc_ref_array(&self, len: usize) -> ObjRef {
+        self.alloc_obj(Kind::RefArray, len, false)
+    }
+
+    /// Allocates a public reference array.
+    pub fn alloc_ref_array_public(&self, len: usize) -> ObjRef {
+        self.alloc_obj(Kind::RefArray, len, true)
+    }
+
+    #[inline]
+    pub(crate) fn obj(&self, r: ObjRef) -> &Obj {
+        self.store
+            .get(r.index())
+            .expect("ObjRef refers to an initialized heap slot")
+    }
+
+    /// The object's kind tag.
+    pub fn kind(&self, r: ObjRef) -> Kind {
+        self.obj(r).kind
+    }
+
+    /// Number of field slots (array length for arrays).
+    pub fn num_fields(&self, r: ObjRef) -> usize {
+        self.obj(r).fields.len()
+    }
+
+    /// Whether slot `field` of `r` holds a reference.
+    pub fn field_is_ref(&self, r: ObjRef, field: usize) -> bool {
+        match self.obj(r).kind {
+            Kind::Object(s) => self.shape(s).fields[field].is_ref,
+            Kind::IntArray => false,
+            Kind::RefArray => true,
+        }
+    }
+
+    /// True if the object's record is currently in the private state.
+    pub fn is_private(&self, r: ObjRef) -> bool {
+        self.obj(r).rec.load_relaxed().is_private()
+    }
+
+    /// Current version of the object's record, if it has one (diagnostics).
+    pub fn record_version(&self, r: ObjRef) -> Option<usize> {
+        use crate::txnrec::RecState::*;
+        match self.obj(r).rec.load().state() {
+            Shared { version } | ExclusiveAnon { version } => Some(version),
+            _ => None,
+        }
+    }
+
+    /// Raw (weak-atomicity) read: goes directly to memory, bypassing the STM
+    /// protocols. This is exactly what the paper means by a
+    /// non-transactional access in a weakly atomic system.
+    #[inline]
+    pub fn read_raw(&self, r: ObjRef, field: usize) -> Word {
+        self.obj(r).field(field).load(Ordering::Relaxed)
+    }
+
+    /// Raw (weak-atomicity) write.
+    #[inline]
+    pub fn write_raw(&self, r: ObjRef, field: usize, value: Word) {
+        self.obj(r).field(field).store(value, Ordering::Relaxed);
+    }
+
+    /// Volatile read (Java `volatile` semantics: sequentially consistent).
+    #[inline]
+    pub fn read_volatile(&self, r: ObjRef, field: usize) -> Word {
+        self.obj(r).field(field).load(Ordering::SeqCst)
+    }
+
+    /// Volatile write.
+    #[inline]
+    pub fn write_volatile(&self, r: ObjRef, field: usize, value: Word) {
+        self.obj(r).field(field).store(value, Ordering::SeqCst);
+    }
+
+    /// Atomic compare-and-swap on a field (used by lock-free workload code).
+    pub fn cas_raw(&self, r: ObjRef, field: usize, expected: Word, new: Word) -> Result<Word, Word> {
+        self.obj(r)
+            .field(field)
+            .compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+
+    /// Issues a process-unique transaction owner token.
+    pub(crate) fn fresh_owner(&self) -> OwnerToken {
+        OwnerToken::from_id(self.desc_counter.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Installs an interleaving script for litmus tests.
+    pub fn install_script(&self, script: Arc<Script>) {
+        *self.script.write() = Some(script);
+        self.script_active.store(true, Ordering::Release);
+    }
+
+    /// Removes any installed script.
+    pub fn clear_script(&self) {
+        self.script_active.store(false, Ordering::Release);
+        *self.script.write() = None;
+    }
+
+    /// Announces a protocol sync point (no-op unless a script is installed
+    /// and the calling thread registered an actor).
+    #[inline]
+    pub fn hit(&self, point: SyncPoint) {
+        if self.script_active.load(Ordering::Relaxed) {
+            self.hit_slow(point);
+        }
+    }
+
+    #[cold]
+    fn hit_slow(&self, point: SyncPoint) {
+        if let Some(actor) = current_actor() {
+            if let Some(script) = self.script.read().as_ref() {
+                script.hit(actor, point);
+            }
+        }
+    }
+
+    /// Total number of objects ever allocated.
+    pub fn object_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Records a barrier-detected race (no-op unless
+    /// [`StmConfig::record_races`] is set).
+    pub(crate) fn note_race(&self, obj: ObjRef, access: RaceAccess, holder: crate::txnrec::RecWord) {
+        if self.config.record_races {
+            self.races.lock().push(RaceEvent { obj, access, holder });
+        }
+    }
+
+    /// Races recorded so far (paper §3.2's debugging aid). Empty unless
+    /// [`StmConfig::record_races`] is enabled.
+    pub fn races(&self) -> Vec<RaceEvent> {
+        self.races.lock().clone()
+    }
+}
+
+impl std::fmt::Debug for Heap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Heap")
+            .field("objects", &self.store.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_int_shape(heap: &Heap) -> ShapeId {
+        heap.define_shape(Shape::new(
+            "Pair",
+            vec![FieldDef::int("a"), FieldDef::int("b")],
+        ))
+    }
+
+    #[test]
+    fn objref_word_roundtrip() {
+        let r = ObjRef::from_index(12345);
+        assert_eq!(ObjRef::from_word(r.to_word()), Some(r));
+        assert_eq!(ObjRef::from_word(0), None);
+    }
+
+    #[test]
+    fn alloc_and_raw_access() {
+        let heap = Heap::new(StmConfig::default());
+        let s = two_int_shape(&heap);
+        let o = heap.alloc(s);
+        assert_eq!(heap.read_raw(o, 0), 0);
+        heap.write_raw(o, 1, 99);
+        assert_eq!(heap.read_raw(o, 1), 99);
+        assert_eq!(heap.num_fields(o), 2);
+        assert_eq!(heap.kind(o), Kind::Object(s));
+    }
+
+    #[test]
+    fn dea_allocations_start_private() {
+        let heap = Heap::new(StmConfig { dea: true, ..StmConfig::default() });
+        let s = two_int_shape(&heap);
+        assert!(heap.is_private(heap.alloc(s)));
+        assert!(!heap.is_private(heap.alloc_public(s)));
+        assert!(heap.is_private(heap.alloc_int_array(4)));
+        assert!(!heap.is_private(heap.alloc_int_array_public(4)));
+    }
+
+    #[test]
+    fn non_dea_allocations_start_shared() {
+        let heap = Heap::new(StmConfig::default());
+        let s = two_int_shape(&heap);
+        assert!(!heap.is_private(heap.alloc(s)));
+    }
+
+    #[test]
+    fn shapes_declare_refness() {
+        let heap = Heap::new(StmConfig::default());
+        let s = heap.define_shape(Shape::new(
+            "Node",
+            vec![FieldDef::int("val"), FieldDef::reference("next")],
+        ));
+        let o = heap.alloc(s);
+        assert!(!heap.field_is_ref(o, 0));
+        assert!(heap.field_is_ref(o, 1));
+        let a = heap.alloc_ref_array(3);
+        assert!(heap.field_is_ref(a, 2));
+        let b = heap.alloc_int_array(3);
+        assert!(!heap.field_is_ref(b, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "already defined")]
+    fn duplicate_shape_names_rejected() {
+        let heap = Heap::new(StmConfig::default());
+        two_int_shape(&heap);
+        two_int_shape(&heap);
+    }
+
+    #[test]
+    fn shape_lookup() {
+        let heap = Heap::new(StmConfig::default());
+        let s = two_int_shape(&heap);
+        assert_eq!(heap.shape_id("Pair"), Some(s));
+        assert_eq!(heap.shape_id("Missing"), None);
+        assert_eq!(heap.shape(s).field_index("b"), Some(1));
+        assert_eq!(heap.shape(s).field_index("z"), None);
+    }
+
+    #[test]
+    fn cas_raw_works() {
+        let heap = Heap::new(StmConfig::default());
+        let a = heap.alloc_int_array(1);
+        assert!(heap.cas_raw(a, 0, 0, 5).is_ok());
+        assert_eq!(heap.cas_raw(a, 0, 0, 6), Err(5));
+        assert_eq!(heap.read_raw(a, 0), 5);
+    }
+
+    #[test]
+    fn registry_reuses_slots() {
+        let heap = Heap::new(StmConfig::default());
+        let s1 = heap.registry.claim(1);
+        s1.active.store(false, Ordering::Release);
+        let s2 = heap.registry.claim(2);
+        assert!(Arc::ptr_eq(&s1, &s2), "inactive slot is reused");
+        let s3 = heap.registry.claim(3);
+        assert!(!Arc::ptr_eq(&s2, &s3));
+        assert_eq!(heap.registry.all().len(), 2);
+    }
+
+    #[test]
+    fn owner_tokens_unique() {
+        let heap = Heap::new(StmConfig::default());
+        let a = heap.fresh_owner();
+        let b = heap.fresh_owner();
+        assert_ne!(a, b);
+    }
+}

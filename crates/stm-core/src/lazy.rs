@@ -1,0 +1,383 @@
+//! Lazy-versioning transactions (the class of STMs analysed in paper §2.3).
+//!
+//! Writes are buffered privately; commit acquires the written records (in a
+//! global order, avoiding committer deadlock), validates the read set,
+//! writes the buffers back, and releases with a version bump. The window
+//! between logical commit (validation) and the completion of write-back is
+//! precisely where the paper's *memory inconsistency* anomalies live; the
+//! engine announces [`SyncPoint::LazyAfterValidate`] and
+//! [`SyncPoint::LazyMidWriteback`] so litmus tests can open that window
+//! deterministically.
+//!
+//! Versioning granularity (paper §2.4): when the configured granularity
+//! spans more than one field, creating a buffer entry snapshots the whole
+//! span. Reads served from the buffer then see the *stale snapshot* of
+//! neighbouring fields (granular inconsistent read), and write-back stores
+//! the whole span (granular lost update) — both exactly as the paper
+//! describes.
+
+use crate::cost::{backoff_wait, charge, CostKind};
+use crate::dea;
+use crate::heap::{Heap, ObjRef, TxnSlot, Word};
+use crate::quiesce;
+use crate::syncpoint::SyncPoint;
+use crate::txn::{active_tokens, Abort, TxResult};
+use crate::txnrec::{OwnerToken, RecWord};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+const MAX_SPAN: usize = 2;
+
+#[derive(Clone, Debug)]
+struct BufEntry {
+    obj: ObjRef,
+    base: u32,
+    len: u8,
+    vals: [Word; MAX_SPAN],
+}
+
+/// The private write buffer: entry per (object, span base), with an index
+/// for read-your-own-writes lookups.
+#[derive(Clone, Debug, Default)]
+struct WriteBuffer {
+    entries: Vec<BufEntry>,
+    index: HashMap<(ObjRef, u32), usize>,
+}
+
+impl WriteBuffer {
+    fn lookup(&self, obj: ObjRef, base: u32) -> Option<&BufEntry> {
+        self.index.get(&(obj, base)).map(|&i| &self.entries[i])
+    }
+}
+
+/// Closed-nesting savepoint: the lazy engine snapshots its buffer wholesale
+/// (nested blocks are rare; clarity over cleverness).
+#[derive(Clone, Debug)]
+pub(crate) struct LazySavePoint {
+    read_len: usize,
+    buffer: WriteBuffer,
+    on_abort_len: usize,
+    on_commit_len: usize,
+}
+
+/// A lazy-versioning transaction. Use via [`crate::txn::atomic`].
+pub struct LazyTxn<'h> {
+    heap: &'h Heap,
+    owner: OwnerToken,
+    read_set: Vec<(ObjRef, RecWord)>,
+    buffer: WriteBuffer,
+    on_abort: Vec<Box<dyn FnOnce() + 'h>>,
+    on_commit: Vec<Box<dyn FnOnce() + 'h>>,
+    slot: Option<Arc<TxnSlot>>,
+}
+
+impl<'h> LazyTxn<'h> {
+    pub(crate) fn new(heap: &'h Heap) -> Self {
+        let slot = if heap.config.quiescence {
+            Some(heap.registry.claim(heap.serial.load(Ordering::Acquire)))
+        } else {
+            None
+        };
+        charge(CostKind::TxnBegin);
+        LazyTxn {
+            heap,
+            owner: heap.fresh_owner(),
+            read_set: Vec::new(),
+            buffer: WriteBuffer::default(),
+            on_abort: Vec::new(),
+            on_commit: Vec::new(),
+            slot,
+        }
+    }
+
+    pub(crate) fn heap(&self) -> &'h Heap {
+        self.heap
+    }
+
+    pub(crate) fn owner_word(&self) -> usize {
+        self.owner.word()
+    }
+
+    fn span_base(&self, r: ObjRef, field: usize) -> (u32, u8) {
+        let len = self.heap.obj(r).fields.len();
+        let span = self.heap.config.granularity.span(field, len);
+        (span.start as u32, span.len() as u8)
+    }
+
+    fn conflict(&self, attempt: &mut u32, holder: RecWord) -> TxResult<()> {
+        if holder.is_txn_exclusive() && active_tokens().contains(&holder.raw()) {
+            panic!(
+                "open-nested transaction accessed data locked by an enclosing \
+                 transaction; open-nested code must use disjoint data"
+            );
+        }
+        if *attempt >= self.heap.config.conflict_retries {
+            return Err(Abort::Conflict);
+        }
+        self.heap.stats.conflict_wait();
+        charge(CostKind::Backoff);
+        backoff_wait(*attempt);
+        *attempt += 1;
+        Ok(())
+    }
+
+    /// Transactional read: buffered value if the span was written (including
+    /// the stale-neighbour case that yields granular inconsistent reads),
+    /// else an optimistic read with read-set logging.
+    pub(crate) fn read(&mut self, r: ObjRef, field: usize) -> TxResult<Word> {
+        if self.heap.config.eager_validation && !self.read_set_valid(&HashMap::new()) {
+            return Err(Abort::Conflict);
+        }
+        let (base, _len) = self.span_base(r, field);
+        if let Some(e) = self.buffer.lookup(r, base) {
+            return Ok(e.vals[field - base as usize]);
+        }
+        let obj = self.heap.obj(r);
+        let mut attempt = 0u32;
+        loop {
+            let rec = obj.rec.load();
+            if rec.is_private() {
+                return Ok(obj.field(field).load(Ordering::Relaxed));
+            }
+            if rec.is_shared() {
+                charge(CostKind::TxnOpenRead);
+                let val = obj.field(field).load(Ordering::Acquire);
+                self.read_set.push((r, rec));
+                return Ok(val);
+            }
+            // Exclusive: a committer is writing back (or a non-transactional
+            // writer owns it anonymously); both finish in bounded time.
+            self.conflict(&mut attempt, rec)?;
+        }
+    }
+
+    /// Transactional write: buffer only; shared memory is untouched until
+    /// commit (`SyncPoint::LazyAfterBuffer` marks the non-event).
+    ///
+    /// Creating a buffer entry snapshots the whole versioning span, which
+    /// *is* a read: the snapshot joins the read set so commit validation
+    /// catches concurrent barriered writers of neighbouring fields (this is
+    /// what lets a strongly atomic lazy system hide the versioning
+    /// granularity, paper §2.4 end).
+    pub(crate) fn write(&mut self, r: ObjRef, field: usize, value: Word) -> TxResult<()> {
+        charge(CostKind::TxnOpenWrite);
+        let (base, len) = self.span_base(r, field);
+        let idx = match self.buffer.index.get(&(r, base)) {
+            Some(&i) => i,
+            None => {
+                // Snapshot the whole span — the source of §2.4's granular
+                // anomalies when the span exceeds one field.
+                let obj = self.heap.obj(r);
+                let mut attempt = 0u32;
+                let rec = loop {
+                    let rec = obj.rec.load();
+                    if rec.is_private() || rec.is_shared() {
+                        break rec;
+                    }
+                    self.conflict(&mut attempt, rec)?;
+                };
+                let mut vals = [0u64; MAX_SPAN];
+                for i in 0..len as usize {
+                    vals[i] = obj.field(base as usize + i).load(Ordering::Acquire);
+                }
+                if rec.is_shared() {
+                    self.read_set.push((r, rec));
+                }
+                let i = self.buffer.entries.len();
+                self.buffer.entries.push(BufEntry { obj: r, base, len, vals });
+                self.buffer.index.insert((r, base), i);
+                i
+            }
+        };
+        self.buffer.entries[idx].vals[field - base as usize] = value;
+        self.heap.hit(SyncPoint::LazyAfterBuffer);
+        Ok(())
+    }
+
+    fn read_set_valid(&self, owned: &HashMap<ObjRef, RecWord>) -> bool {
+        for &(r, logged) in &self.read_set {
+            charge(CostKind::TxnValidateEntry);
+            let cur = self.heap.obj(r).rec.load();
+            if cur == logged {
+                continue;
+            }
+            if cur.owned_by(self.owner) {
+                match owned.get(&r) {
+                    Some(prior) if prior.version() == logged.version() => continue,
+                    _ => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Mid-transaction validation.
+    pub(crate) fn validate(&mut self) -> TxResult<()> {
+        if self.read_set_valid(&HashMap::new()) {
+            if let Some(slot) = &self.slot {
+                slot.vserial
+                    .store(self.heap.serial.load(Ordering::Acquire), Ordering::Release);
+            }
+            Ok(())
+        } else {
+            Err(Abort::Conflict)
+        }
+    }
+
+    /// Commit: acquire written records in global order, validate, write
+    /// back, release. On failure everything is restored untouched.
+    pub(crate) fn commit(&mut self) -> TxResult<()> {
+        // Acquire in ObjRef order to avoid deadlock between committers.
+        let mut to_acquire: Vec<usize> = (0..self.buffer.entries.len()).collect();
+        to_acquire.sort_by_key(|&i| self.buffer.entries[i].obj);
+        let mut owned: HashMap<ObjRef, RecWord> = HashMap::new();
+        let mut attempt = 0u32;
+        for &i in &to_acquire {
+            let r = self.buffer.entries[i].obj;
+            if owned.contains_key(&r) {
+                continue;
+            }
+            let obj = self.heap.obj(r);
+            loop {
+                let rec = obj.rec.load();
+                if rec.is_private() {
+                    // Still private ⇒ still ours alone; no lock needed.
+                    break;
+                }
+                if rec.is_shared() {
+                    charge(CostKind::TxnCommitEntry);
+                    if obj.rec.try_acquire_txn(rec, self.owner).is_ok() {
+                        owned.insert(r, rec);
+                        break;
+                    }
+                    continue;
+                }
+                if let Err(abort) = self.conflict(&mut attempt, rec) {
+                    self.release_restore(&mut owned);
+                    self.abort();
+                    return Err(abort);
+                }
+            }
+        }
+
+        if !self.read_set_valid(&owned) {
+            // No memory was written: restore the exact prior words so
+            // versions do not change.
+            self.release_restore(&mut owned);
+            self.abort();
+            return Err(Abort::Conflict);
+        }
+
+        // Logically committed (serialized) here.
+        self.heap.hit(SyncPoint::LazyAfterValidate);
+
+        // Write-back: one buffered span at a time. The paper only promises
+        // "no particular order" (§2.3); we fix heap-address order so runs
+        // are deterministic — which is also an order that exposes the
+        // publication-before-initialization flavour of memory inconsistency
+        // (a root holding the publishing reference usually has a lower
+        // address than the freshly allocated object it publishes).
+        let mut wb_order: Vec<usize> = (0..self.buffer.entries.len()).collect();
+        wb_order.sort_by_key(|&i| (self.buffer.entries[i].obj, self.buffer.entries[i].base));
+        for &ei in &wb_order {
+            let e = &self.buffer.entries[ei];
+            self.heap.hit(SyncPoint::LazyBeforeWritebackEntry);
+            let obj = self.heap.obj(e.obj);
+            let publishing = self.heap.config.dea && !obj.rec.load_relaxed().is_private();
+            for i in 0..e.len as usize {
+                let field = e.base as usize + i;
+                if publishing && self.heap.field_is_ref(e.obj, field) {
+                    dea::publish_word(self.heap, e.vals[i]);
+                }
+                charge(CostKind::TxnCommitEntry);
+                obj.field(field).store(e.vals[i], Ordering::Release);
+            }
+            self.heap.hit(SyncPoint::LazyMidWriteback);
+        }
+        self.heap.hit(SyncPoint::LazyAfterWriteback);
+
+        for (r, prior) in owned.drain() {
+            self.heap.obj(r).rec.release_txn(prior);
+        }
+        charge(CostKind::TxnCommit);
+        self.heap.stats.commit();
+        for h in self.on_commit.drain(..) {
+            h();
+        }
+        self.heap.hit(SyncPoint::TxnCommitted);
+        if let Some(slot) = self.slot.take() {
+            quiesce::finish_and_quiesce(self.heap, &slot, true);
+        }
+        self.clear();
+        Ok(())
+    }
+
+    fn release_restore(&self, owned: &mut HashMap<ObjRef, RecWord>) {
+        for (r, prior) in owned.drain() {
+            self.heap.obj(r).rec.restore(prior);
+        }
+    }
+
+    /// Aborts: buffers are simply dropped; shared memory was never touched.
+    pub(crate) fn abort(&mut self) {
+        for h in self.on_abort.drain(..).rev() {
+            h();
+        }
+        charge(CostKind::TxnAbort);
+        self.heap.stats.abort();
+        if let Some(slot) = self.slot.take() {
+            quiesce::finish_and_quiesce(self.heap, &slot, false);
+        }
+        self.clear();
+    }
+
+    fn clear(&mut self) {
+        self.read_set.clear();
+        self.buffer.entries.clear();
+        self.buffer.index.clear();
+        self.on_abort.clear();
+        self.on_commit.clear();
+    }
+
+    pub(crate) fn read_snapshot(&self) -> Vec<(ObjRef, RecWord)> {
+        self.read_set.clone()
+    }
+
+    pub(crate) fn savepoint(&self) -> LazySavePoint {
+        LazySavePoint {
+            read_len: self.read_set.len(),
+            buffer: self.buffer.clone(),
+            on_abort_len: self.on_abort.len(),
+            on_commit_len: self.on_commit.len(),
+        }
+    }
+
+    pub(crate) fn rollback_to(&mut self, sp: LazySavePoint) {
+        self.read_set.truncate(sp.read_len);
+        self.buffer = sp.buffer;
+        for h in self.on_abort.drain(sp.on_abort_len..).rev() {
+            h();
+        }
+        self.on_commit.truncate(sp.on_commit_len);
+    }
+
+    pub(crate) fn push_on_abort(&mut self, h: Box<dyn FnOnce() + 'h>) {
+        self.on_abort.push(h);
+    }
+
+    pub(crate) fn push_on_commit(&mut self, h: Box<dyn FnOnce() + 'h>) {
+        self.on_commit.push(h);
+    }
+}
+
+impl std::fmt::Debug for LazyTxn<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LazyTxn")
+            .field("owner", &self.owner)
+            .field("reads", &self.read_set.len())
+            .field("buffered", &self.buffer.entries.len())
+            .finish()
+    }
+}

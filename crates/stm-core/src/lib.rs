@@ -1,0 +1,83 @@
+//! # stm-core — a strongly atomic software transactional memory
+//!
+//! Reproduction of the STM system of *Shpeisman et al., "Enforcing Isolation
+//! and Ordering in STM", PLDI 2007*: an eager-versioning, optimistic-read
+//! STM (McRT-style) extended with **strong atomicity** — non-transactional
+//! reads and writes execute isolation barriers that speak the same
+//! transaction-record protocol as transactions themselves — plus the
+//! paper's **dynamic escape analysis** (private/public object tracking with
+//! `publishObject`), a **lazy-versioning** engine for the §2.3 anomaly
+//! studies, **quiescence** as a privatization-only alternative, and
+//! **aggregated barriers**.
+//!
+//! ## Layout
+//! * [`txnrec`] — the 4-state transaction-record word (paper Figures 7–8).
+//! * [`heap`] — the shared object heap (shapes, typed fields, raw/volatile
+//!   access).
+//! * [`txn`] — atomic blocks: [`txn::atomic`], retry, closed/open nesting.
+//! * [`eager`] / [`lazy`] — the two version-management engines.
+//! * [`barrier`] — non-transactional isolation barriers (Figures 9–10) and
+//!   barrier aggregation (Figure 14).
+//! * [`dea`] — object publication (Figure 11).
+//! * [`quiesce`] — commit-time quiescence (§3.4).
+//! * [`locks`] — the `synchronized` baseline.
+//! * [`syncpoint`] — deterministic interleaving scripts for the anomaly
+//!   litmus tests.
+//! * [`cost`] — virtual-time hooks for the simulated multiprocessor.
+//!
+//! ## Quick start
+//! ```
+//! use stm_core::prelude::*;
+//!
+//! // A strongly atomic heap with dynamic escape analysis.
+//! let heap = Heap::new(StmConfig::strong_default());
+//! let node = heap.define_shape(Shape::new(
+//!     "Node",
+//!     vec![FieldDef::int("value"), FieldDef::reference("next")],
+//! ));
+//!
+//! let shared = heap.alloc_public(node);
+//!
+//! // Transactional code.
+//! atomic(&heap, |tx| {
+//!     let v = tx.read(shared, 0)?;
+//!     tx.write(shared, 0, v + 1)
+//! });
+//!
+//! // NON-transactional code uses isolation barriers — this is what makes
+//! // the system strongly atomic.
+//! let v = stm_core::barrier::read_barrier(&heap, shared, 0);
+//! assert_eq!(v, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod barrier;
+pub mod config;
+pub mod cost;
+pub mod dea;
+pub mod eager;
+pub mod heap;
+pub mod lazy;
+pub mod locks;
+pub mod quiesce;
+pub mod segvec;
+pub mod stats;
+pub mod syncpoint;
+pub mod txn;
+pub mod txnrec;
+pub mod typed;
+
+#[doc(hidden)]
+pub use paste;
+
+/// Commonly used items, re-exported.
+pub mod prelude {
+    pub use crate::barrier::{aggregate, read_access, read_barrier, write_access, write_barrier};
+    pub use crate::config::{BarrierMode, Granularity, StmConfig, Versioning};
+    pub use crate::heap::{FieldDef, Heap, Kind, ObjRef, Shape, ShapeId, Word};
+    pub use crate::locks::SyncTable;
+    pub use crate::txn::{atomic, try_atomic, Abort, TxResult, Txn};
+    pub use crate::typed::{RefRecord, TArray, TCell, Transactable};
+}

@@ -1,0 +1,112 @@
+//! Lightweight runtime counters for experiments and test assertions.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-heap event counters. All methods are relaxed; counters are
+/// diagnostics, not synchronization.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Committed transactions.
+    pub commits: AtomicU64,
+    /// Aborted transaction attempts (validation failure, conflict-manager
+    /// self-abort, or explicit user retry).
+    pub aborts: AtomicU64,
+    /// Non-transactional read barriers executed (slow protocol, i.e. not the
+    /// private fast path).
+    pub read_barriers: AtomicU64,
+    /// Non-transactional write barriers executed (slow protocol).
+    pub write_barriers: AtomicU64,
+    /// Barrier executions that took the DEA private fast path.
+    pub private_fast_paths: AtomicU64,
+    /// Objects published by `publishObject` (including transitively reached
+    /// ones).
+    pub publishes: AtomicU64,
+    /// Conflict-manager waits (both transactional and barrier-side).
+    pub conflict_waits: AtomicU64,
+    /// Transactions blocked in commit-time quiescence at least once.
+    pub quiescence_waits: AtomicU64,
+    /// User-initiated `retry` operations.
+    pub retries: AtomicU64,
+}
+
+macro_rules! bump {
+    ($($name:ident => $field:ident),* $(,)?) => {
+        $(
+            #[doc = concat!("Increments `", stringify!($field), "`.")]
+            #[inline]
+            pub fn $name(&self) {
+                self.$field.fetch_add(1, Ordering::Relaxed);
+            }
+        )*
+    };
+}
+
+impl Stats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    bump! {
+        commit => commits,
+        abort => aborts,
+        read_barrier => read_barriers,
+        write_barrier => write_barriers,
+        private_fast_path => private_fast_paths,
+        publish => publishes,
+        conflict_wait => conflict_waits,
+        quiescence_wait => quiescence_waits,
+        retry => retries,
+    }
+
+    /// A point-in-time snapshot, convenient for assertions.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            read_barriers: self.read_barriers.load(Ordering::Relaxed),
+            write_barriers: self.write_barriers.load(Ordering::Relaxed),
+            private_fast_paths: self.private_fast_paths.load(Ordering::Relaxed),
+            publishes: self.publishes.load(Ordering::Relaxed),
+            conflict_waits: self.conflict_waits.load(Ordering::Relaxed),
+            quiescence_waits: self.quiescence_waits.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value snapshot of [`Stats`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct StatsSnapshot {
+    pub commits: u64,
+    pub aborts: u64,
+    pub read_barriers: u64,
+    pub write_barriers: u64,
+    pub private_fast_paths: u64,
+    pub publishes: u64,
+    pub conflict_waits: u64,
+    pub quiescence_waits: u64,
+    pub retries: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_count() {
+        let s = Stats::new();
+        s.commit();
+        s.commit();
+        s.abort();
+        s.read_barrier();
+        s.private_fast_path();
+        let snap = s.snapshot();
+        assert_eq!(snap.commits, 2);
+        assert_eq!(snap.aborts, 1);
+        assert_eq!(snap.read_barriers, 1);
+        assert_eq!(snap.private_fast_paths, 1);
+        assert_eq!(snap.write_barriers, 0);
+    }
+}

@@ -1,0 +1,732 @@
+//! Atomic blocks: the user-facing transaction API.
+//!
+//! [`atomic`] runs a closure as a transaction against a [`Heap`], dispatching
+//! to the eager or lazy engine per the heap's configuration, re-executing on
+//! conflict, blocking on user [`Txn::retry`] until the read set changes, and
+//! supporting closed nesting ([`Txn::nested`]) and open nesting
+//! ([`Txn::open_nested`]).
+//!
+//! # Examples
+//! ```
+//! use stm_core::config::StmConfig;
+//! use stm_core::heap::{FieldDef, Heap, Shape};
+//! use stm_core::txn::atomic;
+//!
+//! let heap = Heap::new(StmConfig::default());
+//! let acct = heap.define_shape(Shape::new("Account", vec![FieldDef::int("balance")]));
+//! let a = heap.alloc_public(acct);
+//! let b = heap.alloc_public(acct);
+//! heap.write_raw(a, 0, 100);
+//!
+//! atomic(&heap, |tx| {
+//!     let from = tx.read(a, 0)?;
+//!     let to = tx.read(b, 0)?;
+//!     tx.write(a, 0, from - 30)?;
+//!     tx.write(b, 0, to + 30)?;
+//!     Ok(())
+//! });
+//! assert_eq!(heap.read_raw(a, 0), 70);
+//! assert_eq!(heap.read_raw(b, 0), 30);
+//! ```
+
+use crate::config::Versioning;
+use crate::cost::backoff_wait;
+use crate::eager::EagerTxn;
+use crate::heap::{Heap, ObjRef, ShapeId, Word};
+use crate::lazy::LazyTxn;
+use crate::syncpoint::SyncPoint;
+use crate::txnrec::RecWord;
+use std::cell::RefCell;
+
+/// Why a transaction attempt stopped. Returned inside `Err` from
+/// transactional operations; `?` propagates it to the [`atomic`] runner.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Abort {
+    /// A conflict was detected (validation failure or contention budget
+    /// exhausted); the atomic block re-executes.
+    Conflict,
+    /// User-initiated `retry`: the block waits for its read set to change,
+    /// then re-executes (paper: "user-initiated retry operations").
+    Retry,
+    /// User-initiated cancellation: the block rolls back and does not
+    /// re-execute. Only meaningful under [`try_atomic`].
+    Cancel,
+}
+
+impl std::fmt::Display for Abort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Abort::Conflict => write!(f, "transaction conflict"),
+            Abort::Retry => write!(f, "transaction retry requested"),
+            Abort::Cancel => write!(f, "transaction cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for Abort {}
+
+/// Result type of transactional operations.
+pub type TxResult<T> = Result<T, Abort>;
+
+thread_local! {
+    static ACTIVE_TOKENS: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Owner-token words of transactions currently running on this thread
+/// (outermost first). Used to detect open-nesting self-deadlock.
+pub(crate) fn active_tokens() -> Vec<usize> {
+    ACTIVE_TOKENS.with(|t| t.borrow().clone())
+}
+
+struct TokenGuard;
+impl TokenGuard {
+    fn push(token: usize) -> Self {
+        ACTIVE_TOKENS.with(|t| t.borrow_mut().push(token));
+        TokenGuard
+    }
+}
+impl Drop for TokenGuard {
+    fn drop(&mut self) {
+        ACTIVE_TOKENS.with(|t| {
+            t.borrow_mut().pop();
+        });
+    }
+}
+
+enum Inner<'h> {
+    Eager(EagerTxn<'h>),
+    Lazy(LazyTxn<'h>),
+}
+
+/// A savepoint handle for closed nesting.
+enum AnySavePoint {
+    Eager(crate::eager::SavePoint),
+    Lazy(crate::lazy::LazySavePoint),
+}
+
+/// An in-flight transaction, handed to the closure passed to [`atomic`].
+pub struct Txn<'h> {
+    inner: Inner<'h>,
+}
+
+impl<'h> Txn<'h> {
+    fn begin(heap: &'h Heap) -> Self {
+        let inner = match heap.config.versioning {
+            Versioning::Eager => Inner::Eager(EagerTxn::new(heap)),
+            Versioning::Lazy => Inner::Lazy(LazyTxn::new(heap)),
+        };
+        Txn { inner }
+    }
+
+    /// The heap this transaction runs against.
+    pub fn heap(&self) -> &'h Heap {
+        match &self.inner {
+            Inner::Eager(t) => t.heap(),
+            Inner::Lazy(t) => t.heap(),
+        }
+    }
+
+    fn owner_word(&self) -> usize {
+        match &self.inner {
+            Inner::Eager(t) => t.owner_word(),
+            Inner::Lazy(t) => t.owner_word(),
+        }
+    }
+
+    /// Transactional read of `field` of `r`.
+    ///
+    /// # Errors
+    /// [`Abort::Conflict`] if the conflict-manager budget is exhausted.
+    pub fn read(&mut self, r: ObjRef, field: usize) -> TxResult<Word> {
+        match &mut self.inner {
+            Inner::Eager(t) => t.read(r, field),
+            Inner::Lazy(t) => t.read(r, field),
+        }
+    }
+
+    /// Transactional write of `field` of `r`.
+    ///
+    /// # Errors
+    /// [`Abort::Conflict`] if the conflict-manager budget is exhausted.
+    pub fn write(&mut self, r: ObjRef, field: usize, value: Word) -> TxResult<()> {
+        match &mut self.inner {
+            Inner::Eager(t) => t.write(r, field, value),
+            Inner::Lazy(t) => t.write(r, field, value),
+        }
+    }
+
+    /// Reads a reference field.
+    pub fn read_ref(&mut self, r: ObjRef, field: usize) -> TxResult<Option<ObjRef>> {
+        Ok(ObjRef::from_word(self.read(r, field)?))
+    }
+
+    /// Writes a reference field (`None` stores null).
+    pub fn write_ref(&mut self, r: ObjRef, field: usize, value: Option<ObjRef>) -> TxResult<()> {
+        self.write(r, field, value.map_or(0, ObjRef::to_word))
+    }
+
+    /// Allocates a fresh object (private under DEA, like any allocation).
+    pub fn alloc(&mut self, shape: ShapeId) -> ObjRef {
+        self.heap().alloc(shape)
+    }
+
+    /// User-initiated retry: aborts and blocks until another thread changes
+    /// something this transaction read, then re-executes the block.
+    pub fn retry<T>(&mut self) -> TxResult<T> {
+        self.heap().stats.retry();
+        Err(Abort::Retry)
+    }
+
+    /// Cancels the atomic block: rolls back without re-executing.
+    /// Top-level blocks run with [`try_atomic`] observe `None`; inside
+    /// [`Txn::nested`] the enclosing transaction continues.
+    pub fn cancel<T>(&mut self) -> TxResult<T> {
+        Err(Abort::Cancel)
+    }
+
+    /// Validates the read set mid-transaction. Long-running transactions
+    /// should call this periodically so that doomed executions stop early
+    /// and quiescent committers do not wait on them.
+    pub fn validate(&mut self) -> TxResult<()> {
+        match &mut self.inner {
+            Inner::Eager(t) => t.validate(),
+            Inner::Lazy(t) => t.validate(),
+        }
+    }
+
+    /// Closed-nested block (paper: "closed nesting"): if `f` cancels, only
+    /// the nested block's effects roll back and `Ok(None)` is returned;
+    /// conflicts and retries propagate to the outermost level.
+    pub fn nested<T>(
+        &mut self,
+        f: impl FnOnce(&mut Txn<'h>) -> TxResult<T>,
+    ) -> TxResult<Option<T>> {
+        let sp = match &self.inner {
+            Inner::Eager(t) => AnySavePoint::Eager(t.savepoint()),
+            Inner::Lazy(t) => AnySavePoint::Lazy(t.savepoint()),
+        };
+        match f(self) {
+            Ok(v) => Ok(Some(v)),
+            Err(Abort::Cancel) => {
+                match (&mut self.inner, sp) {
+                    (Inner::Eager(t), AnySavePoint::Eager(sp)) => t.rollback_to(sp),
+                    (Inner::Lazy(t), AnySavePoint::Lazy(sp)) => t.rollback_to(sp),
+                    _ => unreachable!("savepoint kind matches engine kind"),
+                }
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Open-nested transaction (paper §3: "closed and open nesting"): runs
+    /// `f` as an independent transaction that commits immediately,
+    /// regardless of the enclosing transaction's fate. Pair with
+    /// [`Txn::on_abort`] to register a compensating action.
+    ///
+    /// # Panics
+    /// Panics if the open-nested code touches data locked by an enclosing
+    /// transaction (unresolvable self-deadlock).
+    pub fn open_nested<T>(&mut self, f: impl FnMut(&mut Txn<'_>) -> TxResult<T>) -> T {
+        atomic(self.heap(), f)
+    }
+
+    /// Registers a handler to run if this transaction aborts (compensation
+    /// for open-nested effects). Handlers run in reverse registration order.
+    pub fn on_abort(&mut self, h: impl FnOnce() + 'h) {
+        match &mut self.inner {
+            Inner::Eager(t) => t.push_on_abort(Box::new(h)),
+            Inner::Lazy(t) => t.push_on_abort(Box::new(h)),
+        }
+    }
+
+    /// Registers a handler to run after this transaction commits.
+    pub fn on_commit(&mut self, h: impl FnOnce() + 'h) {
+        match &mut self.inner {
+            Inner::Eager(t) => t.push_on_commit(Box::new(h)),
+            Inner::Lazy(t) => t.push_on_commit(Box::new(h)),
+        }
+    }
+
+    fn commit(&mut self) -> TxResult<()> {
+        match &mut self.inner {
+            Inner::Eager(t) => t.commit(),
+            Inner::Lazy(t) => t.commit(),
+        }
+    }
+
+    fn abort(&mut self) {
+        match &mut self.inner {
+            Inner::Eager(t) => t.abort(),
+            Inner::Lazy(t) => t.abort(),
+        }
+    }
+
+    fn read_snapshot(&self) -> Vec<(ObjRef, RecWord)> {
+        match &self.inner {
+            Inner::Eager(t) => t.read_snapshot(),
+            Inner::Lazy(t) => t.read_snapshot(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Txn<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Inner::Eager(t) => t.fmt(f),
+            Inner::Lazy(t) => t.fmt(f),
+        }
+    }
+}
+
+/// Runs `f` as an atomic block, re-executing until it commits.
+///
+/// # Panics
+/// Panics if `f` cancels ([`Txn::cancel`]); use [`try_atomic`] for
+/// cancellable blocks.
+pub fn atomic<T>(heap: &Heap, f: impl FnMut(&mut Txn<'_>) -> TxResult<T>) -> T {
+    try_atomic(heap, f).expect("top-level atomic block cancelled; use try_atomic")
+}
+
+/// Runs `f` as an atomic block; returns `None` if the block cancelled.
+pub fn try_atomic<T>(heap: &Heap, mut f: impl FnMut(&mut Txn<'_>) -> TxResult<T>) -> Option<T> {
+    let mut attempt = 0u32;
+    loop {
+        heap.hit(SyncPoint::TxnBegin);
+        let mut txn = Txn::begin(heap);
+        let guard = TokenGuard::push(txn.owner_word());
+        let result = f(&mut txn);
+        match result {
+            Ok(v) => match txn.commit() {
+                Ok(()) => return Some(v),
+                Err(_) => {
+                    drop(guard);
+                    backoff_wait(attempt);
+                    attempt = attempt.saturating_add(1);
+                }
+            },
+            Err(Abort::Conflict) => {
+                txn.abort();
+                drop(guard);
+                backoff_wait(attempt);
+                attempt = attempt.saturating_add(1);
+            }
+            Err(Abort::Retry) => {
+                let snapshot = txn.read_snapshot();
+                txn.abort();
+                drop(guard);
+                wait_for_change(heap, &snapshot);
+                attempt = 0;
+            }
+            Err(Abort::Cancel) => {
+                txn.abort();
+                return None;
+            }
+        }
+    }
+}
+
+/// Blocks until any record in `snapshot` differs from its logged word.
+///
+/// An empty snapshot (a retry before any reads) can never be woken by a
+/// write; we back off once and re-execute, which matches the common
+/// "retry is a hint" reading and avoids a guaranteed deadlock.
+fn wait_for_change(heap: &Heap, snapshot: &[(ObjRef, RecWord)]) {
+    if snapshot.is_empty() {
+        backoff_wait(8);
+        return;
+    }
+    let mut attempt = 0u32;
+    loop {
+        for &(r, logged) in snapshot {
+            if heap.obj(r).rec.load() != logged {
+                return;
+            }
+        }
+        backoff_wait(attempt);
+        attempt = attempt.saturating_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Granularity, StmConfig, Versioning};
+    use crate::heap::{FieldDef, Shape};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn heap_of(versioning: Versioning) -> Arc<Heap> {
+        Heap::new(StmConfig { versioning, ..StmConfig::default() })
+    }
+
+    fn counter_shape(heap: &Heap) -> crate::heap::ShapeId {
+        heap.define_shape(Shape::new(
+            "Counter",
+            vec![FieldDef::int("n"), FieldDef::int("m")],
+        ))
+    }
+
+    fn check_basic(versioning: Versioning) {
+        let heap = heap_of(versioning);
+        let s = counter_shape(&heap);
+        let c = heap.alloc_public(s);
+        let out = atomic(&heap, |tx| {
+            let v = tx.read(c, 0)?;
+            tx.write(c, 0, v + 5)?;
+            tx.read(c, 0)
+        });
+        assert_eq!(out, 5, "read-your-own-writes");
+        assert_eq!(heap.read_raw(c, 0), 5);
+        assert_eq!(heap.stats().snapshot().commits, 1);
+    }
+
+    #[test]
+    fn basic_eager() {
+        check_basic(Versioning::Eager);
+    }
+
+    #[test]
+    fn basic_lazy() {
+        check_basic(Versioning::Lazy);
+    }
+
+    fn check_concurrent_counter(versioning: Versioning) {
+        let heap = heap_of(versioning);
+        let s = counter_shape(&heap);
+        let c = heap.alloc_public(s);
+        let threads = 4;
+        let per = 500;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let heap = Arc::clone(&heap);
+                std::thread::spawn(move || {
+                    for _ in 0..per {
+                        atomic(&heap, |tx| {
+                            let v = tx.read(c, 0)?;
+                            tx.write(c, 0, v + 1)
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(heap.read_raw(c, 0), (threads * per) as u64);
+    }
+
+    #[test]
+    fn concurrent_counter_eager() {
+        check_concurrent_counter(Versioning::Eager);
+    }
+
+    #[test]
+    fn concurrent_counter_lazy() {
+        check_concurrent_counter(Versioning::Lazy);
+    }
+
+    fn check_invariant_pairs(versioning: Versioning) {
+        // Writers keep n == m; readers must never observe a broken pair.
+        let heap = heap_of(versioning);
+        let s = counter_shape(&heap);
+        let c = heap.alloc_public(s);
+        let violations = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let heap = Arc::clone(&heap);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..400 {
+                    atomic(&heap, |tx| {
+                        let n = tx.read(c, 0)?;
+                        tx.write(c, 0, n + 1)?;
+                        let m = tx.read(c, 1)?;
+                        tx.write(c, 1, m + 1)
+                    });
+                }
+            }));
+        }
+        for _ in 0..2 {
+            let heap = Arc::clone(&heap);
+            let violations = Arc::clone(&violations);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..400 {
+                    let (n, m) = atomic(&heap, |tx| Ok((tx.read(c, 0)?, tx.read(c, 1)?)));
+                    if n != m {
+                        violations.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(violations.load(Ordering::Relaxed), 0, "isolation held");
+        assert_eq!(heap.read_raw(c, 0), 800);
+        assert_eq!(heap.read_raw(c, 1), 800);
+    }
+
+    #[test]
+    fn isolation_eager() {
+        check_invariant_pairs(Versioning::Eager);
+    }
+
+    #[test]
+    fn isolation_lazy() {
+        check_invariant_pairs(Versioning::Lazy);
+    }
+
+    #[test]
+    fn try_atomic_cancel_rolls_back() {
+        let heap = heap_of(Versioning::Eager);
+        let s = counter_shape(&heap);
+        let c = heap.alloc_public(s);
+        let out: Option<()> = try_atomic(&heap, |tx| {
+            tx.write(c, 0, 99)?;
+            tx.cancel()
+        });
+        assert_eq!(out, None);
+        assert_eq!(heap.read_raw(c, 0), 0, "write rolled back");
+        assert_eq!(heap.stats().snapshot().aborts, 1);
+    }
+
+    #[test]
+    fn cancel_rolls_back_lazy() {
+        let heap = heap_of(Versioning::Lazy);
+        let s = counter_shape(&heap);
+        let c = heap.alloc_public(s);
+        let out: Option<()> = try_atomic(&heap, |tx| {
+            tx.write(c, 0, 99)?;
+            tx.cancel()
+        });
+        assert_eq!(out, None);
+        assert_eq!(heap.read_raw(c, 0), 0);
+    }
+
+    #[test]
+    fn nested_cancel_partial_rollback_eager() {
+        let heap = heap_of(Versioning::Eager);
+        let s = counter_shape(&heap);
+        let c = heap.alloc_public(s);
+        atomic(&heap, |tx| {
+            tx.write(c, 0, 1)?;
+            let inner = tx.nested(|tx| {
+                tx.write(c, 1, 50)?;
+                tx.cancel::<()>()
+            })?;
+            assert_eq!(inner, None);
+            // The nested write must already be rolled back inside the txn.
+            assert_eq!(tx.read(c, 1)?, 0);
+            Ok(())
+        });
+        assert_eq!(heap.read_raw(c, 0), 1, "outer write survives");
+        assert_eq!(heap.read_raw(c, 1), 0, "nested write rolled back");
+    }
+
+    #[test]
+    fn nested_cancel_partial_rollback_lazy() {
+        let heap = heap_of(Versioning::Lazy);
+        let s = counter_shape(&heap);
+        let c = heap.alloc_public(s);
+        atomic(&heap, |tx| {
+            tx.write(c, 0, 1)?;
+            tx.nested(|tx| {
+                tx.write(c, 1, 50)?;
+                tx.cancel::<()>()
+            })?;
+            assert_eq!(tx.read(c, 1)?, 0);
+            Ok(())
+        });
+        assert_eq!(heap.read_raw(c, 0), 1);
+        assert_eq!(heap.read_raw(c, 1), 0);
+    }
+
+    #[test]
+    fn nested_success_keeps_effects() {
+        let heap = heap_of(Versioning::Eager);
+        let s = counter_shape(&heap);
+        let c = heap.alloc_public(s);
+        atomic(&heap, |tx| {
+            let inner = tx.nested(|tx| {
+                tx.write(c, 1, 7)?;
+                Ok(42)
+            })?;
+            assert_eq!(inner, Some(42));
+            Ok(())
+        });
+        assert_eq!(heap.read_raw(c, 1), 7);
+    }
+
+    #[test]
+    fn retry_blocks_until_read_set_changes() {
+        let heap = heap_of(Versioning::Eager);
+        let s = counter_shape(&heap);
+        let flag = heap.alloc_public(s);
+        let heap2 = Arc::clone(&heap);
+        let waiter = std::thread::spawn(move || {
+            atomic(&heap2, |tx| {
+                let v = tx.read(flag, 0)?;
+                if v == 0 {
+                    return tx.retry();
+                }
+                Ok(v)
+            })
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!waiter.is_finished(), "retry must block while flag is 0");
+        atomic(&heap, |tx| tx.write(flag, 0, 123));
+        assert_eq!(waiter.join().unwrap(), 123);
+        assert!(heap.stats().snapshot().retries >= 1);
+    }
+
+    #[test]
+    fn open_nested_commits_despite_outer_cancel() {
+        let heap = heap_of(Versioning::Eager);
+        let s = counter_shape(&heap);
+        let log = heap.alloc_public(s);
+        let data = heap.alloc_public(s);
+        let out: Option<()> = try_atomic(&heap, |tx| {
+            tx.write(data, 0, 5)?;
+            tx.open_nested(|otx| {
+                let v = otx.read(log, 0)?;
+                otx.write(log, 0, v + 1)
+            });
+            tx.cancel()
+        });
+        assert_eq!(out, None);
+        assert_eq!(heap.read_raw(data, 0), 0, "outer rolled back");
+        assert_eq!(heap.read_raw(log, 0), 1, "open-nested effect survives");
+    }
+
+    #[test]
+    fn on_abort_compensation_runs() {
+        let heap = heap_of(Versioning::Eager);
+        let s = counter_shape(&heap);
+        let log = heap.alloc_public(s);
+        let compensated = Arc::new(AtomicU64::new(0));
+        let comp2 = Arc::clone(&compensated);
+        let _: Option<()> = try_atomic(&heap, |tx| {
+            let c = Arc::clone(&comp2);
+            tx.open_nested(|otx| otx.write(log, 0, 1));
+            tx.on_abort(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+            tx.cancel()
+        });
+        assert_eq!(compensated.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn on_commit_runs_once() {
+        let heap = heap_of(Versioning::Eager);
+        let s = counter_shape(&heap);
+        let c = heap.alloc_public(s);
+        let ran = Arc::new(AtomicU64::new(0));
+        let ran2 = Arc::clone(&ran);
+        atomic(&heap, |tx| {
+            let r = Arc::clone(&ran2);
+            tx.on_commit(move || {
+                r.fetch_add(1, Ordering::Relaxed);
+            });
+            tx.write(c, 0, 1)
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "open-nested transaction accessed data locked")]
+    fn open_nested_self_deadlock_detected() {
+        let heap = heap_of(Versioning::Eager);
+        let s = counter_shape(&heap);
+        let c = heap.alloc_public(s);
+        atomic(&heap, |tx| {
+            tx.write(c, 0, 1)?;
+            tx.open_nested(|otx| otx.write(c, 0, 2));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn granular_pair_undo_respects_config() {
+        // With Pair granularity an abort restores both fields of the span —
+        // the mechanism behind granular lost updates (exercised as an
+        // anomaly in the litmus crate; here we just check the span logic).
+        let heap = Heap::new(StmConfig {
+            granularity: Granularity::Pair,
+            ..StmConfig::default()
+        });
+        let s = counter_shape(&heap);
+        let c = heap.alloc_public(s);
+        heap.write_raw(c, 1, 10);
+        let _: Option<()> = try_atomic(&heap, |tx| {
+            tx.write(c, 0, 5)?; // snapshots fields {0,1}
+            tx.cancel()
+        });
+        assert_eq!(heap.read_raw(c, 0), 0);
+        assert_eq!(heap.read_raw(c, 1), 10);
+    }
+
+    #[test]
+    fn conflicting_writers_one_aborts_and_recovers() {
+        // Force a write-write conflict; both transactions must eventually
+        // commit thanks to conflict-manager self-abort.
+        let heap = Heap::new(StmConfig { conflict_retries: 2, ..StmConfig::default() });
+        let s = counter_shape(&heap);
+        let c = heap.alloc_public(s);
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let heap = Arc::clone(&heap);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for _ in 0..200 {
+                        atomic(&heap, |tx| {
+                            let v = tx.read(c, 0)?;
+                            tx.write(c, 0, v + 1)
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(heap.read_raw(c, 0), 400);
+    }
+
+    #[test]
+    fn dea_private_objects_in_txn() {
+        let heap = Heap::new(StmConfig { dea: true, ..StmConfig::default() });
+        let s = heap.define_shape(Shape::new(
+            "Box",
+            vec![FieldDef::int("v"), FieldDef::reference("r")],
+        ));
+        let shared = heap.alloc_public(s);
+        let result = atomic(&heap, |tx| {
+            let p = tx.alloc(s);
+            tx.write(p, 0, 11)?; // private write: no lock taken
+            tx.write_ref(shared, 1, Some(p))?; // publishes p
+            tx.read(p, 0)
+        });
+        assert_eq!(result, 11);
+        let p = ObjRef::from_word(heap.read_raw(shared, 1)).unwrap();
+        assert!(!heap.is_private(p), "published by transactional store");
+        assert_eq!(heap.read_raw(p, 0), 11);
+    }
+
+    #[test]
+    fn dea_private_write_rolls_back_on_abort() {
+        let heap = Heap::new(StmConfig { dea: true, ..StmConfig::default() });
+        let s = counter_shape(&heap);
+        // Allocate privately *outside* any transaction.
+        let p = heap.alloc(s);
+        heap.write_raw(p, 0, 3);
+        let _: Option<()> = try_atomic(&heap, |tx| {
+            tx.write(p, 0, 77)?;
+            tx.cancel()
+        });
+        assert_eq!(heap.read_raw(p, 0), 3, "private write undone on abort");
+        assert!(heap.is_private(p));
+    }
+}

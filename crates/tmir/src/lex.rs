@@ -1,0 +1,214 @@
+//! Hand-written lexer for TMIR source text.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Punctuation / operator, e.g. `"{"`, `"=="`, `"&&"`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(n) => write!(f, "`{n}`"),
+            Tok::Punct(p) => write!(f, "`{p}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token plus its source line (for error messages).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// A lexing error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const PUNCTS2: &[&str] = &[
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+];
+const PUNCTS1: &[&str] = &[
+    "{", "}", "(", ")", "[", "]", ";", ",", ":", ".", "=", "<", ">", "+", "-", "*", "/", "%",
+    "!", "^",
+];
+
+/// Tokenizes `src`. `//` comments run to end of line.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if !c.is_ascii() {
+            // Reject non-ASCII input up front (also keeps the byte-indexed
+            // punctuation scan below on char boundaries).
+            let ch = src[i..].chars().next().unwrap_or('\u{FFFD}');
+            return Err(LexError {
+                message: format!("unexpected character {ch:?}"),
+                line,
+            });
+        }
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            out.push(SpannedTok {
+                tok: Tok::Ident(src[start..i].to_string()),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let text = &src[start..i];
+            let n: i64 = text.parse().map_err(|_| LexError {
+                message: format!("integer literal {text} out of range"),
+                line,
+            })?;
+            out.push(SpannedTok { tok: Tok::Int(n), line });
+            continue;
+        }
+        if i + 1 < bytes.len() && src.is_char_boundary(i + 2) {
+            let two = &src[i..i + 2];
+            if let Some(p) = PUNCTS2.iter().find(|p| **p == two) {
+                out.push(SpannedTok { tok: Tok::Punct(p), line });
+                i += 2;
+                continue;
+            }
+        }
+        let one = &src[i..i + 1];
+        if let Some(p) = PUNCTS1.iter().find(|p| **p == one) {
+            out.push(SpannedTok { tok: Tok::Punct(p), line });
+            i += 1;
+            continue;
+        }
+        return Err(LexError {
+            message: format!("unexpected character {c:?}"),
+            line,
+        });
+    }
+    out.push(SpannedTok { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_basic_program() {
+        let t = toks("fn main() { let x: int = 42; }");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("fn".into()),
+                Tok::Ident("main".into()),
+                Tok::Punct("("),
+                Tok::Punct(")"),
+                Tok::Punct("{"),
+                Tok::Ident("let".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct(":"),
+                Tok::Ident("int".into()),
+                Tok::Punct("="),
+                Tok::Int(42),
+                Tok::Punct(";"),
+                Tok::Punct("}"),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_puncts_win() {
+        assert_eq!(
+            toks("a == b != c <= d && e"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("=="),
+                Tok::Ident("b".into()),
+                Tok::Punct("!="),
+                Tok::Ident("c".into()),
+                Tok::Punct("<="),
+                Tok::Ident("d".into()),
+                Tok::Punct("&&"),
+                Tok::Ident("e".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped_and_lines_tracked() {
+        let spanned = lex("x // comment\ny").unwrap();
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].line, 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("let x = @;").is_err());
+    }
+
+    #[test]
+    fn negative_numbers_are_two_tokens() {
+        assert_eq!(
+            toks("-5"),
+            vec![Tok::Punct("-"), Tok::Int(5), Tok::Eof]
+        );
+    }
+}

@@ -1,0 +1,562 @@
+//! Recursive-descent parser for TMIR.
+//!
+//! Grammar sketch (see the crate docs for a full example):
+//!
+//! ```text
+//! program  := (class | static | fn)*
+//! class    := "class" IDENT "{" (field ("," field)*)? "}"
+//! field    := "final"? IDENT ":" type
+//! static   := "static" IDENT ":" type ";"
+//! fn       := "fn" IDENT "(" params? ")" ("->" type)? block
+//! type     := "int" | "thread" | "ref" IDENT | "array" "int"
+//!           | "array" "ref" IDENT
+//! stmt     := "let" IDENT ":" type "=" expr ";"
+//!           | "if" "(" expr ")" block ("else" block)?
+//!           | "while" "(" expr ")" block
+//!           | "atomic" block | "lock" "(" expr ")" block
+//!           | "retry" ";" | "return" expr? ";"
+//!           | "print" expr ";" | "assert" expr ";"
+//!           | place "=" expr ";" | expr ";"
+//! expr     := precedence-climbing over || && == != < <= > >= + - * / %
+//!             ^ << >> with unary ! - and postfix .field [idx]
+//! primary  := INT | "null" | "new" IDENT | "new_array" "<" type ">" "(" e ")"
+//!           | "len" "(" e ")" | "spawn" IDENT "(" args ")" | "join" e
+//!           | IDENT "(" args ")" | IDENT | "(" e ")"
+//! ```
+
+use crate::ast::*;
+use crate::lex::{lex, LexError, SpannedTok, Tok};
+use std::fmt;
+
+/// A parse error with a line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, line: e.line }
+    }
+}
+
+/// Parses a complete TMIR program from source text.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0, next_site: 0 };
+    p.program()
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+    next_site: u32,
+}
+
+const KEYWORDS: &[&str] = &[
+    "class", "static", "fn", "let", "if", "else", "while", "atomic", "lock", "retry",
+    "return", "print", "assert", "new", "new_array", "len", "spawn", "join", "null",
+    "int", "ref", "array", "thread", "final",
+];
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { message: message.into(), line: self.line() })
+    }
+
+    fn expect_punct(&mut self, p: &'static str) -> Result<(), ParseError> {
+        if self.peek() == &Tok::Punct(p) {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected `{p}`, found {}", self.peek()))
+        }
+    }
+
+    fn eat_punct(&mut self, p: &'static str) -> bool {
+        if self.peek() == &Tok::Punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected keyword `{kw}`, found {}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) if !KEYWORDS.contains(&s.as_str()) => {
+                self.bump();
+                Ok(s)
+            }
+            t => self.err(format!("expected identifier, found {t}")),
+        }
+    }
+
+    fn fresh_site(&mut self) -> SiteId {
+        let s = SiteId(self.next_site);
+        self.next_site += 1;
+        s
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program::default();
+        loop {
+            if self.peek() == &Tok::Eof {
+                break;
+            }
+            if self.eat_kw("class") {
+                prog.classes.push(self.class()?);
+            } else if self.eat_kw("static") {
+                let name = self.ident()?;
+                self.expect_punct(":")?;
+                let ty = self.ty()?;
+                self.expect_punct(";")?;
+                prog.statics.push(StaticDecl { name, ty });
+            } else if self.eat_kw("fn") {
+                prog.funcs.push(self.func()?);
+            } else {
+                return self.err(format!(
+                    "expected `class`, `static`, or `fn`, found {}",
+                    self.peek()
+                ));
+            }
+        }
+        prog.num_sites = self.next_site;
+        Ok(prog)
+    }
+
+    fn class(&mut self) -> Result<ClassDecl, ParseError> {
+        let name = self.ident()?;
+        self.expect_punct("{")?;
+        let mut fields = Vec::new();
+        if !self.eat_punct("}") {
+            loop {
+                let is_final = self.eat_kw("final");
+                let fname = self.ident()?;
+                self.expect_punct(":")?;
+                let ty = self.ty()?;
+                if matches!(ty, Ty::Thread) {
+                    return self.err("fields of type `thread` are not allowed");
+                }
+                fields.push(FieldDecl { name: fname, ty, is_final });
+                if self.eat_punct("}") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        Ok(ClassDecl { name, fields })
+    }
+
+    fn ty(&mut self) -> Result<Ty, ParseError> {
+        if self.eat_kw("int") {
+            Ok(Ty::Int)
+        } else if self.eat_kw("thread") {
+            Ok(Ty::Thread)
+        } else if self.eat_kw("ref") {
+            Ok(Ty::Ref(self.ident()?))
+        } else if self.eat_kw("array") {
+            if self.eat_kw("int") {
+                Ok(Ty::IntArray)
+            } else {
+                self.expect_kw("ref")?;
+                Ok(Ty::RefArray(self.ident()?))
+            }
+        } else {
+            self.err(format!("expected type, found {}", self.peek()))
+        }
+    }
+
+    fn func(&mut self) -> Result<FuncDecl, ParseError> {
+        let name = self.ident()?;
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                let pname = self.ident()?;
+                self.expect_punct(":")?;
+                params.push((pname, self.ty()?));
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        let ret = if self.eat_punct("-") {
+            self.expect_punct(">")?;
+            Some(self.ty()?)
+        } else {
+            None
+        };
+        let body = self.block()?;
+        Ok(FuncDecl { name, params, ret, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.eat_kw("let") {
+            let name = self.ident()?;
+            self.expect_punct(":")?;
+            let ty = self.ty()?;
+            self.expect_punct("=")?;
+            let init = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Let { name, ty, init });
+        }
+        if self.eat_kw("if") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then_body = self.block()?;
+            let else_body = if self.eat_kw("else") { self.block()? } else { Vec::new() };
+            return Ok(Stmt::If { cond, then_body, else_body });
+        }
+        if self.eat_kw("while") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.eat_kw("atomic") {
+            return Ok(Stmt::Atomic { body: self.block()? });
+        }
+        if self.eat_kw("lock") {
+            self.expect_punct("(")?;
+            let obj = self.expr()?;
+            self.expect_punct(")")?;
+            return Ok(Stmt::Lock { obj, body: self.block()? });
+        }
+        if self.eat_kw("retry") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Retry);
+        }
+        if self.eat_kw("return") {
+            if self.eat_punct(";") {
+                return Ok(Stmt::Return(None));
+            }
+            let e = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(Some(e)));
+        }
+        if self.eat_kw("print") {
+            let e = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Print(e));
+        }
+        if self.eat_kw("assert") {
+            let e = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Assert(e));
+        }
+        // Assignment or expression statement: parse an expression, then look
+        // for `=`.
+        let e = self.expr()?;
+        if self.eat_punct("=") {
+            let place = self.expr_to_place(e)?;
+            let value = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Assign { place, value });
+        }
+        self.expect_punct(";")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    fn expr_to_place(&self, e: Expr) -> Result<Place, ParseError> {
+        match e {
+            Expr::Local(name) => Ok(Place::Local(name)),
+            Expr::Field { base, field, site } => Ok(Place::Field { base: *base, field, site }),
+            Expr::Static { name, site } => Ok(Place::Static { name, site }),
+            Expr::Index { base, index, site } => {
+                Ok(Place::Index { base: *base, index: *index, site })
+            }
+            _ => self.err("invalid assignment target"),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.bin_expr(0)
+    }
+
+    fn bin_op(&self) -> Option<(BinOp, u8)> {
+        let op = match self.peek() {
+            Tok::Punct("||") => (BinOp::Or, 1),
+            Tok::Punct("&&") => (BinOp::And, 2),
+            Tok::Punct("==") => (BinOp::Eq, 3),
+            Tok::Punct("!=") => (BinOp::Ne, 3),
+            Tok::Punct("<") => (BinOp::Lt, 4),
+            Tok::Punct("<=") => (BinOp::Le, 4),
+            Tok::Punct(">") => (BinOp::Gt, 4),
+            Tok::Punct(">=") => (BinOp::Ge, 4),
+            Tok::Punct("^") => (BinOp::BitXor, 5),
+            Tok::Punct("<<") => (BinOp::Shl, 5),
+            Tok::Punct(">>") => (BinOp::Shr, 5),
+            Tok::Punct("+") => (BinOp::Add, 6),
+            Tok::Punct("-") => (BinOp::Sub, 6),
+            Tok::Punct("*") => (BinOp::Mul, 7),
+            Tok::Punct("/") => (BinOp::Div, 7),
+            Tok::Punct("%") => (BinOp::Rem, 7),
+            _ => return None,
+        };
+        Some(op)
+    }
+
+    fn bin_expr(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        while let Some((op, prec)) = self.bin_op() {
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.bin_expr(prec + 1)?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_punct("!") {
+            return Ok(Expr::Un { op: UnOp::Not, expr: Box::new(self.unary()?) });
+        }
+        if self.eat_punct("-") {
+            return Ok(Expr::Un { op: UnOp::Neg, expr: Box::new(self.unary()?) });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.eat_punct(".") {
+                let field = self.ident()?;
+                let site = self.fresh_site();
+                e = Expr::Field { base: Box::new(e), field, site };
+            } else if self.eat_punct("[") {
+                let index = self.expr()?;
+                self.expect_punct("]")?;
+                let site = self.fresh_site();
+                e = Expr::Index { base: Box::new(e), index: Box::new(index), site };
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.expect_punct("(")?;
+        let mut args = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                args.push(self.expr()?);
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        Ok(args)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        if let Tok::Int(n) = *self.peek() {
+            self.bump();
+            return Ok(Expr::Int(n));
+        }
+        if self.eat_kw("null") {
+            return Ok(Expr::Null);
+        }
+        if self.eat_kw("new") {
+            let class = self.ident()?;
+            let site = self.fresh_site();
+            return Ok(Expr::New { class, site });
+        }
+        if self.eat_kw("new_array") {
+            self.expect_punct("<")?;
+            let elem = self.ty()?;
+            self.expect_punct(">")?;
+            self.expect_punct("(")?;
+            let len = self.expr()?;
+            self.expect_punct(")")?;
+            let site = self.fresh_site();
+            return Ok(Expr::NewArray { elem: Box::new(elem), len: Box::new(len), site });
+        }
+        if self.eat_kw("len") {
+            self.expect_punct("(")?;
+            let e = self.expr()?;
+            self.expect_punct(")")?;
+            return Ok(Expr::Len(Box::new(e)));
+        }
+        if self.eat_kw("spawn") {
+            let func = self.ident()?;
+            let args = self.args()?;
+            return Ok(Expr::Spawn { func, args });
+        }
+        if self.eat_kw("join") {
+            return Ok(Expr::Join(Box::new(self.unary()?)));
+        }
+        if self.eat_punct("(") {
+            let e = self.expr()?;
+            self.expect_punct(")")?;
+            return Ok(e);
+        }
+        // Identifier: call, static, or local — distinguished later by the
+        // type checker; syntactically a call has `(`.
+        let name = self.ident()?;
+        if self.peek() == &Tok::Punct("(") {
+            let args = self.args()?;
+            return Ok(Expr::Call { func: name, args });
+        }
+        // Statics and locals share syntax; the checker rewrites identifiers
+        // that name statics into Expr::Static with a fresh site. To give the
+        // checker a site to use, encode as Local and let the checker consult
+        // the site allocator — instead we pre-assign: the checker rewrites
+        // via `Program::num_sites`. Simpler: mark all bare identifiers as
+        // Local here; `types::check` converts statics and assigns sites from
+        // the program's site counter.
+        Ok(Expr::Local(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_class_and_fn() {
+        let p = parse(
+            "class Node { val: int, next: ref Node, final id: int }\n\
+             static root: ref Node;\n\
+             fn main() { let n: ref Node = new Node; n.val = 3; }",
+        )
+        .unwrap();
+        assert_eq!(p.classes.len(), 1);
+        assert_eq!(p.classes[0].fields.len(), 3);
+        assert!(p.classes[0].fields[2].is_final);
+        assert_eq!(p.statics.len(), 1);
+        assert_eq!(p.funcs.len(), 1);
+        assert!(p.num_sites >= 2, "alloc site + field store site");
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse("fn f() -> int { return 1 + 2 * 3 < 10 && 1; }").unwrap();
+        let Stmt::Return(Some(e)) = &p.funcs[0].body[0] else { panic!() };
+        // && at the top.
+        let Expr::Bin { op: BinOp::And, lhs, .. } = e else {
+            panic!("expected && at top, got {e:?}")
+        };
+        let Expr::Bin { op: BinOp::Lt, .. } = **lhs else { panic!("expected < under &&") };
+    }
+
+    #[test]
+    fn parses_control_flow_and_txn() {
+        let p = parse(
+            "fn main() {\n\
+               let i: int = 0;\n\
+               while (i < 10) {\n\
+                 atomic { if (i == 5) { retry; } else { } }\n\
+                 i = i + 1;\n\
+               }\n\
+             }",
+        )
+        .unwrap();
+        assert_eq!(p.funcs[0].body.len(), 2);
+    }
+
+    #[test]
+    fn parses_threads_and_locks() {
+        let p = parse(
+            "fn w(k: int) -> int { return k; }\n\
+             fn main() { let t: thread = spawn w(1); let r: int = join t; print r; }",
+        )
+        .unwrap();
+        assert_eq!(p.funcs.len(), 2);
+    }
+
+    #[test]
+    fn parses_arrays() {
+        let p = parse(
+            "fn main() { let a: array int = new_array<int>(10); a[0] = len(a); }",
+        )
+        .unwrap();
+        assert_eq!(p.funcs.len(), 1);
+    }
+
+    #[test]
+    fn sites_are_unique_and_dense() {
+        let p = parse(
+            "class C { x: int }\n\
+             fn main() { let c: ref C = new C; c.x = c.x + 1; }",
+        )
+        .unwrap();
+        // new C (1) + c.x load (1) + c.x store (1) = 3 sites.
+        assert_eq!(p.num_sites, 3);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let e = parse("fn main() {\n let = 3;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn keywords_not_identifiers() {
+        assert!(parse("fn atomic() {}").is_err());
+    }
+}

@@ -1,0 +1,340 @@
+//! SpecJBB: a 3-tier wholesale-company emulation (paper §7, Figure 20).
+//!
+//! One warehouse per worker thread, each with ten districts and a stock
+//! table; a global read-mostly item catalogue. Workers execute a TPC-C-ish
+//! operation mix — new-order (45%), payment (43%), order-status (12%) —
+//! each as one transaction, against their own warehouse except for
+//! occasional remote stock touches. Warehouses are nearly independent, so
+//! the workload scales almost linearly, and most time is transactional, so
+//! strong atomicity is nearly free (paper: 1% at 16 threads).
+//!
+//! Matching the paper's footnote 8, warehouse initialization stays outside
+//! transactions.
+
+use crate::jvm98::Rng;
+use crate::scale::{run_workers, Outcome, SyncMode, W};
+use std::sync::Arc;
+use stm_core::cost::{charge, CostKind};
+use stm_core::heap::{FieldDef, Heap, ObjRef, Shape};
+use stm_core::locks::SyncTable;
+use stm_core::txn::atomic;
+
+/// JBB run parameters.
+#[derive(Clone, Debug)]
+pub struct JbbConfig {
+    /// Operations per worker.
+    pub ops_per_thread: usize,
+    /// Items in the global catalogue.
+    pub items: usize,
+    /// Stock entries per warehouse.
+    pub stocks: usize,
+    /// Worker threads (= warehouses).
+    pub threads: usize,
+    /// Simulated processors.
+    pub processors: usize,
+    /// Synchronization regime.
+    pub mode: SyncMode,
+}
+
+impl JbbConfig {
+    /// The Figure 20 configuration at a thread count.
+    pub fn fig20(mode: SyncMode, threads: usize) -> Self {
+        JbbConfig {
+            ops_per_thread: 150,
+            items: 128,
+            stocks: 64,
+            threads,
+            processors: 16,
+            mode,
+        }
+    }
+
+    /// A miniature instance for tests.
+    pub fn tiny(mode: SyncMode, threads: usize) -> Self {
+        JbbConfig {
+            ops_per_thread: 30,
+            items: 32,
+            stocks: 16,
+            threads,
+            processors: 4,
+            mode,
+        }
+    }
+}
+
+const DISTRICTS: usize = 10;
+
+// Field layouts.
+// Item: 0 = price.
+// District: 0 = next_order, 1 = ytd.
+// Stock: 0 = qty, 1 = order_count.
+// Warehouse: 0 = ytd.
+struct World {
+    heap: Arc<Heap>,
+    items: ObjRef,                      // public ref array
+    warehouses: Vec<Wh>,
+}
+
+struct Wh {
+    wh: ObjRef,
+    districts: ObjRef, // public ref array of district objects
+    stocks: ObjRef,    // public ref array of stock objects
+}
+
+fn build_world(cfg: &JbbConfig) -> World {
+    let heap = cfg.mode.heap();
+    let item_shape = heap.define_shape(Shape::new("Item", vec![FieldDef::int("price")]));
+    let district_shape = heap.define_shape(Shape::new(
+        "District",
+        vec![FieldDef::int("next_order"), FieldDef::int("ytd")],
+    ));
+    let stock_shape = heap.define_shape(Shape::new(
+        "Stock",
+        vec![FieldDef::int("qty"), FieldDef::int("order_count")],
+    ));
+    let wh_shape = heap.define_shape(Shape::new("Warehouse", vec![FieldDef::int("ytd")]));
+
+    let items = heap.alloc_ref_array_public(cfg.items);
+    for i in 0..cfg.items {
+        let it = heap.alloc_public(item_shape);
+        heap.write_raw(it, 0, (i as u64 * 13) % 100 + 1);
+        heap.write_raw(items, i, it.to_word());
+    }
+
+    let warehouses = (0..cfg.threads)
+        .map(|_| {
+            let wh = heap.alloc_public(wh_shape);
+            let districts = heap.alloc_ref_array_public(DISTRICTS);
+            for d in 0..DISTRICTS {
+                let dd = heap.alloc_public(district_shape);
+                heap.write_raw(districts, d, dd.to_word());
+            }
+            let stocks = heap.alloc_ref_array_public(cfg.stocks);
+            for s in 0..cfg.stocks {
+                let st = heap.alloc_public(stock_shape);
+                heap.write_raw(st, 0, 1000);
+                heap.write_raw(stocks, s, st.to_word());
+            }
+            Wh { wh, districts, stocks }
+        })
+        .collect();
+
+    World { heap, items, warehouses }
+}
+
+/// Runs one JBB experiment.
+pub fn run(cfg: &JbbConfig) -> Outcome {
+    let world = Arc::new(build_world(cfg));
+    let mode = cfg.mode;
+    let sync = Arc::new(SyncTable::new());
+    let heap = Arc::clone(&world.heap);
+    let ops = cfg.ops_per_thread;
+    let n_items = cfg.items;
+    let n_stocks = cfg.stocks;
+    let n_threads = cfg.threads;
+
+    let world2 = Arc::clone(&world);
+    let sync2 = Arc::clone(&sync);
+    let (makespan, commits, aborts, totals) =
+        run_workers(&heap, cfg.processors, cfg.threads, move |worker| {
+            let w = W { heap: &world2.heap, mode, sync: &sync2 };
+            let my = &world2.warehouses[worker];
+            let mut rng = Rng::new(0x1BB + worker as u64 * 101);
+            let mut total = 0u64;
+            for _ in 0..ops {
+                let op = rng.next() % 100;
+                let d_idx = rng.below(DISTRICTS);
+                if op < 45 {
+                    // New-order: read district counter, 4 catalogue prices,
+                    // update 4 stocks (1.5% remote warehouse).
+                    let remote = n_threads > 1 && rng.next() % 64 == 0;
+                    let target = if remote {
+                        &world2.warehouses[(worker + 1) % n_threads]
+                    } else {
+                        my
+                    };
+                    let picks: Vec<(usize, usize)> = (0..4)
+                        .map(|_| (rng.below(n_items), rng.below(n_stocks)))
+                        .collect();
+                    let order_total = new_order(&w, my, target, &world2, d_idx, &picks);
+                    total = total.wrapping_add(order_total);
+                    // Non-transactional receipt building: fresh scratch the
+                    // JIT/DEA handles (jit-local).
+                    let receipt = world2.heap.alloc_int_array(6);
+                    w.write_local(receipt, 0, order_total);
+                    w.write_local(receipt, 1, d_idx as u64);
+                    charge(CostKind::AppWork(400));
+                } else if op < 88 {
+                    payment(&w, my, d_idx, (op % 7) + 1);
+                    charge(CostKind::AppWork(200));
+                } else {
+                    total = total.wrapping_add(order_status(&w, my, d_idx) & 0xFF);
+                    charge(CostKind::AppWork(200));
+                }
+            }
+            total
+        });
+
+    // Checksum: aggregate counters; every op's effect is commutative, so
+    // this is identical across modes and interleavings.
+    let mut checksum = 0u64;
+    for wh in &world.warehouses {
+        checksum = checksum.wrapping_add(world.heap.read_raw(wh.wh, 0));
+        for d in 0..DISTRICTS {
+            let dd = ObjRef::from_word(world.heap.read_raw(wh.districts, d)).unwrap();
+            checksum = checksum
+                .wrapping_add(world.heap.read_raw(dd, 0) * 7)
+                .wrapping_add(world.heap.read_raw(dd, 1));
+        }
+        for s in 0..cfg.stocks {
+            let st = ObjRef::from_word(world.heap.read_raw(wh.stocks, s)).unwrap();
+            checksum = checksum.wrapping_add(world.heap.read_raw(st, 1) * 3);
+        }
+    }
+    let _ = totals;
+    Outcome {
+        makespan,
+        ops: (cfg.ops_per_thread * cfg.threads) as u64,
+        checksum,
+        commits,
+        aborts,
+    }
+}
+
+fn new_order(
+    w: &W<'_>,
+    my: &Wh,
+    stock_wh: &Wh,
+    world: &World,
+    d_idx: usize,
+    picks: &[(usize, usize)],
+) -> u64 {
+    if w.mode.transactional() {
+        atomic(w.heap, |tx| {
+            let d = tx.read_ref(my.districts, d_idx)?.expect("district");
+            let o = tx.read(d, 0)?;
+            tx.write(d, 0, o + 1)?;
+            let mut total = 0u64;
+            for &(item, stock) in picks {
+                let it = tx.read_ref(world.items, item)?.expect("item");
+                let price = tx.read(it, 0)?;
+                let st = tx.read_ref(stock_wh.stocks, stock)?.expect("stock");
+                // Commutative stock update.
+                let q = tx.read(st, 0)?;
+                tx.write(st, 0, q.wrapping_sub(1))?;
+                let c = tx.read(st, 1)?;
+                tx.write(st, 1, c + 1)?;
+                total = total.wrapping_add(price);
+            }
+            Ok(total)
+        })
+    } else {
+        // Lock ordering: district monitor guards the order; stock rows are
+        // guarded by their warehouse's stock table monitor.
+        let heap = w.heap;
+        let d = ObjRef::from_word(heap.read_raw(my.districts, d_idx)).unwrap();
+        w.sync.synchronized(d, || {
+            let o = heap.read_raw(d, 0);
+            heap.write_raw(d, 0, o + 1);
+        });
+        let mut total = 0u64;
+        w.sync.synchronized(stock_wh.stocks, || {
+            for &(item, stock) in picks {
+                let it = ObjRef::from_word(heap.read_raw(world.items, item)).unwrap();
+                let price = heap.read_raw(it, 0);
+                let st = ObjRef::from_word(heap.read_raw(stock_wh.stocks, stock)).unwrap();
+                let q = heap.read_raw(st, 0);
+                heap.write_raw(st, 0, q.wrapping_sub(1));
+                let c = heap.read_raw(st, 1);
+                heap.write_raw(st, 1, c + 1);
+                total = total.wrapping_add(price);
+            }
+        });
+        total
+    }
+}
+
+fn payment(w: &W<'_>, my: &Wh, d_idx: usize, amount: u64) {
+    if w.mode.transactional() {
+        atomic(w.heap, |tx| {
+            let d = tx.read_ref(my.districts, d_idx)?.expect("district");
+            let ytd = tx.read(d, 1)?;
+            tx.write(d, 1, ytd + amount)?;
+            let wytd = tx.read(my.wh, 0)?;
+            tx.write(my.wh, 0, wytd + amount)
+        });
+    } else {
+        let heap = w.heap;
+        let d = ObjRef::from_word(heap.read_raw(my.districts, d_idx)).unwrap();
+        w.sync.synchronized(d, || {
+            heap.write_raw(d, 1, heap.read_raw(d, 1) + amount);
+        });
+        w.sync.synchronized(my.wh, || {
+            heap.write_raw(my.wh, 0, heap.read_raw(my.wh, 0) + amount);
+        });
+    }
+}
+
+fn order_status(w: &W<'_>, my: &Wh, d_idx: usize) -> u64 {
+    if w.mode.transactional() {
+        atomic(w.heap, |tx| {
+            let d = tx.read_ref(my.districts, d_idx)?.expect("district");
+            Ok(tx.read(d, 0)? + tx.read(d, 1)?)
+        })
+    } else {
+        let heap = w.heap;
+        let d = ObjRef::from_word(heap.read_raw(my.districts, d_idx)).unwrap();
+        w.sync.synchronized(d, || heap.read_raw(d, 0) + heap.read_raw(d, 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksums_agree_across_modes() {
+        let mut expected = None;
+        for mode in SyncMode::ALL {
+            let out = run(&JbbConfig::tiny(mode, 2));
+            match expected {
+                None => expected = Some(out.checksum),
+                Some(e) => assert_eq!(e, out.checksum, "{mode:?} state diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn warehouses_are_mostly_independent() {
+        // Near-linear scaling: 4 threads on 4 processors finish in well
+        // under half the 1-thread-per-op-count time.
+        let mut one = JbbConfig::tiny(SyncMode::WeakAtom, 1);
+        one.processors = 4;
+        let one_out = run(&one);
+        let four = run(&JbbConfig::tiny(SyncMode::WeakAtom, 4));
+        // Same per-thread ops: 4 threads do 4x work; with independence the
+        // makespan should grow far less than 4x.
+        assert!(
+            four.makespan < one_out.makespan * 2,
+            "1t={} 4t={}",
+            one_out.makespan,
+            four.makespan
+        );
+    }
+
+    #[test]
+    fn strong_atomicity_cheap_for_jbb() {
+        let weak = run(&JbbConfig::tiny(SyncMode::WeakAtom, 2));
+        let strong = run(&JbbConfig::tiny(SyncMode::StrongNoOpts, 2));
+        let ratio = strong.makespan as f64 / weak.makespan as f64;
+        assert!(ratio < 1.5, "JBB strong/weak ratio should be small: {ratio:.2}");
+    }
+
+    #[test]
+    fn transactional_modes_commit_expected_count() {
+        let cfg = JbbConfig::tiny(SyncMode::WeakAtom, 2);
+        let out = run(&cfg);
+        // payment = 1 txn, new_order = 1 txn, order_status = 1 txn per op.
+        assert!(out.commits >= (cfg.ops_per_thread * cfg.threads) as u64);
+    }
+}

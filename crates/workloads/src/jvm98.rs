@@ -1,0 +1,738 @@
+//! SPEC JVM98-shaped non-transactional kernels (paper §7, Figures 15–17).
+//!
+//! The paper measures the cost of strong atomicity on *non-transactional*
+//! programs by running SPEC JVM98 with and without isolation barriers under
+//! increasing optimization levels. SPEC JVM98 is proprietary Java code, so
+//! each kernel here is a synthetic analogue reproducing the access-pattern
+//! *shape* that drives the paper's results:
+//!
+//! | kernel            | shape                                            |
+//! |-------------------|--------------------------------------------------|
+//! | `compress_like`   | streaming over freshly allocated arrays + table  |
+//! | `jess_like`       | allocation-heavy object matching (rule engine)   |
+//! | `db_like`         | object records, lookup + field update            |
+//! | `javac_like`      | tree construction and traversal                  |
+//! | `mpegaudio_like`  | numeric kernel over **static** (public) arrays   |
+//! | `mtrt_like`       | read-heavy object-graph tracing                  |
+//! | `jack_like`       | token-stream scanning with state objects         |
+//!
+//! Every kernel runs single-threaded (the paper's steady-state runs), is
+//! seeded and deterministic, and returns a checksum so tests can verify
+//! that barriers never change results. The optimization level controls how
+//! each access executes, mirroring the paper's cumulative bars:
+//!
+//! * [`OptLevel::NoOpts`] — every access runs its barrier;
+//! * [`OptLevel::BarrierElim`] — accesses a JIT's intraprocedural escape
+//!   analysis or immutability reasoning would prove safe run raw
+//!   (hand-annotated via the `*_local` helpers);
+//! * [`OptLevel::BarrierAggr`] — additionally, straight-line multi-access
+//!   runs on one object use one aggregated barrier;
+//! * [`OptLevel::Dea`] — additionally, the heap runs dynamic escape
+//!   analysis, so barriers on still-private objects take the fast path;
+//! * [`OptLevel::Nait`] — whole-program analysis proved no transaction can
+//!   interfere: all barriers removed (the paper: "for non-transactional
+//!   programs NAIT removes all the barriers");
+//! * [`OptLevel::Baseline`] — no strong atomicity at all (the divisor for
+//!   overhead percentages).
+
+use std::sync::Arc;
+use stm_core::barrier::{aggregate, read_barrier, write_barrier, OwnedObj};
+use stm_core::config::{BarrierMode, StmConfig};
+use stm_core::heap::{FieldDef, Heap, ObjRef, Shape, Word};
+
+/// Cumulative optimization levels of paper Figure 15.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum OptLevel {
+    /// No barriers: the weakly atomic baseline all overheads are relative to.
+    Baseline,
+    /// Unoptimized strong atomicity.
+    NoOpts,
+    /// + barrier elimination (immutable fields, intraproc escape analysis).
+    BarrierElim,
+    /// + barrier aggregation.
+    BarrierAggr,
+    /// + dynamic escape analysis.
+    Dea,
+    /// Whole-program NAIT: all barriers statically removed.
+    Nait,
+}
+
+impl OptLevel {
+    /// All levels in Figure 15 order.
+    pub const ALL: [OptLevel; 6] = [
+        OptLevel::Baseline,
+        OptLevel::NoOpts,
+        OptLevel::BarrierElim,
+        OptLevel::BarrierAggr,
+        OptLevel::Dea,
+        OptLevel::Nait,
+    ];
+
+    /// Label as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            OptLevel::Baseline => "Baseline",
+            OptLevel::NoOpts => "No Opts",
+            OptLevel::BarrierElim => "Barrier Elim",
+            OptLevel::BarrierAggr => "+ Barrier Aggr",
+            OptLevel::Dea => "+ DEA",
+            OptLevel::Nait => "+ NAIT",
+        }
+    }
+
+    fn barriers_on(self) -> bool {
+        !matches!(self, OptLevel::Baseline | OptLevel::Nait)
+    }
+
+    fn elim(self) -> bool {
+        matches!(self, OptLevel::BarrierElim | OptLevel::BarrierAggr | OptLevel::Dea)
+    }
+
+    fn aggr(self) -> bool {
+        matches!(self, OptLevel::BarrierAggr | OptLevel::Dea)
+    }
+}
+
+/// Kernel configuration.
+#[derive(Clone, Debug)]
+pub struct KernelConfig {
+    /// Optimization level (decides heap DEA too).
+    pub level: OptLevel,
+    /// Which barriers exist at all (Figure 16 = `ReadOnly`,
+    /// Figure 17 = `WriteOnly`, Figure 15 = `Strong`).
+    pub barriers: BarrierMode,
+    /// Work multiplier (1 = quick test sizing).
+    pub scale: usize,
+}
+
+impl KernelConfig {
+    /// Figure 15 configuration at `level`.
+    pub fn fig15(level: OptLevel, scale: usize) -> Self {
+        KernelConfig { level, barriers: BarrierMode::Strong, scale }
+    }
+
+    /// Builds the heap for this configuration (DEA on only at
+    /// [`OptLevel::Dea`]).
+    pub fn heap(&self) -> Arc<Heap> {
+        Heap::new(StmConfig {
+            dea: self.level == OptLevel::Dea,
+            ..StmConfig::default()
+        })
+    }
+}
+
+/// Access helper implementing the per-level access-site decisions.
+pub struct Kctx<'h> {
+    heap: &'h Heap,
+    level: OptLevel,
+    barriers: BarrierMode,
+}
+
+impl<'h> Kctx<'h> {
+    /// Creates the helper.
+    pub fn new(heap: &'h Heap, cfg: &KernelConfig) -> Self {
+        Kctx { heap, level: cfg.level, barriers: cfg.barriers }
+    }
+
+    /// A read no static optimization can remove.
+    #[inline]
+    pub fn read(&self, o: ObjRef, f: usize) -> Word {
+        if self.level.barriers_on() && self.barriers.reads() {
+            read_barrier(self.heap, o, f)
+        } else {
+            self.heap.read_raw(o, f)
+        }
+    }
+
+    /// A write no static optimization can remove.
+    #[inline]
+    pub fn write(&self, o: ObjRef, f: usize, v: Word) {
+        if self.level.barriers_on() && self.barriers.writes() {
+            write_barrier(self.heap, o, f, v);
+        } else {
+            self.heap.write_raw(o, f, v);
+        }
+    }
+
+    /// A read the JIT's escape/immutability analysis eliminates at
+    /// [`OptLevel::BarrierElim`] and above.
+    #[inline]
+    pub fn read_local(&self, o: ObjRef, f: usize) -> Word {
+        if self.level.elim() || !self.level.barriers_on() || !self.barriers.reads() {
+            self.heap.read_raw(o, f)
+        } else {
+            read_barrier(self.heap, o, f)
+        }
+    }
+
+    /// A write the JIT eliminates at [`OptLevel::BarrierElim`] and above.
+    #[inline]
+    pub fn write_local(&self, o: ObjRef, f: usize, v: Word) {
+        if self.level.elim() || !self.level.barriers_on() || !self.barriers.writes() {
+            self.heap.write_raw(o, f, v);
+        } else {
+            write_barrier(self.heap, o, f, v);
+        }
+    }
+
+    /// A straight-line multi-access run (containing at least one write) on
+    /// one object: one aggregated barrier at [`OptLevel::BarrierAggr`]+,
+    /// per-access barriers below. Read-only groups are never aggregated —
+    /// an acquisition would cost more than the read barriers it replaces,
+    /// so a JIT would not do it either.
+    pub fn with_object<R>(&self, o: ObjRef, f: impl FnOnce(&mut dyn ObjAccess) -> R) -> R {
+        if self.level.aggr() && self.level.barriers_on() && self.barriers.writes() {
+            aggregate(self.heap, o, |owned| {
+                let mut v = OwnedView { owned };
+                f(&mut v)
+            })
+        } else {
+            let mut v = SiteView { ctx: self, o };
+            f(&mut v)
+        }
+    }
+}
+
+/// Field access within a [`Kctx::with_object`] region.
+pub trait ObjAccess {
+    /// Reads field `f`.
+    fn get(&mut self, f: usize) -> Word;
+    /// Writes field `f`.
+    fn set(&mut self, f: usize, v: Word);
+}
+
+struct OwnedView<'a, 'h> {
+    owned: &'a mut OwnedObj<'h>,
+}
+
+impl ObjAccess for OwnedView<'_, '_> {
+    fn get(&mut self, f: usize) -> Word {
+        self.owned.get(f)
+    }
+    fn set(&mut self, f: usize, v: Word) {
+        self.owned.set(f, v);
+    }
+}
+
+struct SiteView<'a, 'h> {
+    ctx: &'a Kctx<'h>,
+    o: ObjRef,
+}
+
+impl ObjAccess for SiteView<'_, '_> {
+    fn get(&mut self, f: usize) -> Word {
+        self.ctx.read(self.o, f)
+    }
+    fn set(&mut self, f: usize, v: Word) {
+        self.ctx.write(self.o, f, v);
+    }
+}
+
+/// Tiny deterministic RNG (xorshift64*).
+#[derive(Clone, Debug)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeds the generator (0 is remapped).
+    pub fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    /// Next pseudo-random word.
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform in `0..n`.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// The seven kernels, in SPEC JVM98 order-of-mention.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// `_201_compress` analogue.
+    Compress,
+    /// `_202_jess` analogue.
+    Jess,
+    /// `_209_db` analogue.
+    Db,
+    /// `_213_javac` analogue.
+    Javac,
+    /// `_222_mpegaudio` analogue.
+    Mpegaudio,
+    /// `_227_mtrt` analogue.
+    Mtrt,
+    /// `_228_jack` analogue.
+    Jack,
+}
+
+impl Kernel {
+    /// All kernels.
+    pub const ALL: [Kernel; 7] = [
+        Kernel::Compress,
+        Kernel::Jess,
+        Kernel::Db,
+        Kernel::Javac,
+        Kernel::Mpegaudio,
+        Kernel::Mtrt,
+        Kernel::Jack,
+    ];
+
+    /// Benchmark name in SPEC style.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Compress => "compress",
+            Kernel::Jess => "jess",
+            Kernel::Db => "db",
+            Kernel::Javac => "javac",
+            Kernel::Mpegaudio => "mpegaudio",
+            Kernel::Mtrt => "mtrt",
+            Kernel::Jack => "jack",
+        }
+    }
+
+    /// Runs the kernel, returning a checksum (identical across levels).
+    pub fn run(self, heap: &Heap, cfg: &KernelConfig) -> u64 {
+        let ctx = Kctx::new(heap, cfg);
+        match self {
+            Kernel::Compress => compress_like(heap, &ctx, cfg.scale),
+            Kernel::Jess => jess_like(heap, &ctx, cfg.scale),
+            Kernel::Db => db_like(heap, &ctx, cfg.scale),
+            Kernel::Javac => javac_like(heap, &ctx, cfg.scale),
+            Kernel::Mpegaudio => mpegaudio_like(heap, &ctx, cfg.scale),
+            Kernel::Mtrt => mtrt_like(heap, &ctx, cfg.scale),
+            Kernel::Jack => jack_like(heap, &ctx, cfg.scale),
+        }
+    }
+}
+
+/// `compress`: LZW-ish streaming — read input array, hash into a freshly
+/// allocated table, append to output. Arrays are method-local (escape
+/// analysis candidates) and the hot loop touches one array repeatedly
+/// (aggregation candidate).
+fn compress_like(heap: &Heap, ctx: &Kctx<'_>, scale: usize) -> u64 {
+    let n = 6_000 * scale;
+    let input = heap.alloc_int_array(n);
+    let mut rng = Rng::new(0xC0);
+    for i in 0..n {
+        ctx.write_local(input, i, rng.next() % 251);
+    }
+    let table = heap.alloc_int_array(4096);
+    let output = heap.alloc_int_array(n);
+    let mut checksum = 0u64;
+    let mut prev = 0u64;
+    for i in 0..n {
+        let sym = ctx.read(input, i);
+        let slot = (((prev << 8) ^ sym) % 4093) as usize;
+        // Hash-table probe: read-modify-write on one object — aggregated.
+        let code = ctx.with_object(table, |t| {
+            let cur = t.get(slot);
+            let code = if cur == sym + 1 { cur } else { sym + 1 };
+            t.set(slot, code);
+            code
+        });
+        ctx.write(output, i, code);
+        checksum = checksum.wrapping_mul(31).wrapping_add(code);
+        prev = sym;
+    }
+    checksum
+}
+
+/// `jess`: rule-engine flavour — allocate short-lived fact objects, match
+/// them against a persistent rule set, update activation counts.
+fn jess_like(heap: &Heap, ctx: &Kctx<'_>, scale: usize) -> u64 {
+    let fact_shape = heap.define_shape(Shape::new(
+        "Fact",
+        vec![FieldDef::int("kind"), FieldDef::int("a"), FieldDef::int("b")],
+    ));
+    let rule_shape = heap.define_shape(Shape::new(
+        "Rule",
+        vec![FieldDef::int("kind"), FieldDef::int("threshold"), FieldDef::int("hits")],
+    ));
+    let rules: Vec<ObjRef> = (0..32)
+        .map(|k| {
+            let r = heap.alloc(rule_shape);
+            ctx.write_local(r, 0, (k % 8) as u64);
+            ctx.write_local(r, 1, (k * 13 % 97) as u64);
+            r
+        })
+        .collect();
+    let mut rng = Rng::new(0x1E55);
+    let mut checksum = 0u64;
+    for _ in 0..1_500 * scale {
+        let f = heap.alloc(fact_shape);
+        // Fresh object, never escapes: all three init stores are elidable.
+        ctx.write_local(f, 0, rng.next() % 8);
+        ctx.write_local(f, 1, rng.next() % 128);
+        ctx.write_local(f, 2, rng.next() % 128);
+        for &r in &rules {
+            // Read-only probe: plain (barriered) loads, no aggregation.
+            let kind = ctx.read(r, 0);
+            let threshold = ctx.read(r, 1);
+            if kind == ctx.read_local(f, 0) && ctx.read_local(f, 1) > threshold {
+                // Read-modify-write: an aggregation candidate.
+                ctx.with_object(r, |v| {
+                    let hits = v.get(2);
+                    v.set(2, hits + 1);
+                    checksum = checksum.wrapping_add(hits % 7 + 1);
+                });
+            }
+        }
+    }
+    checksum
+}
+
+/// `db`: an in-memory record store — lookups by key, then field reads and
+/// occasional updates on the found record.
+fn db_like(heap: &Heap, ctx: &Kctx<'_>, scale: usize) -> u64 {
+    let rec_shape = heap.define_shape(Shape::new(
+        "Record",
+        vec![FieldDef::int("key"), FieldDef::int("balance"), FieldDef::int("touch")],
+    ));
+    let n = 512;
+    let index = heap.alloc_ref_array(n);
+    let records: Vec<ObjRef> = (0..n)
+        .map(|k| {
+            let r = heap.alloc(rec_shape);
+            ctx.write_local(r, 0, k as u64);
+            ctx.write_local(r, 1, (k * 100) as u64);
+            ctx.write_local(index, k, r.to_word());
+            r
+        })
+        .collect();
+    let _ = records;
+    let mut rng = Rng::new(0xDB);
+    let mut checksum = 0u64;
+    for _ in 0..12_000 * scale {
+        let k = rng.below(n);
+        let rec = ObjRef::from_word(ctx.read(index, k)).expect("record present");
+        let op = rng.next() % 4;
+        if op == 0 {
+            // Update: read-modify-write two fields of one record.
+            ctx.with_object(rec, |v| {
+                let bal = v.get(1);
+                v.set(1, bal + 1);
+                let t = v.get(2);
+                v.set(2, t + 1);
+            });
+        } else {
+            checksum = checksum.wrapping_add(ctx.read(rec, 1) ^ ctx.read(rec, 0));
+        }
+    }
+    checksum
+}
+
+/// `javac`: build a binary "AST" of freshly allocated nodes, then traverse
+/// it computing an attribute bottom-up.
+fn javac_like(heap: &Heap, ctx: &Kctx<'_>, scale: usize) -> u64 {
+    let node_shape = heap.define_shape(Shape::new(
+        "AstNode",
+        vec![
+            FieldDef::int("op"),
+            FieldDef::reference("left"),
+            FieldDef::reference("right"),
+            FieldDef::int("attr"),
+        ],
+    ));
+    let mut rng = Rng::new(0x7A9AC);
+    let mut checksum = 0u64;
+    for _ in 0..120 * scale {
+        // Build a tree of ~63 nodes.
+        let mut nodes: Vec<ObjRef> = Vec::new();
+        for i in 0..63 {
+            let n = heap.alloc(node_shape);
+            ctx.write_local(n, 0, rng.next() % 4);
+            if i > 0 {
+                let parent = nodes[(i - 1) / 2];
+                let slot = if i % 2 == 1 { 1 } else { 2 };
+                ctx.write_local(parent, slot, n.to_word());
+            }
+            nodes.push(n);
+        }
+        // Bottom-up attribute evaluation.
+        for i in (0..63).rev() {
+            let n = nodes[i];
+            let op = ctx.read_local(n, 0);
+            let l = ObjRef::from_word(ctx.read_local(n, 1))
+                .map_or(1, |c| ctx.read_local(c, 3));
+            let r = ObjRef::from_word(ctx.read_local(n, 2))
+                .map_or(1, |c| ctx.read_local(c, 3));
+            let attr = match op {
+                0 => l.wrapping_add(r),
+                1 => l.wrapping_mul(3).wrapping_add(r),
+                2 => l ^ r,
+                _ => l.wrapping_sub(r),
+            };
+            ctx.write_local(n, 3, attr);
+        }
+        checksum = checksum.wrapping_mul(31).wrapping_add(ctx.read_local(nodes[0], 3) % 1009);
+    }
+    checksum
+}
+
+/// `mpegaudio`: a numeric filter over **static** arrays. Static data is
+/// public from birth, so dynamic escape analysis cannot help — the paper's
+/// explanation for `mpegaudio`'s stubborn overhead (§7).
+fn mpegaudio_like(heap: &Heap, ctx: &Kctx<'_>, scale: usize) -> u64 {
+    let n = 2_048;
+    // Model `static` arrays: public regardless of DEA.
+    let coeffs = heap.alloc_int_array_public(n);
+    let state = heap.alloc_int_array_public(n);
+    let out = heap.alloc_int_array_public(n);
+    for i in 0..n {
+        ctx.write(coeffs, i, ((i * 7 + 3) % 127) as u64);
+    }
+    let mut checksum = 0u64;
+    const BLOCK: usize = 8;
+    for round in 0..12 * scale {
+        // Blocked loop: within a block, all `state` accesses form one
+        // straight-line run on one array, as do the `out` stores — the
+        // paper's "aggregating multiple accesses to an array".
+        for b in (0..n).step_by(BLOCK) {
+            let mut vs = [0u64; BLOCK];
+            for (k, v) in vs.iter_mut().enumerate() {
+                *v = ctx.read(coeffs, b + k);
+            }
+            ctx.with_object(state, |st| {
+                for (k, v) in vs.iter_mut().enumerate() {
+                    let s = st.get(b + k);
+                    // A short filter kernel per element.
+                    let mut x = s.wrapping_add(v.wrapping_mul((round as u64 % 7) + 1));
+                    x ^= x >> 13;
+                    x = x.wrapping_mul(0x9E3779B97F4A7C15);
+                    x ^= x >> 7;
+                    st.set(b + k, x);
+                    *v = x;
+                }
+            });
+            ctx.with_object(out, |o| {
+                for (k, v) in vs.iter().enumerate() {
+                    o.set(b + k, v >> 1);
+                }
+            });
+        }
+        checksum = checksum.wrapping_add(ctx.read(out, (round * 37) % n));
+    }
+    checksum
+}
+
+/// `mtrt`: ray-tracer flavour — read-heavy traversal of a persistent scene
+/// graph of sphere objects, accumulating into thread-local hit records.
+fn mtrt_like(heap: &Heap, ctx: &Kctx<'_>, scale: usize) -> u64 {
+    let sphere_shape = heap.define_shape(Shape::new(
+        "Sphere",
+        vec![
+            FieldDef::int("x"),
+            FieldDef::int("y"),
+            FieldDef::int("z"),
+            FieldDef::int("r"),
+        ],
+    ));
+    let hit_shape = heap.define_shape(Shape::new(
+        "Hit",
+        vec![FieldDef::int("count"), FieldDef::int("closest")],
+    ));
+    let scene: Vec<ObjRef> = (0..64)
+        .map(|i| {
+            let s = heap.alloc(sphere_shape);
+            ctx.write_local(s, 0, (i * 17 % 97) as u64);
+            ctx.write_local(s, 1, (i * 31 % 89) as u64);
+            ctx.write_local(s, 2, (i * 13 % 83) as u64);
+            ctx.write_local(s, 3, (i % 9 + 1) as u64);
+            s
+        })
+        .collect();
+    let mut rng = Rng::new(0x317);
+    let mut checksum = 0u64;
+    for _ in 0..400 * scale {
+        let hit = heap.alloc(hit_shape);
+        let (ox, oy) = (rng.next() % 97, rng.next() % 89);
+        for &s in &scene {
+            // Read-only intersection test: plain barriered loads (a JIT
+            // would not aggregate a read-only group).
+            let d = {
+                let dx = ctx.read(s, 0).wrapping_sub(ox);
+                let dy = ctx.read(s, 1).wrapping_sub(oy);
+                dx.wrapping_mul(dx).wrapping_add(dy.wrapping_mul(dy)) % 1024
+            };
+            if d < 64 {
+                let c = ctx.read_local(hit, 0);
+                ctx.write_local(hit, 0, c + 1);
+                ctx.write_local(hit, 1, d);
+            }
+        }
+        checksum = checksum
+            .wrapping_mul(33)
+            .wrapping_add(ctx.read_local(hit, 0) * 100 + ctx.read_local(hit, 1));
+    }
+    checksum
+}
+
+/// `jack`: parser-generator flavour — scan a token array, push/pop state
+/// objects.
+fn jack_like(heap: &Heap, ctx: &Kctx<'_>, scale: usize) -> u64 {
+    let state_shape = heap.define_shape(Shape::new(
+        "ParseState",
+        vec![FieldDef::int("depth"), FieldDef::int("kind"), FieldDef::reference("below")],
+    ));
+    let n = 4_000 * scale;
+    let tokens = heap.alloc_int_array(n);
+    let mut rng = Rng::new(0x7ACC);
+    for i in 0..n {
+        ctx.write_local(tokens, i, rng.next() % 5);
+    }
+    let mut top: Option<ObjRef> = None;
+    let mut depth = 0u64;
+    let mut checksum = 0u64;
+    for i in 0..n {
+        let t = ctx.read(tokens, i);
+        match t {
+            0 => {
+                // Open: push a fresh state (escape-analysis candidate).
+                let s = heap.alloc(state_shape);
+                ctx.write_local(s, 0, depth);
+                ctx.write_local(s, 1, t);
+                ctx.write_local(s, 2, top.map_or(0, ObjRef::to_word));
+                top = Some(s);
+                depth += 1;
+            }
+            1 => {
+                // Close: pop.
+                if let Some(s) = top {
+                    checksum = checksum.wrapping_add(ctx.read_local(s, 0));
+                    top = ObjRef::from_word(ctx.read_local(s, 2));
+                    depth = depth.saturating_sub(1);
+                }
+            }
+            _ => {
+                if let Some(s) = top {
+                    let k = ctx.read_local(s, 1);
+                    ctx.write_local(s, 1, k.wrapping_add(t));
+                }
+                checksum = checksum.wrapping_add(t);
+            }
+        }
+    }
+    checksum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksums_identical_across_levels() {
+        for kernel in Kernel::ALL {
+            let mut expected = None;
+            for level in OptLevel::ALL {
+                let cfg = KernelConfig::fig15(level, 1);
+                let heap = cfg.heap();
+                let sum = kernel.run(&heap, &cfg);
+                match expected {
+                    None => expected = Some(sum),
+                    Some(e) => assert_eq!(
+                        e,
+                        sum,
+                        "{} differs at {:?}",
+                        kernel.name(),
+                        level
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noopts_executes_many_barriers() {
+        let cfg = KernelConfig::fig15(OptLevel::NoOpts, 1);
+        let heap = cfg.heap();
+        Kernel::Compress.run(&heap, &cfg);
+        let s = heap.stats().snapshot();
+        assert!(s.read_barriers + s.write_barriers > 10_000, "{s:?}");
+    }
+
+    #[test]
+    fn nait_executes_zero_barriers() {
+        let cfg = KernelConfig::fig15(OptLevel::Nait, 1);
+        let heap = cfg.heap();
+        for kernel in Kernel::ALL {
+            kernel.run(&heap, &cfg);
+        }
+        let s = heap.stats().snapshot();
+        assert_eq!(s.read_barriers + s.write_barriers + s.private_fast_paths, 0);
+    }
+
+    #[test]
+    fn dea_turns_barriers_into_fast_paths_except_static_kernel() {
+        let cfg = KernelConfig::fig15(OptLevel::Dea, 1);
+        let heap = cfg.heap();
+        Kernel::Db.run(&heap, &cfg);
+        let s = heap.stats().snapshot();
+        assert!(
+            s.private_fast_paths > 10 * (s.read_barriers + s.write_barriers).max(1),
+            "db under DEA should be dominated by private fast paths: {s:?}"
+        );
+
+        let heap2 = cfg.heap();
+        Kernel::Mpegaudio.run(&heap2, &cfg);
+        let s2 = heap2.stats().snapshot();
+        assert!(
+            s2.read_barriers + s2.write_barriers > 20 * s2.private_fast_paths.max(1),
+            "mpegaudio operates on static arrays; DEA must not help: {s2:?}"
+        );
+    }
+
+    #[test]
+    fn read_only_and_write_only_modes() {
+        let mut cfg = KernelConfig::fig15(OptLevel::NoOpts, 1);
+        cfg.barriers = BarrierMode::ReadOnly;
+        let heap = cfg.heap();
+        Kernel::Mpegaudio.run(&heap, &cfg);
+        let s = heap.stats().snapshot();
+        assert!(s.read_barriers > 0);
+        assert_eq!(s.write_barriers, 0);
+
+        cfg.barriers = BarrierMode::WriteOnly;
+        let heap = cfg.heap();
+        Kernel::Mpegaudio.run(&heap, &cfg);
+        let s = heap.stats().snapshot();
+        assert_eq!(s.read_barriers, 0);
+        assert!(s.write_barriers > 0);
+    }
+
+    #[test]
+    fn aggregation_reduces_barrier_count() {
+        let elim = KernelConfig::fig15(OptLevel::BarrierElim, 1);
+        let heap = elim.heap();
+        Kernel::Compress.run(&heap, &elim);
+        let without = heap.stats().snapshot();
+
+        let aggr = KernelConfig::fig15(OptLevel::BarrierAggr, 1);
+        let heap = aggr.heap();
+        Kernel::Compress.run(&heap, &aggr);
+        let with = heap.stats().snapshot();
+        // The aggregated RMW on the hash table replaces a read+write pair
+        // with one acquisition.
+        assert!(
+            with.write_barriers + with.read_barriers
+                < without.write_barriers + without.read_barriers,
+            "aggregation reduces executed barriers: {without:?} -> {with:?}"
+        );
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next(), b.next());
+        }
+    }
+}

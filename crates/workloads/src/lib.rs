@@ -1,0 +1,25 @@
+//! # workloads — the paper's benchmark programs, rebuilt
+//!
+//! Synthetic analogues of the evaluation workloads of *"Enforcing Isolation
+//! and Ordering in STM"* (PLDI 2007):
+//!
+//! * [`jvm98`] — seven single-threaded kernels shaped like SPEC JVM98,
+//!   used to measure the cost of strong atomicity on non-transactional
+//!   code (Figures 15–17);
+//! * [`tsp`], [`oo7`], [`jbb`] — the three multi-threaded transactional
+//!   benchmarks, run on the simulated multiprocessor for the scalability
+//!   studies (Figures 18–20);
+//! * [`scale`] — the shared scalability-run harness (sync modes, barrier
+//!   categories, worker fleets);
+//! * [`tmir_sources`] — TMIR renditions of the same programs, fed to the
+//!   whole-program analyses for the Figure 13 static counts.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod jbb;
+pub mod jvm98;
+pub mod oo7;
+pub mod scale;
+pub mod tmir_sources;
+pub mod tsp;

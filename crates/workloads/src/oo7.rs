@@ -1,0 +1,300 @@
+//! OO7: traversals over a synthetic tree database (paper §7, Figure 19).
+//!
+//! "OO7 performs a number of traversals over a synthetic database organized
+//! as a tree. Traversals either lookup (read-only) or update the database
+//! ... In our experiments we used root locking and a mixture of 80% lookups
+//! and 20% updates."
+//!
+//! The database is a binary tree of assembly objects whose leaves hold
+//! composite-part objects. Every traversal covers one depth-3 subtree
+//! (an eighth of the database). Under `Locks`, each traversal holds the
+//! *root* monitor — the coarse-grained locking that makes the lock-based
+//! version flat-line in the paper's Figure 19 — while the transactional
+//! versions let read-only traversals proceed optimistically in parallel.
+//! Most execution time sits inside transactions, so strong atomicity adds
+//! little here (paper: <11% unoptimized).
+
+use crate::jvm98::Rng;
+use crate::scale::{run_workers, Outcome, SyncMode, W};
+use std::sync::Arc;
+use stm_core::cost::{charge, CostKind};
+use stm_core::heap::{FieldDef, Heap, ObjRef, Shape};
+use stm_core::locks::SyncTable;
+use stm_core::txn::{atomic, TxResult, Txn};
+
+/// OO7 run parameters.
+#[derive(Clone, Debug)]
+pub struct Oo7Config {
+    /// Tree depth (database has `2^depth - 1` assemblies).
+    pub depth: usize,
+    /// Traversals per worker.
+    pub ops_per_thread: usize,
+    /// Percentage of update traversals (paper: 20).
+    pub update_pct: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Simulated processors.
+    pub processors: usize,
+    /// Synchronization regime.
+    pub mode: SyncMode,
+}
+
+impl Oo7Config {
+    /// The Figure 19 configuration at a thread count.
+    pub fn fig19(mode: SyncMode, threads: usize) -> Self {
+        Oo7Config {
+            depth: 8,
+            ops_per_thread: 40,
+            update_pct: 20,
+            threads,
+            processors: 16,
+            mode,
+        }
+    }
+
+    /// A miniature instance for tests.
+    pub fn tiny(mode: SyncMode, threads: usize) -> Self {
+        Oo7Config {
+            depth: 5,
+            ops_per_thread: 12,
+            update_pct: 20,
+            threads,
+            processors: 4,
+            mode,
+        }
+    }
+}
+
+struct World {
+    heap: Arc<Heap>,
+    root: ObjRef,
+}
+
+// Assembly fields: 0 = left (ref), 1 = right (ref), 2 = part (ref), 3 = id.
+// Part fields: 0..3 = doc words.
+fn build_world(cfg: &Oo7Config) -> World {
+    let heap = cfg.mode.heap();
+    let assembly = heap.define_shape(Shape::new(
+        "Assembly",
+        vec![
+            FieldDef::reference("left"),
+            FieldDef::reference("right"),
+            FieldDef::reference("part"),
+            FieldDef::int("id"),
+        ],
+    ));
+    let part = heap.define_shape(Shape::new(
+        "CompositePart",
+        vec![
+            FieldDef::int("doc0"),
+            FieldDef::int("doc1"),
+            FieldDef::int("doc2"),
+            FieldDef::int("buildDate"),
+        ],
+    ));
+    fn build(heap: &Heap, assembly: stm_core::heap::ShapeId, part: stm_core::heap::ShapeId, depth: usize, id: &mut u64) -> ObjRef {
+        let node = heap.alloc_public(assembly);
+        heap.write_raw(node, 3, *id);
+        *id += 1;
+        if depth == 0 {
+            let p = heap.alloc_public(part);
+            heap.write_raw(p, 0, *id * 3 % 97);
+            heap.write_raw(p, 1, *id * 7 % 89);
+            heap.write_raw(node, 2, p.to_word());
+        } else {
+            let l = build(heap, assembly, part, depth - 1, id);
+            let r = build(heap, assembly, part, depth - 1, id);
+            heap.write_raw(node, 0, l.to_word());
+            heap.write_raw(node, 1, r.to_word());
+        }
+        node
+    }
+    let mut id = 1;
+    let root = build(&heap, assembly, part, cfg.depth - 1, &mut id);
+    World { heap, root }
+}
+
+/// Transactional traversal: visit the subtree, summing docs; update
+/// traversals also bump `buildDate` on every visited part.
+fn traverse_txn(tx: &mut Txn<'_>, node: ObjRef, update: bool) -> TxResult<u64> {
+    charge(CostKind::AppWork(60));
+    let mut sum = tx.read(node, 3)?;
+    if let Some(p) = tx.read_ref(node, 2)? {
+        sum = sum
+            .wrapping_add(tx.read(p, 0)?)
+            .wrapping_add(tx.read(p, 1)?);
+        if update {
+            let d = tx.read(p, 3)?;
+            tx.write(p, 3, d + 1)?;
+        }
+    }
+    for slot in [0, 1] {
+        if let Some(c) = tx.read_ref(node, slot)? {
+            sum = sum.wrapping_add(traverse_txn(tx, c, update)?);
+        }
+    }
+    Ok(sum)
+}
+
+/// Lock-mode traversal: plain accesses under the root monitor.
+fn traverse_raw(heap: &Heap, node: ObjRef, update: bool) -> u64 {
+    charge(CostKind::AppWork(60));
+    charge(CostKind::PlainRead);
+    let mut sum = heap.read_raw(node, 3);
+    if let Some(p) = ObjRef::from_word(heap.read_raw(node, 2)) {
+        sum = sum
+            .wrapping_add(heap.read_raw(p, 0))
+            .wrapping_add(heap.read_raw(p, 1));
+        charge(CostKind::PlainRead);
+        if update {
+            heap.write_raw(p, 3, heap.read_raw(p, 3) + 1);
+            charge(CostKind::PlainWrite);
+        }
+    }
+    for slot in [0, 1] {
+        if let Some(c) = ObjRef::from_word(heap.read_raw(node, slot)) {
+            sum = sum.wrapping_add(traverse_raw(heap, c, update));
+        }
+    }
+    sum
+}
+
+/// Descends `levels` levels from the root along `path` bits (non-txn reads
+/// of txn data: these are barriered under strong atomicity).
+fn descend(w: &W<'_>, root: ObjRef, path: usize, levels: usize) -> ObjRef {
+    let mut node = root;
+    for k in 0..levels {
+        let slot = (path >> k) & 1;
+        match ObjRef::from_word(w.read_shared(node, slot)) {
+            Some(c) => node = c,
+            None => break,
+        }
+    }
+    node
+}
+
+/// Runs one OO7 experiment.
+pub fn run(cfg: &Oo7Config) -> Outcome {
+    let world = Arc::new(build_world(cfg));
+    let mode = cfg.mode;
+    let sync = Arc::new(SyncTable::new());
+    let heap = Arc::clone(&world.heap);
+    let ops = cfg.ops_per_thread;
+    let update_pct = cfg.update_pct as u64;
+    let sub_levels = cfg.depth.saturating_sub(1).min(3);
+
+    let world2 = Arc::clone(&world);
+    let sync2 = Arc::clone(&sync);
+    let (makespan, commits, aborts, sums) =
+        run_workers(&heap, cfg.processors, cfg.threads, move |worker| {
+            let w = W { heap: &world2.heap, mode, sync: &sync2 };
+            let mut rng = Rng::new(0x007 + worker as u64 * 77);
+            let mut acc = 0u64;
+            for _ in 0..ops {
+                let update = rng.next() % 100 < update_pct;
+                let path = rng.below(1 << sub_levels);
+                // Private bookkeeping between database operations: a scratch
+                // object a JIT (or DEA) handles without real barriers.
+                let scratch = world2.heap.alloc_int_array(4);
+                w.write_local(scratch, 0, path as u64);
+
+                let sum = if mode.transactional() {
+                    // Descend outside the transaction (reads of txn-shared
+                    // tree nodes: barriered under strong atomicity), then
+                    // run the traversal as one atomic region.
+                    let start = descend(&w, world2.root, path, sub_levels);
+                    atomic(&world2.heap, |tx| traverse_txn(tx, start, update))
+                } else {
+                    // Root locking: the whole traversal under one monitor.
+                    w.sync.synchronized(world2.root, || {
+                        let start = {
+                            let mut node = world2.root;
+                            for k in 0..sub_levels {
+                                let slot = (path >> k) & 1;
+                                match ObjRef::from_word(world2.heap.read_raw(node, slot)) {
+                                    Some(c) => node = c,
+                                    None => break,
+                                }
+                            }
+                            node
+                        };
+                        traverse_raw(&world2.heap, start, update)
+                    })
+                };
+                acc = acc.wrapping_add(sum & 0xFFFF);
+                w.write_local(scratch, 1, acc);
+            }
+            acc
+        });
+
+    // Checksum: total buildDate bumps recorded in the tree (mode-independent:
+    // every update traversal bumps each part in its subtree exactly once).
+    let mut bumps = 0u64;
+    let mut stack = vec![world.root];
+    while let Some(n) = stack.pop() {
+        if let Some(p) = ObjRef::from_word(world.heap.read_raw(n, 2)) {
+            bumps += world.heap.read_raw(p, 3);
+        }
+        for slot in [0, 1] {
+            if let Some(c) = ObjRef::from_word(world.heap.read_raw(n, slot)) {
+                stack.push(c);
+            }
+        }
+    }
+    let _ = sums;
+    Outcome {
+        makespan,
+        ops: (cfg.ops_per_thread * cfg.threads) as u64,
+        checksum: bumps,
+        commits,
+        aborts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traversals_complete_under_all_modes() {
+        for mode in SyncMode::ALL {
+            let out = run(&Oo7Config::tiny(mode, 2));
+            assert_eq!(out.ops, 24);
+            assert!(out.makespan > 0);
+        }
+    }
+
+    #[test]
+    fn stm_beats_root_locking_with_many_threads() {
+        // Root locking serializes everything; optimistic reads do not.
+        let locks = run(&Oo7Config { processors: 8, ..Oo7Config::tiny(SyncMode::Locks, 8) });
+        let stm = run(&Oo7Config { processors: 8, ..Oo7Config::tiny(SyncMode::WeakAtom, 8) });
+        assert!(
+            stm.makespan < locks.makespan,
+            "STM should outperform coarse locks at 8 threads: stm={} locks={}",
+            stm.makespan,
+            locks.makespan
+        );
+    }
+
+    #[test]
+    fn update_traversals_write_parts() {
+        let out = run(&Oo7Config { update_pct: 100, ..Oo7Config::tiny(SyncMode::WeakAtom, 2) });
+        assert!(out.checksum > 0, "updates recorded in parts");
+        let ro = run(&Oo7Config { update_pct: 0, ..Oo7Config::tiny(SyncMode::WeakAtom, 2) });
+        assert_eq!(ro.checksum, 0, "read-only runs leave no trace");
+    }
+
+    #[test]
+    fn strong_overhead_is_modest_here() {
+        // Paper: OO7 spends its time inside transactions, so strong
+        // atomicity costs little (<11% unoptimized; we allow slack).
+        let weak = run(&Oo7Config::tiny(SyncMode::WeakAtom, 2));
+        let strong = run(&Oo7Config::tiny(SyncMode::StrongNoOpts, 2));
+        let ratio = strong.makespan as f64 / weak.makespan as f64;
+        assert!(
+            ratio < 1.6,
+            "OO7 strong/weak ratio should be small, got {ratio:.2}"
+        );
+    }
+}

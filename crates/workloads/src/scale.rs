@@ -1,0 +1,271 @@
+//! Shared harness for the scalability studies (paper Figures 18–20).
+//!
+//! Each multi-threaded workload runs under one of six synchronization
+//! regimes — the bars of the paper's figures — on the simulated
+//! multiprocessor:
+//!
+//! | mode                | transactions | non-txn barriers                  |
+//! |---------------------|--------------|-----------------------------------|
+//! | `Locks`             | monitors     | none                              |
+//! | `WeakAtom`          | yes          | none                              |
+//! | `StrongNoOpts`      | yes          | everywhere                        |
+//! | `StrongJitOpts`     | yes          | minus JIT-provable (elim + aggr)  |
+//! | `StrongDea`         | yes          | + runtime dynamic escape analysis |
+//! | `StrongWholeProg`   | yes          | + NAIT removals                   |
+//!
+//! Workload code classifies each non-transactional access into one of three
+//! static categories, mirroring what the corresponding compiler analysis
+//! could prove:
+//! * **txn-shared** — data some transaction also touches: no static
+//!   analysis may remove this barrier;
+//! * **jit-local** — provably thread-local to the accessing function
+//!   (intraprocedural escape analysis / immutable data);
+//! * **nait-safe** — heap data that no transaction ever accesses
+//!   (removable only by the whole-program NAIT analysis).
+
+use simsched::{Machine, SimConfig};
+use std::sync::Arc;
+use stm_core::barrier::{read_barrier, write_barrier};
+use stm_core::config::StmConfig;
+use stm_core::cost::{charge, CostKind};
+use stm_core::heap::{Heap, ObjRef, Word};
+use stm_core::locks::SyncTable;
+
+/// A synchronization regime (one bar group of Figures 18–20).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SyncMode {
+    /// The original lock-based program ("Synch").
+    Locks,
+    /// Transactions, weak atomicity ("Weak Atom").
+    WeakAtom,
+    /// Strong atomicity, no optimizations.
+    StrongNoOpts,
+    /// + JIT optimizations (barrier elimination + aggregation).
+    StrongJitOpts,
+    /// + dynamic escape analysis.
+    StrongDea,
+    /// + whole-program NAIT/TL removals.
+    StrongWholeProg,
+}
+
+impl SyncMode {
+    /// All modes in figure order.
+    pub const ALL: [SyncMode; 6] = [
+        SyncMode::Locks,
+        SyncMode::WeakAtom,
+        SyncMode::StrongNoOpts,
+        SyncMode::StrongJitOpts,
+        SyncMode::StrongDea,
+        SyncMode::StrongWholeProg,
+    ];
+
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SyncMode::Locks => "Synch",
+            SyncMode::WeakAtom => "Weak Atom",
+            SyncMode::StrongNoOpts => "Strong NoOpts",
+            SyncMode::StrongJitOpts => "+JitOpts",
+            SyncMode::StrongDea => "+DEA",
+            SyncMode::StrongWholeProg => "+WholeProg",
+        }
+    }
+
+    /// Whether this mode uses transactions (vs monitors).
+    pub fn transactional(self) -> bool {
+        !matches!(self, SyncMode::Locks)
+    }
+
+    /// Builds the heap: DEA on for the `+DEA` and `+WholeProg` bars.
+    pub fn heap(self) -> Arc<Heap> {
+        Heap::new(StmConfig {
+            dea: matches!(self, SyncMode::StrongDea | SyncMode::StrongWholeProg),
+            ..StmConfig::default()
+        })
+    }
+
+    fn barrier_txn_shared(self) -> bool {
+        matches!(
+            self,
+            SyncMode::StrongNoOpts
+                | SyncMode::StrongJitOpts
+                | SyncMode::StrongDea
+                | SyncMode::StrongWholeProg
+        )
+    }
+
+    fn barrier_jit_local(self) -> bool {
+        matches!(self, SyncMode::StrongNoOpts)
+    }
+
+    fn barrier_nait_safe(self) -> bool {
+        matches!(
+            self,
+            SyncMode::StrongNoOpts | SyncMode::StrongJitOpts | SyncMode::StrongDea
+        )
+    }
+}
+
+/// Per-thread access helper applying the mode's barrier policy.
+pub struct W<'h> {
+    /// The shared heap.
+    pub heap: &'h Heap,
+    /// The regime.
+    pub mode: SyncMode,
+    /// Monitor table (lock mode).
+    pub sync: &'h SyncTable,
+}
+
+impl W<'_> {
+    fn read_with(&self, barrier: bool, o: ObjRef, f: usize) -> Word {
+        if barrier {
+            read_barrier(self.heap, o, f)
+        } else {
+            charge(CostKind::PlainRead);
+            self.heap.read_raw(o, f)
+        }
+    }
+
+    fn write_with(&self, barrier: bool, o: ObjRef, f: usize, v: Word) {
+        if barrier {
+            write_barrier(self.heap, o, f, v);
+        } else {
+            charge(CostKind::PlainWrite);
+            self.heap.write_raw(o, f, v);
+        }
+    }
+
+    /// Non-txn read of txn-shared data.
+    pub fn read_shared(&self, o: ObjRef, f: usize) -> Word {
+        self.read_with(self.mode.barrier_txn_shared(), o, f)
+    }
+
+    /// Non-txn write of txn-shared data.
+    pub fn write_shared(&self, o: ObjRef, f: usize, v: Word) {
+        self.write_with(self.mode.barrier_txn_shared(), o, f, v);
+    }
+
+    /// Non-txn read of JIT-provably-local data.
+    pub fn read_local(&self, o: ObjRef, f: usize) -> Word {
+        self.read_with(self.mode.barrier_jit_local(), o, f)
+    }
+
+    /// Non-txn write of JIT-provably-local data.
+    pub fn write_local(&self, o: ObjRef, f: usize, v: Word) {
+        self.write_with(self.mode.barrier_jit_local(), o, f, v);
+    }
+
+    /// Non-txn read of data no transaction touches (NAIT-removable).
+    pub fn read_nait(&self, o: ObjRef, f: usize) -> Word {
+        self.read_with(self.mode.barrier_nait_safe(), o, f)
+    }
+
+    /// Non-txn write of data no transaction touches (NAIT-removable).
+    pub fn write_nait(&self, o: ObjRef, f: usize, v: Word) {
+        self.write_with(self.mode.barrier_nait_safe(), o, f, v);
+    }
+}
+
+/// Result of one scalability run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Outcome {
+    /// Simulated wall-clock cycles.
+    pub makespan: u64,
+    /// Operations (workload-defined) completed.
+    pub ops: u64,
+    /// Workload checksum (used to verify all modes agree).
+    pub checksum: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transactions aborted.
+    pub aborts: u64,
+}
+
+impl Outcome {
+    /// Operations per million simulated cycles.
+    pub fn throughput(&self) -> f64 {
+        self.ops as f64 / (self.makespan.max(1) as f64 / 1e6)
+    }
+}
+
+/// Runs `workers` copies of `body(worker_index)` on a `processors`-way
+/// simulated machine over `heap`, returning
+/// `(makespan, commits, aborts, per-worker results)`.
+pub fn run_workers<F>(
+    heap: &Arc<Heap>,
+    processors: usize,
+    workers: usize,
+    body: F,
+) -> (u64, u64, u64, Vec<u64>)
+where
+    F: Fn(usize) -> u64 + Send + Sync + 'static,
+{
+    let machine = Machine::new(SimConfig::with_processors(processors));
+    let body = Arc::new(body);
+    let before = heap.stats().snapshot();
+    let handles: Vec<_> = (0..workers)
+        .map(|i| {
+            let body = Arc::clone(&body);
+            machine.spawn(move || body(i))
+        })
+        .collect();
+    machine.start();
+    let results: Vec<u64> = handles.into_iter().map(|h| h.join()).collect();
+    let after = heap.stats().snapshot();
+    (
+        machine.report().makespan,
+        after.commits - before.commits,
+        after.aborts - before.aborts,
+        results,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_barrier_matrix() {
+        use SyncMode::*;
+        assert!(!WeakAtom.barrier_txn_shared());
+        assert!(!Locks.barrier_txn_shared());
+        for m in [StrongNoOpts, StrongJitOpts, StrongDea, StrongWholeProg] {
+            assert!(m.barrier_txn_shared(), "{m:?}");
+        }
+        assert!(StrongNoOpts.barrier_jit_local());
+        assert!(!StrongJitOpts.barrier_jit_local());
+        assert!(StrongDea.barrier_nait_safe());
+        assert!(!StrongWholeProg.barrier_nait_safe());
+    }
+
+    #[test]
+    fn dea_heaps_only_for_dea_modes() {
+        assert!(!SyncMode::StrongNoOpts.heap().config().dea);
+        assert!(SyncMode::StrongDea.heap().config().dea);
+        assert!(SyncMode::StrongWholeProg.heap().config().dea);
+    }
+
+    #[test]
+    fn run_workers_counts_commits() {
+        let heap = SyncMode::WeakAtom.heap();
+        let s = heap.define_shape(stm_core::heap::Shape::new(
+            "K",
+            vec![stm_core::heap::FieldDef::int("n")],
+        ));
+        let c = heap.alloc_public(s);
+        let heap2 = Arc::clone(&heap);
+        let (makespan, commits, _aborts, results) = run_workers(&heap, 2, 2, move |_| {
+            for _ in 0..10 {
+                stm_core::txn::atomic(&heap2, |tx| {
+                    let v = tx.read(c, 0)?;
+                    tx.write(c, 0, v + 1)
+                });
+            }
+            7
+        });
+        assert!(makespan > 0);
+        assert_eq!(commits, 20);
+        assert_eq!(results, vec![7, 7]);
+        assert_eq!(heap.read_raw(c, 0), 20);
+    }
+}

@@ -1,0 +1,601 @@
+//! TMIR renditions of the four benchmark programs, used for the Figure 13
+//! static barrier-removal counts.
+//!
+//! These are not the performance workloads (those are native Rust in this
+//! crate); they are *programs for the compiler* — small but faithful to the
+//! idioms that drive the paper's Figure 13:
+//!
+//! * **jvm98** — no transactions at all: NAIT removes every barrier (the
+//!   paper: "for non-transactional programs NAIT removes all the
+//!   barriers"); TL cannot touch statics.
+//! * **tsp** — thread-local state carried in fields of spawn-reachable
+//!   worker objects, "data that is actually thread-local ... but these
+//!   fields are reachable from two threads": NAIT removes what TL cannot.
+//! * **oo7** — tree traversals inside transactions plus a non-transactional
+//!   audit of the same tree: those barriers no analysis may remove.
+//! * **jbb** — per-thread order/history objects that *are* accessed inside
+//!   transactions: TL (thread-locality) removes their non-transactional
+//!   barriers while NAIT must keep them — the one column where TL
+//!   complements NAIT, as in the paper's JBB row.
+
+use tmir::parse::parse;
+use tmir::types::{check, Checked};
+
+/// TMIR rendition of the (non-transactional) JVM98 suite.
+pub const JVM98: &str = r#"
+// --- shared tables (statics: thread-shared by TL's approximation) ---
+class Rec { key: int, val: int, touch: int }
+class Rule { kind: int, threshold: int, hits: int }
+class Sphere { x: int, y: int, z: int, final radius: int }
+class AstNode { op: int, left: ref AstNode, right: ref AstNode, attr: int }
+class ParseState { depth: int, kind: int, below: ref ParseState }
+
+static table: array ref Rec;
+static rules: array ref Rule;
+static scene: array ref Sphere;
+static coeffs: array int;
+static state: array int;
+static accum: int;
+static size: int;
+
+fn init() {
+    size = 16;
+    table = new_array<ref Rec>(16);
+    let i: int = 0;
+    while (i < size) {
+        let r: ref Rec = new Rec;
+        r.key = i;
+        r.val = i * 100;
+        table[i] = r;
+        i = i + 1;
+    }
+    rules = new_array<ref Rule>(8);
+    i = 0;
+    while (i < 8) {
+        let ru: ref Rule = new Rule;
+        ru.kind = i % 4;
+        ru.threshold = i * 13 % 47;
+        rules[i] = ru;
+        i = i + 1;
+    }
+    scene = new_array<ref Sphere>(12);
+    i = 0;
+    while (i < 12) {
+        let sp: ref Sphere = new Sphere;
+        sp.x = i * 17 % 97;
+        sp.y = i * 31 % 89;
+        sp.z = i * 13 % 83;
+        scene[i] = sp;
+        i = i + 1;
+    }
+    coeffs = new_array<int>(32);
+    state = new_array<int>(32);
+    i = 0;
+    while (i < 32) { coeffs[i] = (i * 7 + 3) % 127; i = i + 1; }
+}
+
+// --- _209_db: lookup + touch on shared records ---
+fn db_lookup(k: int) -> int {
+    let r: ref Rec = table[k % size];
+    r.touch = r.touch + 1;
+    return r.val;
+}
+
+// --- _201_compress: streaming over method-local arrays ---
+fn compress_pass(n: int) -> int {
+    let input: array int = new_array<int>(64);
+    let output: array int = new_array<int>(64);
+    let i: int = 0;
+    while (i < 64) { input[i] = (i * 7 + n) % 251; i = i + 1; }
+    let sum: int = 0;
+    i = 0;
+    while (i < 64) {
+        output[i] = input[i] ^ (input[i] >> 2);
+        sum = sum + output[i];
+        i = i + 1;
+    }
+    return sum;
+}
+
+// --- _202_jess: fresh facts matched against the shared rule set ---
+fn jess_pass(seed: int) -> int {
+    let matched: int = 0;
+    let f: ref Rec = new Rec;
+    f.key = seed % 4;
+    f.val = seed * 29 % 128;
+    let j: int = 0;
+    while (j < len(rules)) {
+        let ru: ref Rule = rules[j];
+        if (ru.kind == f.key && f.val > ru.threshold) {
+            ru.hits = ru.hits + 1;
+            matched = matched + 1;
+        }
+        j = j + 1;
+    }
+    return matched;
+}
+
+// --- _222_mpegaudio: numeric kernel over STATIC arrays ---
+fn mpegaudio_pass(round: int) -> int {
+    let i: int = 0;
+    while (i < 32) {
+        let v: int = state[i] + coeffs[i] * (round % 7 + 1);
+        state[i] = v ^ (v >> 3);
+        i = i + 1;
+    }
+    return state[round % 32];
+}
+
+// --- _227_mtrt: read-heavy tracing of the shared scene ---
+fn mtrt_pass(ox: int, oy: int) -> int {
+    let hits: int = 0;
+    let i: int = 0;
+    while (i < len(scene)) {
+        let sp: ref Sphere = scene[i];
+        let dx: int = sp.x - ox;
+        let dy: int = sp.y - oy;
+        if (dx * dx + dy * dy < sp.radius + 64) { hits = hits + 1; }
+        i = i + 1;
+    }
+    return hits;
+}
+
+// --- _213_javac: build a small tree of fresh nodes, evaluate bottom-up ---
+fn javac_build(depth: int, seed: int) -> ref AstNode {
+    let n: ref AstNode = new AstNode;
+    n.op = seed % 3;
+    if (depth > 0) {
+        n.left = javac_build(depth - 1, seed * 5 + 1);
+        n.right = javac_build(depth - 1, seed * 7 + 2);
+    }
+    return n;
+}
+
+fn javac_eval(n: ref AstNode) -> int {
+    if (n == null) { return 1; }
+    let l: int = javac_eval(n.left);
+    let r: int = javac_eval(n.right);
+    if (n.op == 0) { n.attr = l + r; }
+    if (n.op == 1) { n.attr = l * 3 + r; }
+    if (n.op == 2) { n.attr = l ^ r; }
+    return n.attr;
+}
+
+// --- _228_jack: push/pop parser states over a token scan ---
+fn jack_pass(n: int) -> int {
+    let top: ref ParseState = null;
+    let depth: int = 0;
+    let sum: int = 0;
+    let i: int = 0;
+    while (i < n) {
+        let t: int = (i * 19 + 7) % 5;
+        if (t == 0) {
+            let st: ref ParseState = new ParseState;
+            st.depth = depth;
+            st.below = top;
+            top = st;
+            depth = depth + 1;
+        } else {
+            if (t == 1 && top != null) {
+                sum = sum + top.depth;
+                top = top.below;
+                depth = depth - 1;
+            } else {
+                if (top != null) { top.kind = top.kind + t; }
+                sum = sum + t;
+            }
+        }
+        i = i + 1;
+    }
+    return sum;
+}
+
+fn main() {
+    let round: int = 0;
+    while (round < 6) {
+        accum = accum + db_lookup(round * 3);
+        accum = accum + compress_pass(round);
+        accum = accum + jess_pass(round * 11 + 1);
+        accum = accum + mpegaudio_pass(round);
+        accum = accum + mtrt_pass(round * 13 % 97, round * 7 % 89);
+        let tree: ref AstNode = javac_build(3, round + 1);
+        accum = accum + javac_eval(tree) % 1009;
+        accum = accum + jack_pass(40);
+        round = round + 1;
+    }
+    print accum;
+}
+"#;
+
+/// TMIR rendition of Tsp.
+pub const TSP: &str = r#"
+class WorkerState { nodes: int, scratch: int }
+class Best { cost: int }
+static best: ref Best;
+static dist: array int;
+static ncities: int;
+static queue_next: int;
+static queue_total: int;
+
+fn init() {
+    ncities = 5;
+    dist = new_array<int>(25);
+    let i: int = 0;
+    while (i < 25) { dist[i] = (i * 7) % 13 + 1; i = i + 1; }
+    best = new Best;
+    best.cost = 1000000;
+    queue_total = 4;
+}
+
+fn take_unit() -> int {
+    let u: int = 0;
+    atomic { u = queue_next; queue_next = queue_next + 1; }
+    return u;
+}
+
+fn offer(c: int) {
+    atomic { if (c < best.cost) { best.cost = c; } }
+}
+
+fn search(st: ref WorkerState, city: int, visited: int, cost: int) {
+    // Worker-state fields are thread-local in fact, but reachable from the
+    // spawning thread: TL keeps these barriers, NAIT removes them.
+    st.nodes = st.nodes + 1;
+    // Bound check: non-transactional read of transactionally written data —
+    // no analysis may remove this barrier.
+    if (cost >= best.cost) { return; }
+    if (visited == (1 << ncities) - 1) {
+        offer(cost + dist[city * ncities]);
+        return;
+    }
+    let j: int = 1;
+    while (j < ncities) {
+        if ((visited >> j) % 2 == 0) {
+            search(st, j, visited + (1 << j), cost + dist[city * ncities + j]);
+        }
+        j = j + 1;
+    }
+}
+
+fn worker(st: ref WorkerState) -> int {
+    let u: int = take_unit();
+    while (u < queue_total) {
+        let first: int = u % (ncities - 1) + 1;
+        search(st, first, 1 + (1 << first), dist[first]);
+        u = take_unit();
+    }
+    return st.nodes;
+}
+
+fn main() {
+    let s1: ref WorkerState = new WorkerState;
+    let s2: ref WorkerState = new WorkerState;
+    let t1: thread = spawn worker(s1);
+    let t2: thread = spawn worker(s2);
+    let a: int = join t1;
+    let b: int = join t2;
+    // Node counts (a, b) vary with interleaving (pruning against a racing
+    // bound); print only the deterministic optimum.
+    assert a + b > 0;
+    print best.cost;
+}
+"#;
+
+/// TMIR rendition of OO7.
+pub const OO7: &str = r#"
+class Assembly { left: ref Assembly, right: ref Assembly, part: ref Part, id: int }
+class Part { doc0: int, doc1: int, build_date: int, conn: ref Part }
+static root: ref Assembly;
+static depth: int;
+static ops_done: int;
+
+fn build(d: int, id: int) -> ref Assembly {
+    let nd: ref Assembly = new Assembly;
+    nd.id = id;
+    if (d > 0) {
+        nd.left = build(d - 1, id * 2);
+        nd.right = build(d - 1, id * 2 + 1);
+    } else {
+        let p: ref Part = new Part;
+        p.doc0 = id * 3 % 97;
+        p.doc1 = id * 7 % 89;
+        nd.part = p;
+    }
+    return nd;
+}
+
+fn connect(a: ref Assembly, b: ref Assembly) {
+    // Wire leaf parts into a connection ring (OO7's part connections).
+    if (a.part != null && b.part != null) {
+        a.part.conn = b.part;
+        b.part.conn = a.part;
+    }
+}
+
+fn init() {
+    depth = 3;
+    root = build(depth, 1);
+    connect(root.left, root.right);
+}
+
+fn traverse(nd: ref Assembly, bump: int) -> int {
+    if (nd == null) { return 0; }
+    let s: int = nd.id;
+    let p: ref Part = nd.part;
+    if (p != null) {
+        s = s + p.doc0 + p.doc1;
+        if (bump == 1) {
+            p.build_date = p.build_date + 1;
+            if (p.conn != null) { p.conn.build_date = p.conn.build_date + 1; }
+        }
+    }
+    return s + traverse(nd.left, bump) + traverse(nd.right, bump);
+}
+
+fn lookup() -> int {
+    let s: int = 0;
+    atomic { s = traverse(root, 0); }
+    atomic { ops_done = ops_done + 1; }
+    return s;
+}
+
+fn update() {
+    atomic { let s: int = traverse(root, 1); }
+    atomic { ops_done = ops_done + 1; }
+}
+
+fn audit() -> int {
+    // Non-transactional read of the transactional database: kept by every
+    // analysis.
+    return traverse(root, 0);
+}
+
+fn worker(ops: int) -> int {
+    // Scratch object: thread-local and never in a transaction — removable
+    // by NAIT, TL, and the JIT alike.
+    let scratch: ref Assembly = new Assembly;
+    let i: int = 0;
+    let acc: int = 0;
+    while (i < ops) {
+        if (i % 5 == 0) { update(); } else { acc = acc + lookup(); }
+        scratch.id = acc;
+        i = i + 1;
+    }
+    return scratch.id;
+}
+
+fn main() {
+    let t1: thread = spawn worker(10);
+    let t2: thread = spawn worker(10);
+    let a: int = join t1;
+    let b: int = join t2;
+    print a + b;
+    print audit();
+    print ops_done;
+}
+"#;
+
+/// TMIR rendition of SpecJBB.
+pub const JBB: &str = r#"
+class Item { final price: int }
+class Order { total: int, lines: int, next: ref Order }
+class History { last: ref Order, count: int }
+class District { next_o: int, ytd: int }
+class Warehouse { ytd: int, districts: array ref District }
+static items: array ref Item;
+static warehouses: array ref Warehouse;
+
+fn init() {
+    items = new_array<ref Item>(8);
+    let i: int = 0;
+    while (i < 8) { items[i] = new Item; i = i + 1; }
+    warehouses = new_array<ref Warehouse>(2);
+    i = 0;
+    while (i < 2) {
+        let w: ref Warehouse = new Warehouse;
+        w.districts = new_array<ref District>(4);
+        let d: int = 0;
+        while (d < 4) { w.districts[d] = new District; d = d + 1; }
+        warehouses[i] = w;
+        i = i + 1;
+    }
+}
+
+fn new_order(wh: ref Warehouse, hist: ref History, seed: int) -> int {
+    let o: ref Order = new Order;
+    o.total = seed;
+    let total: int = 0;
+    atomic {
+        let d: ref District = wh.districts[seed % 4];
+        d.next_o = d.next_o + 1;
+        let k: int = 0;
+        while (k < 3) {
+            let it: ref Item = items[(seed + k) % 8];
+            total = total + it.price;
+            k = k + 1;
+        }
+        o.lines = 3;
+        o.total = o.total + total;
+        o.next = hist.last;
+        hist.last = o;
+        hist.count = hist.count + 1;
+    }
+    // Non-transactional receipt handling of txn-touched thread-local data.
+    let receipt: int = hist.count + o.lines;
+    o.total = o.total + receipt % 2;
+    return total;
+}
+
+fn payment(wh: ref Warehouse, seed: int, amount: int) {
+    atomic {
+        let d: ref District = wh.districts[seed % 4];
+        d.ytd = d.ytd + amount;
+        wh.ytd = wh.ytd + amount;
+    }
+}
+
+fn order_status(wh: ref Warehouse, hist: ref History, seed: int) -> int {
+    let s: int = 0;
+    atomic {
+        let d: ref District = wh.districts[seed % 4];
+        s = d.next_o + d.ytd;
+    }
+    // Walk the thread-local order history outside any transaction.
+    let cur: ref Order = hist.last;
+    let walked: int = 0;
+    while (cur != null && walked < 3) {
+        s = s + cur.total % 7;
+        cur = cur.next;
+        walked = walked + 1;
+    }
+    return s;
+}
+
+fn worker(seed: int) -> int {
+    // Per-thread history: genuinely thread-local (TL removes its barriers)
+    // but *accessed inside transactions* (NAIT must keep them) — the
+    // complementary case of the paper's Figure 13 JBB row.
+    let hist: ref History = new History;
+    let wh: ref Warehouse = warehouses[seed % 2];
+    let i: int = 0;
+    let acc: int = 0;
+    while (i < 20) {
+        let op: int = (seed + i) % 10;
+        if (op < 5) {
+            acc = acc + new_order(wh, hist, seed + i);
+        } else {
+            if (op < 9) {
+                payment(wh, seed + i, op + 1);
+            } else {
+                acc = acc + order_status(wh, hist, seed + i);
+            }
+        }
+        i = i + 1;
+    }
+    return hist.count + acc % 1000;
+}
+
+fn main() {
+    let t1: thread = spawn worker(1);
+    let t2: thread = spawn worker(2);
+    let a: int = join t1;
+    let b: int = join t2;
+    print a + b;
+    let sum: int = 0;
+    let i: int = 0;
+    while (i < 2) {
+        let w: ref Warehouse = warehouses[i];
+        let d: int = 0;
+        while (d < 4) {
+            let dd: ref District = w.districts[d];
+            sum = sum + dd.next_o * 7 + dd.ytd;
+            d = d + 1;
+        }
+        i = i + 1;
+    }
+    print sum;
+}
+"#;
+
+/// The four Figure 13 benchmark programs, parsed and checked.
+///
+/// # Panics
+/// Panics if a source fails to parse or check (covered by tests).
+pub fn all() -> Vec<(&'static str, Checked)> {
+    [("jvm98", JVM98), ("tsp", TSP), ("oo7", OO7), ("jbb", JBB)]
+        .into_iter()
+        .map(|(name, src)| {
+            let checked = check(parse(src).unwrap_or_else(|e| panic!("{name}: {e}")))
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            (name, checked)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmir::interp::{Vm, VmConfig};
+    use tmir::sites::BarrierTable;
+    use tmir_analysis::nait::analyze_and_remove;
+
+    #[test]
+    fn all_programs_parse_and_check() {
+        assert_eq!(all().len(), 4);
+    }
+
+    #[test]
+    fn all_programs_run_and_agree_weak_vs_strong() {
+        for (name, checked) in all() {
+            let weak = Vm::new(checked.clone(), VmConfig::default())
+                .run()
+                .unwrap_or_else(|e| panic!("{name} weak: {e}"));
+            let table = BarrierTable::strong(&checked.program);
+            let strong = Vm::new(checked, VmConfig { table, ..VmConfig::default() })
+                .run()
+                .unwrap_or_else(|e| panic!("{name} strong: {e}"));
+            assert_eq!(weak.output, strong.output, "{name}: outputs diverge");
+            assert!(strong.stats.read_barriers + strong.stats.write_barriers > 0);
+        }
+    }
+
+    #[test]
+    fn jvm98_nait_removes_everything() {
+        let (_, checked) = all().swap_remove(0);
+        let (_, removal) = analyze_and_remove(&checked.program);
+        let counts = removal.report();
+        assert_eq!(counts.read_union, counts.read_total, "all read barriers removed");
+        assert_eq!(counts.write_union, counts.write_total);
+        assert_eq!(counts.read_tl_minus_nait + counts.write_tl_minus_nait, 0);
+        assert!(counts.read_nait_minus_tl > 0, "statics: NAIT-only removals");
+    }
+
+    #[test]
+    fn tsp_nait_beats_tl_on_worker_state() {
+        let (_, checked) = all().swap_remove(1);
+        let (_, removal) = analyze_and_remove(&checked.program);
+        let counts = removal.report();
+        assert!(
+            counts.read_nait_minus_tl + counts.write_nait_minus_tl > 0,
+            "spawn-reachable worker state: NAIT removes, TL cannot: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn jbb_tl_complements_nait() {
+        let (_, checked) = all().swap_remove(3);
+        let (_, removal) = analyze_and_remove(&checked.program);
+        let counts = removal.report();
+        assert!(
+            counts.read_tl_minus_nait + counts.write_tl_minus_nait > 0,
+            "thread-local txn-touched objects: TL removes, NAIT cannot: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn oo7_audit_barriers_survive_both() {
+        let (_, checked) = all().swap_remove(2);
+        let (_, removal) = analyze_and_remove(&checked.program);
+        let counts = removal.report();
+        assert!(
+            counts.read_union < counts.read_total,
+            "the non-txn audit of txn data keeps some barriers: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn nait_preserves_program_behaviour() {
+        for (name, checked) in all() {
+            let weak = Vm::new(checked.clone(), VmConfig::default())
+                .run()
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let (_, removal) = analyze_and_remove(&checked.program);
+            let mut table = BarrierTable::strong(&checked.program);
+            removal.apply_nait(&mut table);
+            let optimized = Vm::new(checked, VmConfig { table, ..VmConfig::default() })
+                .run()
+                .unwrap_or_else(|e| panic!("{name} nait: {e}"));
+            assert_eq!(weak.output, optimized.output, "{name}: NAIT broke the program");
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Tsp: branch-and-bound traveling salesman (paper §7, Figure 18).
+//!
+//! Matches the paper's description: "threads perform their searches
+//! independently, but share partially completed work and the
+//! best-answer-so-far via shared memory." The work queue is an array of
+//! tour prefixes handed out through a shared counter (a tiny transaction /
+//! critical section per unit); the bound check against the global best is a
+//! *non-transactional* read of transactionally written data — the access
+//! pattern that makes Tsp the barrier-heavy benchmark of the three (the
+//! paper measures ~3× overhead for unoptimized strong atomicity).
+//!
+//! Access categories:
+//! * distance matrix + prefix arrays — read-only after setup, never in a
+//!   transaction: **nait-safe**;
+//! * per-worker tour scratch — freshly allocated per worker: **jit-local**;
+//! * the global best bound — written by transactions, read raw in the hot
+//!   loop: **txn-shared** (no static analysis can remove it).
+
+use crate::scale::{run_workers, Outcome, SyncMode, W};
+use std::sync::Arc;
+use stm_core::cost::{charge, CostKind};
+use stm_core::heap::{FieldDef, Heap, ObjRef, Shape};
+use stm_core::locks::SyncTable;
+use stm_core::txn::atomic;
+
+/// Tsp run parameters.
+#[derive(Clone, Debug)]
+pub struct TspConfig {
+    /// Number of cities (problem size; 8–10 are reasonable).
+    pub cities: usize,
+    /// Length of the precomputed tour prefixes in the work queue.
+    pub prefix_depth: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Simulated processors.
+    pub processors: usize,
+    /// Synchronization regime.
+    pub mode: SyncMode,
+}
+
+impl TspConfig {
+    /// The Figure 18 configuration at a given thread count.
+    pub fn fig18(mode: SyncMode, threads: usize) -> Self {
+        TspConfig { cities: 10, prefix_depth: 3, threads, processors: 16, mode }
+    }
+
+    /// A miniature instance for tests.
+    pub fn tiny(mode: SyncMode, threads: usize) -> Self {
+        TspConfig { cities: 7, prefix_depth: 2, threads, processors: 4, mode }
+    }
+}
+
+/// Units handed out per queue grab (amortizes queue synchronization, as the
+/// paper's coarser work units do).
+const UNIT_BATCH: u64 = 4;
+
+struct World {
+    heap: Arc<Heap>,
+    dist: ObjRef,     // n*n public int array (nait-safe reads)
+    prefixes: ObjRef, // public ref array of prefix int arrays
+    n_prefixes: usize,
+    counter: ObjRef,  // shared unit counter (txn/lock)
+    best: ObjRef,     // global bound (txn-shared)
+    n: usize,
+    depth: usize,
+}
+
+fn build_world(cfg: &TspConfig) -> World {
+    let heap = cfg.mode.heap();
+    let n = cfg.cities;
+    let cell = heap.define_shape(Shape::new("TspCell", vec![FieldDef::int("v")]));
+    let counter = heap.alloc_public(cell);
+    let best = heap.alloc_public(cell);
+    heap.write_raw(best, 0, u64::MAX / 2);
+
+    // Deterministic asymmetric-ish distance matrix.
+    let dist = heap.alloc_int_array_public(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            let d = if i == j {
+                0
+            } else {
+                let (a, b) = (i as u64, j as u64);
+                (a * 37 + b * 91) % 83 + (a ^ b) % 13 + 5
+            };
+            heap.write_raw(dist, i * n + j, d);
+        }
+    }
+
+    // Work queue: all prefixes `0, c1, c2, ...` of length prefix_depth+1
+    // with distinct cities.
+    let mut prefix_list: Vec<Vec<usize>> = vec![vec![0]];
+    for _ in 0..cfg.prefix_depth {
+        let mut next = Vec::new();
+        for p in &prefix_list {
+            for c in 1..n {
+                if !p.contains(&c) {
+                    let mut q = p.clone();
+                    q.push(c);
+                    next.push(q);
+                }
+            }
+        }
+        prefix_list = next;
+    }
+    let prefixes = heap.alloc_ref_array_public(prefix_list.len());
+    for (i, p) in prefix_list.iter().enumerate() {
+        let arr = heap.alloc_int_array_public(p.len());
+        for (k, &c) in p.iter().enumerate() {
+            heap.write_raw(arr, k, c as u64);
+        }
+        heap.write_raw(prefixes, i, arr.to_word());
+    }
+
+    World {
+        heap,
+        dist,
+        prefixes,
+        n_prefixes: prefix_list.len(),
+        counter,
+        best,
+        n,
+        depth: cfg.prefix_depth + 1,
+    }
+}
+
+struct Worker<'h> {
+    w: W<'h>,
+    world: &'h World,
+    tour: ObjRef, // per-worker scratch (jit-local)
+    nodes: u64,
+    /// Locally cached bound, refreshed from the shared best periodically
+    /// (stale bounds only weaken pruning — the standard Tsp idiom).
+    bound: u64,
+}
+
+impl Worker<'_> {
+    fn dist(&self, a: usize, b: usize) -> u64 {
+        self.w.read_nait(self.world.dist, a * self.world.n + b)
+    }
+
+    /// Grabs a block of `UNIT_BATCH` work units from the shared queue.
+    fn take_units(&self) -> u64 {
+        if self.w.mode.transactional() {
+            atomic(self.w.heap, |tx| {
+                let i = tx.read(self.world.counter, 0)?;
+                tx.write(self.world.counter, 0, i + UNIT_BATCH)?;
+                Ok(i)
+            })
+        } else {
+            self.w.sync.synchronized(self.world.counter, || {
+                let i = self.w.heap.read_raw(self.world.counter, 0);
+                self.w.heap.write_raw(self.world.counter, 0, i + UNIT_BATCH);
+                i
+            })
+        }
+    }
+
+    fn offer_best(&self, cost: u64) {
+        if self.w.mode.transactional() {
+            atomic(self.w.heap, |tx| {
+                if cost < tx.read(self.world.best, 0)? {
+                    tx.write(self.world.best, 0, cost)?;
+                }
+                Ok(())
+            });
+        } else {
+            self.w.sync.synchronized(self.world.best, || {
+                if cost < self.w.heap.read_raw(self.world.best, 0) {
+                    self.w.heap.write_raw(self.world.best, 0, cost);
+                }
+            });
+        }
+    }
+
+    fn search(&mut self, pos: usize, last: usize, visited: u32, cost: u64) {
+        self.nodes += 1;
+        charge(CostKind::AppWork(10));
+        // Bound check: non-transactional read of the transactional best —
+        // stale values only weaken pruning, the classic Tsp idiom. Refreshed
+        // every few nodes; in between the cached copy is used.
+        if self.nodes % 8 == 0 {
+            self.bound = self.w.read_shared(self.world.best, 0);
+        }
+        if cost >= self.bound {
+            return;
+        }
+        let n = self.world.n;
+        if pos == n {
+            let total = cost + self.dist(last, 0);
+            if total < self.w.read_shared(self.world.best, 0) {
+                self.offer_best(total);
+                self.bound = self.bound.min(total);
+            }
+            return;
+        }
+        for city in 1..n {
+            if visited & (1 << city) == 0 {
+                self.w.write_local(self.tour, pos, city as u64);
+                self.search(pos + 1, city, visited | (1 << city), cost + self.dist(last, city));
+            }
+        }
+    }
+}
+
+/// Runs one Tsp experiment.
+pub fn run(cfg: &TspConfig) -> Outcome {
+    let world = Arc::new(build_world(cfg));
+    let mode = cfg.mode;
+    let sync = Arc::new(SyncTable::new());
+    let heap = Arc::clone(&world.heap);
+
+    let world2 = Arc::clone(&world);
+    let sync2 = Arc::clone(&sync);
+    let (makespan, commits, aborts, node_counts) =
+        run_workers(&heap, cfg.processors, cfg.threads, move |_worker| {
+            let w = W { heap: &world2.heap, mode, sync: &sync2 };
+            let tour = world2.heap.alloc_int_array(world2.n);
+            let mut worker =
+                Worker { w, world: &world2, tour, nodes: 0, bound: u64::MAX / 2 };
+            'queue: loop {
+                let first = worker.take_units() as usize;
+                for unit in first..(first + UNIT_BATCH as usize) {
+                    if unit >= world2.n_prefixes {
+                        break 'queue;
+                    }
+                    // Load the prefix (read-only queue data: nait-safe).
+                    let arr = stm_core::heap::ObjRef::from_word(
+                        worker.w.read_nait(world2.prefixes, unit),
+                    )
+                    .expect("prefix present");
+                    let mut visited = 0u32;
+                    let mut cost = 0u64;
+                    let mut last = 0usize;
+                    let plen = world2.heap.num_fields(arr);
+                    for k in 0..plen {
+                        let c = worker.w.read_nait(arr, k) as usize;
+                        worker.w.write_local(worker.tour, k, c as u64);
+                        visited |= 1 << c;
+                        if k > 0 {
+                            cost += worker.dist(last, c);
+                        }
+                        last = c;
+                    }
+                    worker.search(world2.depth, last, visited, cost);
+                }
+            }
+            worker.nodes
+        });
+
+    Outcome {
+        makespan,
+        ops: node_counts.iter().sum(),
+        checksum: world.heap.read_raw(world.best, 0),
+        commits,
+        aborts,
+    }
+}
+
+/// The sequential optimum, for cross-checking (plain Rust, no heap).
+pub fn reference_best(cfg: &TspConfig) -> u64 {
+    let world = build_world(cfg);
+    let n = world.n;
+    let dist = |a: usize, b: usize| world.heap.read_raw(world.dist, a * n + b);
+    let mut best = u64::MAX / 2;
+    fn go(
+        n: usize,
+        last: usize,
+        visited: u32,
+        cost: u64,
+        best: &mut u64,
+        dist: &dyn Fn(usize, usize) -> u64,
+    ) {
+        if cost >= *best {
+            return;
+        }
+        if visited.count_ones() as usize == n {
+            *best = (*best).min(cost + dist(last, 0));
+            return;
+        }
+        for c in 1..n {
+            if visited & (1 << c) == 0 {
+                go(n, c, visited | (1 << c), cost + dist(last, c), best, dist);
+            }
+        }
+    }
+    go(n, 0, 1, 0, &mut best, &dist);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_modes_find_the_optimum() {
+        let reference = reference_best(&TspConfig::tiny(SyncMode::WeakAtom, 1));
+        for mode in SyncMode::ALL {
+            let out = run(&TspConfig::tiny(mode, 2));
+            assert_eq!(out.checksum, reference, "{mode:?} found a wrong best");
+            assert!(out.ops > 0);
+        }
+    }
+
+    #[test]
+    fn transactional_modes_commit() {
+        let out = run(&TspConfig::tiny(SyncMode::WeakAtom, 2));
+        assert!(out.commits > 0);
+        let locks = run(&TspConfig::tiny(SyncMode::Locks, 2));
+        assert_eq!(locks.commits, 0, "lock mode uses no transactions");
+    }
+
+    #[test]
+    fn strong_noopts_costs_more_than_weak() {
+        let weak = run(&TspConfig::tiny(SyncMode::WeakAtom, 2));
+        let strong = run(&TspConfig::tiny(SyncMode::StrongNoOpts, 2));
+        assert!(
+            strong.makespan > weak.makespan,
+            "barriers must cost virtual time: weak {} strong {}",
+            weak.makespan,
+            strong.makespan
+        );
+    }
+
+    #[test]
+    fn more_threads_scale_on_big_machine() {
+        let one = run(&TspConfig { threads: 1, ..TspConfig::tiny(SyncMode::WeakAtom, 1) });
+        let four = run(&TspConfig {
+            threads: 4,
+            processors: 4,
+            ..TspConfig::tiny(SyncMode::WeakAtom, 4)
+        });
+        assert!(
+            four.makespan * 2 < one.makespan,
+            "4 threads at least 2x faster: 1t={} 4t={}",
+            one.makespan,
+            four.makespan
+        );
+    }
+}
+
+#[cfg(test)]
+mod timing_probe {
+    use super::*;
+    #[test]
+    #[ignore]
+    fn probe_fig18_size() {
+        let t0 = std::time::Instant::now();
+        let out = run(&TspConfig::fig18(SyncMode::StrongNoOpts, 16));
+        eprintln!("fig18 tsp strong 16t: {:?} wall, makespan {}, ops {}", t0.elapsed(), out.makespan, out.ops);
+    }
+}

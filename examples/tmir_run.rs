@@ -1,0 +1,85 @@
+//! Run a TMIR program through the full compiler pipeline.
+//!
+//! ```text
+//! cargo run --example tmir_run -- [weak|strong|jit|nait] [path/to/program.tmir]
+//! ```
+//!
+//! With no file argument, runs an embedded demo (the Tsp rendition used for
+//! the Figure 13 static counts). The pipeline argument picks how much of
+//! the paper's machinery is applied:
+//!
+//! * `weak`   — no isolation barriers (weak atomicity);
+//! * `strong` — every non-transactional access barriered;
+//! * `jit`    — strong + §6 JIT optimizations (finals, escape, aggregation);
+//! * `nait`   — jit + the §5 whole-program NAIT removal (default).
+
+use tmir::interp::{Vm, VmConfig};
+use tmir::jitopt::{optimize, JitOptions};
+use tmir::sites::BarrierTable;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let pipeline = args.first().map(String::as_str).unwrap_or("nait");
+    let source = match args.get(1) {
+        Some(path) => std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        None => workloads::tmir_sources::TSP.to_string(),
+    };
+
+    let program = match tmir::parse::parse(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    let mut checked = match tmir::types::check(program) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut table = match pipeline {
+        "weak" => BarrierTable::weak(),
+        _ => BarrierTable::strong(&checked.program),
+    };
+    if matches!(pipeline, "jit" | "nait") {
+        let report = optimize(&mut checked, &mut table, JitOptions::all());
+        eprintln!(
+            "jit: {} immutable + {} escape elided, {} sites into {} aggregated regions",
+            report.immutable_elided,
+            report.escape_elided,
+            report.aggregated_sites,
+            report.regions
+        );
+    }
+    if pipeline == "nait" {
+        let (_, removal) = tmir_analysis::analyze_and_remove(&checked.program);
+        let n = removal.apply_nait(&mut table);
+        eprintln!("nait: removed {n} barriers statically");
+    }
+    let (reads, writes) = table.counts();
+    eprintln!("barriers remaining at sites: {reads} reads, {writes} writes");
+
+    let vm = Vm::new(checked, VmConfig { table, ..VmConfig::default() });
+    match vm.run() {
+        Ok(result) => {
+            for v in result.output {
+                println!("{v}");
+            }
+            eprintln!(
+                "stats: {} commits, {} aborts, {} read barriers, {} write barriers",
+                result.stats.commits,
+                result.stats.aborts,
+                result.stats.read_barriers,
+                result.stats.write_barriers
+            );
+        }
+        Err(trap) => {
+            eprintln!("{trap}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! A taste of the Figure 18 experiment: the Tsp workload on the simulated
+//! 16-way multiprocessor, sweeping threads under three regimes.
+//!
+//! Run with: `cargo run --release --example tsp_sim`
+
+use workloads::scale::SyncMode;
+use workloads::tsp::{run, TspConfig};
+
+fn main() {
+    println!("Tsp (10 cities) on a simulated 16-way multiprocessor\n");
+    println!(
+        "{:<16}{:>10}{:>14}{:>10}{:>10}{:>9}",
+        "mode", "threads", "makespan", "nodes", "commits", "aborts"
+    );
+    for mode in [SyncMode::Locks, SyncMode::WeakAtom, SyncMode::StrongNoOpts, SyncMode::StrongWholeProg] {
+        for threads in [1, 4, 16] {
+            let out = run(&TspConfig::fig18(mode, threads));
+            println!(
+                "{:<16}{:>10}{:>14}{:>10}{:>10}{:>9}",
+                mode.label(),
+                threads,
+                out.makespan,
+                out.ops,
+                out.commits,
+                out.aborts
+            );
+        }
+    }
+    println!("\nmakespan = simulated cycles to solve the same instance.");
+    println!("The full sweep (all 6 modes × 5 thread counts × 3 benchmarks)");
+    println!("is `cargo run --release -p bench --bin repro -- fig18` (19, 20).");
+}

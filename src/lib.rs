@@ -1,0 +1,66 @@
+//! # strong-stm — strongly atomic software transactional memory
+//!
+//! A from-scratch Rust reproduction of *Shpeisman, Menon, Adl-Tabatabai,
+//! Balensiefer, Grossman, Hudson, Moore, Saha — "Enforcing Isolation and
+//! Ordering in STM", PLDI 2007*.
+//!
+//! This facade crate re-exports the whole system:
+//!
+//! * [`stm`] (`stm-core`) — the strongly atomic STM: eager/lazy engines,
+//!   non-transactional isolation barriers, dynamic escape analysis,
+//!   quiescence, the 4-state transaction-record protocol.
+//! * [`sim`] (`simsched`) — the deterministic simulated multiprocessor used
+//!   for the scalability experiments.
+//! * [`lang`] (`tmir`) — the transactional mini-language whose interpreter
+//!   plays the paper's JIT: parse, type-check, annotate barriers, optimize,
+//!   run.
+//! * [`analysis`] (`tmir-analysis`) — whole-program pointer analysis and
+//!   the NAIT / thread-local barrier-removal analyses.
+//! * [`bench_workloads`] (`workloads`) — JVM98 / Tsp / OO7 / SpecJBB
+//!   analogues.
+//! * [`anomalies`] (`litmus`) — the §2 weak-atomicity anomaly litmus suite.
+//!
+//! ## Quickstart
+//! ```
+//! use strong_stm::prelude::*;
+//!
+//! let heap = Heap::new(StmConfig::strong_default());
+//! let account = heap.define_shape(Shape::new(
+//!     "Account",
+//!     vec![FieldDef::int("balance")],
+//! ));
+//! let a = heap.alloc_public(account);
+//! let b = heap.alloc_public(account);
+//! heap.write_raw(a, 0, 100);
+//!
+//! // Transactional transfer.
+//! atomic(&heap, |tx| {
+//!     let v = tx.read(a, 0)?;
+//!     tx.write(a, 0, v - 40)?;
+//!     let w = tx.read(b, 0)?;
+//!     tx.write(b, 0, w + 40)
+//! });
+//!
+//! // Non-transactional code participates through isolation barriers —
+//! // that is what makes the system *strongly* atomic.
+//! assert_eq!(read_barrier(&heap, b, 0), 40);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use litmus as anomalies;
+pub use simsched as sim;
+pub use stm_core as stm;
+pub use tmir as lang;
+pub use tmir_analysis as analysis;
+pub use workloads as bench_workloads;
+
+/// The most commonly used items across the workspace.
+pub mod prelude {
+    pub use stm_core::barrier::{aggregate, read_barrier, write_barrier};
+    pub use stm_core::config::{BarrierMode, Granularity, StmConfig, Versioning};
+    pub use stm_core::heap::{FieldDef, Heap, ObjRef, Shape, ShapeId, Word};
+    pub use stm_core::locks::SyncTable;
+    pub use stm_core::txn::{atomic, try_atomic, Abort, TxResult, Txn};
+}
