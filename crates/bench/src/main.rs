@@ -8,6 +8,7 @@
 //! repro fig14            # barrier aggregation demo
 //! repro fig15|16|17 [scale]  # JVM98 barrier overheads (measured)
 //! repro fig18|19|20      # Tsp / OO7 / JBB scalability (simulated)
+//! repro contention       # contention-policy abort telemetry shootout
 //! ```
 
 use bench::experiments as ex;
@@ -31,8 +32,9 @@ fn main() {
         "fig18" => ex::fig18(),
         "fig19" => ex::fig19(),
         "fig20" => ex::fig20(),
+        "contention" => ex::contention(),
         other => {
-            eprintln!("unknown experiment `{other}`; try: all, fig1..fig6, fig13..fig20");
+            eprintln!("unknown experiment `{other}`; try: all, fig1..fig6, fig13..fig20, contention");
             std::process::exit(2);
         }
     };

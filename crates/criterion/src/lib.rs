@@ -1,0 +1,246 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace ships a
+//! minimal wall-clock benchmark harness exposing the API subset its benches
+//! use: `Criterion`, `benchmark_group` / `sample_size` / `bench_function` /
+//! `finish`, `Bencher::iter` / `iter_batched`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each benchmark runs a short warm-up,
+//! then `samples` timed batches, and reports min/median/mean per-iteration
+//! time. There is no statistical analysis, no HTML report, and no
+//! command-line filtering beyond a single substring argument.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers work.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` sizes its batches. The shim runs one setup per
+/// measured call regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Larger per-iteration state.
+    LargeInput,
+    /// One setup per measured batch.
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh input from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Registers and runs one benchmark.
+    pub fn bench_function<S: AsRef<str>, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        let samples = self.sample_size;
+        self.criterion.run_one(&full, samples, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; drop does the same).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    filter: Option<String>,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First CLI arg that is not a cargo-bench flag acts as a substring
+        // filter, mirroring `cargo bench -- <filter>`.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Criterion { filter, default_samples: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let samples = self.default_samples;
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: samples }
+    }
+
+    /// Registers and runs one ungrouped benchmark.
+    pub fn bench_function<S: AsRef<str>, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.default_samples;
+        self.run_one(id.as_ref(), samples, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: &str, samples: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Calibrate the per-sample iteration count to ~2ms of work.
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            per_iter.push(b.elapsed.as_secs_f64() / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{id:<48} min {:>10}  median {:>10}  mean {:>10}  ({iters} iters x {samples} samples)",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+        );
+    }
+
+    /// Runs the registered group functions (used by `criterion_main!`).
+    pub fn final_summary(&self) {}
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Declares a benchmark group function list, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion { filter: None, default_samples: 3 };
+        let mut runs = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2).bench_function("count", |b| {
+                b.iter(|| {
+                    runs += 1;
+                })
+            });
+            g.finish();
+        }
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { filter: Some("zzz".into()), default_samples: 2 };
+        let mut runs = 0u64;
+        c.bench_function("abc", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 0);
+    }
+
+    #[test]
+    fn iter_batched_fresh_input() {
+        let mut b = Bencher { iters: 5, elapsed: Duration::ZERO };
+        let mut setups = 0;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 8]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 5);
+    }
+}

@@ -1,8 +1,10 @@
 //! Shared scaffolding for the anomaly litmus tests.
 
 use crate::Mode;
+use std::cell::Cell;
 use std::sync::Arc;
 use stm_core::config::{BarrierMode, Granularity, StmConfig, Versioning};
+use stm_core::contention::ContentionPolicy;
 use stm_core::heap::{FieldDef, Heap, ObjRef, Shape, ShapeId, Word};
 use stm_core::locks::SyncTable;
 use stm_core::syncpoint::{as_actor, ActorId, Script, SyncPoint};
@@ -12,6 +14,26 @@ use stm_core::txn::atomic;
 pub const T1: ActorId = ActorId(1);
 /// Thread 2's actor id in every script.
 pub const T2: ActorId = ActorId(2);
+
+thread_local! {
+    static POLICY: Cell<ContentionPolicy> = const { Cell::new(ContentionPolicy::Backoff) };
+}
+
+/// Runs `f` with every [`Env`] built on this thread using `policy` as its
+/// contention manager. This is how the policy × anomaly litmus matrix reruns
+/// the whole Figure-6 suite under each policy without touching the
+/// scenarios.
+pub fn with_policy<R>(policy: ContentionPolicy, f: impl FnOnce() -> R) -> R {
+    let prior = POLICY.with(|p| p.replace(policy));
+    let out = f();
+    POLICY.with(|p| p.set(prior));
+    out
+}
+
+/// The contention policy new environments on this thread are built with.
+pub fn current_policy() -> ContentionPolicy {
+    POLICY.with(|p| p.get())
+}
 
 /// A litmus environment: a heap configured for one column of the paper's
 /// Figure 6 plus the barrier policy its non-transactional code compiles to.
@@ -74,6 +96,7 @@ impl Env {
             "LitmusRef",
             vec![FieldDef::reference("r"), FieldDef::int("pad")],
         ));
+        env.sync = Arc::new(SyncTable::for_heap(Arc::clone(&heap)));
         env.heap = heap;
         env.obj_shape = obj_shape;
         env.ref_shape = ref_shape;
@@ -94,6 +117,7 @@ impl Env {
             granularity,
             quiescence,
             record_races,
+            contention: current_policy(),
             ..StmConfig::default()
         };
         let barriers = match mode {
@@ -116,7 +140,8 @@ impl Env {
             "LitmusRef",
             vec![FieldDef::reference("r"), FieldDef::int("pad")],
         ));
-        Env { heap, barriers, mode, sync: Arc::new(SyncTable::new()), obj_shape, ref_shape }
+        let sync = Arc::new(SyncTable::for_heap(Arc::clone(&heap)));
+        Env { heap, barriers, mode, sync, obj_shape, ref_shape }
     }
 
     /// Allocates a public scalar object (4 int fields, zeroed).

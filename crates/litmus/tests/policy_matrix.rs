@@ -1,0 +1,94 @@
+//! The policy × anomaly litmus matrix.
+//!
+//! The contention manager decides *who waits and who aborts* on a conflict,
+//! but it must never decide *what a thread is allowed to observe*: the
+//! paper's isolation guarantees come from the barrier protocol, not from
+//! contention management. These tests rerun the Figure-6 anomaly suite under
+//! every shipped [`ContentionPolicy`] and assert that
+//!
+//! * the strong column stays anomaly-free for all policies, and
+//! * the weak columns keep exhibiting exactly the published anomalies —
+//!   a policy must not accidentally mask a bug the suite is built to show.
+
+use litmus::harness::with_policy;
+use litmus::{anomaly_matrix, expected_matrix, Anomaly, Mode};
+use stm_core::contention::ContentionPolicy;
+
+/// The strong column stays clean under every contention policy. This is the
+/// core guarantee: CmDecision is coerced to a wait at every non-abortable
+/// site, so even the aggressive policy cannot break a barrier's protocol.
+#[test]
+fn strong_column_clean_under_every_policy() {
+    for policy in ContentionPolicy::ALL {
+        with_policy(policy, || {
+            for anomaly in Anomaly::ALL {
+                assert!(
+                    !anomaly.observe(Mode::Strong),
+                    "{} leaked under Strong with the {} policy",
+                    anomaly.abbrev(),
+                    policy.label()
+                );
+            }
+        });
+    }
+}
+
+/// The §3.3 lazy variant with ordering barriers is equally policy-neutral.
+#[test]
+fn strong_lazy_column_clean_under_every_policy() {
+    for policy in ContentionPolicy::ALL {
+        with_policy(policy, || {
+            for anomaly in Anomaly::ALL {
+                assert!(
+                    !anomaly.observe(Mode::StrongLazy),
+                    "{} leaked under Strong(lazy) with the {} policy",
+                    anomaly.abbrev(),
+                    policy.label()
+                );
+            }
+        });
+    }
+}
+
+/// The full Figure-6 matrix — anomalies present *and* absent — reproduces
+/// identically under each policy: contention management shifts waiting and
+/// aborting around but never changes observable isolation.
+#[test]
+fn figure6_matrix_is_policy_invariant() {
+    for policy in ContentionPolicy::ALL {
+        with_policy(policy, || {
+            let got = anomaly_matrix();
+            let want = expected_matrix();
+            for (i, anomaly) in Anomaly::ALL.iter().enumerate() {
+                for (j, mode) in Mode::FIGURE6.iter().enumerate() {
+                    assert_eq!(
+                        got[i][j],
+                        want[i][j],
+                        "{} under {} with the {} policy: expected {}, observed {}",
+                        anomaly.abbrev(),
+                        mode.label(),
+                        policy.label(),
+                        want[i][j],
+                        got[i][j]
+                    );
+                }
+            }
+        });
+    }
+}
+
+/// The harness override is scoped: the thread-local policy reverts when the
+/// closure exits (nested overrides unwind in order).
+#[test]
+fn policy_override_scopes_and_nests() {
+    use litmus::harness::current_policy;
+    assert_eq!(current_policy(), ContentionPolicy::default());
+    with_policy(ContentionPolicy::Karma, || {
+        assert_eq!(current_policy(), ContentionPolicy::Karma);
+        with_policy(ContentionPolicy::Aggressive, || {
+            assert_eq!(current_policy(), ContentionPolicy::Aggressive);
+        });
+        assert_eq!(current_policy(), ContentionPolicy::Karma);
+    });
+    assert_eq!(current_policy(), ContentionPolicy::default());
+}

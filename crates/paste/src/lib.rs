@@ -1,0 +1,73 @@
+//! Offline stand-in for the `paste` crate.
+//!
+//! Implements the one feature this workspace uses: inside `paste! { ... }`,
+//! a bracket group of the form `[<seg0 seg1 ...>]` is replaced by a single
+//! identifier formed by concatenating the segments (identifiers and integer
+//! literals). Everything else passes through unchanged, recursing into
+//! nested groups. No `:snake`/`:camel` modifiers, no doc-string pasting.
+
+use proc_macro::{Delimiter, Group, Ident, Span, TokenStream, TokenTree};
+
+/// Expands `[<...>]` concatenation groups in the input tokens.
+#[proc_macro]
+pub fn paste(input: TokenStream) -> TokenStream {
+    transform(input)
+}
+
+fn transform(ts: TokenStream) -> TokenStream {
+    let mut out: Vec<TokenTree> = Vec::new();
+    for tt in ts {
+        match tt {
+            TokenTree::Group(g) => {
+                if g.delimiter() == Delimiter::Bracket {
+                    if let Some(ident) = try_concat(&g) {
+                        out.push(TokenTree::Ident(ident));
+                        continue;
+                    }
+                }
+                let mut ng = Group::new(g.delimiter(), transform(g.stream()));
+                ng.set_span(g.span());
+                out.push(TokenTree::Group(ng));
+            }
+            other => out.push(other),
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// If `g` is a `[< ... >]` concatenation group, builds the pasted ident.
+fn try_concat(g: &Group) -> Option<Ident> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if toks.len() < 3 {
+        return None;
+    }
+    match (&toks[0], &toks[toks.len() - 1]) {
+        (TokenTree::Punct(open), TokenTree::Punct(close))
+            if open.as_char() == '<' && close.as_char() == '>' => {}
+        _ => return None,
+    }
+    let mut name = String::new();
+    let mut span: Option<Span> = None;
+    for t in &toks[1..toks.len() - 1] {
+        match t {
+            TokenTree::Ident(i) => {
+                name.push_str(&i.to_string());
+                span.get_or_insert_with(|| i.span());
+            }
+            TokenTree::Literal(l) => {
+                let s = l.to_string();
+                if !s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                    return None;
+                }
+                name.push_str(&s);
+            }
+            _ => return None,
+        }
+    }
+    if name.is_empty() || name.starts_with(|c: char| c.is_ascii_digit()) {
+        return None;
+    }
+    // Raw-identifier segments (r#type) concatenate by their unprefixed name.
+    let name = name.replace("r#", "");
+    Some(Ident::new(&name, span.unwrap_or_else(Span::call_site)))
+}

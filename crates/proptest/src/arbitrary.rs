@@ -1,0 +1,113 @@
+//! `any::<T>()` — full-domain strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary {
+    /// Draws an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy over the full domain of `T` (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Weight the edges: property bugs live at 0, 1, MAX, MIN.
+                match rng.below(16) {
+                    0 => 0 as $t,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    3 => 1 as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        match rng.below(16) {
+            0 => 0,
+            1 => u128::MAX,
+            2 => 1,
+            _ => ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128,
+        }
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Mostly ASCII, sometimes arbitrary scalar values.
+        if rng.below(4) == 0 {
+            loop {
+                if let Some(c) = char::from_u32(rng.next_u64() as u32 & 0x10_FFFF) {
+                    return c;
+                }
+            }
+        } else {
+            (0x20u8 + rng.below(0x5f) as u8) as char
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn any_covers_edges() {
+        let mut rng = TestRng::new(7);
+        let s = any::<u64>();
+        let mut saw_zero = false;
+        let mut saw_max = false;
+        for _ in 0..500 {
+            match s.generate(&mut rng) {
+                0 => saw_zero = true,
+                u64::MAX => saw_max = true,
+                _ => {}
+            }
+        }
+        assert!(saw_zero && saw_max);
+    }
+
+    #[test]
+    fn chars_are_valid() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..1000 {
+            let c = any::<char>().generate(&mut rng);
+            assert!(char::from_u32(c as u32).is_some());
+        }
+    }
+}

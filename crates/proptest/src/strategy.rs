@@ -1,0 +1,383 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy is
+/// just a deterministic function of the RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { strategy: self, f }
+    }
+
+    /// Filters generated values; rejected draws are retried (bounded).
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { strategy: self, f, reason }
+    }
+
+    /// Type-erases the strategy behind a shared closure.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let s = self;
+        BoxedStrategy::new(move |rng| s.generate(rng))
+    }
+
+    /// Builds recursive structures: `recurse` receives a strategy for the
+    /// smaller structure and returns the strategy for the bigger one. The
+    /// `_size`/`_branch` hints of real proptest are accepted and ignored;
+    /// recursion is bounded by `depth` alone.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _size: u32,
+        _branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(cur).boxed();
+            let leaf = leaf.clone();
+            cur = BoxedStrategy::new(move |rng| {
+                // Bias toward recursion so depth-`depth` structures actually
+                // occur; the chain is finite either way.
+                if rng.below(4) == 0 {
+                    leaf.generate(rng)
+                } else {
+                    deeper.generate(rng)
+                }
+            });
+        }
+        cur
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wraps a generation closure.
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        BoxedStrategy { gen: Rc::new(f) }
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { gen: Rc::clone(&self.gen) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    strategy: S,
+    f: F,
+    reason: &'static str,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.strategy.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive draws: {}", self.reason);
+    }
+}
+
+/// Uniform choice among same-typed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `arms`; must be non-empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union { arms: self.arms.clone() }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+macro_rules! unsigned_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let width = (self.end - self.start) as u64;
+                self.start + rng.below(width) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let width = (hi - lo) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(width + 1) as $t
+            }
+        }
+    )*};
+}
+unsigned_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(width) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let width = (hi as i128 - lo as i128) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(width + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// String patterns: real proptest compiles the `&str` as a regex. This shim
+/// supports the forms the workspace uses — `.{a,b}` (and `.*` / `.+`) for
+/// "any string with length in the given range" — plus literal strings with
+/// no metacharacters, which generate themselves.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (min, max) = match parse_dot_quantifier(self) {
+            Some(bounds) => bounds,
+            None => {
+                assert!(
+                    !self.contains(['.', '*', '+', '[', '(', '\\', '?', '{']),
+                    "unsupported string pattern {self:?}: this proptest stand-in \
+                     supports `.{{a,b}}`, `.*`, `.+`, and literal strings"
+                );
+                return (*self).to_string();
+            }
+        };
+        let len = rng.range(min, max + 1);
+        // A deliberately spiky alphabet: printable ASCII plus control and
+        // multi-byte characters, to stress lexers the way regex `.` would.
+        const SPICE: [char; 8] = ['\n', '\t', '"', '\\', 'λ', '∀', '🦀', '\u{0}'];
+        let mut s = String::new();
+        for _ in 0..len {
+            if rng.below(8) == 0 {
+                s.push(SPICE[rng.below(SPICE.len() as u64) as usize]);
+            } else {
+                s.push((0x20u8 + rng.below(0x5f) as u8) as char);
+            }
+        }
+        s
+    }
+}
+
+/// Parses `.{a,b}` / `.{a,}` / `.*` / `.+` into (min, max) length bounds.
+fn parse_dot_quantifier(pat: &str) -> Option<(usize, usize)> {
+    match pat {
+        ".*" => return Some((0, 64)),
+        ".+" => return Some((1, 64)),
+        _ => {}
+    }
+    let body = pat.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    let min: usize = lo.trim().parse().ok()?;
+    let max: usize = if hi.trim().is_empty() {
+        min + 64
+    } else {
+        hi.trim().parse().ok()?
+    };
+    (min <= max).then_some((min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(0xDEAD_BEEF)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = (3usize..17).generate(&mut r);
+            assert!((3..17).contains(&v));
+            let s = (-5i64..6).generate(&mut r);
+            assert!((-5..6).contains(&s));
+            let i = (1u8..=255).generate(&mut r);
+            assert!(i >= 1);
+        }
+    }
+
+    #[test]
+    fn map_and_union_compose() {
+        let s = crate::prop_oneof![
+            (0u32..10).prop_map(|v| v as i64),
+            (100u32..110).prop_map(|v| v as i64),
+        ];
+        let mut r = rng();
+        let mut low = false;
+        let mut high = false;
+        for _ in 0..200 {
+            let v = s.generate(&mut r);
+            assert!((0..10).contains(&v) || (100..110).contains(&v));
+            low |= v < 10;
+            high |= v >= 100;
+        }
+        assert!(low && high, "both arms exercised");
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        // Arithmetic-expression-shaped recursion like the tmir tests use.
+        let leaf = (0i64..10).prop_map(|n| (n.to_string(), n));
+        let expr = leaf.prop_recursive(4, 48, 3, |inner| {
+            (inner.clone(), inner).prop_map(|((ls, lv), (rs, rv))| {
+                (format!("({ls}+{rs})"), lv.wrapping_add(rv))
+            })
+        });
+        let mut r = rng();
+        for _ in 0..100 {
+            let (s, _) = expr.generate(&mut r);
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn string_patterns_respect_length() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = ".{0,20}".generate(&mut r);
+            assert!(s.chars().count() <= 20);
+        }
+        assert_eq!("hello".generate(&mut r), "hello");
+    }
+
+    #[test]
+    fn filter_retries() {
+        let even = (0u32..100).prop_filter("even", |v| v % 2 == 0);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(even.generate(&mut r) % 2, 0);
+        }
+    }
+}

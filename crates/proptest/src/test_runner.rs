@@ -1,0 +1,181 @@
+//! Deterministic case runner and pseudo-random source.
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Copy, Clone, Debug)]
+pub struct Config {
+    /// Number of cases generated per property.
+    pub cases: u32,
+    /// Maximum `prop_assume!` rejections tolerated before the property is
+    /// reported as too restrictive.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64, max_global_rejects: 4096 }
+    }
+}
+
+impl Config {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases, ..Config::default() }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum CaseError {
+    /// `prop_assume!` rejected the inputs; the runner draws a fresh case.
+    Reject,
+    /// A `prop_assert*` failed.
+    Fail {
+        /// Assertion message (includes the compared values).
+        message: String,
+        /// Source file of the failing assertion.
+        file: &'static str,
+        /// Source line of the failing assertion.
+        line: u32,
+    },
+}
+
+impl CaseError {
+    /// Builds the failure variant (used by the `prop_assert*` macros).
+    pub fn fail(message: String, file: &'static str, line: u32) -> Self {
+        CaseError::Fail { message, file, line }
+    }
+}
+
+/// SplitMix64: tiny, seedable, and statistically fine for test generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift bounded generation (Lemire); bias is negligible for
+        // test-generation purposes.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+}
+
+/// Seed for case `case` of property `name`: FNV-1a over the name, mixed with
+/// the case index. Fixed across runs and platforms.
+fn case_seed(name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Runs `body` for each configured case, panicking with the seed on failure.
+pub fn run(
+    config: &Config,
+    name: &str,
+    mut body: impl FnMut(&mut TestRng) -> Result<(), CaseError>,
+) {
+    let mut rejects = 0u32;
+    let mut case = 0u32;
+    let mut draws = 0u32;
+    while case < config.cases {
+        let seed = case_seed(name, case.wrapping_add(rejects.wrapping_mul(0x1000)));
+        let mut rng = TestRng::new(seed);
+        match body(&mut rng) {
+            Ok(()) => case += 1,
+            Err(CaseError::Reject) => {
+                rejects += 1;
+                assert!(
+                    rejects < config.max_global_rejects,
+                    "property {name}: too many prop_assume! rejections \
+                     ({rejects} rejects for {case} accepted cases)"
+                );
+            }
+            Err(CaseError::Fail { message, file, line }) => {
+                panic!(
+                    "property {name} failed at case {case} (seed {seed:#x})\n\
+                     {file}:{line}: {message}"
+                );
+            }
+        }
+        draws = draws.wrapping_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable_per_case() {
+        assert_eq!(case_seed("x", 0), case_seed("x", 0));
+        assert_ne!(case_seed("x", 0), case_seed("x", 1));
+        assert_ne!(case_seed("x", 0), case_seed("y", 0));
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::new(42);
+        for _ in 0..10_000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn runner_counts_cases() {
+        let mut n = 0;
+        run(&Config::with_cases(10), "counter", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn runner_reports_failures() {
+        run(&Config::default(), "fails", |_| {
+            Err(CaseError::fail("boom".into(), file!(), line!()))
+        });
+    }
+
+    #[test]
+    fn runner_retries_rejects() {
+        let mut accepted = 0;
+        let mut seen = 0;
+        run(&Config::with_cases(5), "rejects", |rng| {
+            seen += 1;
+            if rng.below(2) == 0 {
+                return Err(CaseError::Reject);
+            }
+            accepted += 1;
+            Ok(())
+        });
+        assert_eq!(accepted, 5);
+        assert!(seen >= 5);
+    }
+}

@@ -671,7 +671,7 @@ mod tests {
         let m2 = Arc::clone(&machine);
         let h = machine.spawn(move || {
             charge(1000);
-            let child = m2.spawn(|| now());
+            let child = m2.spawn(now);
             let child_start = child.join();
             assert!(child_start >= 1000, "child starts after parent's work");
         });

@@ -47,22 +47,22 @@ impl<T> VMutex<T> {
     pub fn lock(&self) -> VMutexGuard<'_, T> {
         let vid = current_vid().expect("VMutex::lock outside a virtual thread");
         charge(self.acquire_cost);
-        loop {
-            {
-                let mut st = self.state.lock();
-                if !st.held {
-                    st.held = true;
-                    break;
-                }
+        let contended = {
+            let mut st = self.state.lock();
+            if st.held {
                 st.waiters.push_back(vid);
+                true
+            } else {
+                st.held = true;
+                false
             }
-            // Block; the unlocker hands us ownership and wakes us, but we
-            // re-check because the hand-off protocol below re-marks `held`
-            // before waking (so `held` stays true and we own it).
+        };
+        if contended {
+            // Block; the unlocker hands us ownership and wakes us. No
+            // re-check is needed: the hand-off protocol below keeps
+            // `held == true` on our behalf before waking us.
             let machine = Arc::clone(&self.machine);
             machine.block_current(|| {});
-            // Woken with ownership: the releaser kept `held == true` for us.
-            break;
         }
         VMutexGuard {
             mutex: self,
@@ -170,6 +170,14 @@ impl VBarrier {
     }
 }
 
+impl<T> VMutex<T> {
+    /// Direct access to the protected value from *outside* the simulation
+    /// (e.g. assertions after all threads joined).
+    pub fn lock_native(&self) -> parking_lot::MutexGuard<'_, T> {
+        self.value.lock()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,13 +244,5 @@ mod tests {
             assert!(c >= 3000, "all released at or after slowest arrival, got {c}");
             assert!(max - c < 2000, "clocks roughly aligned");
         }
-    }
-}
-
-impl<T> VMutex<T> {
-    /// Direct access to the protected value from *outside* the simulation
-    /// (e.g. assertions after all threads joined).
-    pub fn lock_native(&self) -> parking_lot::MutexGuard<'_, T> {
-        self.value.lock()
     }
 }

@@ -22,7 +22,8 @@
 //! *into* the private state). We perform the explicit check when DEA is on,
 //! as the paper's Figure 10 does, because it skips the recheck load.
 
-use crate::cost::{backoff_wait, charge, CostKind};
+use crate::contention::{resolve, ConflictSite};
+use crate::cost::{charge, CostKind};
 use crate::dea;
 use crate::heap::{Heap, ObjRef, RaceAccess, Word};
 use crate::syncpoint::SyncPoint;
@@ -56,16 +57,18 @@ pub fn read_barrier(heap: &Heap, r: ObjRef, field: usize) -> Word {
         if rec.read_bit_ok() && obj.rec.load() == rec {
             heap.stats.read_barrier();
             charge(CostKind::BarrierRead);
+            if attempt > 0 {
+                heap.stats.record_wait_span(attempt);
+            }
             heap.hit(SyncPoint::NonTxnAccessDone);
             return val;
         }
         if attempt == 0 {
             heap.note_race(r, RaceAccess::Read, rec);
         }
-        heap.stats.conflict_wait();
-        charge(CostKind::Backoff);
-        backoff_wait(attempt);
-        attempt = attempt.saturating_add(1);
+        // Barriers cannot abort (there is no transaction to re-execute), so
+        // the contention manager's SelfAbort is coerced to a wait.
+        let _ = resolve(heap, ConflictSite::BarrierRead, None, Some(rec), &mut attempt);
     }
 }
 
@@ -84,16 +87,16 @@ pub fn ordering_read_barrier(heap: &Heap, r: ObjRef, field: usize) -> Word {
             heap.stats.read_barrier();
             charge(CostKind::BarrierRead);
             let val = obj.field(field).load(Ordering::Acquire);
+            if attempt > 0 {
+                heap.stats.record_wait_span(attempt);
+            }
             heap.hit(SyncPoint::NonTxnAccessDone);
             return val;
         }
         if attempt == 0 {
             heap.note_race(r, RaceAccess::Read, rec);
         }
-        heap.stats.conflict_wait();
-        charge(CostKind::Backoff);
-        backoff_wait(attempt);
-        attempt = attempt.saturating_add(1);
+        let _ = resolve(heap, ConflictSite::BarrierRead, None, Some(rec), &mut attempt);
     }
 }
 
@@ -144,6 +147,9 @@ fn write_barrier_inner(heap: &Heap, r: ObjRef, field: usize, value: Word, ord: O
                 obj.rec.release_anon();
                 heap.stats.write_barrier();
                 charge(CostKind::BarrierWrite);
+                if attempt > 0 {
+                    heap.stats.record_wait_span(attempt);
+                }
                 heap.hit(SyncPoint::NonTxnAccessDone);
                 return;
             }
@@ -151,10 +157,8 @@ fn write_barrier_inner(heap: &Heap, r: ObjRef, field: usize, value: Word, ord: O
                 if attempt == 0 && owned.is_txn_exclusive() {
                     heap.note_race(r, RaceAccess::Write, owned);
                 }
-                heap.stats.conflict_wait();
-                charge(CostKind::Backoff);
-                backoff_wait(attempt);
-                attempt = attempt.saturating_add(1);
+                let _ =
+                    resolve(heap, ConflictSite::BarrierWrite, None, Some(owned), &mut attempt);
             }
         }
     }
@@ -218,14 +222,20 @@ pub fn aggregate<R>(heap: &Heap, r: ObjRef, f: impl FnOnce(&mut OwnedObj<'_>) ->
                 let mut owned = OwnedObj { heap, r, private: false };
                 let out = f(&mut owned);
                 obj.rec.release_anon();
+                if attempt > 0 {
+                    heap.stats.record_wait_span(attempt);
+                }
                 heap.hit(SyncPoint::NonTxnAccessDone);
                 return out;
             }
-            Err(_) => {
-                heap.stats.conflict_wait();
-                charge(CostKind::Backoff);
-                backoff_wait(attempt);
-                attempt = attempt.saturating_add(1);
+            Err(holder) => {
+                let _ = resolve(
+                    heap,
+                    ConflictSite::BarrierAggregate,
+                    None,
+                    Some(holder),
+                    &mut attempt,
+                );
             }
         }
     }

@@ -1,5 +1,7 @@
 //! Runtime configuration of the STM system.
 
+use crate::contention::ContentionPolicy;
+
 /// Version-management policy (paper §2.2 vs §2.3).
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
 pub enum Versioning {
@@ -89,8 +91,14 @@ pub struct StmConfig {
     /// until all concurrently running transactions reach a consistent state.
     pub quiescence: bool,
     /// Number of conflict-manager retries before a transaction aborts
-    /// itself (prevents deadlock between transactions).
+    /// itself (prevents deadlock between transactions). Interpreted by the
+    /// contention policy: [`ContentionPolicy::Backoff`] aborts exactly at
+    /// this budget, [`ContentionPolicy::Karma`] scales it by the waiter's
+    /// seniority, and [`ContentionPolicy::Aggressive`] ignores it.
     pub conflict_retries: u32,
+    /// Which contention manager resolves conflicts (see
+    /// [`crate::contention`] for the policies and their trade-offs).
+    pub contention: ContentionPolicy,
     /// Record a [`crate::heap::RaceEvent`] whenever an isolation barrier
     /// detects a conflict with a transaction (paper §3.2: "conflicts could
     /// signal a race ... Isolation barriers can thus aid in debugging
@@ -111,6 +119,7 @@ impl Default for StmConfig {
             dea: false,
             quiescence: false,
             conflict_retries: 64,
+            contention: ContentionPolicy::default(),
             record_races: false,
             eager_validation: false,
         }
@@ -128,6 +137,11 @@ impl StmConfig {
     /// the §3.3 ordering barrier).
     pub fn lazy() -> Self {
         StmConfig { versioning: Versioning::Lazy, ..StmConfig::default() }
+    }
+
+    /// The same configuration with a different contention policy.
+    pub fn with_contention(self, contention: ContentionPolicy) -> Self {
+        StmConfig { contention, ..self }
     }
 }
 

@@ -15,10 +15,12 @@
 //! read set / acquired for writing, preserving serializability.
 
 use crate::config::StmConfig;
-use crate::cost::{backoff_wait, charge, CostKind};
+use crate::contention::{resolve, ConflictSite};
+use crate::cost::{charge, CostKind};
 use crate::dea;
 use crate::heap::{Heap, ObjRef, TxnSlot, Word};
 use crate::quiesce;
+use crate::stats::TxnTelemetry;
 use crate::syncpoint::SyncPoint;
 use crate::txn::{active_tokens, Abort, TxResult};
 use crate::txnrec::{OwnerToken, RecWord};
@@ -61,19 +63,22 @@ pub struct EagerTxn<'h> {
     on_abort: Vec<Box<dyn FnOnce() + 'h>>,
     on_commit: Vec<Box<dyn FnOnce() + 'h>>,
     slot: Option<Arc<TxnSlot>>,
+    telem: TxnTelemetry,
 }
 
 impl<'h> EagerTxn<'h> {
-    pub(crate) fn new(heap: &'h Heap) -> Self {
+    pub(crate) fn new(heap: &'h Heap, age: u64) -> Self {
         let slot = if heap.config.quiescence {
             Some(heap.registry.claim(heap.serial.load(Ordering::Acquire)))
         } else {
             None
         };
         charge(CostKind::TxnBegin);
+        let owner = heap.fresh_owner();
+        heap.register_age(owner, age);
         EagerTxn {
             heap,
-            owner: heap.fresh_owner(),
+            owner,
             read_set: Vec::new(),
             owned: HashMap::new(),
             undo: Vec::new(),
@@ -82,6 +87,7 @@ impl<'h> EagerTxn<'h> {
             on_abort: Vec::new(),
             on_commit: Vec::new(),
             slot,
+            telem: TxnTelemetry { attempts: 1, ..TxnTelemetry::default() },
         }
     }
 
@@ -97,30 +103,45 @@ impl<'h> EagerTxn<'h> {
         &self.heap.config
     }
 
-    /// Conflict-manager wait; aborts self after the configured retry budget
-    /// and panics on provable self-deadlock (open nesting touching an
-    /// enclosing transaction's lock).
-    fn conflict(&self, attempt: &mut u32, holder: RecWord) -> TxResult<()> {
+    /// Consults the heap's contention manager about a conflict at `site`;
+    /// waits or aborts self per its decision, and panics on provable
+    /// self-deadlock (open nesting touching an enclosing transaction's
+    /// lock).
+    fn conflict(&mut self, site: ConflictSite, attempt: &mut u32, holder: RecWord) -> TxResult<()> {
         if holder.is_txn_exclusive() && active_tokens().contains(&holder.raw()) {
             panic!(
                 "open-nested transaction accessed data locked by an enclosing \
                  transaction; open-nested code must use disjoint data"
             );
         }
-        if *attempt >= self.config().conflict_retries {
-            return Err(Abort::Conflict);
+        if *attempt == 0 {
+            self.telem.conflicts += 1;
         }
-        self.heap.stats.conflict_wait();
-        charge(CostKind::Backoff);
-        backoff_wait(*attempt);
-        *attempt += 1;
-        Ok(())
+        match resolve(self.heap, site, Some(self.owner), Some(holder), attempt) {
+            Ok(()) => {
+                self.telem.wait_rounds += 1;
+                Ok(())
+            }
+            Err(()) => {
+                self.telem.self_aborts += 1;
+                Err(Abort::Conflict)
+            }
+        }
+    }
+
+    /// Completes a contended acquisition: records the wait span in the
+    /// telemetry histogram.
+    fn conflict_resolved(&self, attempt: u32) {
+        if attempt > 0 {
+            self.heap.stats.record_wait_span(attempt);
+        }
     }
 
     /// Opens `r` for reading (paper: open-for-read barrier) and returns the
     /// field value.
     pub(crate) fn read(&mut self, r: ObjRef, field: usize) -> TxResult<Word> {
         if self.config().eager_validation && !self.read_set_valid() {
+            self.heap.stats.abort_validation();
             return Err(Abort::Conflict);
         }
         let obj = self.heap.obj(r);
@@ -130,24 +151,28 @@ impl<'h> EagerTxn<'h> {
             if rec.is_private() {
                 // DEA fast path: no logging; compensated on publication.
                 self.private_reads.insert(r);
+                self.conflict_resolved(attempt);
                 return Ok(obj.field(field).load(Ordering::Relaxed));
             }
             if rec.owned_by(self.owner) {
+                self.conflict_resolved(attempt);
                 return Ok(obj.field(field).load(Ordering::Relaxed));
             }
             if rec.is_shared() {
                 charge(CostKind::TxnOpenRead);
                 let val = obj.field(field).load(Ordering::Acquire);
                 self.read_set.push((r, rec));
+                self.conflict_resolved(attempt);
                 return Ok(val);
             }
-            self.conflict(&mut attempt, rec)?;
+            self.conflict(ConflictSite::TxnRead, &mut attempt, rec)?;
         }
     }
 
     /// Acquires `r` for writing and logs the undo span for `field`.
     fn open_write(&mut self, r: ObjRef, field: usize) -> TxResult<()> {
         if self.config().eager_validation && !self.read_set_valid() {
+            self.heap.stats.abort_validation();
             return Err(Abort::Conflict);
         }
         let obj = self.heap.obj(r);
@@ -157,10 +182,12 @@ impl<'h> EagerTxn<'h> {
             if rec.is_private() {
                 self.private_writes.insert(r);
                 self.log_undo(r, field);
+                self.conflict_resolved(attempt);
                 return Ok(());
             }
             if rec.owned_by(self.owner) {
                 self.log_undo(r, field);
+                self.conflict_resolved(attempt);
                 return Ok(());
             }
             if rec.is_shared() {
@@ -168,11 +195,12 @@ impl<'h> EagerTxn<'h> {
                 if obj.rec.try_acquire_txn(rec, self.owner).is_ok() {
                     self.owned.insert(r, rec);
                     self.log_undo(r, field);
+                    self.conflict_resolved(attempt);
                     return Ok(());
                 }
                 continue; // record changed under us; re-read
             }
-            self.conflict(&mut attempt, rec)?;
+            self.conflict(ConflictSite::TxnWrite, &mut attempt, rec)?;
         }
     }
 
@@ -268,6 +296,7 @@ impl<'h> EagerTxn<'h> {
             }
             Ok(())
         } else {
+            self.heap.stats.abort_validation();
             Err(Abort::Conflict)
         }
     }
@@ -276,6 +305,7 @@ impl<'h> EagerTxn<'h> {
     /// back and released before `Err(Abort::Conflict)` is returned.
     pub(crate) fn commit(&mut self) -> TxResult<()> {
         if !self.read_set_valid() {
+            self.heap.stats.abort_validation();
             self.abort();
             return Err(Abort::Conflict);
         }
@@ -325,6 +355,7 @@ impl<'h> EagerTxn<'h> {
     }
 
     fn clear(&mut self) {
+        self.heap.retire_age(self.owner);
         self.read_set.clear();
         self.undo.clear();
         self.owned.clear();
@@ -332,6 +363,11 @@ impl<'h> EagerTxn<'h> {
         self.private_writes.clear();
         self.on_abort.clear();
         self.on_commit.clear();
+    }
+
+    /// This attempt's contention telemetry.
+    pub(crate) fn telemetry(&self) -> TxnTelemetry {
+        self.telem
     }
 
     /// Snapshot of the read set, used by `retry` to wait for a change.

@@ -11,8 +11,9 @@
 //! graph — and which are `final` (the JIT elides their barriers, paper §6).
 
 use crate::config::StmConfig;
+use crate::contention::ContentionManager;
 use crate::segvec::SegVec;
-use crate::stats::Stats;
+use crate::stats::{Stats, StatsSnapshot};
 use crate::syncpoint::{current_actor, Script, SyncPoint};
 use crate::txnrec::{OwnerToken, TxnRecord};
 use parking_lot::{Mutex, RwLock};
@@ -240,11 +241,19 @@ pub struct Heap {
     pub(crate) registry: Registry,
     desc_counter: AtomicUsize,
     races: Mutex<Vec<RaceEvent>>,
+    /// The contention manager built from [`StmConfig::contention`].
+    cm: Arc<dyn ContentionManager>,
+    /// Birth-ticket source for age-based contention policies.
+    age_counter: AtomicU64,
+    /// Owner-token word → birth ticket of the atomic block currently using
+    /// that token. Maintained only when the policy reports `needs_age()`.
+    ages: Mutex<HashMap<usize, u64>>,
 }
 
 impl Heap {
     /// Creates a heap with the given configuration.
     pub fn new(config: StmConfig) -> Arc<Heap> {
+        let cm = config.contention.build();
         Arc::new(Heap {
             store: SegVec::new(),
             shapes: RwLock::new(Vec::new()),
@@ -257,6 +266,9 @@ impl Heap {
             registry: Registry::default(),
             desc_counter: AtomicUsize::new(1),
             races: Mutex::new(Vec::new()),
+            cm,
+            age_counter: AtomicU64::new(1),
+            ages: Mutex::new(HashMap::new()),
         })
     }
 
@@ -268,6 +280,44 @@ impl Heap {
     /// Runtime counters.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Point-in-time snapshot of all runtime counters, including the
+    /// per-site contention telemetry and wait-span histogram.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The installed contention manager.
+    pub fn contention(&self) -> &dyn ContentionManager {
+        self.cm.as_ref()
+    }
+
+    /// Draws a fresh birth ticket for an atomic block (monotonic; lower =
+    /// older). Used by age-based contention policies.
+    pub(crate) fn issue_age(&self) -> u64 {
+        self.age_counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Associates `token` with the atomic block's birth ticket for the
+    /// duration of one attempt. No-op unless the policy needs ages.
+    pub(crate) fn register_age(&self, token: OwnerToken, age: u64) {
+        if self.cm.needs_age() {
+            self.ages.lock().insert(token.word(), age);
+        }
+    }
+
+    /// Drops the age registration of `token` (attempt finished).
+    pub(crate) fn retire_age(&self, token: OwnerToken) {
+        if self.cm.needs_age() {
+            self.ages.lock().remove(&token.word());
+        }
+    }
+
+    /// Birth ticket of the transaction whose owner token encodes to `word`,
+    /// if registered.
+    pub(crate) fn age_of_word(&self, word: usize) -> Option<u64> {
+        self.ages.lock().get(&word).copied()
     }
 
     /// Registers a shape; names must be unique.

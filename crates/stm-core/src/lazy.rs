@@ -16,10 +16,12 @@
 //! the whole span (granular lost update) — both exactly as the paper
 //! describes.
 
-use crate::cost::{backoff_wait, charge, CostKind};
+use crate::contention::{resolve, ConflictSite};
+use crate::cost::{charge, CostKind};
 use crate::dea;
 use crate::heap::{Heap, ObjRef, TxnSlot, Word};
 use crate::quiesce;
+use crate::stats::TxnTelemetry;
 use crate::syncpoint::SyncPoint;
 use crate::txn::{active_tokens, Abort, TxResult};
 use crate::txnrec::{OwnerToken, RecWord};
@@ -70,24 +72,28 @@ pub struct LazyTxn<'h> {
     on_abort: Vec<Box<dyn FnOnce() + 'h>>,
     on_commit: Vec<Box<dyn FnOnce() + 'h>>,
     slot: Option<Arc<TxnSlot>>,
+    telem: TxnTelemetry,
 }
 
 impl<'h> LazyTxn<'h> {
-    pub(crate) fn new(heap: &'h Heap) -> Self {
+    pub(crate) fn new(heap: &'h Heap, age: u64) -> Self {
         let slot = if heap.config.quiescence {
             Some(heap.registry.claim(heap.serial.load(Ordering::Acquire)))
         } else {
             None
         };
         charge(CostKind::TxnBegin);
+        let owner = heap.fresh_owner();
+        heap.register_age(owner, age);
         LazyTxn {
             heap,
-            owner: heap.fresh_owner(),
+            owner,
             read_set: Vec::new(),
             buffer: WriteBuffer::default(),
             on_abort: Vec::new(),
             on_commit: Vec::new(),
             slot,
+            telem: TxnTelemetry { attempts: 1, ..TxnTelemetry::default() },
         }
     }
 
@@ -105,21 +111,38 @@ impl<'h> LazyTxn<'h> {
         (span.start as u32, span.len() as u8)
     }
 
-    fn conflict(&self, attempt: &mut u32, holder: RecWord) -> TxResult<()> {
+    /// Consults the heap's contention manager about a conflict at `site`;
+    /// waits or aborts self per its decision, and panics on provable
+    /// self-deadlock (open nesting touching an enclosing transaction's
+    /// lock).
+    fn conflict(&mut self, site: ConflictSite, attempt: &mut u32, holder: RecWord) -> TxResult<()> {
         if holder.is_txn_exclusive() && active_tokens().contains(&holder.raw()) {
             panic!(
                 "open-nested transaction accessed data locked by an enclosing \
                  transaction; open-nested code must use disjoint data"
             );
         }
-        if *attempt >= self.heap.config.conflict_retries {
-            return Err(Abort::Conflict);
+        if *attempt == 0 {
+            self.telem.conflicts += 1;
         }
-        self.heap.stats.conflict_wait();
-        charge(CostKind::Backoff);
-        backoff_wait(*attempt);
-        *attempt += 1;
-        Ok(())
+        match resolve(self.heap, site, Some(self.owner), Some(holder), attempt) {
+            Ok(()) => {
+                self.telem.wait_rounds += 1;
+                Ok(())
+            }
+            Err(()) => {
+                self.telem.self_aborts += 1;
+                Err(Abort::Conflict)
+            }
+        }
+    }
+
+    /// Completes a contended acquisition: records the wait span in the
+    /// telemetry histogram.
+    fn conflict_resolved(&self, attempt: u32) {
+        if attempt > 0 {
+            self.heap.stats.record_wait_span(attempt);
+        }
     }
 
     /// Transactional read: buffered value if the span was written (including
@@ -127,6 +150,7 @@ impl<'h> LazyTxn<'h> {
     /// else an optimistic read with read-set logging.
     pub(crate) fn read(&mut self, r: ObjRef, field: usize) -> TxResult<Word> {
         if self.heap.config.eager_validation && !self.read_set_valid(&HashMap::new()) {
+            self.heap.stats.abort_validation();
             return Err(Abort::Conflict);
         }
         let (base, _len) = self.span_base(r, field);
@@ -138,17 +162,19 @@ impl<'h> LazyTxn<'h> {
         loop {
             let rec = obj.rec.load();
             if rec.is_private() {
+                self.conflict_resolved(attempt);
                 return Ok(obj.field(field).load(Ordering::Relaxed));
             }
             if rec.is_shared() {
                 charge(CostKind::TxnOpenRead);
                 let val = obj.field(field).load(Ordering::Acquire);
                 self.read_set.push((r, rec));
+                self.conflict_resolved(attempt);
                 return Ok(val);
             }
             // Exclusive: a committer is writing back (or a non-transactional
             // writer owns it anonymously); both finish in bounded time.
-            self.conflict(&mut attempt, rec)?;
+            self.conflict(ConflictSite::TxnRead, &mut attempt, rec)?;
         }
     }
 
@@ -173,13 +199,14 @@ impl<'h> LazyTxn<'h> {
                 let rec = loop {
                     let rec = obj.rec.load();
                     if rec.is_private() || rec.is_shared() {
+                        self.conflict_resolved(attempt);
                         break rec;
                     }
-                    self.conflict(&mut attempt, rec)?;
+                    self.conflict(ConflictSite::TxnWrite, &mut attempt, rec)?;
                 };
                 let mut vals = [0u64; MAX_SPAN];
-                for i in 0..len as usize {
-                    vals[i] = obj.field(base as usize + i).load(Ordering::Acquire);
+                for (i, v) in vals.iter_mut().enumerate().take(len as usize) {
+                    *v = obj.field(base as usize + i).load(Ordering::Acquire);
                 }
                 if rec.is_shared() {
                     self.read_set.push((r, rec));
@@ -222,6 +249,7 @@ impl<'h> LazyTxn<'h> {
             }
             Ok(())
         } else {
+            self.heap.stats.abort_validation();
             Err(Abort::Conflict)
         }
     }
@@ -254,17 +282,19 @@ impl<'h> LazyTxn<'h> {
                     }
                     continue;
                 }
-                if let Err(abort) = self.conflict(&mut attempt, rec) {
+                if let Err(abort) = self.conflict(ConflictSite::TxnCommit, &mut attempt, rec) {
                     self.release_restore(&mut owned);
                     self.abort();
                     return Err(abort);
                 }
             }
         }
+        self.conflict_resolved(attempt);
 
         if !self.read_set_valid(&owned) {
             // No memory was written: restore the exact prior words so
             // versions do not change.
+            self.heap.stats.abort_validation();
             self.release_restore(&mut owned);
             self.abort();
             return Err(Abort::Conflict);
@@ -334,11 +364,17 @@ impl<'h> LazyTxn<'h> {
     }
 
     fn clear(&mut self) {
+        self.heap.retire_age(self.owner);
         self.read_set.clear();
         self.buffer.entries.clear();
         self.buffer.index.clear();
         self.on_abort.clear();
         self.on_commit.clear();
+    }
+
+    /// This attempt's contention telemetry.
+    pub(crate) fn telemetry(&self) -> TxnTelemetry {
+        self.telem
     }
 
     pub(crate) fn read_snapshot(&self) -> Vec<(ObjRef, RecWord)> {

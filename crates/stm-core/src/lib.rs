@@ -55,6 +55,7 @@
 
 pub mod barrier;
 pub mod config;
+pub mod contention;
 pub mod cost;
 pub mod dea;
 pub mod eager;
@@ -76,8 +77,10 @@ pub use paste;
 pub mod prelude {
     pub use crate::barrier::{aggregate, read_access, read_barrier, write_access, write_barrier};
     pub use crate::config::{BarrierMode, Granularity, StmConfig, Versioning};
+    pub use crate::contention::{CmDecision, ConflictSite, ContentionManager, ContentionPolicy};
     pub use crate::heap::{FieldDef, Heap, Kind, ObjRef, Shape, ShapeId, Word};
     pub use crate::locks::SyncTable;
-    pub use crate::txn::{atomic, try_atomic, Abort, TxResult, Txn};
+    pub use crate::stats::{StatsSnapshot, TxnTelemetry};
+    pub use crate::txn::{atomic, atomic_traced, try_atomic, try_atomic_traced, Abort, TxResult, Txn};
     pub use crate::typed::{RefRecord, TArray, TCell, Transactable};
 }

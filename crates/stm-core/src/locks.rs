@@ -8,8 +8,9 @@
 //! lock convoys to virtual time (this is how coarse-grained OO7's failure to
 //! scale reproduces).
 
+use crate::contention::{resolve, ConflictSite};
 use crate::cost::{backoff_wait, charge, CostKind};
-use crate::heap::ObjRef;
+use crate::heap::{Heap, ObjRef};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -26,17 +27,31 @@ struct ObjLock {
 ///
 /// Locks are not reentrant; lock-based workloads are written without nested
 /// acquisition of the same object (as the originals can be).
+///
+/// A table built with [`SyncTable::for_heap`] routes its waiting through the
+/// heap's contention manager (and telemetry); a bare [`SyncTable::new`]
+/// table spins with plain exponential backoff.
 #[derive(Debug)]
 pub struct SyncTable {
-    shards: Box<[Mutex<HashMap<ObjRef, Arc<ObjLock>>>]>,
+    shards: Box<[Shard]>,
+    heap: Option<Arc<Heap>>,
 }
+
+type Shard = Mutex<HashMap<ObjRef, Arc<ObjLock>>>;
 
 impl SyncTable {
     /// Creates an empty table.
     pub fn new() -> Self {
         SyncTable {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            heap: None,
         }
+    }
+
+    /// Creates an empty table whose lock waits consult `heap`'s contention
+    /// manager and feed its conflict telemetry ([`ConflictSite::Lock`]).
+    pub fn for_heap(heap: Arc<Heap>) -> Self {
+        SyncTable { heap: Some(heap), ..SyncTable::new() }
     }
 
     fn lock_for(&self, r: ObjRef) -> Arc<ObjLock> {
@@ -53,8 +68,22 @@ impl SyncTable {
             .compare_exchange_weak(false, true, Ordering::AcqRel, Ordering::Acquire)
             .is_err()
         {
-            backoff_wait(attempt);
-            attempt = attempt.saturating_add(1);
+            match &self.heap {
+                // Locks cannot abort; the manager's SelfAbort is coerced to
+                // a wait inside `resolve`.
+                Some(heap) => {
+                    let _ = resolve(heap, ConflictSite::Lock, None, None, &mut attempt);
+                }
+                None => {
+                    backoff_wait(attempt);
+                    attempt = attempt.saturating_add(1);
+                }
+            }
+        }
+        if attempt > 0 {
+            if let Some(heap) = &self.heap {
+                heap.stats().record_wait_span(attempt);
+            }
         }
         charge(CostKind::LockAcquire);
         SyncGuard { lock }

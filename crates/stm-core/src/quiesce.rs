@@ -10,7 +10,7 @@
 //! but *not* the general anomalies (speculative dirty reads, memory
 //! inconsistency) — a distinction the litmus suite demonstrates.
 
-use crate::cost::backoff_wait;
+use crate::contention::{resolve, ConflictSite};
 use crate::heap::{Heap, TxnSlot};
 use crate::syncpoint::SyncPoint;
 use std::sync::atomic::Ordering;
@@ -43,9 +43,13 @@ pub(crate) fn finish_and_quiesce(heap: &Heap, slot: &TxnSlot, committed: bool) {
                 heap.stats.quiescence_wait();
                 waited = true;
             }
-            backoff_wait(attempt);
-            attempt = attempt.saturating_add(1);
+            // Quiescence cannot abort — the committer has already won; the
+            // contention manager only shapes how hard it spins.
+            let _ = resolve(heap, ConflictSite::Quiesce, None, None, &mut attempt);
         }
+    }
+    if attempt > 0 {
+        heap.stats.record_wait_span(attempt);
     }
 }
 

@@ -1,10 +1,34 @@
 //! Lightweight runtime counters for experiments and test assertions.
+//!
+//! Two layers:
+//!
+//! * The original flat event counters (commits, aborts, barrier executions,
+//!   …), kept for compatibility with the seed's assertions.
+//! * Structured contention telemetry fed by [`crate::contention::resolve`]
+//!   and the abort paths: per-[`ConflictSite`] conflict/wait/self-abort
+//!   counters, abort-reason counters, and a fixed-bucket histogram of how
+//!   many backoff rounds each resolved conflict took
+//!   ([`StatsSnapshot::wait_hist`]).
+//!
+//! Everything is relaxed atomics: counters are diagnostics, not
+//! synchronization. Snapshot with [`Stats::snapshot`] (or
+//! [`crate::heap::Heap::stats_snapshot`]).
 
+use crate::contention::ConflictSite;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Per-heap event counters. All methods are relaxed; counters are
-/// diagnostics, not synchronization.
-#[derive(Debug, Default)]
+/// Number of buckets in the wait-span histogram. Bucket `i` counts conflicts
+/// resolved (or given up) after `n` backoff rounds with
+/// `2^i <= n < 2^(i+1)` (bucket 0 additionally holds `n == 1`; zero-round
+/// resolutions are not conflicts and are not recorded).
+pub const WAIT_BUCKETS: usize = 8;
+
+fn site_array() -> [AtomicU64; ConflictSite::COUNT] {
+    std::array::from_fn(|_| AtomicU64::new(0))
+}
+
+/// Per-heap event counters.
+#[derive(Debug)]
 pub struct Stats {
     /// Committed transactions.
     pub commits: AtomicU64,
@@ -27,6 +51,43 @@ pub struct Stats {
     pub quiescence_waits: AtomicU64,
     /// User-initiated `retry` operations.
     pub retries: AtomicU64,
+
+    // --- structured contention telemetry ---
+    /// Distinct conflict events per site (each acquisition that found the
+    /// record/lock taken counts once, however long it then waited).
+    conflict_events: [AtomicU64; ConflictSite::COUNT],
+    /// Contention-manager wait decisions per site (one per backoff round).
+    cm_waits: [AtomicU64; ConflictSite::COUNT],
+    /// Contention-manager self-abort decisions per site.
+    cm_self_aborts: [AtomicU64; ConflictSite::COUNT],
+    /// Aborts caused by read-set validation failure.
+    aborts_validation: AtomicU64,
+    /// Top-level cancels (`Txn::cancel` reaching `try_atomic`).
+    aborts_cancel: AtomicU64,
+    /// Wait-span histogram; see [`WAIT_BUCKETS`].
+    wait_hist: [AtomicU64; WAIT_BUCKETS],
+}
+
+impl Default for Stats {
+    fn default() -> Self {
+        Stats {
+            commits: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+            read_barriers: AtomicU64::new(0),
+            write_barriers: AtomicU64::new(0),
+            private_fast_paths: AtomicU64::new(0),
+            publishes: AtomicU64::new(0),
+            conflict_waits: AtomicU64::new(0),
+            quiescence_waits: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            conflict_events: site_array(),
+            cm_waits: site_array(),
+            cm_self_aborts: site_array(),
+            aborts_validation: AtomicU64::new(0),
+            aborts_cancel: AtomicU64::new(0),
+            wait_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
 }
 
 macro_rules! bump {
@@ -57,37 +118,183 @@ impl Stats {
         conflict_wait => conflict_waits,
         quiescence_wait => quiescence_waits,
         retry => retries,
+        abort_validation => aborts_validation,
+        abort_cancel => aborts_cancel,
+    }
+
+    /// Records a fresh conflict event at `site`.
+    #[inline]
+    pub fn conflict_event(&self, site: ConflictSite) {
+        self.conflict_events[site.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one contention-manager wait round at `site`.
+    #[inline]
+    pub fn cm_wait(&self, site: ConflictSite) {
+        self.cm_waits[site.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a contention-manager self-abort decision at `site`.
+    #[inline]
+    pub fn cm_self_abort(&self, site: ConflictSite) {
+        self.cm_self_aborts[site.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records that a conflict was resolved (or abandoned) after `rounds`
+    /// backoff rounds. Zero rounds means no conflict; not recorded.
+    #[inline]
+    pub fn record_wait_span(&self, rounds: u32) {
+        if rounds == 0 {
+            return;
+        }
+        let bucket = (31 - rounds.leading_zeros()).min(WAIT_BUCKETS as u32 - 1) as usize;
+        self.wait_hist[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
     /// A point-in-time snapshot, convenient for assertions.
     pub fn snapshot(&self) -> StatsSnapshot {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
         StatsSnapshot {
-            commits: self.commits.load(Ordering::Relaxed),
-            aborts: self.aborts.load(Ordering::Relaxed),
-            read_barriers: self.read_barriers.load(Ordering::Relaxed),
-            write_barriers: self.write_barriers.load(Ordering::Relaxed),
-            private_fast_paths: self.private_fast_paths.load(Ordering::Relaxed),
-            publishes: self.publishes.load(Ordering::Relaxed),
-            conflict_waits: self.conflict_waits.load(Ordering::Relaxed),
-            quiescence_waits: self.quiescence_waits.load(Ordering::Relaxed),
-            retries: self.retries.load(Ordering::Relaxed),
+            commits: load(&self.commits),
+            aborts: load(&self.aborts),
+            read_barriers: load(&self.read_barriers),
+            write_barriers: load(&self.write_barriers),
+            private_fast_paths: load(&self.private_fast_paths),
+            publishes: load(&self.publishes),
+            conflict_waits: load(&self.conflict_waits),
+            quiescence_waits: load(&self.quiescence_waits),
+            retries: load(&self.retries),
+            conflict_events: std::array::from_fn(|i| load(&self.conflict_events[i])),
+            cm_waits: std::array::from_fn(|i| load(&self.cm_waits[i])),
+            cm_self_aborts: std::array::from_fn(|i| load(&self.cm_self_aborts[i])),
+            aborts_validation: load(&self.aborts_validation),
+            aborts_cancel: load(&self.aborts_cancel),
+            wait_hist: std::array::from_fn(|i| load(&self.wait_hist[i])),
         }
     }
 }
 
 /// Plain-value snapshot of [`Stats`].
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
-#[allow(missing_docs)]
 pub struct StatsSnapshot {
+    /// Committed transactions.
     pub commits: u64,
+    /// Aborted transaction attempts.
     pub aborts: u64,
+    /// Slow-path non-transactional read barriers.
     pub read_barriers: u64,
+    /// Slow-path non-transactional write barriers.
     pub write_barriers: u64,
+    /// DEA private-fast-path barrier executions.
     pub private_fast_paths: u64,
+    /// Objects published.
     pub publishes: u64,
+    /// Total conflict-manager wait rounds.
     pub conflict_waits: u64,
+    /// Transactions that quiesce-waited.
     pub quiescence_waits: u64,
+    /// User retries.
     pub retries: u64,
+    /// Conflict events per [`ConflictSite::index`].
+    pub conflict_events: [u64; ConflictSite::COUNT],
+    /// Wait decisions per site.
+    pub cm_waits: [u64; ConflictSite::COUNT],
+    /// Self-abort decisions per site.
+    pub cm_self_aborts: [u64; ConflictSite::COUNT],
+    /// Aborts from read-set validation failure.
+    pub aborts_validation: u64,
+    /// Top-level cancels.
+    pub aborts_cancel: u64,
+    /// Wait-span histogram (see [`WAIT_BUCKETS`]).
+    pub wait_hist: [u64; WAIT_BUCKETS],
+}
+
+impl StatsSnapshot {
+    /// Conflict events at `site`.
+    pub fn conflicts_at(&self, site: ConflictSite) -> u64 {
+        self.conflict_events[site.index()]
+    }
+
+    /// Wait rounds at `site`.
+    pub fn waits_at(&self, site: ConflictSite) -> u64 {
+        self.cm_waits[site.index()]
+    }
+
+    /// Self-aborts at `site`.
+    pub fn self_aborts_at(&self, site: ConflictSite) -> u64 {
+        self.cm_self_aborts[site.index()]
+    }
+
+    /// Total conflict events across all sites.
+    pub fn total_conflicts(&self) -> u64 {
+        self.conflict_events.iter().sum()
+    }
+
+    /// Total contention-manager self-aborts across all sites.
+    pub fn total_self_aborts(&self) -> u64 {
+        self.cm_self_aborts.iter().sum()
+    }
+
+    /// Total wait spans recorded in the histogram.
+    pub fn total_wait_spans(&self) -> u64 {
+        self.wait_hist.iter().sum()
+    }
+
+    /// Renders the telemetry as a compact multi-line report (used by the
+    /// bench harness's contention experiment).
+    pub fn render_contention(&self) -> String {
+        let mut out = String::new();
+        out.push_str("site            conflicts  waits      self-aborts\n");
+        for site in ConflictSite::ALL {
+            let i = site.index();
+            if self.conflict_events[i] + self.cm_waits[i] + self.cm_self_aborts[i] == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:<15} {:<10} {:<10} {}\n",
+                site.label(),
+                self.conflict_events[i],
+                self.cm_waits[i],
+                self.cm_self_aborts[i],
+            ));
+        }
+        out.push_str("wait-span rounds:");
+        for (i, n) in self.wait_hist.iter().enumerate() {
+            if *n > 0 {
+                let lo = 1u64 << i;
+                out.push_str(&format!("  [{}+]={}", lo, n));
+            }
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Per-transaction contention telemetry.
+///
+/// Each engine accumulates one of these per attempt; the
+/// [`crate::txn::atomic_traced`] entry point sums the attempts of one atomic
+/// block and returns the total next to the block's result.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TxnTelemetry {
+    /// Executions of the atomic block (1 = committed first try).
+    pub attempts: u32,
+    /// Distinct conflict events this block's transactions hit.
+    pub conflicts: u32,
+    /// Total contention-manager wait rounds across those conflicts.
+    pub wait_rounds: u32,
+    /// Conflict-manager self-aborts suffered.
+    pub self_aborts: u32,
+}
+
+impl TxnTelemetry {
+    /// Accumulates another attempt's telemetry into this total.
+    pub fn absorb(&mut self, other: TxnTelemetry) {
+        self.attempts += other.attempts;
+        self.conflicts += other.conflicts;
+        self.wait_rounds += other.wait_rounds;
+        self.self_aborts += other.self_aborts;
+    }
 }
 
 #[cfg(test)]
@@ -108,5 +315,50 @@ mod tests {
         assert_eq!(snap.read_barriers, 1);
         assert_eq!(snap.private_fast_paths, 1);
         assert_eq!(snap.write_barriers, 0);
+    }
+
+    #[test]
+    fn per_site_counters_are_independent() {
+        let s = Stats::new();
+        s.conflict_event(ConflictSite::TxnRead);
+        s.conflict_event(ConflictSite::TxnRead);
+        s.cm_wait(ConflictSite::BarrierWrite);
+        s.cm_self_abort(ConflictSite::TxnCommit);
+        let snap = s.snapshot();
+        assert_eq!(snap.conflicts_at(ConflictSite::TxnRead), 2);
+        assert_eq!(snap.conflicts_at(ConflictSite::TxnWrite), 0);
+        assert_eq!(snap.waits_at(ConflictSite::BarrierWrite), 1);
+        assert_eq!(snap.self_aborts_at(ConflictSite::TxnCommit), 1);
+        assert_eq!(snap.total_conflicts(), 2);
+        assert_eq!(snap.total_self_aborts(), 1);
+    }
+
+    #[test]
+    fn wait_hist_buckets_by_power_of_two() {
+        let s = Stats::new();
+        s.record_wait_span(0); // not recorded
+        s.record_wait_span(1); // bucket 0
+        s.record_wait_span(2); // bucket 1
+        s.record_wait_span(3); // bucket 1
+        s.record_wait_span(4); // bucket 2
+        s.record_wait_span(255); // bucket 7
+        s.record_wait_span(u32::MAX); // clamped to bucket 7
+        let snap = s.snapshot();
+        assert_eq!(snap.wait_hist[0], 1);
+        assert_eq!(snap.wait_hist[1], 2);
+        assert_eq!(snap.wait_hist[2], 1);
+        assert_eq!(snap.wait_hist[7], 2);
+        assert_eq!(snap.total_wait_spans(), 6);
+    }
+
+    #[test]
+    fn contention_report_renders() {
+        let s = Stats::new();
+        s.conflict_event(ConflictSite::Lock);
+        s.cm_wait(ConflictSite::Lock);
+        s.record_wait_span(1);
+        let r = s.snapshot().render_contention();
+        assert!(r.contains("lock"));
+        assert!(r.contains("[1+]=1"));
     }
 }

@@ -34,6 +34,7 @@ use crate::cost::backoff_wait;
 use crate::eager::EagerTxn;
 use crate::heap::{Heap, ObjRef, ShapeId, Word};
 use crate::lazy::LazyTxn;
+use crate::stats::TxnTelemetry;
 use crate::syncpoint::SyncPoint;
 use crate::txnrec::RecWord;
 use std::cell::RefCell;
@@ -110,10 +111,10 @@ pub struct Txn<'h> {
 }
 
 impl<'h> Txn<'h> {
-    fn begin(heap: &'h Heap) -> Self {
+    fn begin(heap: &'h Heap, age: u64) -> Self {
         let inner = match heap.config.versioning {
-            Versioning::Eager => Inner::Eager(EagerTxn::new(heap)),
-            Versioning::Lazy => Inner::Lazy(LazyTxn::new(heap)),
+            Versioning::Eager => Inner::Eager(EagerTxn::new(heap, age)),
+            Versioning::Lazy => Inner::Lazy(LazyTxn::new(heap, age)),
         };
         Txn { inner }
     }
@@ -268,6 +269,13 @@ impl<'h> Txn<'h> {
             Inner::Lazy(t) => t.read_snapshot(),
         }
     }
+
+    fn telemetry(&self) -> TxnTelemetry {
+        match &self.inner {
+            Inner::Eager(t) => t.telemetry(),
+            Inner::Lazy(t) => t.telemetry(),
+        }
+    }
 }
 
 impl std::fmt::Debug for Txn<'_> {
@@ -289,29 +297,62 @@ pub fn atomic<T>(heap: &Heap, f: impl FnMut(&mut Txn<'_>) -> TxResult<T>) -> T {
 }
 
 /// Runs `f` as an atomic block; returns `None` if the block cancelled.
-pub fn try_atomic<T>(heap: &Heap, mut f: impl FnMut(&mut Txn<'_>) -> TxResult<T>) -> Option<T> {
+pub fn try_atomic<T>(heap: &Heap, f: impl FnMut(&mut Txn<'_>) -> TxResult<T>) -> Option<T> {
+    try_atomic_traced(heap, f).0
+}
+
+/// Like [`atomic`], but also returns the block's accumulated
+/// [`TxnTelemetry`] — attempts, conflicts, wait rounds and self-aborts
+/// summed over every re-execution until the commit.
+///
+/// # Panics
+/// Panics if `f` cancels; use [`try_atomic_traced`] for cancellable blocks.
+pub fn atomic_traced<T>(
+    heap: &Heap,
+    f: impl FnMut(&mut Txn<'_>) -> TxResult<T>,
+) -> (T, TxnTelemetry) {
+    let (v, telem) = try_atomic_traced(heap, f);
+    (v.expect("top-level atomic block cancelled; use try_atomic_traced"), telem)
+}
+
+/// Runs `f` as an atomic block, accumulating [`TxnTelemetry`] across
+/// re-executions; returns `None` if the block cancelled.
+pub fn try_atomic_traced<T>(
+    heap: &Heap,
+    mut f: impl FnMut(&mut Txn<'_>) -> TxResult<T>,
+) -> (Option<T>, TxnTelemetry) {
+    // One age ticket per atomic block, held across re-executions: this is
+    // what lets the karma policy favour long-suffering transactions.
+    let age = heap.issue_age();
+    let mut telem = TxnTelemetry::default();
     let mut attempt = 0u32;
     loop {
         heap.hit(SyncPoint::TxnBegin);
-        let mut txn = Txn::begin(heap);
+        let mut txn = Txn::begin(heap, age);
         let guard = TokenGuard::push(txn.owner_word());
         let result = f(&mut txn);
         match result {
-            Ok(v) => match txn.commit() {
-                Ok(()) => return Some(v),
-                Err(_) => {
-                    drop(guard);
-                    backoff_wait(attempt);
-                    attempt = attempt.saturating_add(1);
+            Ok(v) => {
+                let committed = txn.commit();
+                telem.absorb(txn.telemetry());
+                match committed {
+                    Ok(()) => return (Some(v), telem),
+                    Err(_) => {
+                        drop(guard);
+                        backoff_wait(attempt);
+                        attempt = attempt.saturating_add(1);
+                    }
                 }
-            },
+            }
             Err(Abort::Conflict) => {
+                telem.absorb(txn.telemetry());
                 txn.abort();
                 drop(guard);
                 backoff_wait(attempt);
                 attempt = attempt.saturating_add(1);
             }
             Err(Abort::Retry) => {
+                telem.absorb(txn.telemetry());
                 let snapshot = txn.read_snapshot();
                 txn.abort();
                 drop(guard);
@@ -319,8 +360,10 @@ pub fn try_atomic<T>(heap: &Heap, mut f: impl FnMut(&mut Txn<'_>) -> TxResult<T>
                 attempt = 0;
             }
             Err(Abort::Cancel) => {
+                telem.absorb(txn.telemetry());
+                heap.stats.abort_cancel();
                 txn.abort();
-                return None;
+                return (None, telem);
             }
         }
     }

@@ -250,7 +250,7 @@ proptest! {
         ));
         let nodes: Vec<ObjRef> = (0..12).map(|_| heap.alloc(shape)).collect();
         let mut adj = vec![vec![]; 12];
-        let mut slot_used = vec![0usize; 12];
+        let mut slot_used = [0usize; 12];
         for (a, b) in edges {
             if slot_used[a] < 3 {
                 heap.write_raw(nodes[a], slot_used[a], nodes[b].to_word());
@@ -259,7 +259,7 @@ proptest! {
             }
         }
         // Reference reachability from node 0.
-        let mut reach = vec![false; 12];
+        let mut reach = [false; 12];
         let mut stack = vec![0usize];
         while let Some(n) = stack.pop() {
             if std::mem::replace(&mut reach[n], true) {

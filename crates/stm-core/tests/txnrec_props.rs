@@ -1,0 +1,184 @@
+//! Property suite for the Figure-7 transaction-record word encoding.
+//!
+//! The record word packs four states into one machine word using the three
+//! low bits (Shared `011`, Exclusive `x00`, ExclusiveAnon `010`, Private
+//! all-ones). These properties pin down the encoding as an exact bijection,
+//! the single-instruction protocol algebra (BTR acquisition, `+9` release),
+//! and the version counter's behaviour at the tag-bit boundary, where a
+//! naive encoding would let an overflowing version corrupt the tag.
+
+use proptest::prelude::*;
+use stm_core::txnrec::{
+    OwnerToken, RecState, RecWord, TxnRecord, PRIVATE_WORD, RELEASE_INCREMENT, TAG_EXCL_ANON,
+    TAG_MASK, TAG_SHARED,
+};
+
+/// Maximum version representable in the upper bits.
+const MAX_VERSION: usize = usize::MAX >> 3;
+/// Maximum owner-token id (token word = id << 3 must not overflow).
+const MAX_OWNER_ID: usize = usize::MAX >> 3;
+
+/// Re-encodes a decoded state; the inverse of [`RecWord::state`].
+fn encode(state: RecState) -> RecWord {
+    match state {
+        RecState::Shared { version } => RecWord::shared(version),
+        RecState::ExclusiveAnon { version } => RecWord::exclusive_anon(version),
+        RecState::Exclusive { owner } => RecWord::exclusive(owner),
+        RecState::Private => RecWord::private(),
+    }
+}
+
+proptest! {
+    /// Constructor → decode round-trips every state, across the whole
+    /// version / owner-id range including both boundaries.
+    #[test]
+    fn all_four_states_roundtrip(version in 0usize..=MAX_VERSION, id in 1usize..=MAX_OWNER_ID) {
+        let s = RecWord::shared(version);
+        prop_assert_eq!(s.state(), RecState::Shared { version });
+        prop_assert_eq!(s.version(), version);
+
+        let a = RecWord::exclusive_anon(version);
+        prop_assert_eq!(a.state(), RecState::ExclusiveAnon { version });
+        prop_assert_eq!(a.version(), version);
+
+        let t = OwnerToken::from_id(id);
+        prop_assert_eq!(t.id(), id);
+        let e = RecWord::exclusive(t);
+        prop_assert_eq!(e.state(), RecState::Exclusive { owner: t });
+
+        let p = RecWord::private();
+        prop_assert_eq!(p.state(), RecState::Private);
+
+        // decode → encode is the identity on the raw bits.
+        for w in [s, a, e, p] {
+            prop_assert_eq!(encode(w.state()).raw(), w.raw());
+            prop_assert_eq!(RecWord::from_raw(w.raw()), w);
+        }
+    }
+
+    /// Every protocol-reachable word decodes to exactly one state, and the
+    /// predicate methods agree with the decoded state (the barrier fast
+    /// paths rely on these single-bit tests matching the full decode).
+    /// Reachable words are those the Figure-8 transitions can produce:
+    /// tag `011` (shared), `010` (exclusive-anon), `x00` with non-zero
+    /// upper bits (exclusive), and the all-ones private word.
+    #[test]
+    fn decode_classification_is_consistent(upper in 1usize..=(usize::MAX >> 3), pick in 0usize..4) {
+        let raw = match pick {
+            0 => (upper << 3) | TAG_SHARED,
+            1 => (upper << 3) | TAG_EXCL_ANON,
+            2 => upper << 3, // exclusive: owner token word
+            _ => PRIVATE_WORD,
+        };
+        let w = RecWord::from_raw(raw);
+        match w.state() {
+            RecState::Private => {
+                prop_assert_eq!(raw, PRIVATE_WORD);
+                prop_assert!(w.is_private() && !w.is_shared() && !w.is_txn_exclusive());
+                prop_assert!(w.read_bit_ok());
+            }
+            RecState::Shared { version } => {
+                prop_assert_eq!(raw & 0b11, TAG_SHARED & 0b11);
+                prop_assert_ne!(raw, PRIVATE_WORD);
+                prop_assert_eq!(version, raw >> 3);
+                prop_assert!(w.is_shared() && !w.is_private() && !w.is_txn_exclusive());
+                prop_assert!(w.read_bit_ok());
+            }
+            RecState::ExclusiveAnon { version } => {
+                prop_assert_eq!(raw & TAG_MASK, TAG_EXCL_ANON);
+                prop_assert_eq!(version, raw >> 3);
+                prop_assert!(!w.is_shared() && !w.is_private() && !w.is_txn_exclusive());
+                prop_assert!(w.read_bit_ok(), "anon owner still passes the read-bit test");
+            }
+            RecState::Exclusive { owner } => {
+                prop_assert_eq!(raw & 0b11, 0b00);
+                prop_assert_eq!(owner.word(), raw);
+                prop_assert!(w.is_txn_exclusive() && !w.is_shared() && !w.is_private());
+                prop_assert!(!w.read_bit_ok(), "txn owner must fail the read-bit test");
+            }
+        }
+    }
+
+    /// The `+9` release algebra: for every version below the boundary,
+    /// `ExclusiveAnon(v) + 9 == Shared(v + 1)` as plain integer addition.
+    #[test]
+    fn release_increment_is_shared_successor(version in 0usize..MAX_VERSION) {
+        let anon = RecWord::exclusive_anon(version);
+        let released = RecWord::from_raw(anon.raw().wrapping_add(RELEASE_INCREMENT));
+        prop_assert_eq!(released.state(), RecState::Shared { version: version + 1 });
+    }
+
+    /// Version-counter overflow at the tag-bit boundary: when the version
+    /// saturates the upper bits, the release increment wraps it to zero
+    /// *without corrupting the tag* — the low three bits still read `011`
+    /// (shared), never private or exclusive. A 61-bit counter cannot
+    /// overflow in practice, but the encoding must stay sound if it does.
+    #[test]
+    fn version_overflow_wraps_to_shared_zero(below in 0usize..8) {
+        let version = MAX_VERSION - below;
+        let anon = RecWord::exclusive_anon(version);
+        let released = RecWord::from_raw(anon.raw().wrapping_add(RELEASE_INCREMENT));
+        let expected = version.wrapping_add(1) & MAX_VERSION;
+        prop_assert_eq!(released.state(), RecState::Shared { version: expected });
+        prop_assert!(released.is_shared());
+        prop_assert!(!released.is_private(), "overflow must not manufacture the private word");
+        prop_assert!(!released.is_txn_exclusive());
+    }
+
+    /// The shared word can never collide with the private (all-ones) word:
+    /// bit 2 of a shared encoding is the version's lowest bit, so the only
+    /// candidate collision `Shared(MAX_VERSION)` differs from `PRIVATE_WORD`
+    /// in no bit — guard that the constructors keep them distinct anyway.
+    #[test]
+    fn shared_never_equals_private(version in 0usize..MAX_VERSION) {
+        prop_assert_ne!(RecWord::shared(version).raw(), PRIVATE_WORD);
+    }
+
+    /// BTR (bit-test-and-reset) acquisition succeeds exactly on words with
+    /// bit 0 set, turns Shared(v) into ExclusiveAnon(v) in place, and a
+    /// subsequent release restores Shared(v+1) — the full Figure 8
+    /// non-transactional ownership cycle, at arbitrary starting versions.
+    #[test]
+    fn btr_release_cycle_at_any_version(version in 1usize..MAX_VERSION) {
+        let rec = TxnRecord::new_shared();
+        rec.store_raw(RecWord::shared(version));
+        let prior = rec.bit_test_and_reset().expect("shared word has bit 0 set");
+        prop_assert_eq!(prior, RecWord::shared(version));
+        prop_assert_eq!(rec.load().state(), RecState::ExclusiveAnon { version });
+        // Second BTR must fail without disturbing the word.
+        prop_assert!(rec.bit_test_and_reset().is_err());
+        prop_assert_eq!(rec.load().state(), RecState::ExclusiveAnon { version });
+        rec.release_anon();
+        prop_assert_eq!(rec.load().state(), RecState::Shared { version: version + 1 });
+    }
+
+    /// Transactional CAS acquisition + release bumps the version by exactly
+    /// one, and stale-expected CAS attempts fail for any distinct versions.
+    #[test]
+    fn txn_acquire_release_bumps_version(version in 1usize..MAX_VERSION, id in 1usize..=MAX_OWNER_ID) {
+        let rec = TxnRecord::new_shared();
+        rec.store_raw(RecWord::shared(version));
+        let owner = OwnerToken::from_id(id);
+        let prior = rec.load();
+        rec.try_acquire_txn(prior, owner).expect("uncontended CAS succeeds");
+        prop_assert!(rec.load().owned_by(owner));
+        // A stale expected word (different version) must not acquire.
+        let stale = RecWord::shared(version - 1);
+        prop_assert!(rec.try_acquire_txn(stale, owner).is_err());
+        rec.release_txn(prior);
+        prop_assert_eq!(rec.load().state(), RecState::Shared { version: version + 1 });
+    }
+
+    /// Owner tokens occupy the exclusive tag space exactly: every valid id
+    /// yields a word with tag `00`, distinct ids yield distinct words, and
+    /// the id survives the round trip at both boundaries.
+    #[test]
+    fn owner_token_encoding_is_injective(id in 1usize..MAX_OWNER_ID) {
+        let t = OwnerToken::from_id(id);
+        prop_assert_eq!(t.word() & TAG_MASK, 0);
+        prop_assert_eq!(t.id(), id);
+        let u = OwnerToken::from_id(id + 1);
+        prop_assert_ne!(t.word(), u.word());
+        prop_assert_eq!(OwnerToken::from_id(MAX_OWNER_ID).id(), MAX_OWNER_ID);
+    }
+}

@@ -160,13 +160,14 @@ impl Vm {
                 heap.alloc_public(shape)
             })
             .collect();
+        let sync = SyncTable::for_heap(Arc::clone(&heap));
         Arc::new(Vm {
             checked,
             heap,
             statics,
             shapes,
             table: config.table,
-            sync: SyncTable::new(),
+            sync,
             threads: Mutex::new(Vec::new()),
             output: Mutex::new(Vec::new()),
             validate_interval: config.validate_interval.max(1),
@@ -189,11 +190,11 @@ impl Vm {
         if self.checked.program.func("init").is_some() {
             interp
                 .call("init", Vec::new(), &mut None)
-                .map_err(|e| into_trap(e))?;
+                .map_err(into_trap)?;
         }
         let ret = interp
             .call("main", Vec::new(), &mut None)
-            .map_err(|e| into_trap(e))?;
+            .map_err(into_trap)?;
         // Join stragglers so their effects (and failures) are observed.
         loop {
             let next = {
@@ -257,7 +258,7 @@ impl Interp {
     fn step(&mut self, tx: &mut Tx<'_, '_>) -> Result<(), VmErr> {
         self.steps = self.steps.wrapping_add(1);
         if let Some(t) = tx {
-            if self.steps % self.vm.validate_interval == 0 {
+            if self.steps.is_multiple_of(self.vm.validate_interval) {
                 t.validate().map_err(VmErr::Stm)?;
             }
         }
@@ -775,8 +776,8 @@ fn bin_op(op: BinOp, l: Word, r: Word) -> Result<Word, String> {
         BinOp::And => ((a != 0) && (b != 0)) as Word,
         BinOp::Or => ((a != 0) || (b != 0)) as Word,
         BinOp::BitXor => l ^ r,
-        BinOp::Shl => ((l as u64) << (r & 63)) as Word,
-        BinOp::Shr => ((l as u64) >> (r & 63)) as Word,
+        BinOp::Shl => l << (r & 63),
+        BinOp::Shr => l >> (r & 63),
     })
 }
 

@@ -387,18 +387,15 @@ fn stmt_aggregation(stmt: &Stmt, table: &BarrierTable) -> StmtAgg {
     if let Some(place) = place {
         match place {
             Place::Local(_) => {}
-            Place::Field { base: b, site, .. } => match b {
-                Expr::Local(n) => {
-                    if base.get_or_insert_with(|| n.clone()) != n
-                        || table.kind(*site) == BarrierKind::None
-                    {
-                        ok = false;
-                    } else {
-                        stmt_sites.push(*site);
-                    }
+            Place::Field { base: Expr::Local(n), site, .. } => {
+                if base.get_or_insert_with(|| n.clone()) != n
+                    || table.kind(*site) == BarrierKind::None
+                {
+                    ok = false;
+                } else {
+                    stmt_sites.push(*site);
                 }
-                _ => ok = false,
-            },
+            }
             _ => ok = false,
         }
     }

@@ -126,8 +126,8 @@ fn build_world(cfg: &JbbConfig) -> World {
 pub fn run(cfg: &JbbConfig) -> Outcome {
     let world = Arc::new(build_world(cfg));
     let mode = cfg.mode;
-    let sync = Arc::new(SyncTable::new());
     let heap = Arc::clone(&world.heap);
+    let sync = Arc::new(SyncTable::for_heap(Arc::clone(&heap)));
     let ops = cfg.ops_per_thread;
     let n_items = cfg.items;
     let n_stocks = cfg.stocks;
@@ -147,7 +147,7 @@ pub fn run(cfg: &JbbConfig) -> Outcome {
                 if op < 45 {
                     // New-order: read district counter, 4 catalogue prices,
                     // update 4 stocks (1.5% remote warehouse).
-                    let remote = n_threads > 1 && rng.next() % 64 == 0;
+                    let remote = n_threads > 1 && rng.next().is_multiple_of(64);
                     let target = if remote {
                         &world2.warehouses[(worker + 1) % n_threads]
                     } else {

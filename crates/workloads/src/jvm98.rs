@@ -239,6 +239,7 @@ impl Rng {
     }
 
     /// Next pseudo-random word.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         let mut x = self.0;
         x ^= x >> 12;

@@ -177,8 +177,8 @@ fn descend(w: &W<'_>, root: ObjRef, path: usize, levels: usize) -> ObjRef {
 pub fn run(cfg: &Oo7Config) -> Outcome {
     let world = Arc::new(build_world(cfg));
     let mode = cfg.mode;
-    let sync = Arc::new(SyncTable::new());
     let heap = Arc::clone(&world.heap);
+    let sync = Arc::new(SyncTable::for_heap(Arc::clone(&heap)));
     let ops = cfg.ops_per_thread;
     let update_pct = cfg.update_pct as u64;
     let sub_levels = cfg.depth.saturating_sub(1).min(3);

@@ -179,7 +179,7 @@ impl Worker<'_> {
         // Bound check: non-transactional read of the transactional best —
         // stale values only weaken pruning, the classic Tsp idiom. Refreshed
         // every few nodes; in between the cached copy is used.
-        if self.nodes % 8 == 0 {
+        if self.nodes.is_multiple_of(8) {
             self.bound = self.w.read_shared(self.world.best, 0);
         }
         if cost >= self.bound {
@@ -207,8 +207,8 @@ impl Worker<'_> {
 pub fn run(cfg: &TspConfig) -> Outcome {
     let world = Arc::new(build_world(cfg));
     let mode = cfg.mode;
-    let sync = Arc::new(SyncTable::new());
     let heap = Arc::clone(&world.heap);
+    let sync = Arc::new(SyncTable::for_heap(Arc::clone(&heap)));
 
     let world2 = Arc::clone(&world);
     let sync2 = Arc::clone(&sync);

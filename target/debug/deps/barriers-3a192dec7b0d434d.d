@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/barriers-3a192dec7b0d434d.d: crates/bench/benches/barriers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbarriers-3a192dec7b0d434d.rmeta: crates/bench/benches/barriers.rs Cargo.toml
+
+crates/bench/benches/barriers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

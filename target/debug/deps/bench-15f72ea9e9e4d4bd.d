@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench-15f72ea9e9e4d4bd.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-15f72ea9e9e4d4bd.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

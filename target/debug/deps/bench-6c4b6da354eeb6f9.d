@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/bench-6c4b6da354eeb6f9.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/bench-6c4b6da354eeb6f9: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/bench-f97dbff0f65bf874.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/bench-f97dbff0f65bf874: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

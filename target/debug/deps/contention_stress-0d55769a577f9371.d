@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/contention_stress-0d55769a577f9371.d: crates/stm-core/tests/contention_stress.rs
+
+/root/repo/target/debug/deps/contention_stress-0d55769a577f9371: crates/stm-core/tests/contention_stress.rs
+
+crates/stm-core/tests/contention_stress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/contention_stress-143aee74d8c0de9e.d: crates/stm-core/tests/contention_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontention_stress-143aee74d8c0de9e.rmeta: crates/stm-core/tests/contention_stress.rs Cargo.toml
+
+crates/stm-core/tests/contention_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-ce60a3665568f5ba.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-ce60a3665568f5ba: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

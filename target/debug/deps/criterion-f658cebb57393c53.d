@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-f658cebb57393c53.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f658cebb57393c53.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f658cebb57393c53.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

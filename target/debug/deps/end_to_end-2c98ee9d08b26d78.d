@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-2c98ee9d08b26d78.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-2c98ee9d08b26d78: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-38131afc1afe428d.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-38131afc1afe428d: tests/end_to_end.rs
+
+tests/end_to_end.rs:

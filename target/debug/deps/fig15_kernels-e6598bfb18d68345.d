@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_kernels-e6598bfb18d68345.d: crates/bench/benches/fig15_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_kernels-e6598bfb18d68345.rmeta: crates/bench/benches/fig15_kernels.rs Cargo.toml
+
+crates/bench/benches/fig15_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/litmus-40f3e72b22b98c80.d: crates/litmus/src/lib.rs crates/litmus/src/granular.rs crates/litmus/src/harness.rs crates/litmus/src/ordering.rs crates/litmus/src/privatization.rs crates/litmus/src/race_debug.rs crates/litmus/src/races.rs crates/litmus/src/speculation.rs
+
+/root/repo/target/debug/deps/liblitmus-40f3e72b22b98c80.rlib: crates/litmus/src/lib.rs crates/litmus/src/granular.rs crates/litmus/src/harness.rs crates/litmus/src/ordering.rs crates/litmus/src/privatization.rs crates/litmus/src/race_debug.rs crates/litmus/src/races.rs crates/litmus/src/speculation.rs
+
+/root/repo/target/debug/deps/liblitmus-40f3e72b22b98c80.rmeta: crates/litmus/src/lib.rs crates/litmus/src/granular.rs crates/litmus/src/harness.rs crates/litmus/src/ordering.rs crates/litmus/src/privatization.rs crates/litmus/src/race_debug.rs crates/litmus/src/races.rs crates/litmus/src/speculation.rs
+
+crates/litmus/src/lib.rs:
+crates/litmus/src/granular.rs:
+crates/litmus/src/harness.rs:
+crates/litmus/src/ordering.rs:
+crates/litmus/src/privatization.rs:
+crates/litmus/src/race_debug.rs:
+crates/litmus/src/races.rs:
+crates/litmus/src/speculation.rs:

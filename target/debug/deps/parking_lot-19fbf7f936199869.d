@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-19fbf7f936199869.d: crates/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-19fbf7f936199869: crates/parking_lot/src/lib.rs
+
+crates/parking_lot/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parking_lot-672ab6ae0055524e.d: crates/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparking_lot-672ab6ae0055524e.rmeta: crates/parking_lot/src/lib.rs Cargo.toml
+
+crates/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-81cb29ef2eb8579e.d: crates/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-81cb29ef2eb8579e.rlib: crates/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-81cb29ef2eb8579e.rmeta: crates/parking_lot/src/lib.rs
+
+crates/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paste-78d1282df34cfa9b.d: crates/paste/src/lib.rs
+
+/root/repo/target/debug/deps/paste-78d1282df34cfa9b: crates/paste/src/lib.rs
+
+crates/paste/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paste-84bc5d860dafd977.d: crates/paste/src/lib.rs
+
+/root/repo/target/debug/deps/libpaste-84bc5d860dafd977.so: crates/paste/src/lib.rs
+
+crates/paste/src/lib.rs:

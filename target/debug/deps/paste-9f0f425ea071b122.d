@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paste-9f0f425ea071b122.d: crates/paste/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaste-9f0f425ea071b122.rmeta: crates/paste/src/lib.rs Cargo.toml
+
+crates/paste/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paste-b4a94a248cabf06d.d: crates/paste/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaste-b4a94a248cabf06d.rmeta: crates/paste/src/lib.rs Cargo.toml
+
+crates/paste/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paste-bbb89c3e6e612ac6.d: crates/paste/src/lib.rs
+
+/root/repo/target/debug/deps/libpaste-bbb89c3e6e612ac6.so: crates/paste/src/lib.rs
+
+crates/paste/src/lib.rs:

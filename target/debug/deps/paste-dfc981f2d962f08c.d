@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paste-dfc981f2d962f08c.d: crates/paste/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaste-dfc981f2d962f08c.so: crates/paste/src/lib.rs Cargo.toml
+
+crates/paste/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

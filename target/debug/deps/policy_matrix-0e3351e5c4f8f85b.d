@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policy_matrix-0e3351e5c4f8f85b.d: crates/litmus/tests/policy_matrix.rs
+
+/root/repo/target/debug/deps/policy_matrix-0e3351e5c4f8f85b: crates/litmus/tests/policy_matrix.rs
+
+crates/litmus/tests/policy_matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policy_matrix-9618b91b0396f073.d: crates/litmus/tests/policy_matrix.rs
+
+/root/repo/target/debug/deps/policy_matrix-9618b91b0396f073: crates/litmus/tests/policy_matrix.rs
+
+crates/litmus/tests/policy_matrix.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/policy_matrix-f26875307b0fb618.d: crates/litmus/tests/policy_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolicy_matrix-f26875307b0fb618.rmeta: crates/litmus/tests/policy_matrix.rs Cargo.toml
+
+crates/litmus/tests/policy_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-1374c39b568b3dfd.d: crates/simsched/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-1374c39b568b3dfd.rmeta: crates/simsched/tests/properties.rs Cargo.toml
+
+crates/simsched/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-2dba2fe6626ca8d2.d: crates/tmir/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-2dba2fe6626ca8d2.rmeta: crates/tmir/tests/properties.rs Cargo.toml
+
+crates/tmir/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3ba746943b3fbba6.d: crates/stm-core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3ba746943b3fbba6: crates/stm-core/tests/properties.rs
+
+crates/stm-core/tests/properties.rs:

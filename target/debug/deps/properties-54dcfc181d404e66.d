@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-54dcfc181d404e66.d: crates/stm-core/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-54dcfc181d404e66.rmeta: crates/stm-core/tests/properties.rs Cargo.toml
+
+crates/stm-core/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5e0a18690fdcd04e.d: crates/stm-core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5e0a18690fdcd04e: crates/stm-core/tests/properties.rs
+
+crates/stm-core/tests/properties.rs:

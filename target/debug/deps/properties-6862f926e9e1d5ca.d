@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6862f926e9e1d5ca.d: crates/tmir/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6862f926e9e1d5ca: crates/tmir/tests/properties.rs
+
+crates/tmir/tests/properties.rs:

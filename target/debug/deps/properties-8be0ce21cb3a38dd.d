@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8be0ce21cb3a38dd.d: crates/simsched/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-8be0ce21cb3a38dd: crates/simsched/tests/properties.rs
+
+crates/simsched/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a13a089f200a907e.d: crates/tmir/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a13a089f200a907e: crates/tmir/tests/properties.rs
+
+crates/tmir/tests/properties.rs:

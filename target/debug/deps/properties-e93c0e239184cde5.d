@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e93c0e239184cde5.d: crates/simsched/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e93c0e239184cde5: crates/simsched/tests/properties.rs
+
+crates/simsched/tests/properties.rs:

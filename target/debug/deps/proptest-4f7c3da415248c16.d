@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/proptest-4f7c3da415248c16.d: crates/proptest/src/lib.rs crates/proptest/src/test_runner.rs crates/proptest/src/strategy.rs crates/proptest/src/arbitrary.rs crates/proptest/src/collection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-4f7c3da415248c16.rmeta: crates/proptest/src/lib.rs crates/proptest/src/test_runner.rs crates/proptest/src/strategy.rs crates/proptest/src/arbitrary.rs crates/proptest/src/collection.rs Cargo.toml
+
+crates/proptest/src/lib.rs:
+crates/proptest/src/test_runner.rs:
+crates/proptest/src/strategy.rs:
+crates/proptest/src/arbitrary.rs:
+crates/proptest/src/collection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-a9e8b85370a26a9d.d: crates/proptest/src/lib.rs crates/proptest/src/test_runner.rs crates/proptest/src/strategy.rs crates/proptest/src/arbitrary.rs crates/proptest/src/collection.rs
+
+/root/repo/target/debug/deps/proptest-a9e8b85370a26a9d: crates/proptest/src/lib.rs crates/proptest/src/test_runner.rs crates/proptest/src/strategy.rs crates/proptest/src/arbitrary.rs crates/proptest/src/collection.rs
+
+crates/proptest/src/lib.rs:
+crates/proptest/src/test_runner.rs:
+crates/proptest/src/strategy.rs:
+crates/proptest/src/arbitrary.rs:
+crates/proptest/src/collection.rs:

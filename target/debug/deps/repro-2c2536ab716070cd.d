@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-2c2536ab716070cd.d: crates/bench/src/main.rs
+
+/root/repo/target/debug/deps/repro-2c2536ab716070cd: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-5493111e765f54f5.d: crates/bench/src/main.rs
+
+/root/repo/target/debug/deps/repro-5493111e765f54f5: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-7972c277f0a84155.d: crates/bench/src/main.rs
+
+/root/repo/target/debug/deps/repro-7972c277f0a84155: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-7ce5bd4c97116269.d: crates/bench/src/main.rs
+
+/root/repo/target/debug/deps/repro-7ce5bd4c97116269: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

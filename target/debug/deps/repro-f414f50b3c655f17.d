@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro-f414f50b3c655f17.d: crates/bench/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-f414f50b3c655f17.rmeta: crates/bench/src/main.rs Cargo.toml
+
+crates/bench/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scalability-a7398fe1780aff98.d: crates/bench/benches/scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalability-a7398fe1780aff98.rmeta: crates/bench/benches/scalability.rs Cargo.toml
+
+crates/bench/benches/scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

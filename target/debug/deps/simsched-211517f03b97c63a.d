@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/simsched-211517f03b97c63a.d: crates/simsched/src/lib.rs crates/simsched/src/costs.rs crates/simsched/src/hook.rs crates/simsched/src/machine.rs crates/simsched/src/sync.rs
+
+/root/repo/target/debug/deps/libsimsched-211517f03b97c63a.rlib: crates/simsched/src/lib.rs crates/simsched/src/costs.rs crates/simsched/src/hook.rs crates/simsched/src/machine.rs crates/simsched/src/sync.rs
+
+/root/repo/target/debug/deps/libsimsched-211517f03b97c63a.rmeta: crates/simsched/src/lib.rs crates/simsched/src/costs.rs crates/simsched/src/hook.rs crates/simsched/src/machine.rs crates/simsched/src/sync.rs
+
+crates/simsched/src/lib.rs:
+crates/simsched/src/costs.rs:
+crates/simsched/src/hook.rs:
+crates/simsched/src/machine.rs:
+crates/simsched/src/sync.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/simsched-3c45b010829ffe3e.d: crates/simsched/src/lib.rs crates/simsched/src/costs.rs crates/simsched/src/hook.rs crates/simsched/src/machine.rs crates/simsched/src/sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimsched-3c45b010829ffe3e.rmeta: crates/simsched/src/lib.rs crates/simsched/src/costs.rs crates/simsched/src/hook.rs crates/simsched/src/machine.rs crates/simsched/src/sync.rs Cargo.toml
+
+crates/simsched/src/lib.rs:
+crates/simsched/src/costs.rs:
+crates/simsched/src/hook.rs:
+crates/simsched/src/machine.rs:
+crates/simsched/src/sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

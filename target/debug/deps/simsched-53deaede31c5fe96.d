@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/simsched-53deaede31c5fe96.d: crates/simsched/src/lib.rs crates/simsched/src/costs.rs crates/simsched/src/hook.rs crates/simsched/src/machine.rs crates/simsched/src/sync.rs
+
+/root/repo/target/debug/deps/libsimsched-53deaede31c5fe96.rlib: crates/simsched/src/lib.rs crates/simsched/src/costs.rs crates/simsched/src/hook.rs crates/simsched/src/machine.rs crates/simsched/src/sync.rs
+
+/root/repo/target/debug/deps/libsimsched-53deaede31c5fe96.rmeta: crates/simsched/src/lib.rs crates/simsched/src/costs.rs crates/simsched/src/hook.rs crates/simsched/src/machine.rs crates/simsched/src/sync.rs
+
+crates/simsched/src/lib.rs:
+crates/simsched/src/costs.rs:
+crates/simsched/src/hook.rs:
+crates/simsched/src/machine.rs:
+crates/simsched/src/sync.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simsched-f5d9b7a81d7a8b49.d: crates/simsched/src/lib.rs crates/simsched/src/costs.rs crates/simsched/src/hook.rs crates/simsched/src/machine.rs crates/simsched/src/sync.rs
+
+/root/repo/target/debug/deps/simsched-f5d9b7a81d7a8b49: crates/simsched/src/lib.rs crates/simsched/src/costs.rs crates/simsched/src/hook.rs crates/simsched/src/machine.rs crates/simsched/src/sync.rs
+
+crates/simsched/src/lib.rs:
+crates/simsched/src/costs.rs:
+crates/simsched/src/hook.rs:
+crates/simsched/src/machine.rs:
+crates/simsched/src/sync.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stm_on_sim-037eaadd3c40aa86.d: crates/simsched/tests/stm_on_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstm_on_sim-037eaadd3c40aa86.rmeta: crates/simsched/tests/stm_on_sim.rs Cargo.toml
+
+crates/simsched/tests/stm_on_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

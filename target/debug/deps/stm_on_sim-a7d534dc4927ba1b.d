@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stm_on_sim-a7d534dc4927ba1b.d: crates/simsched/tests/stm_on_sim.rs
+
+/root/repo/target/debug/deps/stm_on_sim-a7d534dc4927ba1b: crates/simsched/tests/stm_on_sim.rs
+
+crates/simsched/tests/stm_on_sim.rs:

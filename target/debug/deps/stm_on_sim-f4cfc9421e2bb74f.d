@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stm_on_sim-f4cfc9421e2bb74f.d: crates/simsched/tests/stm_on_sim.rs
+
+/root/repo/target/debug/deps/stm_on_sim-f4cfc9421e2bb74f: crates/simsched/tests/stm_on_sim.rs
+
+crates/simsched/tests/stm_on_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-6377b806903635cd.d: crates/stm-core/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-6377b806903635cd: crates/stm-core/tests/stress.rs
+
+crates/stm-core/tests/stress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress-8cc576e217b143a7.d: crates/stm-core/tests/stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress-8cc576e217b143a7.rmeta: crates/stm-core/tests/stress.rs Cargo.toml
+
+crates/stm-core/tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-9ebe1cebee031853.d: crates/stm-core/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-9ebe1cebee031853: crates/stm-core/tests/stress.rs
+
+crates/stm-core/tests/stress.rs:

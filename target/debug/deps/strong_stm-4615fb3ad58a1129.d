@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/strong_stm-4615fb3ad58a1129.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrong_stm-4615fb3ad58a1129.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/strong_stm-4d600b9ec7ae854c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libstrong_stm-4d600b9ec7ae854c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libstrong_stm-4d600b9ec7ae854c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strong_stm-733b01280fe7ee52.d: src/lib.rs
+
+/root/repo/target/debug/deps/strong_stm-733b01280fe7ee52: src/lib.rs
+
+src/lib.rs:

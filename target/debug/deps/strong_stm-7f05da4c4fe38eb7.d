@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strong_stm-7f05da4c4fe38eb7.d: src/lib.rs
+
+/root/repo/target/debug/deps/strong_stm-7f05da4c4fe38eb7: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/strong_stm-90e8ab6a3ce2d0be.d: src/lib.rs
+
+/root/repo/target/debug/deps/libstrong_stm-90e8ab6a3ce2d0be.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libstrong_stm-90e8ab6a3ce2d0be.rmeta: src/lib.rs
+
+src/lib.rs:

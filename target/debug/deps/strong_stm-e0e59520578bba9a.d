@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/strong_stm-e0e59520578bba9a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libstrong_stm-e0e59520578bba9a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libstrong_stm-e0e59520578bba9a.rmeta: src/lib.rs
+
+src/lib.rs:

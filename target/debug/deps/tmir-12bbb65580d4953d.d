@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tmir-12bbb65580d4953d.d: crates/tmir/src/lib.rs crates/tmir/src/ast.rs crates/tmir/src/interp.rs crates/tmir/src/jitopt.rs crates/tmir/src/lex.rs crates/tmir/src/parse.rs crates/tmir/src/pretty.rs crates/tmir/src/sites.rs crates/tmir/src/types.rs
+
+/root/repo/target/debug/deps/tmir-12bbb65580d4953d: crates/tmir/src/lib.rs crates/tmir/src/ast.rs crates/tmir/src/interp.rs crates/tmir/src/jitopt.rs crates/tmir/src/lex.rs crates/tmir/src/parse.rs crates/tmir/src/pretty.rs crates/tmir/src/sites.rs crates/tmir/src/types.rs
+
+crates/tmir/src/lib.rs:
+crates/tmir/src/ast.rs:
+crates/tmir/src/interp.rs:
+crates/tmir/src/jitopt.rs:
+crates/tmir/src/lex.rs:
+crates/tmir/src/parse.rs:
+crates/tmir/src/pretty.rs:
+crates/tmir/src/sites.rs:
+crates/tmir/src/types.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tmir-50ac90fe3a2ceb03.d: crates/tmir/src/lib.rs crates/tmir/src/ast.rs crates/tmir/src/interp.rs crates/tmir/src/jitopt.rs crates/tmir/src/lex.rs crates/tmir/src/parse.rs crates/tmir/src/pretty.rs crates/tmir/src/sites.rs crates/tmir/src/types.rs
+
+/root/repo/target/debug/deps/libtmir-50ac90fe3a2ceb03.rlib: crates/tmir/src/lib.rs crates/tmir/src/ast.rs crates/tmir/src/interp.rs crates/tmir/src/jitopt.rs crates/tmir/src/lex.rs crates/tmir/src/parse.rs crates/tmir/src/pretty.rs crates/tmir/src/sites.rs crates/tmir/src/types.rs
+
+/root/repo/target/debug/deps/libtmir-50ac90fe3a2ceb03.rmeta: crates/tmir/src/lib.rs crates/tmir/src/ast.rs crates/tmir/src/interp.rs crates/tmir/src/jitopt.rs crates/tmir/src/lex.rs crates/tmir/src/parse.rs crates/tmir/src/pretty.rs crates/tmir/src/sites.rs crates/tmir/src/types.rs
+
+crates/tmir/src/lib.rs:
+crates/tmir/src/ast.rs:
+crates/tmir/src/interp.rs:
+crates/tmir/src/jitopt.rs:
+crates/tmir/src/lex.rs:
+crates/tmir/src/parse.rs:
+crates/tmir/src/pretty.rs:
+crates/tmir/src/sites.rs:
+crates/tmir/src/types.rs:

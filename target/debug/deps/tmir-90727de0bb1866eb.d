@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/tmir-90727de0bb1866eb.d: crates/tmir/src/lib.rs crates/tmir/src/ast.rs crates/tmir/src/interp.rs crates/tmir/src/jitopt.rs crates/tmir/src/lex.rs crates/tmir/src/parse.rs crates/tmir/src/pretty.rs crates/tmir/src/sites.rs crates/tmir/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtmir-90727de0bb1866eb.rmeta: crates/tmir/src/lib.rs crates/tmir/src/ast.rs crates/tmir/src/interp.rs crates/tmir/src/jitopt.rs crates/tmir/src/lex.rs crates/tmir/src/parse.rs crates/tmir/src/pretty.rs crates/tmir/src/sites.rs crates/tmir/src/types.rs Cargo.toml
+
+crates/tmir/src/lib.rs:
+crates/tmir/src/ast.rs:
+crates/tmir/src/interp.rs:
+crates/tmir/src/jitopt.rs:
+crates/tmir/src/lex.rs:
+crates/tmir/src/parse.rs:
+crates/tmir/src/pretty.rs:
+crates/tmir/src/sites.rs:
+crates/tmir/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tmir-a24cf44ae0d0bc5b.d: crates/tmir/src/lib.rs crates/tmir/src/ast.rs crates/tmir/src/interp.rs crates/tmir/src/jitopt.rs crates/tmir/src/lex.rs crates/tmir/src/parse.rs crates/tmir/src/pretty.rs crates/tmir/src/sites.rs crates/tmir/src/types.rs
+
+/root/repo/target/debug/deps/libtmir-a24cf44ae0d0bc5b.rlib: crates/tmir/src/lib.rs crates/tmir/src/ast.rs crates/tmir/src/interp.rs crates/tmir/src/jitopt.rs crates/tmir/src/lex.rs crates/tmir/src/parse.rs crates/tmir/src/pretty.rs crates/tmir/src/sites.rs crates/tmir/src/types.rs
+
+/root/repo/target/debug/deps/libtmir-a24cf44ae0d0bc5b.rmeta: crates/tmir/src/lib.rs crates/tmir/src/ast.rs crates/tmir/src/interp.rs crates/tmir/src/jitopt.rs crates/tmir/src/lex.rs crates/tmir/src/parse.rs crates/tmir/src/pretty.rs crates/tmir/src/sites.rs crates/tmir/src/types.rs
+
+crates/tmir/src/lib.rs:
+crates/tmir/src/ast.rs:
+crates/tmir/src/interp.rs:
+crates/tmir/src/jitopt.rs:
+crates/tmir/src/lex.rs:
+crates/tmir/src/parse.rs:
+crates/tmir/src/pretty.rs:
+crates/tmir/src/sites.rs:
+crates/tmir/src/types.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tmir-a3d8efa842f8ed9b.d: crates/tmir/src/lib.rs crates/tmir/src/ast.rs crates/tmir/src/interp.rs crates/tmir/src/jitopt.rs crates/tmir/src/lex.rs crates/tmir/src/parse.rs crates/tmir/src/pretty.rs crates/tmir/src/sites.rs crates/tmir/src/types.rs
+
+/root/repo/target/debug/deps/tmir-a3d8efa842f8ed9b: crates/tmir/src/lib.rs crates/tmir/src/ast.rs crates/tmir/src/interp.rs crates/tmir/src/jitopt.rs crates/tmir/src/lex.rs crates/tmir/src/parse.rs crates/tmir/src/pretty.rs crates/tmir/src/sites.rs crates/tmir/src/types.rs
+
+crates/tmir/src/lib.rs:
+crates/tmir/src/ast.rs:
+crates/tmir/src/interp.rs:
+crates/tmir/src/jitopt.rs:
+crates/tmir/src/lex.rs:
+crates/tmir/src/parse.rs:
+crates/tmir/src/pretty.rs:
+crates/tmir/src/sites.rs:
+crates/tmir/src/types.rs:

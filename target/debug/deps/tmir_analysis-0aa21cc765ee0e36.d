@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tmir_analysis-0aa21cc765ee0e36.d: crates/tmir-analysis/src/lib.rs crates/tmir-analysis/src/nait.rs crates/tmir-analysis/src/points_to.rs
+
+/root/repo/target/debug/deps/libtmir_analysis-0aa21cc765ee0e36.rlib: crates/tmir-analysis/src/lib.rs crates/tmir-analysis/src/nait.rs crates/tmir-analysis/src/points_to.rs
+
+/root/repo/target/debug/deps/libtmir_analysis-0aa21cc765ee0e36.rmeta: crates/tmir-analysis/src/lib.rs crates/tmir-analysis/src/nait.rs crates/tmir-analysis/src/points_to.rs
+
+crates/tmir-analysis/src/lib.rs:
+crates/tmir-analysis/src/nait.rs:
+crates/tmir-analysis/src/points_to.rs:

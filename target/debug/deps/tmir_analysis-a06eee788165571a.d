@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tmir_analysis-a06eee788165571a.d: crates/tmir-analysis/src/lib.rs crates/tmir-analysis/src/nait.rs crates/tmir-analysis/src/points_to.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtmir_analysis-a06eee788165571a.rmeta: crates/tmir-analysis/src/lib.rs crates/tmir-analysis/src/nait.rs crates/tmir-analysis/src/points_to.rs Cargo.toml
+
+crates/tmir-analysis/src/lib.rs:
+crates/tmir-analysis/src/nait.rs:
+crates/tmir-analysis/src/points_to.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

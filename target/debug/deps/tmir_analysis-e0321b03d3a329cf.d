@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tmir_analysis-e0321b03d3a329cf.d: crates/tmir-analysis/src/lib.rs crates/tmir-analysis/src/nait.rs crates/tmir-analysis/src/points_to.rs
+
+/root/repo/target/debug/deps/tmir_analysis-e0321b03d3a329cf: crates/tmir-analysis/src/lib.rs crates/tmir-analysis/src/nait.rs crates/tmir-analysis/src/points_to.rs
+
+crates/tmir-analysis/src/lib.rs:
+crates/tmir-analysis/src/nait.rs:
+crates/tmir-analysis/src/points_to.rs:

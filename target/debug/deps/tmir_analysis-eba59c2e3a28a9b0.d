@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tmir_analysis-eba59c2e3a28a9b0.d: crates/tmir-analysis/src/lib.rs crates/tmir-analysis/src/nait.rs crates/tmir-analysis/src/points_to.rs
+
+/root/repo/target/debug/deps/tmir_analysis-eba59c2e3a28a9b0: crates/tmir-analysis/src/lib.rs crates/tmir-analysis/src/nait.rs crates/tmir-analysis/src/points_to.rs
+
+crates/tmir-analysis/src/lib.rs:
+crates/tmir-analysis/src/nait.rs:
+crates/tmir-analysis/src/points_to.rs:

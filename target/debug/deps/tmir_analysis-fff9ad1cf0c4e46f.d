@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tmir_analysis-fff9ad1cf0c4e46f.d: crates/tmir-analysis/src/lib.rs crates/tmir-analysis/src/nait.rs crates/tmir-analysis/src/points_to.rs
+
+/root/repo/target/debug/deps/libtmir_analysis-fff9ad1cf0c4e46f.rlib: crates/tmir-analysis/src/lib.rs crates/tmir-analysis/src/nait.rs crates/tmir-analysis/src/points_to.rs
+
+/root/repo/target/debug/deps/libtmir_analysis-fff9ad1cf0c4e46f.rmeta: crates/tmir-analysis/src/lib.rs crates/tmir-analysis/src/nait.rs crates/tmir-analysis/src/points_to.rs
+
+crates/tmir-analysis/src/lib.rs:
+crates/tmir-analysis/src/nait.rs:
+crates/tmir-analysis/src/points_to.rs:

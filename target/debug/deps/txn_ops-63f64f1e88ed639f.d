@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/txn_ops-63f64f1e88ed639f.d: crates/bench/benches/txn_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtxn_ops-63f64f1e88ed639f.rmeta: crates/bench/benches/txn_ops.rs Cargo.toml
+
+crates/bench/benches/txn_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/txnrec_props-9a98415a7775de01.d: crates/stm-core/tests/txnrec_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtxnrec_props-9a98415a7775de01.rmeta: crates/stm-core/tests/txnrec_props.rs Cargo.toml
+
+crates/stm-core/tests/txnrec_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/txnrec_props-c972b5925f192575.d: crates/stm-core/tests/txnrec_props.rs
+
+/root/repo/target/debug/deps/txnrec_props-c972b5925f192575: crates/stm-core/tests/txnrec_props.rs
+
+crates/stm-core/tests/txnrec_props.rs:

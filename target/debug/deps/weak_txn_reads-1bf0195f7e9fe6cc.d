@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/weak_txn_reads-1bf0195f7e9fe6cc.d: crates/tmir-analysis/tests/weak_txn_reads.rs
+
+/root/repo/target/debug/deps/weak_txn_reads-1bf0195f7e9fe6cc: crates/tmir-analysis/tests/weak_txn_reads.rs
+
+crates/tmir-analysis/tests/weak_txn_reads.rs:

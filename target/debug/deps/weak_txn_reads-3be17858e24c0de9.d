@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/weak_txn_reads-3be17858e24c0de9.d: crates/tmir-analysis/tests/weak_txn_reads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libweak_txn_reads-3be17858e24c0de9.rmeta: crates/tmir-analysis/tests/weak_txn_reads.rs Cargo.toml
+
+crates/tmir-analysis/tests/weak_txn_reads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/weak_txn_reads-887eccad08917456.d: crates/tmir-analysis/tests/weak_txn_reads.rs
+
+/root/repo/target/debug/deps/weak_txn_reads-887eccad08917456: crates/tmir-analysis/tests/weak_txn_reads.rs
+
+crates/tmir-analysis/tests/weak_txn_reads.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/workloads-13990ac995610e16.d: crates/workloads/src/lib.rs crates/workloads/src/jbb.rs crates/workloads/src/jvm98.rs crates/workloads/src/oo7.rs crates/workloads/src/scale.rs crates/workloads/src/tmir_sources.rs crates/workloads/src/tsp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads-13990ac995610e16.rmeta: crates/workloads/src/lib.rs crates/workloads/src/jbb.rs crates/workloads/src/jvm98.rs crates/workloads/src/oo7.rs crates/workloads/src/scale.rs crates/workloads/src/tmir_sources.rs crates/workloads/src/tsp.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/jbb.rs:
+crates/workloads/src/jvm98.rs:
+crates/workloads/src/oo7.rs:
+crates/workloads/src/scale.rs:
+crates/workloads/src/tmir_sources.rs:
+crates/workloads/src/tsp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

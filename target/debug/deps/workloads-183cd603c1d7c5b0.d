@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/workloads-183cd603c1d7c5b0.d: crates/workloads/src/lib.rs crates/workloads/src/jbb.rs crates/workloads/src/jvm98.rs crates/workloads/src/oo7.rs crates/workloads/src/scale.rs crates/workloads/src/tmir_sources.rs crates/workloads/src/tsp.rs
+
+/root/repo/target/debug/deps/workloads-183cd603c1d7c5b0: crates/workloads/src/lib.rs crates/workloads/src/jbb.rs crates/workloads/src/jvm98.rs crates/workloads/src/oo7.rs crates/workloads/src/scale.rs crates/workloads/src/tmir_sources.rs crates/workloads/src/tsp.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/jbb.rs:
+crates/workloads/src/jvm98.rs:
+crates/workloads/src/oo7.rs:
+crates/workloads/src/scale.rs:
+crates/workloads/src/tmir_sources.rs:
+crates/workloads/src/tsp.rs:

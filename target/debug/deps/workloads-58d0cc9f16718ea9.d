@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/workloads-58d0cc9f16718ea9.d: crates/workloads/src/lib.rs crates/workloads/src/jbb.rs crates/workloads/src/jvm98.rs crates/workloads/src/oo7.rs crates/workloads/src/scale.rs crates/workloads/src/tmir_sources.rs crates/workloads/src/tsp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads-58d0cc9f16718ea9.rmeta: crates/workloads/src/lib.rs crates/workloads/src/jbb.rs crates/workloads/src/jvm98.rs crates/workloads/src/oo7.rs crates/workloads/src/scale.rs crates/workloads/src/tmir_sources.rs crates/workloads/src/tsp.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/jbb.rs:
+crates/workloads/src/jvm98.rs:
+crates/workloads/src/oo7.rs:
+crates/workloads/src/scale.rs:
+crates/workloads/src/tmir_sources.rs:
+crates/workloads/src/tsp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

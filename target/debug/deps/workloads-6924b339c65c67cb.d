@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/workloads-6924b339c65c67cb.d: crates/workloads/src/lib.rs crates/workloads/src/jbb.rs crates/workloads/src/jvm98.rs crates/workloads/src/oo7.rs crates/workloads/src/scale.rs crates/workloads/src/tmir_sources.rs crates/workloads/src/tsp.rs
+
+/root/repo/target/debug/deps/libworkloads-6924b339c65c67cb.rlib: crates/workloads/src/lib.rs crates/workloads/src/jbb.rs crates/workloads/src/jvm98.rs crates/workloads/src/oo7.rs crates/workloads/src/scale.rs crates/workloads/src/tmir_sources.rs crates/workloads/src/tsp.rs
+
+/root/repo/target/debug/deps/libworkloads-6924b339c65c67cb.rmeta: crates/workloads/src/lib.rs crates/workloads/src/jbb.rs crates/workloads/src/jvm98.rs crates/workloads/src/oo7.rs crates/workloads/src/scale.rs crates/workloads/src/tmir_sources.rs crates/workloads/src/tsp.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/jbb.rs:
+crates/workloads/src/jvm98.rs:
+crates/workloads/src/oo7.rs:
+crates/workloads/src/scale.rs:
+crates/workloads/src/tmir_sources.rs:
+crates/workloads/src/tsp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/analysis_pipeline-7a876ca086309682.d: examples/analysis_pipeline.rs
+
+/root/repo/target/debug/examples/analysis_pipeline-7a876ca086309682: examples/analysis_pipeline.rs
+
+examples/analysis_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/analysis_pipeline-8870fd015dd9565a.d: examples/analysis_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libanalysis_pipeline-8870fd015dd9565a.rmeta: examples/analysis_pipeline.rs Cargo.toml
+
+examples/analysis_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

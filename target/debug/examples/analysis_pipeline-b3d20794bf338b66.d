@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/analysis_pipeline-b3d20794bf338b66.d: examples/analysis_pipeline.rs
+
+/root/repo/target/debug/examples/analysis_pipeline-b3d20794bf338b66: examples/analysis_pipeline.rs
+
+examples/analysis_pipeline.rs:

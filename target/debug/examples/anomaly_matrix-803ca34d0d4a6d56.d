@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/anomaly_matrix-803ca34d0d4a6d56.d: examples/anomaly_matrix.rs
+
+/root/repo/target/debug/examples/anomaly_matrix-803ca34d0d4a6d56: examples/anomaly_matrix.rs
+
+examples/anomaly_matrix.rs:

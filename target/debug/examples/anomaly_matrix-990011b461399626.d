@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/anomaly_matrix-990011b461399626.d: examples/anomaly_matrix.rs Cargo.toml
+
+/root/repo/target/debug/examples/libanomaly_matrix-990011b461399626.rmeta: examples/anomaly_matrix.rs Cargo.toml
+
+examples/anomaly_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/anomaly_matrix-e5260db66665c9d2.d: examples/anomaly_matrix.rs
+
+/root/repo/target/debug/examples/anomaly_matrix-e5260db66665c9d2: examples/anomaly_matrix.rs
+
+examples/anomaly_matrix.rs:

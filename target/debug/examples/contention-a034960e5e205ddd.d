@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/contention-a034960e5e205ddd.d: examples/contention.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcontention-a034960e5e205ddd.rmeta: examples/contention.rs Cargo.toml
+
+examples/contention.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/contention-d76fa8327a5fad4e.d: examples/contention.rs
+
+/root/repo/target/debug/examples/contention-d76fa8327a5fad4e: examples/contention.rs
+
+examples/contention.rs:

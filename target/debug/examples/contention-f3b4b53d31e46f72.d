@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/contention-f3b4b53d31e46f72.d: examples/contention.rs
+
+/root/repo/target/debug/examples/contention-f3b4b53d31e46f72: examples/contention.rs
+
+examples/contention.rs:

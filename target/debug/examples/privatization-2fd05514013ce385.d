@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/privatization-2fd05514013ce385.d: examples/privatization.rs
+
+/root/repo/target/debug/examples/privatization-2fd05514013ce385: examples/privatization.rs
+
+examples/privatization.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/privatization-40ada486a5673aa7.d: examples/privatization.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprivatization-40ada486a5673aa7.rmeta: examples/privatization.rs Cargo.toml
+
+examples/privatization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/privatization-5f2b730c27e00a59.d: examples/privatization.rs
+
+/root/repo/target/debug/examples/privatization-5f2b730c27e00a59: examples/privatization.rs
+
+examples/privatization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-15ade013f5c2e5f2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-15ade013f5c2e5f2: examples/quickstart.rs
+
+examples/quickstart.rs:

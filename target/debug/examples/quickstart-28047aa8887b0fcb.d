@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-28047aa8887b0fcb.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-28047aa8887b0fcb: examples/quickstart.rs
+
+examples/quickstart.rs:

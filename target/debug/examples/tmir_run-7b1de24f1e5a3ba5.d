@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tmir_run-7b1de24f1e5a3ba5.d: examples/tmir_run.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtmir_run-7b1de24f1e5a3ba5.rmeta: examples/tmir_run.rs Cargo.toml
+
+examples/tmir_run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tmir_run-96f399a7ec6d4299.d: examples/tmir_run.rs
+
+/root/repo/target/debug/examples/tmir_run-96f399a7ec6d4299: examples/tmir_run.rs
+
+examples/tmir_run.rs:

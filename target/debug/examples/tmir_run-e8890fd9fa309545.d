@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tmir_run-e8890fd9fa309545.d: examples/tmir_run.rs
+
+/root/repo/target/debug/examples/tmir_run-e8890fd9fa309545: examples/tmir_run.rs
+
+examples/tmir_run.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tsp_sim-1f15ebd3cfa5ae91.d: examples/tsp_sim.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtsp_sim-1f15ebd3cfa5ae91.rmeta: examples/tsp_sim.rs Cargo.toml
+
+examples/tsp_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tsp_sim-b3cb8aa264184d27.d: examples/tsp_sim.rs
+
+/root/repo/target/debug/examples/tsp_sim-b3cb8aa264184d27: examples/tsp_sim.rs
+
+examples/tsp_sim.rs:

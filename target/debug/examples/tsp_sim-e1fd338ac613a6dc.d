@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tsp_sim-e1fd338ac613a6dc.d: examples/tsp_sim.rs
+
+/root/repo/target/debug/examples/tsp_sim-e1fd338ac613a6dc: examples/tsp_sim.rs
+
+examples/tsp_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/typed_api-64a2b15209d94b51.d: examples/typed_api.rs
+
+/root/repo/target/debug/examples/typed_api-64a2b15209d94b51: examples/typed_api.rs
+
+examples/typed_api.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/typed_api-81521e00fec1d309.d: examples/typed_api.rs
+
+/root/repo/target/debug/examples/typed_api-81521e00fec1d309: examples/typed_api.rs
+
+examples/typed_api.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/typed_api-d0127f41c247a2a8.d: examples/typed_api.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtyped_api-d0127f41c247a2a8.rmeta: examples/typed_api.rs Cargo.toml
+
+examples/typed_api.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libpaste.so: /root/repo/crates/paste/src/lib.rs

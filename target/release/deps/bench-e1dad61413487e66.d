@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bench-e1dad61413487e66.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/libbench-e1dad61413487e66.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/libbench-e1dad61413487e66.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

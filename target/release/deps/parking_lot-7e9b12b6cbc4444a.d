@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-7e9b12b6cbc4444a.d: crates/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-7e9b12b6cbc4444a.rlib: crates/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-7e9b12b6cbc4444a.rmeta: crates/parking_lot/src/lib.rs
+
+crates/parking_lot/src/lib.rs:

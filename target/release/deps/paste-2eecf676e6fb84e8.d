@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paste-2eecf676e6fb84e8.d: crates/paste/src/lib.rs
+
+/root/repo/target/release/deps/libpaste-2eecf676e6fb84e8.so: crates/paste/src/lib.rs
+
+crates/paste/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/proptest-be89f644dbf584ef.d: crates/proptest/src/lib.rs crates/proptest/src/test_runner.rs crates/proptest/src/strategy.rs crates/proptest/src/arbitrary.rs crates/proptest/src/collection.rs
+
+/root/repo/target/release/deps/libproptest-be89f644dbf584ef.rlib: crates/proptest/src/lib.rs crates/proptest/src/test_runner.rs crates/proptest/src/strategy.rs crates/proptest/src/arbitrary.rs crates/proptest/src/collection.rs
+
+/root/repo/target/release/deps/libproptest-be89f644dbf584ef.rmeta: crates/proptest/src/lib.rs crates/proptest/src/test_runner.rs crates/proptest/src/strategy.rs crates/proptest/src/arbitrary.rs crates/proptest/src/collection.rs
+
+crates/proptest/src/lib.rs:
+crates/proptest/src/test_runner.rs:
+crates/proptest/src/strategy.rs:
+crates/proptest/src/arbitrary.rs:
+crates/proptest/src/collection.rs:

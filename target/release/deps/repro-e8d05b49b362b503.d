@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-e8d05b49b362b503.d: crates/bench/src/main.rs
+
+/root/repo/target/release/deps/repro-e8d05b49b362b503: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

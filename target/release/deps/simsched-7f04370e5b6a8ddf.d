@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/simsched-7f04370e5b6a8ddf.d: crates/simsched/src/lib.rs crates/simsched/src/costs.rs crates/simsched/src/hook.rs crates/simsched/src/machine.rs crates/simsched/src/sync.rs
+
+/root/repo/target/release/deps/libsimsched-7f04370e5b6a8ddf.rlib: crates/simsched/src/lib.rs crates/simsched/src/costs.rs crates/simsched/src/hook.rs crates/simsched/src/machine.rs crates/simsched/src/sync.rs
+
+/root/repo/target/release/deps/libsimsched-7f04370e5b6a8ddf.rmeta: crates/simsched/src/lib.rs crates/simsched/src/costs.rs crates/simsched/src/hook.rs crates/simsched/src/machine.rs crates/simsched/src/sync.rs
+
+crates/simsched/src/lib.rs:
+crates/simsched/src/costs.rs:
+crates/simsched/src/hook.rs:
+crates/simsched/src/machine.rs:
+crates/simsched/src/sync.rs:

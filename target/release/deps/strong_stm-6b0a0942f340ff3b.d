@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/strong_stm-6b0a0942f340ff3b.d: src/lib.rs
+
+/root/repo/target/release/deps/libstrong_stm-6b0a0942f340ff3b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libstrong_stm-6b0a0942f340ff3b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tmir_analysis-f0597aa22edd4500.d: crates/tmir-analysis/src/lib.rs crates/tmir-analysis/src/nait.rs crates/tmir-analysis/src/points_to.rs
+
+/root/repo/target/release/deps/libtmir_analysis-f0597aa22edd4500.rlib: crates/tmir-analysis/src/lib.rs crates/tmir-analysis/src/nait.rs crates/tmir-analysis/src/points_to.rs
+
+/root/repo/target/release/deps/libtmir_analysis-f0597aa22edd4500.rmeta: crates/tmir-analysis/src/lib.rs crates/tmir-analysis/src/nait.rs crates/tmir-analysis/src/points_to.rs
+
+crates/tmir-analysis/src/lib.rs:
+crates/tmir-analysis/src/nait.rs:
+crates/tmir-analysis/src/points_to.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/workloads-55464c0ce778190f.d: crates/workloads/src/lib.rs crates/workloads/src/jbb.rs crates/workloads/src/jvm98.rs crates/workloads/src/oo7.rs crates/workloads/src/scale.rs crates/workloads/src/tmir_sources.rs crates/workloads/src/tsp.rs
+
+/root/repo/target/release/deps/libworkloads-55464c0ce778190f.rlib: crates/workloads/src/lib.rs crates/workloads/src/jbb.rs crates/workloads/src/jvm98.rs crates/workloads/src/oo7.rs crates/workloads/src/scale.rs crates/workloads/src/tmir_sources.rs crates/workloads/src/tsp.rs
+
+/root/repo/target/release/deps/libworkloads-55464c0ce778190f.rmeta: crates/workloads/src/lib.rs crates/workloads/src/jbb.rs crates/workloads/src/jvm98.rs crates/workloads/src/oo7.rs crates/workloads/src/scale.rs crates/workloads/src/tmir_sources.rs crates/workloads/src/tsp.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/jbb.rs:
+crates/workloads/src/jvm98.rs:
+crates/workloads/src/oo7.rs:
+crates/workloads/src/scale.rs:
+crates/workloads/src/tmir_sources.rs:
+crates/workloads/src/tsp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/contention-7c94cb7bd3bef86d.d: examples/contention.rs
+
+/root/repo/target/release/examples/contention-7c94cb7bd3bef86d: examples/contention.rs
+
+examples/contention.rs:

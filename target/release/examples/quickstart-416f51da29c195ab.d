@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-416f51da29c195ab.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-416f51da29c195ab: examples/quickstart.rs
+
+examples/quickstart.rs:
