@@ -341,6 +341,208 @@ pub fn contention() -> String {
     out
 }
 
+/// Chaos campaign: `count` seeded fault-injection runs starting at
+/// `first_seed`, each swept across both versioning engines and all three
+/// contention policies, with [`Heap::audit`](stm_core::heap::Heap::audit)
+/// as the oracle after every run.
+///
+/// Each run arms [`stm_core::fault::FaultPlan::seeded`] — injected delays,
+/// forced aborts, and mid-critical-section panics are a pure function of
+/// (seed, global event index) — and hammers a hot object set from three
+/// threads with transactional increments, allocate-and-publish
+/// transactions, and non-transactional barriers. Panic-safe rollback and
+/// the stuck-owner watchdog are both on; a failed audit (stranded record,
+/// undrained recovery log, version regression, privacy leak) fails the
+/// whole campaign and prints the offending `(seed, engine, policy)`.
+///
+/// # Panics
+/// Panics if any run's audit reports a finding, or (for campaigns of 8+
+/// seeds) if the plan never actually fired a panic while a record was held
+/// in `Exclusive` state — the scenario the auditor exists to check.
+pub fn chaos(first_seed: u64, count: u64) -> String {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use stm_core::config::{StmConfig, Versioning};
+    use stm_core::contention::ContentionPolicy;
+    use stm_core::fault::{FaultPlan, FaultSite, InjectedPanic};
+    use stm_core::heap::{FieldDef, Heap, Shape};
+    use stm_core::txn::atomic;
+    use stm_core::watchdog::WatchdogConfig;
+
+    const THREADS: u64 = 3;
+    const OPS: u64 = 80;
+
+    // Injected panics are expected by the hundreds; keep the default hook's
+    // per-panic stderr report for *real* panics only.
+    let prev_hook: Arc<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send> =
+        Arc::from(std::panic::take_hook());
+    let filtered = Arc::clone(&prev_hook);
+    std::panic::set_hook(Box::new(move |info| {
+        if info.payload().downcast_ref::<InjectedPanic>().is_none() {
+            filtered(info);
+        }
+    }));
+
+    let injected_panics = Arc::new(AtomicU64::new(0));
+    // Panics drawn at the eager post-write site fire while the transaction
+    // holds the written record in `Exclusive` state — the acceptance case.
+    let exclusive_panics = Arc::new(AtomicU64::new(0));
+    let mut failures: Vec<String> = Vec::new();
+    let mut commits = 0u64;
+    let mut aborts = 0u64;
+    let mut delays = 0u64;
+    let mut forced = 0u64;
+    let mut rollbacks = 0u64;
+    let mut reclaims = 0u64;
+
+    for seed in first_seed..first_seed + count {
+        for versioning in [Versioning::Eager, Versioning::Lazy] {
+            for policy in ContentionPolicy::ALL {
+                let heap = Heap::new(StmConfig {
+                    versioning,
+                    contention: policy,
+                    dea: true,
+                    fault: Some(FaultPlan::seeded(seed)),
+                    watchdog: WatchdogConfig { enabled: true, spin_budget: 64 },
+                    panic_safety: true,
+                    ..StmConfig::default()
+                });
+                let shape = heap.define_shape(Shape::new(
+                    "Hot",
+                    vec![
+                        FieldDef::int("n"),
+                        FieldDef::int("side"),
+                        FieldDef::reference("link"),
+                    ],
+                ));
+                let objs = [heap.alloc_public(shape), heap.alloc_public(shape)];
+                let handles: Vec<_> = (0..THREADS)
+                    .map(|t| {
+                        let heap = Arc::clone(&heap);
+                        let injected = Arc::clone(&injected_panics);
+                        let exclusive = Arc::clone(&exclusive_panics);
+                        std::thread::spawn(move || {
+                            let mut rng = seed
+                                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                                .wrapping_add(t + 1)
+                                | 1;
+                            let mut next = move || {
+                                rng ^= rng << 13;
+                                rng ^= rng >> 7;
+                                rng ^= rng << 17;
+                                rng
+                            };
+                            for i in 0..OPS {
+                                let o = objs[next() as usize % objs.len()];
+                                let op = next() % 5;
+                                let run = catch_unwind(AssertUnwindSafe(|| match op {
+                                    // Transactional increment of the hot field.
+                                    0 | 1 => atomic(&heap, |tx| {
+                                        let v = tx.read(o, 0)?;
+                                        tx.write(o, 0, v + 1)?;
+                                        std::thread::yield_now();
+                                        tx.write(o, 1, i)
+                                    }),
+                                    // Allocate privately, publish through the
+                                    // reference field (exercises the DEA
+                                    // invariants the auditor checks).
+                                    2 => atomic(&heap, |tx| {
+                                        let p = tx.alloc(shape);
+                                        tx.write(p, 0, i)?;
+                                        tx.write_ref(o, 2, Some(p))
+                                    }),
+                                    // Non-transactional barrier traffic.
+                                    3 => stm_core::barrier::write_barrier(&heap, o, 1, i),
+                                    _ => {
+                                        let _ = stm_core::barrier::read_barrier(&heap, o, 0);
+                                    }
+                                }));
+                                if let Err(payload) = run {
+                                    match payload.downcast_ref::<InjectedPanic>() {
+                                        Some(p) => {
+                                            injected.fetch_add(1, Ordering::Relaxed);
+                                            if versioning == Versioning::Eager
+                                                && p.site == FaultSite::PostWrite
+                                            {
+                                                exclusive.fetch_add(1, Ordering::Relaxed);
+                                            }
+                                        }
+                                        // A real bug, not an injected fault:
+                                        // let it fail the campaign loudly.
+                                        None => resume_unwind(payload),
+                                    }
+                                }
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+
+                let report = heap.audit();
+                if !report.is_clean() {
+                    failures.push(format!(
+                        "seed={seed} engine={versioning:?} policy={}:\n{report}",
+                        policy.label()
+                    ));
+                }
+                let snap = heap.stats_snapshot();
+                commits += snap.commits;
+                aborts += snap.aborts;
+                delays += snap.faults_delays;
+                forced += snap.faults_forced_aborts;
+                rollbacks += snap.panic_rollbacks;
+                reclaims += snap.orphan_reclaims;
+            }
+        }
+    }
+
+    std::panic::set_hook(Box::new(move |info| prev_hook(info)));
+
+    let injected = injected_panics.load(Ordering::Relaxed);
+    let exclusive = exclusive_panics.load(Ordering::Relaxed);
+    let runs = count * 2 * ContentionPolicy::ALL.len() as u64;
+    let mut out = String::new();
+    writeln!(out, "== Chaos campaign: seeded faults vs the heap auditor ==\n").unwrap();
+    writeln!(
+        out,
+        "seeds {first_seed}..{} x {{eager, lazy}} x {{aggressive, backoff, karma}} \
+         = {runs} runs ({THREADS} threads x {OPS} ops each)",
+        first_seed + count
+    )
+    .unwrap();
+    writeln!(out, "commits={commits} aborts={aborts}").unwrap();
+    writeln!(
+        out,
+        "injected: delays={delays} forced-aborts={forced} panics={injected} \
+         (while Exclusive: {exclusive})"
+    )
+    .unwrap();
+    writeln!(out, "recovered: panic-rollbacks={rollbacks} orphan-reclaims={reclaims}").unwrap();
+    writeln!(
+        out,
+        "audits: {}/{} clean{}",
+        runs - failures.len() as u64,
+        runs,
+        if failures.is_empty() { "" } else { " -- FAILURES:" }
+    )
+    .unwrap();
+    for f in &failures {
+        writeln!(out, "{f}").unwrap();
+    }
+    assert!(failures.is_empty(), "chaos campaign audit failures:\n{out}");
+    if count >= 8 {
+        assert!(injected > 0, "campaign never drew an injected panic:\n{out}");
+        assert!(
+            exclusive > 0,
+            "campaign never panicked while holding an Exclusive record:\n{out}"
+        );
+    }
+    out
+}
+
 /// Runs every experiment (the `repro all` command).
 pub fn all(scale: usize) -> String {
     let mut out = String::new();
@@ -400,6 +602,14 @@ mod tests {
     fn scalability_smoke() {
         let out = workloads::tsp::run(&TspConfig::tiny(SyncMode::WeakAtom, 2));
         assert!(out.makespan > 0);
+    }
+
+    #[test]
+    fn chaos_smoke() {
+        // Two seeds keep the debug-build test quick; the CI chaos job runs
+        // the full 32-seed campaign in release mode.
+        let s = chaos(1, 2);
+        assert!(s.contains("audits: 12/12 clean"), "{s}");
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //! repro fig15|16|17 [scale]  # JVM98 barrier overheads (measured)
 //! repro fig18|19|20      # Tsp / OO7 / JBB scalability (simulated)
 //! repro contention       # contention-policy abort telemetry shootout
+//! repro chaos [--seeds N] [--seed S]   # crash-safety campaign: seeded fault
+//!                        # injection vs the heap auditor (default 32 seeds
+//!                        # from 1; --seed S replays the single seed S)
 //! ```
 
 use bench::experiments as ex;
@@ -33,8 +36,32 @@ fn main() {
         "fig19" => ex::fig19(),
         "fig20" => ex::fig20(),
         "contention" => ex::contention(),
+        "chaos" => {
+            let mut first = 1u64;
+            let mut count = 32u64;
+            let mut i = 1;
+            while i < args.len() {
+                let value = args.get(i + 1).and_then(|s| s.parse().ok());
+                match (args[i].as_str(), value) {
+                    ("--seeds", Some(v)) => {
+                        count = v;
+                        i += 1;
+                    }
+                    ("--seed", Some(v)) => {
+                        first = v;
+                        count = 1;
+                        i += 1;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            ex::chaos(first, count)
+        }
         other => {
-            eprintln!("unknown experiment `{other}`; try: all, fig1..fig6, fig13..fig20, contention");
+            eprintln!(
+                "unknown experiment `{other}`; try: all, fig1..fig6, fig13..fig20, contention, chaos"
+            );
             std::process::exit(2);
         }
     };

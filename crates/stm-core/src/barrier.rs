@@ -21,6 +21,20 @@
 //! pass the owner test and survive the recheck (records never transition
 //! *into* the private state). We perform the explicit check when DEA is on,
 //! as the paper's Figure 10 does, because it skips the recheck load.
+//!
+//! ## Crash safety and stuck owners
+//!
+//! Barriers cannot abort, so their wait loops rely on the paper's
+//! assumption that every exclusive owner releases in bounded time. A
+//! transaction whose thread dies mid-critical-section (panic with
+//! [`crate::config::StmConfig::panic_safety`] disabled) breaks that
+//! assumption — a barrier spinning on its record would hang forever.
+//! Because every barrier re-reads the record each iteration and funnels its
+//! wait through [`crate::contention::resolve`], the stuck-owner watchdog
+//! ([`crate::watchdog`]) transparently unblocks it: once the spin budget is
+//! exhausted, the dead owner's records are rolled back and released, the
+//! next record re-read observes the restored `Shared` word, and the barrier
+//! completes normally.
 
 use crate::contention::{resolve, ConflictSite};
 use crate::cost::{charge, CostKind};

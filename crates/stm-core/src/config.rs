@@ -1,6 +1,8 @@
 //! Runtime configuration of the STM system.
 
 use crate::contention::ContentionPolicy;
+use crate::fault::FaultPlan;
+use crate::watchdog::WatchdogConfig;
 
 /// Version-management policy (paper §2.2 vs §2.3).
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
@@ -109,6 +111,19 @@ pub struct StmConfig {
     /// solves neither the general problems nor the privatization problem").
     /// Provided so the litmus suite can demonstrate exactly that claim.
     pub eager_validation: bool,
+    /// Seeded deterministic fault injection (see [`crate::fault`]). `None`
+    /// (the default) disables the machinery entirely.
+    pub fault: Option<FaultPlan>,
+    /// Stuck-owner watchdog: spin sites that exhaust the configured budget
+    /// consult the owner-liveness registry and reclaim records orphaned by
+    /// dead owners (see [`crate::watchdog`]).
+    pub watchdog: WatchdogConfig,
+    /// Panic-safe atomic blocks: the runners catch unwinds escaping the user
+    /// closure, roll the transaction back (undo log, record release,
+    /// `on_abort` compensations), then resume the unwind. Disabling this
+    /// models a crashed participant — records strand in `Exclusive` state
+    /// until the watchdog reclaims them.
+    pub panic_safety: bool,
 }
 
 impl Default for StmConfig {
@@ -122,6 +137,9 @@ impl Default for StmConfig {
             contention: ContentionPolicy::default(),
             record_races: false,
             eager_validation: false,
+            fault: None,
+            watchdog: WatchdogConfig::default(),
+            panic_safety: true,
         }
     }
 }

@@ -13,6 +13,13 @@
 //! abort: the paper's protocol guarantees every exclusive owner releases in
 //! bounded time, so [`resolve`] coerces their decisions to waits.
 //!
+//! That bounded-release guarantee fails if an owner *dies* mid-critical-
+//! section (a panic with [`crate::config::StmConfig::panic_safety`]
+//! disabled). [`resolve`] therefore also hosts the stuck-owner watchdog:
+//! once a waiter exceeds [`crate::watchdog::WatchdogConfig::spin_budget`]
+//! rounds it consults the owner-liveness registry and reclaims records
+//! orphaned by dead owners, restoring the bound (see [`crate::watchdog`]).
+//!
 //! Three policies ship with the system:
 //!
 //! * [`ContentionPolicy::Aggressive`] — abort self immediately on any
@@ -32,6 +39,7 @@ use crate::cost::{backoff_wait, charge, CostKind};
 use crate::heap::Heap;
 use crate::stats::Stats;
 use crate::txnrec::{OwnerToken, RecWord};
+use crate::watchdog::ReclaimOutcome;
 use std::cell::Cell;
 use std::sync::Arc;
 
@@ -330,6 +338,38 @@ pub(crate) fn resolve(
     let stats: &Stats = heap.stats();
     if *attempt == 0 {
         stats.conflict_event(site);
+    }
+    // Stuck-owner watchdog: a waiter that has burned through the spin budget
+    // (set above every policy's worst-case legitimate wait) stops trusting
+    // the holder to make progress. A dead transactional holder is rolled
+    // back and its records released, unblocking this spin site; a live (or
+    // unidentifiable) holder forces an abortable waiter to self-abort so it
+    // cannot spin forever. Non-abortable waiters against live holders keep
+    // waiting — there is nothing safe they can do.
+    let wd = heap.config().watchdog;
+    if wd.enabled && *attempt >= wd.spin_budget {
+        if *attempt == wd.spin_budget {
+            stats.watchdog_escalation();
+        }
+        match holder.filter(|h| h.is_txn_exclusive()) {
+            Some(h) => match heap.try_reclaim_orphan(h) {
+                ReclaimOutcome::Reclaimed { .. } => return Ok(()),
+                ReclaimOutcome::OwnerAlive | ReclaimOutcome::Unknown => {
+                    if site.can_abort() {
+                        stats.watchdog_self_abort();
+                        stats.record_wait_span(*attempt);
+                        return Err(());
+                    }
+                }
+            },
+            None => {
+                if site.can_abort() {
+                    stats.watchdog_self_abort();
+                    stats.record_wait_span(*attempt);
+                    return Err(());
+                }
+            }
+        }
     }
     let cm = heap.contention();
     let (my_age, holder_age) = if cm.needs_age() {

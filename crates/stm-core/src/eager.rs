@@ -18,12 +18,14 @@ use crate::config::StmConfig;
 use crate::contention::{resolve, ConflictSite};
 use crate::cost::{charge, CostKind};
 use crate::dea;
+use crate::fault::{self, FaultSite};
 use crate::heap::{Heap, ObjRef, TxnSlot, Word};
 use crate::quiesce;
 use crate::stats::TxnTelemetry;
 use crate::syncpoint::SyncPoint;
 use crate::txn::{active_tokens, Abort, TxResult};
 use crate::txnrec::{OwnerToken, RecWord};
+use crate::watchdog::{OrphanUndo, OwnerDesc};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -64,6 +66,10 @@ pub struct EagerTxn<'h> {
     on_commit: Vec<Box<dyn FnOnce() + 'h>>,
     slot: Option<Arc<TxnSlot>>,
     telem: TxnTelemetry,
+    /// Heap-side owner descriptor (watchdog enabled only): acquisitions and
+    /// undo entries are mirrored here *before* any in-place store, so a
+    /// reclaimer can roll this transaction back if its thread dies.
+    desc: Option<Arc<OwnerDesc>>,
 }
 
 impl<'h> EagerTxn<'h> {
@@ -75,7 +81,11 @@ impl<'h> EagerTxn<'h> {
         };
         charge(CostKind::TxnBegin);
         let owner = heap.fresh_owner();
+        if let Some(slot) = &slot {
+            slot.owner.store(owner.word(), Ordering::Release);
+        }
         heap.register_age(owner, age);
+        let desc = heap.liveness_register(owner);
         EagerTxn {
             heap,
             owner,
@@ -88,6 +98,7 @@ impl<'h> EagerTxn<'h> {
             on_commit: Vec::new(),
             slot,
             telem: TxnTelemetry { attempts: 1, ..TxnTelemetry::default() },
+            desc,
         }
     }
 
@@ -104,15 +115,13 @@ impl<'h> EagerTxn<'h> {
     }
 
     /// Consults the heap's contention manager about a conflict at `site`;
-    /// waits or aborts self per its decision, and panics on provable
-    /// self-deadlock (open nesting touching an enclosing transaction's
-    /// lock).
+    /// waits or aborts self per its decision. Provable self-deadlock (open
+    /// nesting touching an enclosing transaction's lock) aborts with the
+    /// structured [`Abort::Deadlock`] — recoverable, not fatal.
     fn conflict(&mut self, site: ConflictSite, attempt: &mut u32, holder: RecWord) -> TxResult<()> {
         if holder.is_txn_exclusive() && active_tokens().contains(&holder.raw()) {
-            panic!(
-                "open-nested transaction accessed data locked by an enclosing \
-                 transaction; open-nested code must use disjoint data"
-            );
+            self.telem.deadlocks += 1;
+            return Err(Abort::Deadlock);
         }
         if *attempt == 0 {
             self.telem.conflicts += 1;
@@ -140,6 +149,7 @@ impl<'h> EagerTxn<'h> {
     /// Opens `r` for reading (paper: open-for-read barrier) and returns the
     /// field value.
     pub(crate) fn read(&mut self, r: ObjRef, field: usize) -> TxResult<Word> {
+        fault::hook(self.heap, FaultSite::OpenRead)?;
         if self.config().eager_validation && !self.read_set_valid() {
             self.heap.stats.abort_validation();
             return Err(Abort::Conflict);
@@ -194,6 +204,9 @@ impl<'h> EagerTxn<'h> {
                 charge(CostKind::TxnOpenWrite);
                 if obj.rec.try_acquire_txn(rec, self.owner).is_ok() {
                     self.owned.insert(r, rec);
+                    if let Some(d) = &self.desc {
+                        d.note_acquired(r, rec);
+                    }
                     self.log_undo(r, field);
                     self.conflict_resolved(attempt);
                     return Ok(());
@@ -217,6 +230,14 @@ impl<'h> EagerTxn<'h> {
             len: span.len() as u8,
             vals,
         });
+        if let Some(d) = &self.desc {
+            d.note_undo(OrphanUndo {
+                obj: r,
+                base: span.start as u32,
+                len: span.len() as u8,
+                vals,
+            });
+        }
     }
 
     /// Transactional write: acquire, undo-log, update in place, publish
@@ -230,6 +251,9 @@ impl<'h> EagerTxn<'h> {
         }
         obj.field(field).store(value, Ordering::Relaxed);
         self.heap.hit(SyncPoint::EagerAfterWrite);
+        // The crash-safety hot spot: a panic injected here unwinds while the
+        // record word is Exclusive and the undo log holds the only pre-image.
+        fault::hook(self.heap, FaultSite::PostWrite)?;
         Ok(())
     }
 
@@ -254,6 +278,9 @@ impl<'h> EagerTxn<'h> {
                 debug_assert!(rec.is_shared());
                 if obj.rec.try_acquire_txn(rec, self.owner).is_ok() {
                     self.owned.insert(o, rec);
+                    if let Some(d) = &self.desc {
+                        d.note_acquired(o, rec);
+                    }
                 }
                 self.private_reads.remove(&o);
             } else if self.private_reads.remove(&o) {
@@ -356,6 +383,9 @@ impl<'h> EagerTxn<'h> {
 
     fn clear(&mut self) {
         self.heap.retire_age(self.owner);
+        if self.desc.take().is_some() {
+            self.heap.liveness_deregister(self.owner);
+        }
         self.read_set.clear();
         self.undo.clear();
         self.owned.clear();

@@ -1,0 +1,330 @@
+//! Seeded, deterministic fault injection for crash-safety testing.
+//!
+//! A [`FaultPlan`] installed in [`crate::config::StmConfig::fault`] arms a
+//! per-heap [`FaultInjector`] that hooks the existing protocol funnels:
+//!
+//! * every [`crate::syncpoint::SyncPoint`] announcement
+//!   ([`crate::heap::Heap::hit`]) may inject a *delay* — a backoff wait that
+//!   jiggles the timing of the protocol windows (e.g. between a lazy
+//!   commit's validation and its write-back);
+//! * the transactional open-for-read and write paths may additionally
+//!   inject a *forced abort* (an [`Abort::Conflict`] fed through the normal
+//!   re-execution machinery) or an *injected panic* — an unwind thrown with
+//!   [`std::panic::panic_any`] carrying an [`InjectedPanic`] payload so
+//!   harnesses can tell injected crashes from real bugs.
+//!
+//! The interesting site is [`FaultSite::PostWrite`]: the eager engine fires
+//! it *after* the undo-log append and the in-place store, while the record
+//! is held in `Exclusive` state — a panic there exercises exactly the
+//! stranded-lock scenario the panic-safe rollback
+//! ([`crate::config::StmConfig::panic_safety`]) and the stuck-owner watchdog
+//! ([`crate::watchdog`]) exist to survive.
+//!
+//! Decisions are a pure function of `(seed, event index)` (a splitmix64
+//! hash), so a single-threaded run replays exactly from its seed. Under
+//! concurrency the *interleaving* of event indices across threads varies,
+//! but the decision sequence itself is fixed — campaigns over a seed range
+//! explore a reproducible family of schedules. Panics are never injected
+//! inside commit/write-back (roll-forward is not modelled), only inside the
+//! user closure's read/write paths where rollback is well-defined.
+
+use crate::cost::{backoff_wait, charge, CostKind};
+use crate::heap::Heap;
+use crate::txn::{Abort, TxResult};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Where in the protocol a fault can fire. The taxonomy matters for
+/// reproducing a failing seed: the `repro chaos` report and the
+/// [`InjectedPanic`] payload both name the site.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Any [`crate::syncpoint::SyncPoint`] announcement. Delay only.
+    Protocol,
+    /// Transactional open-for-read (both engines). Delay, forced abort, or
+    /// panic.
+    OpenRead,
+    /// Eager engine, after the undo-log append and the in-place store,
+    /// while the record word is `Exclusive`. Delay, forced abort, or panic —
+    /// a panic here strands the lock unless panic-safe rollback or the
+    /// watchdog recovers it.
+    PostWrite,
+    /// Lazy engine, after buffering a write (no lock held). Delay, forced
+    /// abort, or panic.
+    PostBuffer,
+}
+
+impl FaultSite {
+    /// All sites, for reports.
+    pub const ALL: [FaultSite; 4] = [
+        FaultSite::Protocol,
+        FaultSite::OpenRead,
+        FaultSite::PostWrite,
+        FaultSite::PostBuffer,
+    ];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultSite::Protocol => "protocol",
+            FaultSite::OpenRead => "open-read",
+            FaultSite::PostWrite => "post-write",
+            FaultSite::PostBuffer => "post-buffer",
+        }
+    }
+
+    /// Whether a forced abort may fire here (only sites whose callers
+    /// propagate [`Abort`] through the transactional machinery).
+    #[inline]
+    fn allows_abort(self) -> bool {
+        !matches!(self, FaultSite::Protocol)
+    }
+
+    /// Whether an injected panic may fire here. Panics are confined to the
+    /// user closure's paths, where panic-safe rollback is well-defined.
+    #[inline]
+    fn allows_panic(self) -> bool {
+        !matches!(self, FaultSite::Protocol)
+    }
+}
+
+impl std::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A seeded fault-injection plan. Stored in
+/// [`crate::config::StmConfig::fault`]; `None` (the default) compiles the
+/// whole machinery down to one branch per protocol event.
+///
+/// Probabilities are per-event permille and are tested in order
+/// delay → abort → panic against a single draw, so their sum must stay
+/// ≤ 1000 (asserted at heap construction).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct FaultPlan {
+    /// Seed for the per-event decision hash. Same seed ⇒ same decision
+    /// sequence.
+    pub seed: u64,
+    /// Per-event probability of an injected delay, in permille.
+    pub delay_permille: u16,
+    /// Per-event probability of a forced abort at an eligible site.
+    pub abort_permille: u16,
+    /// Per-event probability of an injected panic at an eligible site.
+    pub panic_permille: u16,
+    /// Lifetime cap on injected panics for this heap (keeps a chaos run
+    /// from degenerating into nothing but crashes).
+    pub max_panics: u32,
+}
+
+impl FaultPlan {
+    /// The standard chaos-campaign plan for `seed`: a few percent of events
+    /// delayed, occasional forced aborts, rare panics with a small budget.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            delay_permille: 40,
+            abort_permille: 25,
+            panic_permille: 8,
+            max_panics: 4,
+        }
+    }
+
+    /// Sum of the probability bands (must be ≤ 1000).
+    pub(crate) fn total_permille(&self) -> u32 {
+        self.delay_permille as u32 + self.abort_permille as u32 + self.panic_permille as u32
+    }
+}
+
+/// The payload of an injected panic, thrown with [`std::panic::panic_any`].
+/// Chaos harnesses downcast the payload of a caught unwind to this type to
+/// distinguish injected crashes from genuine bugs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct InjectedPanic {
+    /// The site the panic fired at.
+    pub site: FaultSite,
+    /// The global fault-event index that drew the panic (names the event
+    /// when replaying a seed).
+    pub seq: u64,
+}
+
+impl std::fmt::Display for InjectedPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected panic at {} (event #{})", self.site, self.seq)
+    }
+}
+
+/// What the injector decided for one event.
+enum FaultAction {
+    Delay(u32),
+    ForcedAbort,
+    Panic,
+}
+
+/// Per-heap fault-injection state: the plan plus a global event counter and
+/// the remaining panic budget.
+#[derive(Debug)]
+pub(crate) struct FaultInjector {
+    plan: FaultPlan,
+    events: AtomicU64,
+    panics: AtomicU32,
+}
+
+/// splitmix64 finalizer — a cheap, well-mixed hash of the event index.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultInjector {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        assert!(
+            plan.total_permille() <= 1000,
+            "FaultPlan probability bands exceed 1000 permille"
+        );
+        FaultInjector {
+            plan,
+            events: AtomicU64::new(0),
+            panics: AtomicU32::new(0),
+        }
+    }
+
+    /// Decides the fate of the next event at `site`. Pure in
+    /// `(seed, event index)`; the event counter is the only shared state.
+    fn decide(&self, site: FaultSite) -> Option<(FaultAction, u64)> {
+        let seq = self.events.fetch_add(1, Ordering::Relaxed);
+        let draw = mix(self.plan.seed ^ mix(seq));
+        let roll = (draw % 1000) as u16;
+        let delay_band = self.plan.delay_permille;
+        let abort_band = delay_band + self.plan.abort_permille;
+        let panic_band = abort_band + self.plan.panic_permille;
+        if roll < delay_band {
+            // Severity 2..=9: enough to matter, bounded so campaigns finish.
+            return Some((FaultAction::Delay(((draw >> 32) % 8) as u32 + 2), seq));
+        }
+        if roll < abort_band && site.allows_abort() {
+            return Some((FaultAction::ForcedAbort, seq));
+        }
+        if roll < panic_band && site.allows_panic() {
+            let cap = self.plan.max_panics;
+            let won = self
+                .panics
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                    (n < cap).then_some(n + 1)
+                })
+                .is_ok();
+            if won {
+                return Some((FaultAction::Panic, seq));
+            }
+        }
+        None
+    }
+}
+
+/// The engines' fault hook: called from the transactional read/write paths.
+/// Returns `Err(Abort::Conflict)` for a forced abort; diverges by panicking
+/// with an [`InjectedPanic`] payload; otherwise (possibly after a delay)
+/// returns `Ok(())`.
+#[inline]
+pub(crate) fn hook(heap: &Heap, site: FaultSite) -> TxResult<()> {
+    let Some(inj) = heap.fault_injector() else {
+        return Ok(());
+    };
+    match inj.decide(site) {
+        None => Ok(()),
+        Some((FaultAction::Delay(severity), _)) => {
+            heap.stats().fault_delay();
+            charge(CostKind::Backoff);
+            backoff_wait(severity);
+            Ok(())
+        }
+        Some((FaultAction::ForcedAbort, _)) => {
+            heap.stats().fault_forced_abort();
+            Err(Abort::Conflict)
+        }
+        Some((FaultAction::Panic, seq)) => {
+            heap.stats().fault_panic();
+            std::panic::panic_any(InjectedPanic { site, seq });
+        }
+    }
+}
+
+/// The syncpoint-funnel hook: [`crate::heap::Heap::hit`] calls this on every
+/// protocol announcement when a plan is armed. Only delays can fire here.
+#[cold]
+pub(crate) fn protocol_tick(heap: &Heap, inj: &FaultInjector) {
+    if let Some((FaultAction::Delay(severity), _)) = inj.decide(FaultSite::Protocol) {
+        heap.stats().fault_delay();
+        charge(CostKind::Backoff);
+        backoff_wait(severity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_in_seed_and_index() {
+        let a = FaultInjector::new(FaultPlan::seeded(7));
+        let b = FaultInjector::new(FaultPlan::seeded(7));
+        for _ in 0..4096 {
+            let da = a.decide(FaultSite::OpenRead).map(|(x, s)| (disc(&x), s));
+            let db = b.decide(FaultSite::OpenRead).map(|(x, s)| (disc(&x), s));
+            assert_eq!(da, db);
+        }
+    }
+
+    #[test]
+    fn protocol_site_only_delays() {
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 3,
+            delay_permille: 0,
+            abort_permille: 500,
+            panic_permille: 500,
+            max_panics: u32::MAX,
+        });
+        for _ in 0..4096 {
+            assert!(inj.decide(FaultSite::Protocol).is_none());
+        }
+    }
+
+    #[test]
+    fn panic_budget_is_respected() {
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 11,
+            delay_permille: 0,
+            abort_permille: 0,
+            panic_permille: 1000,
+            max_panics: 3,
+        });
+        let mut panics = 0;
+        for _ in 0..1000 {
+            if let Some((FaultAction::Panic, _)) = inj.decide(FaultSite::PostWrite) {
+                panics += 1;
+            }
+        }
+        assert_eq!(panics, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1000 permille")]
+    fn oversubscribed_plan_rejected() {
+        let _ = FaultInjector::new(FaultPlan {
+            seed: 0,
+            delay_permille: 600,
+            abort_permille: 600,
+            panic_permille: 0,
+            max_panics: 0,
+        });
+    }
+
+    fn disc(a: &FaultAction) -> u32 {
+        match a {
+            FaultAction::Delay(s) => 100 + s,
+            FaultAction::ForcedAbort => 1,
+            FaultAction::Panic => 2,
+        }
+    }
+}

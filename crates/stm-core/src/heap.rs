@@ -10,12 +10,15 @@
 //! by `publishObject` (paper Figure 11) to traverse the private object
 //! graph — and which are `final` (the JIT elides their barriers, paper §6).
 
+use crate::audit::VersionHighWater;
 use crate::config::StmConfig;
 use crate::contention::ContentionManager;
+use crate::fault::FaultInjector;
 use crate::segvec::SegVec;
 use crate::stats::{Stats, StatsSnapshot};
 use crate::syncpoint::{current_actor, Script, SyncPoint};
-use crate::txnrec::{OwnerToken, TxnRecord};
+use crate::txnrec::{OwnerToken, RecWord, TxnRecord};
+use crate::watchdog::{Liveness, OwnerDesc, ReclaimOutcome};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::num::NonZeroU64;
@@ -177,6 +180,9 @@ impl Obj {
 pub(crate) struct TxnSlot {
     pub(crate) active: AtomicBool,
     pub(crate) vserial: AtomicU64,
+    /// Owner-token word of the attempt using this slot (0 = unset). Lets
+    /// quiescence waiters skip slots whose owner died without deactivating.
+    pub(crate) owner: AtomicUsize,
 }
 
 #[derive(Debug, Default)]
@@ -194,6 +200,7 @@ impl Registry {
                 .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
+                slot.owner.store(0, Ordering::Release);
                 slot.vserial.store(serial, Ordering::Release);
                 return Arc::clone(slot);
             }
@@ -201,6 +208,7 @@ impl Registry {
         let slot = Arc::new(TxnSlot {
             active: AtomicBool::new(true),
             vserial: AtomicU64::new(serial),
+            owner: AtomicUsize::new(0),
         });
         slots.push(Arc::clone(&slot));
         slot
@@ -248,12 +256,19 @@ pub struct Heap {
     /// Owner-token word → birth ticket of the atomic block currently using
     /// that token. Maintained only when the policy reports `needs_age()`.
     ages: Mutex<HashMap<usize, u64>>,
+    /// Armed fault injector (from [`StmConfig::fault`]).
+    fault: Option<FaultInjector>,
+    /// Owner-liveness registry for the stuck-owner watchdog.
+    pub(crate) liveness: Liveness,
+    /// High-water version marks maintained by [`Heap::audit`].
+    pub(crate) audit_versions: VersionHighWater,
 }
 
 impl Heap {
     /// Creates a heap with the given configuration.
     pub fn new(config: StmConfig) -> Arc<Heap> {
         let cm = config.contention.build();
+        let fault = config.fault.map(FaultInjector::new);
         Arc::new(Heap {
             store: SegVec::new(),
             shapes: RwLock::new(Vec::new()),
@@ -269,7 +284,49 @@ impl Heap {
             cm,
             age_counter: AtomicU64::new(1),
             ages: Mutex::new(HashMap::new()),
+            fault,
+            liveness: Liveness::default(),
+            audit_versions: VersionHighWater::default(),
         })
+    }
+
+    /// The armed fault injector, if [`StmConfig::fault`] set one.
+    #[inline]
+    pub(crate) fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.fault.as_ref()
+    }
+
+    /// Registers `owner` in the liveness registry, returning its descriptor.
+    /// `None` when the watchdog is disabled (no registry is maintained).
+    pub(crate) fn liveness_register(&self, owner: OwnerToken) -> Option<Arc<OwnerDesc>> {
+        if self.config.watchdog.enabled {
+            Some(self.liveness.register(owner))
+        } else {
+            None
+        }
+    }
+
+    /// Removes `owner` from the liveness registry after a clean finish.
+    pub(crate) fn liveness_deregister(&self, owner: OwnerToken) {
+        self.liveness.deregister(owner);
+    }
+
+    /// Marks the owner encoded by `owner_word` dead. Called by the runner's
+    /// token guard when an attempt unwinds without committing or aborting;
+    /// a no-op for owners that already deregistered.
+    pub(crate) fn owner_vanished(&self, owner_word: usize) {
+        self.liveness.mark_dead(owner_word);
+    }
+
+    /// Whether `owner_word` is registered and known dead.
+    pub(crate) fn owner_is_dead(&self, owner_word: usize) -> bool {
+        self.liveness.is_dead(owner_word)
+    }
+
+    /// Attempts to reclaim the records of the (apparently stuck) exclusive
+    /// owner in `holder` — see [`crate::watchdog::Liveness::try_reclaim`].
+    pub(crate) fn try_reclaim_orphan(&self, holder: RecWord) -> ReclaimOutcome {
+        self.liveness.try_reclaim(self, holder)
     }
 
     /// This heap's configuration.
@@ -502,6 +559,9 @@ impl Heap {
     pub fn hit(&self, point: SyncPoint) {
         if self.script_active.load(Ordering::Relaxed) {
             self.hit_slow(point);
+        }
+        if let Some(inj) = &self.fault {
+            crate::fault::protocol_tick(self, inj);
         }
     }
 

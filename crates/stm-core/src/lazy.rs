@@ -19,12 +19,14 @@
 use crate::contention::{resolve, ConflictSite};
 use crate::cost::{charge, CostKind};
 use crate::dea;
+use crate::fault::{self, FaultSite};
 use crate::heap::{Heap, ObjRef, TxnSlot, Word};
 use crate::quiesce;
 use crate::stats::TxnTelemetry;
 use crate::syncpoint::SyncPoint;
 use crate::txn::{active_tokens, Abort, TxResult};
 use crate::txnrec::{OwnerToken, RecWord};
+use crate::watchdog::OwnerDesc;
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -73,6 +75,11 @@ pub struct LazyTxn<'h> {
     on_commit: Vec<Box<dyn FnOnce() + 'h>>,
     slot: Option<Arc<TxnSlot>>,
     telem: TxnTelemetry,
+    /// Heap-side owner descriptor (watchdog enabled only). The lazy engine
+    /// holds no locks while the user closure runs, so the descriptor stays
+    /// empty — it exists to answer liveness queries from waiters that catch
+    /// the short commit-time acquisition window.
+    desc: Option<Arc<OwnerDesc>>,
 }
 
 impl<'h> LazyTxn<'h> {
@@ -84,7 +91,11 @@ impl<'h> LazyTxn<'h> {
         };
         charge(CostKind::TxnBegin);
         let owner = heap.fresh_owner();
+        if let Some(slot) = &slot {
+            slot.owner.store(owner.word(), Ordering::Release);
+        }
         heap.register_age(owner, age);
+        let desc = heap.liveness_register(owner);
         LazyTxn {
             heap,
             owner,
@@ -94,6 +105,7 @@ impl<'h> LazyTxn<'h> {
             on_commit: Vec::new(),
             slot,
             telem: TxnTelemetry { attempts: 1, ..TxnTelemetry::default() },
+            desc,
         }
     }
 
@@ -112,15 +124,13 @@ impl<'h> LazyTxn<'h> {
     }
 
     /// Consults the heap's contention manager about a conflict at `site`;
-    /// waits or aborts self per its decision, and panics on provable
-    /// self-deadlock (open nesting touching an enclosing transaction's
-    /// lock).
+    /// waits or aborts self per its decision. Provable self-deadlock (open
+    /// nesting touching an enclosing transaction's lock) aborts with the
+    /// structured [`Abort::Deadlock`] — recoverable, not fatal.
     fn conflict(&mut self, site: ConflictSite, attempt: &mut u32, holder: RecWord) -> TxResult<()> {
         if holder.is_txn_exclusive() && active_tokens().contains(&holder.raw()) {
-            panic!(
-                "open-nested transaction accessed data locked by an enclosing \
-                 transaction; open-nested code must use disjoint data"
-            );
+            self.telem.deadlocks += 1;
+            return Err(Abort::Deadlock);
         }
         if *attempt == 0 {
             self.telem.conflicts += 1;
@@ -149,6 +159,7 @@ impl<'h> LazyTxn<'h> {
     /// the stale-neighbour case that yields granular inconsistent reads),
     /// else an optimistic read with read-set logging.
     pub(crate) fn read(&mut self, r: ObjRef, field: usize) -> TxResult<Word> {
+        fault::hook(self.heap, FaultSite::OpenRead)?;
         if self.heap.config.eager_validation && !self.read_set_valid(&HashMap::new()) {
             self.heap.stats.abort_validation();
             return Err(Abort::Conflict);
@@ -219,6 +230,7 @@ impl<'h> LazyTxn<'h> {
         };
         self.buffer.entries[idx].vals[field - base as usize] = value;
         self.heap.hit(SyncPoint::LazyAfterBuffer);
+        fault::hook(self.heap, FaultSite::PostBuffer)?;
         Ok(())
     }
 
@@ -365,6 +377,9 @@ impl<'h> LazyTxn<'h> {
 
     fn clear(&mut self) {
         self.heap.retire_age(self.owner);
+        if self.desc.take().is_some() {
+            self.heap.liveness_deregister(self.owner);
+        }
         self.read_set.clear();
         self.buffer.entries.clear();
         self.buffer.index.clear();

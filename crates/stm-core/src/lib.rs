@@ -24,6 +24,12 @@
 //! * [`syncpoint`] — deterministic interleaving scripts for the anomaly
 //!   litmus tests.
 //! * [`cost`] — virtual-time hooks for the simulated multiprocessor.
+//! * [`fault`] — seeded deterministic fault injection (delays, forced
+//!   aborts, mid-critical-section panics) for crash-safety campaigns.
+//! * [`watchdog`] — stuck-owner liveness tracking and orphaned-record
+//!   reclamation.
+//! * [`audit`] — the heap integrity auditor ([`heap::Heap::audit`]), the
+//!   oracle behind the chaos runs.
 //!
 //! ## Quick start
 //! ```
@@ -53,12 +59,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod audit;
 pub mod barrier;
 pub mod config;
 pub mod contention;
 pub mod cost;
 pub mod dea;
 pub mod eager;
+pub mod fault;
 pub mod heap;
 pub mod lazy;
 pub mod locks;
@@ -69,18 +77,22 @@ pub mod syncpoint;
 pub mod txn;
 pub mod txnrec;
 pub mod typed;
+pub mod watchdog;
 
 #[doc(hidden)]
 pub use paste;
 
 /// Commonly used items, re-exported.
 pub mod prelude {
+    pub use crate::audit::{AuditFinding, AuditReport};
     pub use crate::barrier::{aggregate, read_access, read_barrier, write_access, write_barrier};
     pub use crate::config::{BarrierMode, Granularity, StmConfig, Versioning};
     pub use crate::contention::{CmDecision, ConflictSite, ContentionManager, ContentionPolicy};
+    pub use crate::fault::{FaultPlan, FaultSite, InjectedPanic};
     pub use crate::heap::{FieldDef, Heap, Kind, ObjRef, Shape, ShapeId, Word};
     pub use crate::locks::SyncTable;
     pub use crate::stats::{StatsSnapshot, TxnTelemetry};
     pub use crate::txn::{atomic, atomic_traced, try_atomic, try_atomic_traced, Abort, TxResult, Txn};
     pub use crate::typed::{RefRecord, TArray, TCell, Transactable};
+    pub use crate::watchdog::WatchdogConfig;
 }

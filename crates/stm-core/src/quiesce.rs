@@ -39,6 +39,13 @@ pub(crate) fn finish_and_quiesce(heap: &Heap, slot: &TxnSlot, committed: bool) {
             continue;
         }
         while other.active.load(Ordering::Acquire) && other.vserial.load(Ordering::Acquire) < s {
+            // A slot whose owner died mid-flight (panic with panic safety
+            // off) will never reach another consistent state; its doomed
+            // reads can no longer be acted on, so the committer skips it.
+            let ow = other.owner.load(Ordering::Acquire);
+            if ow != 0 && heap.owner_is_dead(ow) {
+                break;
+            }
             if !waited {
                 heap.stats.quiescence_wait();
                 waited = true;
@@ -98,5 +105,20 @@ mod tests {
         let other = heap.registry.claim(0);
         other.active.store(false, Ordering::Release);
         finish_and_quiesce(&heap, &mine, true); // returns immediately
+    }
+
+    #[test]
+    fn commit_skips_dead_owner_slots() {
+        let heap = Heap::new(StmConfig { quiescence: true, ..StmConfig::default() });
+        let mine = heap.registry.claim(0);
+        // Another transaction is active, behind, and its owner has died
+        // without deactivating the slot — the committer must not wait on it.
+        let other = heap.registry.claim(0);
+        let dead = heap.fresh_owner();
+        other.owner.store(dead.word(), Ordering::Release);
+        heap.liveness.register(dead);
+        heap.liveness.mark_dead(dead.word());
+        finish_and_quiesce(&heap, &mine, true); // returns immediately
+        assert!(other.active.load(Ordering::Acquire), "slot untouched");
     }
 }

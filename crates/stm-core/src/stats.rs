@@ -66,6 +66,26 @@ pub struct Stats {
     aborts_cancel: AtomicU64,
     /// Wait-span histogram; see [`WAIT_BUCKETS`].
     wait_hist: [AtomicU64; WAIT_BUCKETS],
+
+    // --- crash-safety telemetry ---
+    /// Structured deadlock aborts (`Abort::Deadlock`).
+    aborts_deadlock: AtomicU64,
+    /// Panicking atomic blocks rolled back by the panic-safe runner.
+    panic_rollbacks: AtomicU64,
+    /// Injected delays fired by the fault injector.
+    faults_delays: AtomicU64,
+    /// Injected forced aborts fired by the fault injector.
+    faults_forced_aborts: AtomicU64,
+    /// Injected panics fired by the fault injector.
+    faults_panics: AtomicU64,
+    /// Records reclaimed from dead owners by the stuck-owner watchdog.
+    orphan_reclaims: AtomicU64,
+    /// Spin sites that exhausted the watchdog budget (counted once per
+    /// acquisition that crossed the budget).
+    watchdog_escalations: AtomicU64,
+    /// Self-aborts forced by the watchdog after an exhausted budget against
+    /// a live (or unknown) owner.
+    watchdog_self_aborts: AtomicU64,
 }
 
 impl Default for Stats {
@@ -86,6 +106,14 @@ impl Default for Stats {
             aborts_validation: AtomicU64::new(0),
             aborts_cancel: AtomicU64::new(0),
             wait_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            aborts_deadlock: AtomicU64::new(0),
+            panic_rollbacks: AtomicU64::new(0),
+            faults_delays: AtomicU64::new(0),
+            faults_forced_aborts: AtomicU64::new(0),
+            faults_panics: AtomicU64::new(0),
+            orphan_reclaims: AtomicU64::new(0),
+            watchdog_escalations: AtomicU64::new(0),
+            watchdog_self_aborts: AtomicU64::new(0),
         }
     }
 }
@@ -120,6 +148,14 @@ impl Stats {
         retry => retries,
         abort_validation => aborts_validation,
         abort_cancel => aborts_cancel,
+        abort_deadlock => aborts_deadlock,
+        panic_rollback => panic_rollbacks,
+        fault_delay => faults_delays,
+        fault_forced_abort => faults_forced_aborts,
+        fault_panic => faults_panics,
+        orphan_reclaim => orphan_reclaims,
+        watchdog_escalation => watchdog_escalations,
+        watchdog_self_abort => watchdog_self_aborts,
     }
 
     /// Records a fresh conflict event at `site`.
@@ -170,6 +206,14 @@ impl Stats {
             aborts_validation: load(&self.aborts_validation),
             aborts_cancel: load(&self.aborts_cancel),
             wait_hist: std::array::from_fn(|i| load(&self.wait_hist[i])),
+            aborts_deadlock: load(&self.aborts_deadlock),
+            panic_rollbacks: load(&self.panic_rollbacks),
+            faults_delays: load(&self.faults_delays),
+            faults_forced_aborts: load(&self.faults_forced_aborts),
+            faults_panics: load(&self.faults_panics),
+            orphan_reclaims: load(&self.orphan_reclaims),
+            watchdog_escalations: load(&self.watchdog_escalations),
+            watchdog_self_aborts: load(&self.watchdog_self_aborts),
         }
     }
 }
@@ -207,6 +251,22 @@ pub struct StatsSnapshot {
     pub aborts_cancel: u64,
     /// Wait-span histogram (see [`WAIT_BUCKETS`]).
     pub wait_hist: [u64; WAIT_BUCKETS],
+    /// Structured deadlock aborts (`Abort::Deadlock`).
+    pub aborts_deadlock: u64,
+    /// Panicking atomic blocks rolled back by the panic-safe runner.
+    pub panic_rollbacks: u64,
+    /// Injected delays fired by the fault injector.
+    pub faults_delays: u64,
+    /// Injected forced aborts fired by the fault injector.
+    pub faults_forced_aborts: u64,
+    /// Injected panics fired by the fault injector.
+    pub faults_panics: u64,
+    /// Records reclaimed from dead owners by the stuck-owner watchdog.
+    pub orphan_reclaims: u64,
+    /// Spin sites that exhausted the watchdog budget.
+    pub watchdog_escalations: u64,
+    /// Watchdog-forced self-aborts.
+    pub watchdog_self_aborts: u64,
 }
 
 impl StatsSnapshot {
@@ -283,8 +343,12 @@ pub struct TxnTelemetry {
     pub conflicts: u32,
     /// Total contention-manager wait rounds across those conflicts.
     pub wait_rounds: u32,
-    /// Conflict-manager self-aborts suffered.
+    /// Conflict-manager self-aborts suffered (including watchdog-forced
+    /// ones).
     pub self_aborts: u32,
+    /// Provable-deadlock aborts ([`crate::txn::Abort::Deadlock`]) this block
+    /// hit. Deadlock is not retried, so this is 0 or 1 per block.
+    pub deadlocks: u32,
 }
 
 impl TxnTelemetry {
@@ -294,6 +358,7 @@ impl TxnTelemetry {
         self.conflicts += other.conflicts;
         self.wait_rounds += other.wait_rounds;
         self.self_aborts += other.self_aborts;
+        self.deadlocks += other.deadlocks;
     }
 }
 

@@ -38,6 +38,7 @@ use crate::stats::TxnTelemetry;
 use crate::syncpoint::SyncPoint;
 use crate::txnrec::RecWord;
 use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 /// Why a transaction attempt stopped. Returned inside `Err` from
 /// transactional operations; `?` propagates it to the [`atomic`] runner.
@@ -52,6 +53,12 @@ pub enum Abort {
     /// User-initiated cancellation: the block rolls back and does not
     /// re-execute. Only meaningful under [`try_atomic`].
     Cancel,
+    /// A provable deadlock: the transaction waited on data locked by an
+    /// enclosing transaction of the same thread, which can never release it.
+    /// The block rolls back and does not re-execute (re-executing would
+    /// deadlock identically); [`Txn::open_nested`] escalates it to a panic,
+    /// [`try_atomic`] callers observe `None`.
+    Deadlock,
 }
 
 impl std::fmt::Display for Abort {
@@ -60,6 +67,9 @@ impl std::fmt::Display for Abort {
             Abort::Conflict => write!(f, "transaction conflict"),
             Abort::Retry => write!(f, "transaction retry requested"),
             Abort::Cancel => write!(f, "transaction cancelled"),
+            Abort::Deadlock => {
+                write!(f, "provable self-deadlock on data locked by an enclosing transaction")
+            }
         }
     }
 }
@@ -79,18 +89,28 @@ pub(crate) fn active_tokens() -> Vec<usize> {
     ACTIVE_TOKENS.with(|t| t.borrow().clone())
 }
 
-struct TokenGuard;
-impl TokenGuard {
-    fn push(token: usize) -> Self {
+/// Scope guard for one transaction attempt. Besides maintaining the
+/// per-thread token stack, its `Drop` doubles as the death oracle for the
+/// stuck-owner watchdog: a transaction that commits or aborts deregisters
+/// its owner first, so reaching `Drop` with the owner still registered
+/// means the attempt unwound mid-flight — the owner is marked dead and its
+/// records become reclaimable.
+struct TokenGuard<'h> {
+    heap: &'h Heap,
+    token: usize,
+}
+impl<'h> TokenGuard<'h> {
+    fn push(heap: &'h Heap, token: usize) -> Self {
         ACTIVE_TOKENS.with(|t| t.borrow_mut().push(token));
-        TokenGuard
+        TokenGuard { heap, token }
     }
 }
-impl Drop for TokenGuard {
+impl Drop for TokenGuard<'_> {
     fn drop(&mut self) {
         ACTIVE_TOKENS.with(|t| {
             t.borrow_mut().pop();
         });
+        self.heap.owner_vanished(self.token);
     }
 }
 
@@ -227,13 +247,32 @@ impl<'h> Txn<'h> {
     ///
     /// # Panics
     /// Panics if the open-nested code touches data locked by an enclosing
-    /// transaction (unresolvable self-deadlock).
+    /// transaction (unresolvable self-deadlock — the engines detect it and
+    /// abort with [`Abort::Deadlock`]), or if `f` cancels.
     pub fn open_nested<T>(&mut self, f: impl FnMut(&mut Txn<'_>) -> TxResult<T>) -> T {
-        atomic(self.heap(), f)
+        let (v, telem) = try_atomic_traced(self.heap(), f);
+        match v {
+            Some(v) => v,
+            None if telem.deadlocks > 0 => panic!(
+                "open-nested transaction accessed data locked by an enclosing \
+                 transaction; open-nested code must use disjoint data"
+            ),
+            None => panic!("open-nested atomic block cancelled; use try_atomic"),
+        }
     }
 
     /// Registers a handler to run if this transaction aborts (compensation
-    /// for open-nested effects). Handlers run in reverse registration order.
+    /// for open-nested effects).
+    ///
+    /// # Ordering contract
+    /// Handlers run in **reverse registration order** (LIFO), mirroring how
+    /// compensations must undo effects: the most recent open-nested action
+    /// is compensated first. They run on *every* abort path — conflict
+    /// re-execution (once per aborted attempt), user cancel, structured
+    /// deadlock, and panic-unwind rollback (when
+    /// [`crate::config::StmConfig::panic_safety`] is enabled) — after the
+    /// transaction's own writes have been rolled back and its records
+    /// released.
     pub fn on_abort(&mut self, h: impl FnOnce() + 'h) {
         match &mut self.inner {
             Inner::Eager(t) => t.push_on_abort(Box::new(h)),
@@ -316,7 +355,16 @@ pub fn atomic_traced<T>(
 }
 
 /// Runs `f` as an atomic block, accumulating [`TxnTelemetry`] across
-/// re-executions; returns `None` if the block cancelled.
+/// re-executions; returns `None` if the block cancelled or hit a provable
+/// deadlock.
+///
+/// The runner is panic-safe: an unwind escaping `f` (including injected
+/// faults, see [`crate::fault`]) rolls the attempt back — undo log replayed,
+/// owned records released, `on_abort` compensations run — before the unwind
+/// resumes, so a panicking transaction never strands a lock. Set
+/// [`crate::config::StmConfig::panic_safety`] to `false` to model a crashed
+/// participant instead; the stuck-owner watchdog then has to reclaim the
+/// stranded records.
 pub fn try_atomic_traced<T>(
     heap: &Heap,
     mut f: impl FnMut(&mut Txn<'_>) -> TxResult<T>,
@@ -329,14 +377,32 @@ pub fn try_atomic_traced<T>(
     loop {
         heap.hit(SyncPoint::TxnBegin);
         let mut txn = Txn::begin(heap, age);
-        let guard = TokenGuard::push(txn.owner_word());
-        let result = f(&mut txn);
+        let guard = TokenGuard::push(heap, txn.owner_word());
+        let result = match catch_unwind(AssertUnwindSafe(|| f(&mut txn))) {
+            Ok(r) => r,
+            Err(payload) => {
+                telem.absorb(txn.telemetry());
+                if heap.config.panic_safety {
+                    heap.stats.panic_rollback();
+                    txn.abort();
+                }
+                // With panic safety off the transaction is abandoned as-is;
+                // the guard's Drop marks its owner dead so the watchdog can
+                // reclaim whatever it stranded.
+                drop(guard);
+                resume_unwind(payload);
+            }
+        };
         match result {
             Ok(v) => {
                 let committed = txn.commit();
                 telem.absorb(txn.telemetry());
                 match committed {
                     Ok(()) => return (Some(v), telem),
+                    Err(Abort::Deadlock) => {
+                        heap.stats.abort_deadlock();
+                        return (None, telem);
+                    }
                     Err(_) => {
                         drop(guard);
                         backoff_wait(attempt);
@@ -362,6 +428,12 @@ pub fn try_atomic_traced<T>(
             Err(Abort::Cancel) => {
                 telem.absorb(txn.telemetry());
                 heap.stats.abort_cancel();
+                txn.abort();
+                return (None, telem);
+            }
+            Err(Abort::Deadlock) => {
+                telem.absorb(txn.telemetry());
+                heap.stats.abort_deadlock();
                 txn.abort();
                 return (None, telem);
             }

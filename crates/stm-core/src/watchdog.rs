@@ -1,0 +1,200 @@
+//! Stuck-owner watchdog: liveness tracking and orphaned-record reclamation.
+//!
+//! The paper's protocol assumes every exclusive owner releases in bounded
+//! time; a thread that dies (panics with panic-safe rollback disabled) while
+//! holding a record in `Exclusive` state breaks that assumption and wedges
+//! every waiter forever. This module restores bounded waiting:
+//!
+//! * every transaction attempt registers an [`OwnerDesc`] in the heap's
+//!   liveness registry keyed by its owner-token word; the eager engine
+//!   mirrors its acquisitions and undo-log entries into the descriptor
+//!   *before* touching shared memory, so the recovery data survives the
+//!   owner's stack;
+//! * the runner's token guard marks the owner **dead** if the attempt ends
+//!   without a commit or abort (i.e. a panic unwound past it);
+//! * any spin site that exceeds [`WatchdogConfig::spin_budget`] backoff
+//!   rounds (virtual-time rounds under the [`crate::cost`] hooks) consults
+//!   the registry through [`crate::contention::resolve`]: records orphaned
+//!   by a dead owner are rolled back from the mirrored undo log and
+//!   released; waiters stuck on a live-but-slow owner escalate (counted in
+//!   [`crate::stats::StatsSnapshot::watchdog_escalations`]) and, at
+//!   abortable sites, self-abort.
+//!
+//! Reclamation is safe because owner tokens are process-unique and a dead
+//! owner's records can never be released twice: the per-descriptor mutex
+//! serializes competing reclaimers and the first one drains the recovery
+//! log.
+
+use crate::heap::{Heap, ObjRef, Word};
+use crate::txnrec::{OwnerToken, RecWord};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Stuck-owner watchdog configuration
+/// ([`crate::config::StmConfig::watchdog`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct WatchdogConfig {
+    /// Enables the owner-liveness registry and orphan reclamation.
+    pub enabled: bool,
+    /// Backoff rounds a single acquisition tolerates before consulting the
+    /// liveness registry. Rounds are contention-manager waits, which run
+    /// through the [`crate::cost`] hooks — under a simulated clock this is a
+    /// virtual-time budget. The default (1024) sits above the longest wait
+    /// any shipped contention policy produces with the default retry budget
+    /// (karma's patience valve: 64 × 8 = 512 rounds), so the watchdog never
+    /// second-guesses ordinary contention.
+    pub spin_budget: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig { enabled: true, spin_budget: 1024 }
+    }
+}
+
+/// One mirrored undo entry (object, field span, prior values) — the same
+/// data the eager engine keeps privately, lifted to the heap so a reclaimer
+/// can roll a dead owner back.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct OrphanUndo {
+    pub(crate) obj: ObjRef,
+    pub(crate) base: u32,
+    pub(crate) len: u8,
+    pub(crate) vals: [Word; 2],
+}
+
+#[derive(Debug, Default)]
+struct DescInner {
+    /// Records this owner acquired, with the shared word to restore-and-bump.
+    owned: Vec<(ObjRef, RecWord)>,
+    /// Mirrored undo log, in append order.
+    undo: Vec<OrphanUndo>,
+}
+
+/// A per-attempt owner descriptor shared between the owning transaction and
+/// potential reclaimers.
+#[derive(Debug)]
+pub(crate) struct OwnerDesc {
+    alive: AtomicBool,
+    inner: Mutex<DescInner>,
+}
+
+impl OwnerDesc {
+    /// Mirrors an acquisition. Called by the owner before it stores to the
+    /// acquired object, so the recovery data is never behind shared memory.
+    pub(crate) fn note_acquired(&self, obj: ObjRef, prior: RecWord) {
+        self.inner.lock().owned.push((obj, prior));
+    }
+
+    /// Mirrors an undo-log append (same ordering contract).
+    pub(crate) fn note_undo(&self, entry: OrphanUndo) {
+        self.inner.lock().undo.push(entry);
+    }
+}
+
+/// Outcome of a reclamation attempt at a stuck spin site.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum ReclaimOutcome {
+    /// The holder was dead; its writes were rolled back and its records
+    /// released. The caller re-reads the record and proceeds.
+    Reclaimed {
+        /// Records released (0 if a concurrent reclaimer finished first).
+        records: usize,
+    },
+    /// The holder is registered and alive — genuinely slow, not dead.
+    OwnerAlive,
+    /// The holder is not in the registry (already finished or reclaimed, or
+    /// liveness tracking is off).
+    Unknown,
+}
+
+/// The owner-liveness registry, one per heap.
+#[derive(Debug, Default)]
+pub(crate) struct Liveness {
+    map: Mutex<HashMap<usize, Arc<OwnerDesc>>>,
+}
+
+impl Liveness {
+    /// Registers a fresh, live owner and returns its descriptor.
+    pub(crate) fn register(&self, owner: OwnerToken) -> Arc<OwnerDesc> {
+        let desc = Arc::new(OwnerDesc {
+            alive: AtomicBool::new(true),
+            inner: Mutex::new(DescInner::default()),
+        });
+        self.map.lock().insert(owner.word(), Arc::clone(&desc));
+        desc
+    }
+
+    /// Removes an owner that completed normally (commit or abort).
+    pub(crate) fn deregister(&self, owner: OwnerToken) {
+        self.map.lock().remove(&owner.word());
+    }
+
+    /// Marks an owner dead. Called from the runner's token guard when an
+    /// attempt unwinds without completing; tokens are never reused, so a
+    /// dead mark can never apply to a later transaction.
+    pub(crate) fn mark_dead(&self, owner_word: usize) {
+        if let Some(desc) = self.map.lock().get(&owner_word) {
+            desc.alive.store(false, Ordering::Release);
+        }
+    }
+
+    /// Whether `owner_word` is registered and known dead.
+    pub(crate) fn is_dead(&self, owner_word: usize) -> bool {
+        self.map
+            .lock()
+            .get(&owner_word)
+            .is_some_and(|d| !d.alive.load(Ordering::Acquire))
+    }
+
+    /// Registered descriptors whose owner is dead:
+    /// `(owner word, records still listed, undo entries still listed)`.
+    /// Non-empty at a quiescent moment means an orphan was never reclaimed.
+    pub(crate) fn dead_descriptors(&self) -> Vec<(usize, usize, usize)> {
+        self.map
+            .lock()
+            .iter()
+            .filter(|(_, d)| !d.alive.load(Ordering::Acquire))
+            .map(|(&w, d)| {
+                let inner = d.inner.lock();
+                (w, inner.owned.len(), inner.undo.len())
+            })
+            .collect()
+    }
+
+    /// Attempts to reclaim the records of the owner encoded in `holder`
+    /// (which a waiter observed in `Exclusive` state). Rolls the mirrored
+    /// undo log back in reverse order, then releases every owned record
+    /// with a version bump so optimistic readers of the speculative values
+    /// fail validation.
+    pub(crate) fn try_reclaim(&self, heap: &Heap, holder: RecWord) -> ReclaimOutcome {
+        debug_assert!(holder.is_txn_exclusive());
+        let desc = match self.map.lock().get(&holder.raw()) {
+            Some(d) => Arc::clone(d),
+            None => return ReclaimOutcome::Unknown,
+        };
+        if desc.alive.load(Ordering::Acquire) {
+            return ReclaimOutcome::OwnerAlive;
+        }
+        let mut records = 0;
+        {
+            let mut inner = desc.inner.lock();
+            for u in inner.undo.drain(..).rev() {
+                let obj = heap.obj(u.obj);
+                for i in 0..u.len as usize {
+                    obj.field(u.base as usize + i).store(u.vals[i], Ordering::Relaxed);
+                }
+            }
+            for (r, prior) in inner.owned.drain(..) {
+                debug_assert_eq!(heap.obj(r).rec.load().raw(), holder.raw());
+                heap.obj(r).rec.release_txn(prior);
+                heap.stats().orphan_reclaim();
+                records += 1;
+            }
+        }
+        self.map.lock().remove(&holder.raw());
+        ReclaimOutcome::Reclaimed { records }
+    }
+}

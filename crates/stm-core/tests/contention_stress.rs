@@ -156,16 +156,35 @@ fn run_policy(policy: ContentionPolicy, versioning: Versioning) {
     );
     assert_eq!(
         snap.aborts,
-        snap.total_self_aborts() + snap.aborts_validation,
-        "{}: every abort is a self-abort or a validation failure",
+        snap.total_self_aborts()
+            + snap.watchdog_self_aborts
+            + snap.aborts_validation
+            + snap.aborts_deadlock
+            + snap.faults_forced_aborts
+            + snap.panic_rollbacks,
+        "{}: every abort is accounted for by exactly one cause counter",
         policy.label()
     );
 
-    // The per-block telemetry view and the heap-wide view agree.
+    // The per-block telemetry view and the heap-wide view agree (watchdog
+    // self-aborts surface through the same engine path as cm self-aborts).
     assert_eq!(
         telem.self_aborts as u64,
-        snap.total_self_aborts(),
+        snap.total_self_aborts() + snap.watchdog_self_aborts,
         "{}: block telemetry must see every self-abort",
+        policy.label()
+    );
+
+    // No faults are armed and nothing panics in this workload, so the
+    // crash-safety counters must stay untouched.
+    assert_eq!(snap.aborts_deadlock, 0, "{}: no deadlocks here", policy.label());
+    assert_eq!(snap.panic_rollbacks, 0, "{}: no panics here", policy.label());
+    assert_eq!(snap.faults_delays, 0, "{}: no fault plan armed", policy.label());
+    assert_eq!(snap.faults_forced_aborts, 0, "{}: no fault plan armed", policy.label());
+    assert_eq!(snap.faults_panics, 0, "{}: no fault plan armed", policy.label());
+    assert_eq!(
+        snap.orphan_reclaims, 0,
+        "{}: no owner dies, so nothing is ever reclaimed",
         policy.label()
     );
 

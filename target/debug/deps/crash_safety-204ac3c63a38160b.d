@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crash_safety-204ac3c63a38160b.d: crates/stm-core/tests/crash_safety.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrash_safety-204ac3c63a38160b.rmeta: crates/stm-core/tests/crash_safety.rs Cargo.toml
+
+crates/stm-core/tests/crash_safety.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

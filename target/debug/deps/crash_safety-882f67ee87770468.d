@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_safety-882f67ee87770468.d: crates/stm-core/tests/crash_safety.rs
+
+/root/repo/target/debug/deps/crash_safety-882f67ee87770468: crates/stm-core/tests/crash_safety.rs
+
+crates/stm-core/tests/crash_safety.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/litmus-146eb971b029cfb1.d: crates/litmus/src/lib.rs crates/litmus/src/granular.rs crates/litmus/src/harness.rs crates/litmus/src/ordering.rs crates/litmus/src/privatization.rs crates/litmus/src/race_debug.rs crates/litmus/src/races.rs crates/litmus/src/speculation.rs Cargo.toml
+/root/repo/target/debug/deps/litmus-146eb971b029cfb1.d: crates/litmus/src/lib.rs crates/litmus/src/crash.rs crates/litmus/src/granular.rs crates/litmus/src/harness.rs crates/litmus/src/ordering.rs crates/litmus/src/privatization.rs crates/litmus/src/race_debug.rs crates/litmus/src/races.rs crates/litmus/src/speculation.rs Cargo.toml
 
-/root/repo/target/debug/deps/liblitmus-146eb971b029cfb1.rmeta: crates/litmus/src/lib.rs crates/litmus/src/granular.rs crates/litmus/src/harness.rs crates/litmus/src/ordering.rs crates/litmus/src/privatization.rs crates/litmus/src/race_debug.rs crates/litmus/src/races.rs crates/litmus/src/speculation.rs Cargo.toml
+/root/repo/target/debug/deps/liblitmus-146eb971b029cfb1.rmeta: crates/litmus/src/lib.rs crates/litmus/src/crash.rs crates/litmus/src/granular.rs crates/litmus/src/harness.rs crates/litmus/src/ordering.rs crates/litmus/src/privatization.rs crates/litmus/src/race_debug.rs crates/litmus/src/races.rs crates/litmus/src/speculation.rs Cargo.toml
 
 crates/litmus/src/lib.rs:
+crates/litmus/src/crash.rs:
 crates/litmus/src/granular.rs:
 crates/litmus/src/harness.rs:
 crates/litmus/src/ordering.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/litmus-7526fd4ecad38379.d: crates/litmus/src/lib.rs crates/litmus/src/granular.rs crates/litmus/src/harness.rs crates/litmus/src/ordering.rs crates/litmus/src/privatization.rs crates/litmus/src/race_debug.rs crates/litmus/src/races.rs crates/litmus/src/speculation.rs
+/root/repo/target/debug/deps/litmus-7526fd4ecad38379.d: crates/litmus/src/lib.rs crates/litmus/src/crash.rs crates/litmus/src/granular.rs crates/litmus/src/harness.rs crates/litmus/src/ordering.rs crates/litmus/src/privatization.rs crates/litmus/src/race_debug.rs crates/litmus/src/races.rs crates/litmus/src/speculation.rs
 
-/root/repo/target/debug/deps/liblitmus-7526fd4ecad38379.rlib: crates/litmus/src/lib.rs crates/litmus/src/granular.rs crates/litmus/src/harness.rs crates/litmus/src/ordering.rs crates/litmus/src/privatization.rs crates/litmus/src/race_debug.rs crates/litmus/src/races.rs crates/litmus/src/speculation.rs
+/root/repo/target/debug/deps/liblitmus-7526fd4ecad38379.rlib: crates/litmus/src/lib.rs crates/litmus/src/crash.rs crates/litmus/src/granular.rs crates/litmus/src/harness.rs crates/litmus/src/ordering.rs crates/litmus/src/privatization.rs crates/litmus/src/race_debug.rs crates/litmus/src/races.rs crates/litmus/src/speculation.rs
 
-/root/repo/target/debug/deps/liblitmus-7526fd4ecad38379.rmeta: crates/litmus/src/lib.rs crates/litmus/src/granular.rs crates/litmus/src/harness.rs crates/litmus/src/ordering.rs crates/litmus/src/privatization.rs crates/litmus/src/race_debug.rs crates/litmus/src/races.rs crates/litmus/src/speculation.rs
+/root/repo/target/debug/deps/liblitmus-7526fd4ecad38379.rmeta: crates/litmus/src/lib.rs crates/litmus/src/crash.rs crates/litmus/src/granular.rs crates/litmus/src/harness.rs crates/litmus/src/ordering.rs crates/litmus/src/privatization.rs crates/litmus/src/race_debug.rs crates/litmus/src/races.rs crates/litmus/src/speculation.rs
 
 crates/litmus/src/lib.rs:
+crates/litmus/src/crash.rs:
 crates/litmus/src/granular.rs:
 crates/litmus/src/harness.rs:
 crates/litmus/src/ordering.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/litmus-f57204be2a9b8029.d: crates/litmus/src/lib.rs crates/litmus/src/granular.rs crates/litmus/src/harness.rs crates/litmus/src/ordering.rs crates/litmus/src/privatization.rs crates/litmus/src/race_debug.rs crates/litmus/src/races.rs crates/litmus/src/speculation.rs
+/root/repo/target/debug/deps/litmus-f57204be2a9b8029.d: crates/litmus/src/lib.rs crates/litmus/src/crash.rs crates/litmus/src/granular.rs crates/litmus/src/harness.rs crates/litmus/src/ordering.rs crates/litmus/src/privatization.rs crates/litmus/src/race_debug.rs crates/litmus/src/races.rs crates/litmus/src/speculation.rs
 
-/root/repo/target/debug/deps/litmus-f57204be2a9b8029: crates/litmus/src/lib.rs crates/litmus/src/granular.rs crates/litmus/src/harness.rs crates/litmus/src/ordering.rs crates/litmus/src/privatization.rs crates/litmus/src/race_debug.rs crates/litmus/src/races.rs crates/litmus/src/speculation.rs
+/root/repo/target/debug/deps/litmus-f57204be2a9b8029: crates/litmus/src/lib.rs crates/litmus/src/crash.rs crates/litmus/src/granular.rs crates/litmus/src/harness.rs crates/litmus/src/ordering.rs crates/litmus/src/privatization.rs crates/litmus/src/race_debug.rs crates/litmus/src/races.rs crates/litmus/src/speculation.rs
 
 crates/litmus/src/lib.rs:
+crates/litmus/src/crash.rs:
 crates/litmus/src/granular.rs:
 crates/litmus/src/harness.rs:
 crates/litmus/src/ordering.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/litmus-f84e20ac267dbfad.d: crates/litmus/src/lib.rs crates/litmus/src/granular.rs crates/litmus/src/harness.rs crates/litmus/src/ordering.rs crates/litmus/src/privatization.rs crates/litmus/src/race_debug.rs crates/litmus/src/races.rs crates/litmus/src/speculation.rs Cargo.toml
+/root/repo/target/debug/deps/litmus-f84e20ac267dbfad.d: crates/litmus/src/lib.rs crates/litmus/src/crash.rs crates/litmus/src/granular.rs crates/litmus/src/harness.rs crates/litmus/src/ordering.rs crates/litmus/src/privatization.rs crates/litmus/src/race_debug.rs crates/litmus/src/races.rs crates/litmus/src/speculation.rs Cargo.toml
 
-/root/repo/target/debug/deps/liblitmus-f84e20ac267dbfad.rmeta: crates/litmus/src/lib.rs crates/litmus/src/granular.rs crates/litmus/src/harness.rs crates/litmus/src/ordering.rs crates/litmus/src/privatization.rs crates/litmus/src/race_debug.rs crates/litmus/src/races.rs crates/litmus/src/speculation.rs Cargo.toml
+/root/repo/target/debug/deps/liblitmus-f84e20ac267dbfad.rmeta: crates/litmus/src/lib.rs crates/litmus/src/crash.rs crates/litmus/src/granular.rs crates/litmus/src/harness.rs crates/litmus/src/ordering.rs crates/litmus/src/privatization.rs crates/litmus/src/race_debug.rs crates/litmus/src/races.rs crates/litmus/src/speculation.rs Cargo.toml
 
 crates/litmus/src/lib.rs:
+crates/litmus/src/crash.rs:
 crates/litmus/src/granular.rs:
 crates/litmus/src/harness.rs:
 crates/litmus/src/ordering.rs:

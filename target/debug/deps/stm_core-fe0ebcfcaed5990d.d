@@ -1,14 +1,16 @@
-/root/repo/target/debug/deps/stm_core-fe0ebcfcaed5990d.d: crates/stm-core/src/lib.rs crates/stm-core/src/barrier.rs crates/stm-core/src/config.rs crates/stm-core/src/contention.rs crates/stm-core/src/cost.rs crates/stm-core/src/dea.rs crates/stm-core/src/eager.rs crates/stm-core/src/heap.rs crates/stm-core/src/lazy.rs crates/stm-core/src/locks.rs crates/stm-core/src/quiesce.rs crates/stm-core/src/segvec.rs crates/stm-core/src/stats.rs crates/stm-core/src/syncpoint.rs crates/stm-core/src/txn.rs crates/stm-core/src/txnrec.rs crates/stm-core/src/typed.rs Cargo.toml
+/root/repo/target/debug/deps/stm_core-fe0ebcfcaed5990d.d: crates/stm-core/src/lib.rs crates/stm-core/src/audit.rs crates/stm-core/src/barrier.rs crates/stm-core/src/config.rs crates/stm-core/src/contention.rs crates/stm-core/src/cost.rs crates/stm-core/src/dea.rs crates/stm-core/src/eager.rs crates/stm-core/src/fault.rs crates/stm-core/src/heap.rs crates/stm-core/src/lazy.rs crates/stm-core/src/locks.rs crates/stm-core/src/quiesce.rs crates/stm-core/src/segvec.rs crates/stm-core/src/stats.rs crates/stm-core/src/syncpoint.rs crates/stm-core/src/txn.rs crates/stm-core/src/txnrec.rs crates/stm-core/src/typed.rs crates/stm-core/src/watchdog.rs Cargo.toml
 
-/root/repo/target/debug/deps/libstm_core-fe0ebcfcaed5990d.rmeta: crates/stm-core/src/lib.rs crates/stm-core/src/barrier.rs crates/stm-core/src/config.rs crates/stm-core/src/contention.rs crates/stm-core/src/cost.rs crates/stm-core/src/dea.rs crates/stm-core/src/eager.rs crates/stm-core/src/heap.rs crates/stm-core/src/lazy.rs crates/stm-core/src/locks.rs crates/stm-core/src/quiesce.rs crates/stm-core/src/segvec.rs crates/stm-core/src/stats.rs crates/stm-core/src/syncpoint.rs crates/stm-core/src/txn.rs crates/stm-core/src/txnrec.rs crates/stm-core/src/typed.rs Cargo.toml
+/root/repo/target/debug/deps/libstm_core-fe0ebcfcaed5990d.rmeta: crates/stm-core/src/lib.rs crates/stm-core/src/audit.rs crates/stm-core/src/barrier.rs crates/stm-core/src/config.rs crates/stm-core/src/contention.rs crates/stm-core/src/cost.rs crates/stm-core/src/dea.rs crates/stm-core/src/eager.rs crates/stm-core/src/fault.rs crates/stm-core/src/heap.rs crates/stm-core/src/lazy.rs crates/stm-core/src/locks.rs crates/stm-core/src/quiesce.rs crates/stm-core/src/segvec.rs crates/stm-core/src/stats.rs crates/stm-core/src/syncpoint.rs crates/stm-core/src/txn.rs crates/stm-core/src/txnrec.rs crates/stm-core/src/typed.rs crates/stm-core/src/watchdog.rs Cargo.toml
 
 crates/stm-core/src/lib.rs:
+crates/stm-core/src/audit.rs:
 crates/stm-core/src/barrier.rs:
 crates/stm-core/src/config.rs:
 crates/stm-core/src/contention.rs:
 crates/stm-core/src/cost.rs:
 crates/stm-core/src/dea.rs:
 crates/stm-core/src/eager.rs:
+crates/stm-core/src/fault.rs:
 crates/stm-core/src/heap.rs:
 crates/stm-core/src/lazy.rs:
 crates/stm-core/src/locks.rs:
@@ -19,6 +21,7 @@ crates/stm-core/src/syncpoint.rs:
 crates/stm-core/src/txn.rs:
 crates/stm-core/src/txnrec.rs:
 crates/stm-core/src/typed.rs:
+crates/stm-core/src/watchdog.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/litmus-46bfaa7be95ec422.d: crates/litmus/src/lib.rs crates/litmus/src/granular.rs crates/litmus/src/harness.rs crates/litmus/src/ordering.rs crates/litmus/src/privatization.rs crates/litmus/src/race_debug.rs crates/litmus/src/races.rs crates/litmus/src/speculation.rs
+/root/repo/target/release/deps/litmus-46bfaa7be95ec422.d: crates/litmus/src/lib.rs crates/litmus/src/crash.rs crates/litmus/src/granular.rs crates/litmus/src/harness.rs crates/litmus/src/ordering.rs crates/litmus/src/privatization.rs crates/litmus/src/race_debug.rs crates/litmus/src/races.rs crates/litmus/src/speculation.rs
 
-/root/repo/target/release/deps/liblitmus-46bfaa7be95ec422.rlib: crates/litmus/src/lib.rs crates/litmus/src/granular.rs crates/litmus/src/harness.rs crates/litmus/src/ordering.rs crates/litmus/src/privatization.rs crates/litmus/src/race_debug.rs crates/litmus/src/races.rs crates/litmus/src/speculation.rs
+/root/repo/target/release/deps/liblitmus-46bfaa7be95ec422.rlib: crates/litmus/src/lib.rs crates/litmus/src/crash.rs crates/litmus/src/granular.rs crates/litmus/src/harness.rs crates/litmus/src/ordering.rs crates/litmus/src/privatization.rs crates/litmus/src/race_debug.rs crates/litmus/src/races.rs crates/litmus/src/speculation.rs
 
-/root/repo/target/release/deps/liblitmus-46bfaa7be95ec422.rmeta: crates/litmus/src/lib.rs crates/litmus/src/granular.rs crates/litmus/src/harness.rs crates/litmus/src/ordering.rs crates/litmus/src/privatization.rs crates/litmus/src/race_debug.rs crates/litmus/src/races.rs crates/litmus/src/speculation.rs
+/root/repo/target/release/deps/liblitmus-46bfaa7be95ec422.rmeta: crates/litmus/src/lib.rs crates/litmus/src/crash.rs crates/litmus/src/granular.rs crates/litmus/src/harness.rs crates/litmus/src/ordering.rs crates/litmus/src/privatization.rs crates/litmus/src/race_debug.rs crates/litmus/src/races.rs crates/litmus/src/speculation.rs
 
 crates/litmus/src/lib.rs:
+crates/litmus/src/crash.rs:
 crates/litmus/src/granular.rs:
 crates/litmus/src/harness.rs:
 crates/litmus/src/ordering.rs:

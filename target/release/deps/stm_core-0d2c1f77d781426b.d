@@ -1,16 +1,18 @@
-/root/repo/target/release/deps/stm_core-0d2c1f77d781426b.d: crates/stm-core/src/lib.rs crates/stm-core/src/barrier.rs crates/stm-core/src/config.rs crates/stm-core/src/contention.rs crates/stm-core/src/cost.rs crates/stm-core/src/dea.rs crates/stm-core/src/eager.rs crates/stm-core/src/heap.rs crates/stm-core/src/lazy.rs crates/stm-core/src/locks.rs crates/stm-core/src/quiesce.rs crates/stm-core/src/segvec.rs crates/stm-core/src/stats.rs crates/stm-core/src/syncpoint.rs crates/stm-core/src/txn.rs crates/stm-core/src/txnrec.rs crates/stm-core/src/typed.rs
+/root/repo/target/release/deps/stm_core-0d2c1f77d781426b.d: crates/stm-core/src/lib.rs crates/stm-core/src/audit.rs crates/stm-core/src/barrier.rs crates/stm-core/src/config.rs crates/stm-core/src/contention.rs crates/stm-core/src/cost.rs crates/stm-core/src/dea.rs crates/stm-core/src/eager.rs crates/stm-core/src/fault.rs crates/stm-core/src/heap.rs crates/stm-core/src/lazy.rs crates/stm-core/src/locks.rs crates/stm-core/src/quiesce.rs crates/stm-core/src/segvec.rs crates/stm-core/src/stats.rs crates/stm-core/src/syncpoint.rs crates/stm-core/src/txn.rs crates/stm-core/src/txnrec.rs crates/stm-core/src/typed.rs crates/stm-core/src/watchdog.rs
 
-/root/repo/target/release/deps/libstm_core-0d2c1f77d781426b.rlib: crates/stm-core/src/lib.rs crates/stm-core/src/barrier.rs crates/stm-core/src/config.rs crates/stm-core/src/contention.rs crates/stm-core/src/cost.rs crates/stm-core/src/dea.rs crates/stm-core/src/eager.rs crates/stm-core/src/heap.rs crates/stm-core/src/lazy.rs crates/stm-core/src/locks.rs crates/stm-core/src/quiesce.rs crates/stm-core/src/segvec.rs crates/stm-core/src/stats.rs crates/stm-core/src/syncpoint.rs crates/stm-core/src/txn.rs crates/stm-core/src/txnrec.rs crates/stm-core/src/typed.rs
+/root/repo/target/release/deps/libstm_core-0d2c1f77d781426b.rlib: crates/stm-core/src/lib.rs crates/stm-core/src/audit.rs crates/stm-core/src/barrier.rs crates/stm-core/src/config.rs crates/stm-core/src/contention.rs crates/stm-core/src/cost.rs crates/stm-core/src/dea.rs crates/stm-core/src/eager.rs crates/stm-core/src/fault.rs crates/stm-core/src/heap.rs crates/stm-core/src/lazy.rs crates/stm-core/src/locks.rs crates/stm-core/src/quiesce.rs crates/stm-core/src/segvec.rs crates/stm-core/src/stats.rs crates/stm-core/src/syncpoint.rs crates/stm-core/src/txn.rs crates/stm-core/src/txnrec.rs crates/stm-core/src/typed.rs crates/stm-core/src/watchdog.rs
 
-/root/repo/target/release/deps/libstm_core-0d2c1f77d781426b.rmeta: crates/stm-core/src/lib.rs crates/stm-core/src/barrier.rs crates/stm-core/src/config.rs crates/stm-core/src/contention.rs crates/stm-core/src/cost.rs crates/stm-core/src/dea.rs crates/stm-core/src/eager.rs crates/stm-core/src/heap.rs crates/stm-core/src/lazy.rs crates/stm-core/src/locks.rs crates/stm-core/src/quiesce.rs crates/stm-core/src/segvec.rs crates/stm-core/src/stats.rs crates/stm-core/src/syncpoint.rs crates/stm-core/src/txn.rs crates/stm-core/src/txnrec.rs crates/stm-core/src/typed.rs
+/root/repo/target/release/deps/libstm_core-0d2c1f77d781426b.rmeta: crates/stm-core/src/lib.rs crates/stm-core/src/audit.rs crates/stm-core/src/barrier.rs crates/stm-core/src/config.rs crates/stm-core/src/contention.rs crates/stm-core/src/cost.rs crates/stm-core/src/dea.rs crates/stm-core/src/eager.rs crates/stm-core/src/fault.rs crates/stm-core/src/heap.rs crates/stm-core/src/lazy.rs crates/stm-core/src/locks.rs crates/stm-core/src/quiesce.rs crates/stm-core/src/segvec.rs crates/stm-core/src/stats.rs crates/stm-core/src/syncpoint.rs crates/stm-core/src/txn.rs crates/stm-core/src/txnrec.rs crates/stm-core/src/typed.rs crates/stm-core/src/watchdog.rs
 
 crates/stm-core/src/lib.rs:
+crates/stm-core/src/audit.rs:
 crates/stm-core/src/barrier.rs:
 crates/stm-core/src/config.rs:
 crates/stm-core/src/contention.rs:
 crates/stm-core/src/cost.rs:
 crates/stm-core/src/dea.rs:
 crates/stm-core/src/eager.rs:
+crates/stm-core/src/fault.rs:
 crates/stm-core/src/heap.rs:
 crates/stm-core/src/lazy.rs:
 crates/stm-core/src/locks.rs:
@@ -21,3 +23,4 @@ crates/stm-core/src/syncpoint.rs:
 crates/stm-core/src/txn.rs:
 crates/stm-core/src/txnrec.rs:
 crates/stm-core/src/typed.rs:
+crates/stm-core/src/watchdog.rs:
