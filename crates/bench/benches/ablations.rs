@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use stm_core::config::{Granularity, StmConfig, Versioning};
+use stm_core::config::{StmConfig, VersionGranularity, Versioning};
 use stm_core::heap::{FieldDef, Heap, ObjRef, Shape};
 use stm_core::txn::atomic;
 
@@ -29,13 +29,13 @@ fn heap_with(config: StmConfig) -> (Arc<Heap>, ObjRef) {
 fn bench_granularity(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_granularity");
     g.sample_size(50);
-    for (name, gran) in [("per_field", Granularity::PerField), ("pair", Granularity::Pair)] {
+    for (name, gran) in [("per_field", VersionGranularity::PerField), ("pair", VersionGranularity::Pair)] {
         for versioning in [Versioning::Eager, Versioning::Lazy] {
             let vname = match versioning {
                 Versioning::Eager => "eager",
                 Versioning::Lazy => "lazy",
             };
-            let (heap, o) = heap_with(StmConfig { versioning, granularity: gran, ..Default::default() });
+            let (heap, o) = heap_with(StmConfig { versioning, version_granularity: gran, ..Default::default() });
             g.bench_function(format!("{vname}_{name}_write4"), |b| {
                 b.iter(|| {
                     atomic(&heap, |tx| {

@@ -342,9 +342,10 @@ pub fn contention() -> String {
 }
 
 /// Chaos campaign: `count` seeded fault-injection runs starting at
-/// `first_seed`, each swept across both versioning engines and all three
-/// contention policies, with [`Heap::audit`](stm_core::heap::Heap::audit)
-/// as the oracle after every run.
+/// `first_seed`, each swept across both versioning engines, all three
+/// contention policies, and both conflict-detection granularities, with
+/// [`Heap::audit`](stm_core::heap::Heap::audit) as the oracle after every
+/// run.
 ///
 /// Each run arms [`stm_core::fault::FaultPlan::seeded`] — injected delays,
 /// forced aborts, and mid-critical-section panics are a pure function of
@@ -363,7 +364,7 @@ pub fn chaos(first_seed: u64, count: u64) -> String {
     use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
-    use stm_core::config::{StmConfig, Versioning};
+    use stm_core::config::{Granularity, StmConfig, Versioning};
     use stm_core::contention::ContentionPolicy;
     use stm_core::fault::{FaultPlan, FaultSite, InjectedPanic};
     use stm_core::heap::{FieldDef, Heap, Shape};
@@ -396,11 +397,19 @@ pub fn chaos(first_seed: u64, count: u64) -> String {
     let mut rollbacks = 0u64;
     let mut reclaims = 0u64;
 
+    // A deliberately small striped table (64 slots) so the hot objects and
+    // the freshly published ones actually share stripes during the chaos.
+    let granularities = [Granularity::PerObject, Granularity::Striped { stripes: 64 }];
+
     for seed in first_seed..first_seed + count {
         for versioning in [Versioning::Eager, Versioning::Lazy] {
-            for policy in ContentionPolicy::ALL {
+            for (granularity, policy) in granularities
+                .into_iter()
+                .flat_map(|g| ContentionPolicy::ALL.into_iter().map(move |p| (g, p)))
+            {
                 let heap = Heap::new(StmConfig {
                     versioning,
+                    granularity,
                     contention: policy,
                     dea: true,
                     fault: Some(FaultPlan::seeded(seed)),
@@ -484,7 +493,8 @@ pub fn chaos(first_seed: u64, count: u64) -> String {
                 let report = heap.audit();
                 if !report.is_clean() {
                     failures.push(format!(
-                        "seed={seed} engine={versioning:?} policy={}:\n{report}",
+                        "seed={seed} engine={versioning:?} records={} policy={}:\n{report}",
+                        granularity.label(),
                         policy.label()
                     ));
                 }
@@ -503,13 +513,13 @@ pub fn chaos(first_seed: u64, count: u64) -> String {
 
     let injected = injected_panics.load(Ordering::Relaxed);
     let exclusive = exclusive_panics.load(Ordering::Relaxed);
-    let runs = count * 2 * ContentionPolicy::ALL.len() as u64;
+    let runs = count * 2 * granularities.len() as u64 * ContentionPolicy::ALL.len() as u64;
     let mut out = String::new();
     writeln!(out, "== Chaos campaign: seeded faults vs the heap auditor ==\n").unwrap();
     writeln!(
         out,
-        "seeds {first_seed}..{} x {{eager, lazy}} x {{aggressive, backoff, karma}} \
-         = {runs} runs ({THREADS} threads x {OPS} ops each)",
+        "seeds {first_seed}..{} x {{eager, lazy}} x {{per-object, striped:64}} x \
+         {{aggressive, backoff, karma}} = {runs} runs ({THREADS} threads x {OPS} ops each)",
         first_seed + count
     )
     .unwrap();
@@ -543,6 +553,225 @@ pub fn chaos(first_seed: u64, count: u64) -> String {
     out
 }
 
+/// One measured cell of the granularity experiment.
+struct GranRow {
+    workload: &'static str,
+    granularity: String,
+    threads: usize,
+    ops: u64,
+    elapsed_s: f64,
+    commits: u64,
+    aborts: u64,
+    conflicts: u64,
+    /// Conflicts on the *disjoint* workload, where no two threads ever touch
+    /// the same object: every one of them is a false conflict manufactured
+    /// by slot sharing in the striped table.
+    false_conflicts: Option<u64>,
+}
+
+impl GranRow {
+    fn throughput(&self) -> f64 {
+        self.ops as f64 / self.elapsed_s
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"workload\":\"{}\",\"granularity\":\"{}\",\"threads\":{},\"ops\":{},\
+             \"elapsed_s\":{:.6},\"throughput_ops_per_s\":{:.1},\"commits\":{},\
+             \"aborts\":{},\"conflicts\":{},\"false_conflict_rate\":{}}}",
+            self.workload,
+            self.granularity,
+            self.threads,
+            self.ops,
+            self.elapsed_s,
+            self.throughput(),
+            self.commits,
+            self.aborts,
+            self.conflicts,
+            match self.false_conflicts {
+                Some(fc) => format!("{:.6}", fc as f64 / self.ops.max(1) as f64),
+                None => "null".to_string(),
+            },
+        )
+    }
+}
+
+/// Runs one granularity workload cell and snapshots its telemetry.
+///
+/// * `disjoint = false` — `threads` threads hammer a 4-object hot set with
+///   two-object read-modify-write transactions: every conflict is real, so
+///   both tables should pay comparable contention.
+/// * `disjoint = true` — each thread owns a private 64-object slice of one
+///   shared array and only ever touches its own slice: the per-object table
+///   runs conflict-free, and every conflict the striped table reports is a
+///   false one (two private objects hashing onto the same slot).
+fn granularity_case(
+    granularity: stm_core::config::Granularity,
+    threads: usize,
+    disjoint: bool,
+    ops_per_thread: u64,
+) -> GranRow {
+    use std::sync::Arc;
+    use stm_core::config::StmConfig;
+    use stm_core::heap::{FieldDef, Heap, Shape};
+    use stm_core::txn::atomic;
+
+    const SLICE: usize = 64;
+    let heap = Heap::new(StmConfig::default().with_granularity(granularity));
+    let shape = heap.define_shape(Shape::new(
+        "Cell",
+        vec![FieldDef::int("n"), FieldDef::int("side")],
+    ));
+    let objects: Vec<_> = (0..if disjoint { threads * SLICE } else { 4 })
+        .map(|_| heap.alloc_public(shape))
+        .collect();
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let heap = Arc::clone(&heap);
+            let objects = objects.clone();
+            std::thread::spawn(move || {
+                let mut rng = 0x9E37_79B9u64.wrapping_mul(t as u64 + 1) | 1;
+                let mut next = move || {
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    rng
+                };
+                for i in 0..ops_per_thread {
+                    let (a, b) = if disjoint {
+                        let base = t * SLICE;
+                        let a = base + next() as usize % SLICE;
+                        let b = base + next() as usize % SLICE;
+                        (objects[a], objects[b])
+                    } else {
+                        let a = next() as usize % objects.len();
+                        (objects[a], objects[(a + 1) % objects.len()])
+                    };
+                    atomic(&heap, |tx| {
+                        let v = tx.read(a, 0)?;
+                        tx.write(a, 0, v + 1)?;
+                        let w = tx.read(b, 1)?;
+                        tx.write(b, 1, w.wrapping_add(i))
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    let snap = heap.stats_snapshot();
+    let conflicts = snap.total_conflicts();
+    GranRow {
+        workload: if disjoint { "disjoint" } else { "contended" },
+        granularity: granularity.label(),
+        threads,
+        ops: threads as u64 * ops_per_thread,
+        elapsed_s,
+        commits: snap.commits,
+        aborts: snap.aborts,
+        conflicts,
+        false_conflicts: disjoint.then_some(conflicts),
+    }
+}
+
+/// Conflict-detection granularity shootout: per-object embedded records vs
+/// the TL2-style striped ownership-record table, across a stripe-count
+/// sweep, on one truly contended and one truly disjoint workload, plus a
+/// thread-scaling sweep. Writes machine-readable rows to
+/// `BENCH_granularity.json` next to the report.
+///
+/// The disjoint workload is the false-conflict probe: threads never share an
+/// object, so the per-object row must report (near-)zero conflicts and every
+/// striped conflict is a collision of two unrelated objects on one slot —
+/// the isolation cost of striping that shrinks as the table grows.
+pub fn granularity(ops_per_thread: u64) -> String {
+    granularity_to(ops_per_thread, std::path::Path::new("BENCH_granularity.json"))
+}
+
+/// [`granularity`] with an explicit artifact path (tests point it at a
+/// temporary directory).
+pub fn granularity_to(ops_per_thread: u64, artifact: &std::path::Path) -> String {
+    use stm_core::config::Granularity;
+
+    const THREADS: usize = 4;
+    let sweep = [
+        Granularity::PerObject,
+        Granularity::Striped { stripes: 16 },
+        Granularity::Striped { stripes: 64 },
+        Granularity::Striped { stripes: 256 },
+        Granularity::Striped { stripes: 1024 },
+    ];
+
+    let mut rows: Vec<GranRow> = Vec::new();
+    for g in sweep {
+        rows.push(granularity_case(g, THREADS, false, ops_per_thread));
+        rows.push(granularity_case(g, THREADS, true, ops_per_thread));
+    }
+    // Thread-scaling sweep on the disjoint workload for the two defaults.
+    for g in [Granularity::PerObject, Granularity::striped_default()] {
+        for threads in [1usize, 2, 8] {
+            rows.push(granularity_case(g, threads, true, ops_per_thread));
+        }
+    }
+
+    let mut out = String::new();
+    writeln!(out, "== Conflict-detection granularity: per-object vs striped orecs ==\n").unwrap();
+    writeln!(
+        out,
+        "({} threads x {} ops unless noted; disjoint = per-thread private slices,\n\
+         so every striped conflict there is a FALSE conflict)\n",
+        THREADS, ops_per_thread
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<11} {:<14} {:>4} {:>12} {:>9} {:>7} {:>10} {:>12}",
+        "workload", "granularity", "thr", "ops/s", "commits", "aborts", "conflicts", "false-rate"
+    )
+    .unwrap();
+    for r in &rows {
+        writeln!(
+            out,
+            "{:<11} {:<14} {:>4} {:>12.0} {:>9} {:>7} {:>10} {:>12}",
+            r.workload,
+            r.granularity,
+            r.threads,
+            r.throughput(),
+            r.commits,
+            r.aborts,
+            r.conflicts,
+            match r.false_conflicts {
+                Some(fc) => format!("{:.4}", fc as f64 / r.ops.max(1) as f64),
+                None => "-".to_string(),
+            },
+        )
+        .unwrap();
+    }
+
+    let json = format!(
+        "{{\"experiment\":\"granularity\",\"threads_default\":{THREADS},\
+         \"ops_per_thread\":{ops_per_thread},\"rows\":[\n  {}\n]}}\n",
+        rows.iter().map(GranRow::json).collect::<Vec<_>>().join(",\n  ")
+    );
+    match std::fs::write(artifact, &json) {
+        Ok(()) => {
+            writeln!(out, "\nwrote {} ({} rows)", artifact.display(), rows.len()).unwrap()
+        }
+        Err(e) => writeln!(out, "\nfailed to write {}: {e}", artifact.display()).unwrap(),
+    }
+    writeln!(
+        out,
+        "(striping trades memory for false conflicts: the disjoint false-rate\n\
+         falls toward the per-object floor as the stripe count grows)"
+    )
+    .unwrap();
+    out
+}
+
 /// Runs every experiment (the `repro all` command).
 pub fn all(scale: usize) -> String {
     let mut out = String::new();
@@ -558,6 +787,7 @@ pub fn all(scale: usize) -> String {
         fig19(),
         fig20(),
         contention(),
+        granularity(2000),
     ] {
         out.push_str(&part);
         out.push('\n');
@@ -609,7 +839,24 @@ mod tests {
         // Two seeds keep the debug-build test quick; the CI chaos job runs
         // the full 32-seed campaign in release mode.
         let s = chaos(1, 2);
-        assert!(s.contains("audits: 12/12 clean"), "{s}");
+        assert!(s.contains("audits: 24/24 clean"), "{s}");
+    }
+
+    #[test]
+    fn granularity_reports_and_emits_json() {
+        let dir = std::env::temp_dir().join("bench-granularity-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let artifact = dir.join("BENCH_granularity.json");
+        // Tiny op count: this test checks shape, not performance.
+        let s = granularity_to(40, &artifact);
+
+        assert!(s.contains("per-object"), "{s}");
+        assert!(s.contains("striped:1024"), "{s}");
+        assert!(s.contains("BENCH_granularity.json"), "{s}");
+        let json = std::fs::read_to_string(&artifact).expect("JSON artifact written");
+        assert!(json.contains("\"experiment\":\"granularity\""), "{json}");
+        assert!(json.contains("\"workload\":\"disjoint\""), "{json}");
+        assert!(json.contains("\"false_conflict_rate\":null"), "{json}");
     }
 
     #[test]

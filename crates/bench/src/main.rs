@@ -9,6 +9,10 @@
 //! repro fig15|16|17 [scale]  # JVM98 barrier overheads (measured)
 //! repro fig18|19|20      # Tsp / OO7 / JBB scalability (simulated)
 //! repro contention       # contention-policy abort telemetry shootout
+//! repro granularity [ops]  # per-object vs striped-orec conflict detection:
+//!                        # contended + disjoint (false-conflict) workloads,
+//!                        # stripe-count and thread sweeps; writes
+//!                        # BENCH_granularity.json (default 2000 ops/thread)
 //! repro chaos [--seeds N] [--seed S]   # crash-safety campaign: seeded fault
 //!                        # injection vs the heap auditor (default 32 seeds
 //!                        # from 1; --seed S replays the single seed S)
@@ -36,6 +40,10 @@ fn main() {
         "fig19" => ex::fig19(),
         "fig20" => ex::fig20(),
         "contention" => ex::contention(),
+        "granularity" => {
+            let ops: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
+            ex::granularity(ops)
+        }
         "chaos" => {
             let mut first = 1u64;
             let mut count = 32u64;
@@ -60,7 +68,8 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; try: all, fig1..fig6, fig13..fig20, contention, chaos"
+                "unknown experiment `{other}`; try: all, fig1..fig6, fig13..fig20, \
+                 contention, granularity, chaos"
             );
             std::process::exit(2);
         }

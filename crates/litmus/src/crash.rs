@@ -34,6 +34,7 @@ const INITIAL: u64 = 7;
 fn crash_world(panic_safety: bool, watchdog: WatchdogConfig) -> (Arc<Heap>, ObjRef) {
     let heap = Heap::new(StmConfig {
         versioning: Versioning::Eager,
+        granularity: crate::harness::current_conflict_granularity(),
         panic_safety,
         watchdog,
         ..StmConfig::default()
@@ -148,12 +149,15 @@ pub fn crash_strands_record_without_safeguards() {
     let r = with_deadline(Duration::from_millis(200), move || read_barrier(&h, o, 0));
     assert_eq!(r, None, "the barrier is wedged with no safeguard to free it");
 
+    // The stranded record is an object header under per-object granularity
+    // and a stripe slot under the striped table; the auditor names it either
+    // way.
     let report = heap.audit();
     assert!(
-        report
-            .findings
-            .iter()
-            .any(|f| matches!(f, AuditFinding::OrphanExclusive { .. })),
+        report.findings.iter().any(|f| matches!(
+            f,
+            AuditFinding::OrphanExclusive { .. } | AuditFinding::StripeExclusive { .. }
+        )),
         "auditor must name the stranded record: {report}"
     );
 }

@@ -1,12 +1,12 @@
 //! Paper Figure 5: anomalies due to coarse-grained versioning — granular
 //! lost updates (GLU) and granular inconsistent reads (GIR). These require
 //! the STM to log or buffer at a granularity wider than a field
-//! ([`Granularity::Pair`] here: fields 0 and 1 share one versioning entry).
+//! ([`VersionVersionGranularity::Pair`] here: fields 0 and 1 share one versioning entry).
 
 use crate::harness::{run2, u, Env, T1, T2};
 use crate::Mode;
 use std::sync::Arc;
-use stm_core::config::Granularity;
+use stm_core::config::VersionGranularity;
 use stm_core::syncpoint::SyncPoint;
 use stm_core::txn::atomic;
 
@@ -15,13 +15,13 @@ use stm_core::txn::atomic;
 /// touches `x.g`, yet its undo-log/write-buffer entry spans both fields.
 /// Returns `true` if Thread 2's update vanished (`x.g == 0`).
 pub fn granular_lost_update(mode: Mode) -> bool {
-    granular_lost_update_at(mode, Granularity::Pair)
+    granular_lost_update_at(mode, VersionGranularity::Pair)
 }
 
 /// [`granular_lost_update`] with explicit granularity: with
-/// [`Granularity::PerField`] the anomaly is impossible in every mode — the
+/// [`VersionVersionGranularity::PerField`] the anomaly is impossible in every mode — the
 /// ablation the paper's §2.4 discussion implies.
-pub fn granular_lost_update_at(mode: Mode, granularity: Granularity) -> bool {
+pub fn granular_lost_update_at(mode: Mode, granularity: VersionGranularity) -> bool {
     let env = Arc::new(Env::with_granularity(mode, granularity));
     let x = env.obj(); // fields 0 ("f") and 1 ("g") share a Pair span
     let d = env.obj();
@@ -83,11 +83,11 @@ pub fn granular_lost_update_at(mode: Mode, granularity: Granularity) -> bool {
 /// ordering implies it must see `1`; returns `true` if it saw the stale `0`
 /// from its own wide buffer entry.
 pub fn granular_inconsistent_read(mode: Mode) -> bool {
-    granular_inconsistent_read_at(mode, Granularity::Pair)
+    granular_inconsistent_read_at(mode, VersionGranularity::Pair)
 }
 
 /// [`granular_inconsistent_read`] with explicit granularity.
-pub fn granular_inconsistent_read_at(mode: Mode, granularity: Granularity) -> bool {
+pub fn granular_inconsistent_read_at(mode: Mode, granularity: VersionGranularity) -> bool {
     let env = Arc::new(Env::with_granularity(mode, granularity));
     let x = env.obj();
     let y = env.obj();
@@ -171,11 +171,11 @@ mod tests {
     fn per_field_granularity_removes_both() {
         for mode in [Mode::EagerWeak, Mode::LazyWeak] {
             assert!(
-                !granular_lost_update_at(mode, Granularity::PerField),
+                !granular_lost_update_at(mode, VersionGranularity::PerField),
                 "{mode:?}: GLU impossible at field granularity"
             );
             assert!(
-                !granular_inconsistent_read_at(mode, Granularity::PerField),
+                !granular_inconsistent_read_at(mode, VersionGranularity::PerField),
                 "{mode:?}: GIR impossible at field granularity"
             );
         }

@@ -3,7 +3,7 @@
 use crate::Mode;
 use std::cell::Cell;
 use std::sync::Arc;
-use stm_core::config::{BarrierMode, Granularity, StmConfig, Versioning};
+use stm_core::config::{BarrierMode, Granularity, StmConfig, VersionGranularity, Versioning};
 use stm_core::contention::ContentionPolicy;
 use stm_core::heap::{FieldDef, Heap, ObjRef, Shape, ShapeId, Word};
 use stm_core::locks::SyncTable;
@@ -17,6 +17,7 @@ pub const T2: ActorId = ActorId(2);
 
 thread_local! {
     static POLICY: Cell<ContentionPolicy> = const { Cell::new(ContentionPolicy::Backoff) };
+    static CONFLICT_GRANULARITY: Cell<Option<Granularity>> = const { Cell::new(None) };
 }
 
 /// Runs `f` with every [`Env`] built on this thread using `policy` as its
@@ -33,6 +34,23 @@ pub fn with_policy<R>(policy: ContentionPolicy, f: impl FnOnce() -> R) -> R {
 /// The contention policy new environments on this thread are built with.
 pub fn current_policy() -> ContentionPolicy {
     POLICY.with(|p| p.get())
+}
+
+/// Runs `f` with every [`Env`] built on this thread using `granularity` as
+/// its conflict-detection granularity. This is how the granularity × anomaly
+/// matrix reruns the whole litmus suite against the striped ownership-record
+/// table without touching the scenarios.
+pub fn with_conflict_granularity<R>(granularity: Granularity, f: impl FnOnce() -> R) -> R {
+    let prior = CONFLICT_GRANULARITY.with(|g| g.replace(Some(granularity)));
+    let out = f();
+    CONFLICT_GRANULARITY.with(|g| g.set(prior));
+    out
+}
+
+/// The conflict-detection granularity new environments on this thread are
+/// built with (the process default unless overridden).
+pub fn current_conflict_granularity() -> Granularity {
+    CONFLICT_GRANULARITY.with(|g| g.get()).unwrap_or_default()
 }
 
 /// A litmus environment: a heap configured for one column of the paper's
@@ -53,30 +71,30 @@ pub struct Env {
 impl Env {
     /// Environment with per-field versioning granularity.
     pub fn new(mode: Mode) -> Self {
-        Self::with_granularity(mode, Granularity::PerField)
+        Self::with_granularity(mode, VersionGranularity::PerField)
     }
 
-    /// Environment with explicit granularity (the §2.4 anomalies need
-    /// [`Granularity::Pair`]).
-    pub fn with_granularity(mode: Mode, granularity: Granularity) -> Self {
+    /// Environment with explicit versioning granularity (the §2.4 anomalies
+    /// need [`VersionGranularity::Pair`]).
+    pub fn with_granularity(mode: Mode, granularity: VersionGranularity) -> Self {
         Self::with_config(mode, granularity, false)
     }
 
     /// Environment with quiescence enabled (§3.4 privatization studies).
     pub fn with_quiescence(mode: Mode) -> Self {
-        Self::build(mode, Granularity::PerField, true, false)
+        Self::build(mode, VersionGranularity::PerField, true, false)
     }
 
     /// Environment with barrier race recording enabled (§3.2's debugging
     /// aid).
     pub fn with_races(mode: Mode) -> Self {
-        Self::build(mode, Granularity::PerField, false, true)
+        Self::build(mode, VersionGranularity::PerField, false, true)
     }
 
     /// Environment with TL2-style aggressive read-set validation (for the
     /// §3.4 "validation is not enough" demonstrations).
     pub fn with_eager_validation(mode: Mode) -> Self {
-        let mut env = Self::build(mode, Granularity::PerField, false, false);
+        let mut env = Self::build(mode, VersionGranularity::PerField, false, false);
         // Rebuild the heap with validation enabled, reusing the same shapes.
         let config = StmConfig {
             eager_validation: true,
@@ -103,18 +121,24 @@ impl Env {
         env
     }
 
-    fn with_config(mode: Mode, granularity: Granularity, quiescence: bool) -> Self {
+    fn with_config(mode: Mode, granularity: VersionGranularity, quiescence: bool) -> Self {
         Self::build(mode, granularity, quiescence, false)
     }
 
-    fn build(mode: Mode, granularity: Granularity, quiescence: bool, record_races: bool) -> Self {
+    fn build(
+        mode: Mode,
+        granularity: VersionGranularity,
+        quiescence: bool,
+        record_races: bool,
+    ) -> Self {
         let versioning = match mode {
             Mode::LazyWeak | Mode::StrongLazy => Versioning::Lazy,
             _ => Versioning::Eager,
         };
         let config = StmConfig {
             versioning,
-            granularity,
+            granularity: current_conflict_granularity(),
+            version_granularity: granularity,
             quiescence,
             record_races,
             contention: current_policy(),

@@ -78,9 +78,11 @@ fn privatization_outcome_in(env: Arc<Env>, mode: Mode) -> PrivatizationOutcome {
 
     let script = match (mode, quiescence) {
         // Eager weak: T2 increments val1 in place; T1 privatizes, commits,
-        // and reads both fields raw before T2's rollback.
+        // and reads both fields raw before T2's rollback. T2's val2 write is
+        // gated behind u(6) (announced *after* the r2 read) so the in-place
+        // store can never race ahead of r2.
         (Mode::EagerWeak, false) => {
-            vec![(T2, u(1)), (T1, u(0)), (T1, u(2)), (T1, u(3)), (T2, u(4))]
+            vec![(T2, u(1)), (T1, u(0)), (T1, u(2)), (T1, u(3)), (T1, u(6)), (T2, u(4))]
         }
         // Eager weak + quiescence: T1's commit blocks in quiescence until
         // the doomed T2 aborts; T2's remaining steps run while T1 waits.
@@ -89,15 +91,19 @@ fn privatization_outcome_in(env: Arc<Env>, mode: Mode) -> PrivatizationOutcome {
         }
         // Lazy weak: T2 commits (validated) but pauses before write-back;
         // T1 privatizes and reads val1 stale; T2 writes back; T1 reads val2
-        // fresh.
+        // fresh. The write-back is gated behind u(3) (announced *after* the
+        // r1 read) so the first store can never race ahead of r1, and the r2
+        // read is gated behind u(5) so it deterministically sees both
+        // write-back stores.
         (Mode::LazyWeak, false) => vec![
             (T2, SyncPoint::LazyAfterValidate),
             (T1, u(0)),
             (T1, u(2)),
+            (T1, u(3)),
             (T2, SyncPoint::LazyBeforeWritebackEntry),
             (T2, SyncPoint::LazyMidWriteback),
             (T2, SyncPoint::LazyMidWriteback),
-            (T1, u(3)),
+            (T1, u(5)),
         ],
         // Lazy weak + quiescence: T1's commit waits out T2's write-back.
         (Mode::LazyWeak, true) => vec![
@@ -141,7 +147,9 @@ fn privatization_outcome_in(env: Arc<Env>, mode: Mode) -> PrivatizationOutcome {
             e1.heap.hit(u(2));
             let r1 = e1.nt_read(it, 0);
             e1.heap.hit(u(3));
+            e1.heap.hit(u(5));
             let r2 = e1.nt_read(it, 1);
+            e1.heap.hit(u(6));
             PrivatizationOutcome { r1, r2 }
         },
         move || {

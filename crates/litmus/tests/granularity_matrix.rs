@@ -1,0 +1,256 @@
+//! The conflict-detection granularity × anomaly litmus matrix.
+//!
+//! [`Granularity`] selects *where* a transaction record lives — embedded in
+//! the object header, or in a TL2-style striped ownership-record table that
+//! many objects may hash onto. Striping can only introduce *false* conflicts
+//! (two objects sharing a slot), never hide a true one, so it must be
+//! invisible to every isolation property the suite checks:
+//!
+//! * the full Figure-6 matrix reproduces identically under both tables,
+//! * the strong columns stay anomaly-free even with aggressive slot sharing
+//!   (stripe counts far below the object count),
+//! * the privatization and crash-safety suites keep their published
+//!   outcomes, and
+//! * a seeded schedule replayed against both tables commits the *same* final
+//!   heap state (the equivalence proptest at the bottom).
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use stm_core::config::{Granularity, StmConfig, Versioning};
+use stm_core::heap::{FieldDef, Heap, ObjRef, Shape};
+use stm_core::txn::try_atomic;
+
+use litmus::harness::with_conflict_granularity;
+use litmus::{anomaly_matrix, crash, expected_matrix, privatization, Anomaly, Mode};
+
+/// Both conflict-detection granularities under test. The striped entry uses
+/// a deliberately small table so litmus objects actually share slots — with
+/// the default 1024 stripes, a handful of litmus objects would each get a
+/// private slot and striping would be exercised in name only.
+const GRANULARITIES: [Granularity; 2] =
+    [Granularity::PerObject, Granularity::Striped { stripes: 8 }];
+
+/// The full Figure-6 matrix — anomalies present *and* absent — reproduces
+/// identically under each granularity: where the record lives shifts false
+/// conflicts around but never changes observable isolation.
+#[test]
+fn figure6_matrix_is_granularity_invariant() {
+    for granularity in GRANULARITIES {
+        with_conflict_granularity(granularity, || {
+            let got = anomaly_matrix();
+            let want = expected_matrix();
+            for (i, anomaly) in Anomaly::ALL.iter().enumerate() {
+                for (j, mode) in Mode::FIGURE6.iter().enumerate() {
+                    assert_eq!(
+                        got[i][j],
+                        want[i][j],
+                        "{} under {} with {} records: expected {}, observed {}",
+                        anomaly.abbrev(),
+                        mode.label(),
+                        granularity.label(),
+                        want[i][j],
+                        got[i][j]
+                    );
+                }
+            }
+        });
+    }
+}
+
+/// The strong columns stay clean even when every object in the test shares
+/// one of two stripes — heavy false sharing may serialize more, never less.
+#[test]
+fn strong_columns_clean_under_heavy_slot_sharing() {
+    for granularity in [
+        Granularity::Striped { stripes: 2 },
+        Granularity::Striped { stripes: 8 },
+    ] {
+        with_conflict_granularity(granularity, || {
+            for mode in [Mode::Strong, Mode::StrongLazy] {
+                for anomaly in Anomaly::ALL {
+                    assert!(
+                        !anomaly.observe(mode),
+                        "{} leaked under {} with {} records",
+                        anomaly.abbrev(),
+                        mode.label(),
+                        granularity.label()
+                    );
+                }
+            }
+        });
+    }
+}
+
+/// The Figure-1 privatization suite keeps its published outcomes under both
+/// tables: weak modes break, locks and strong atomicity hold, quiescence
+/// repairs the weak modes, and aggressive validation still does not.
+#[test]
+fn privatization_suite_is_granularity_invariant() {
+    for granularity in GRANULARITIES {
+        with_conflict_granularity(granularity, || {
+            let label = granularity.label();
+            assert!(
+                privatization::privatization_violated(Mode::EagerWeak),
+                "eager-weak privatization must break ({label})"
+            );
+            assert!(
+                privatization::privatization_violated(Mode::LazyWeak),
+                "lazy-weak privatization must break ({label})"
+            );
+            assert!(
+                !privatization::privatization_violated(Mode::Locks),
+                "lock privatization must hold ({label})"
+            );
+            assert!(
+                !privatization::privatization_violated(Mode::Strong),
+                "strong privatization must hold ({label})"
+            );
+            for mode in [Mode::EagerWeak, Mode::LazyWeak] {
+                assert!(
+                    !privatization::privatization_outcome(mode, true).anomalous(),
+                    "quiescence must repair {} ({label})",
+                    mode.label()
+                );
+                assert!(
+                    privatization::privatization_outcome_eager_validation(mode).anomalous(),
+                    "validation alone must NOT repair {} ({label})",
+                    mode.label()
+                );
+            }
+        });
+    }
+}
+
+/// The crash-safety regimes (panic-safe rollback, watchdog reclamation, and
+/// the unprotected strand) behave identically when the stranded record is a
+/// shared stripe slot instead of an object header.
+#[test]
+fn crash_suite_is_granularity_invariant() {
+    for granularity in GRANULARITIES {
+        with_conflict_granularity(granularity, || {
+            crash::panic_safe_rollback_releases_record();
+            crash::watchdog_unblocks_barriers_after_crash();
+            crash::crash_strands_record_without_safeguards();
+        });
+    }
+}
+
+/// The harness override is scoped: the thread-local granularity reverts when
+/// the closure exits (nested overrides unwind in order).
+#[test]
+fn granularity_override_scopes_and_nests() {
+    use litmus::harness::current_conflict_granularity;
+    let ambient = current_conflict_granularity();
+    with_conflict_granularity(Granularity::PerObject, || {
+        assert_eq!(current_conflict_granularity(), Granularity::PerObject);
+        with_conflict_granularity(Granularity::Striped { stripes: 8 }, || {
+            assert_eq!(
+                current_conflict_granularity(),
+                Granularity::Striped { stripes: 8 }
+            );
+        });
+        assert_eq!(current_conflict_granularity(), Granularity::PerObject);
+    });
+    assert_eq!(current_conflict_granularity(), ambient);
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence proptest: per-object and striped runs of the same seeded
+// schedule commit identical heap states.
+// ---------------------------------------------------------------------------
+
+/// One transaction of a schedule: a batch of writes, optionally cancelled.
+#[derive(Clone, Debug)]
+struct Step {
+    /// `(object index, field, value)` writes applied in order.
+    writes: Vec<(usize, usize, u64)>,
+    /// Cancel instead of committing (must be traceless under both tables).
+    cancel: bool,
+}
+
+const OBJECTS: usize = 8;
+const FIELDS: usize = 4;
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    (
+        prop::collection::vec((0..OBJECTS, 0..FIELDS, any::<u64>()), 0..6),
+        any::<bool>(),
+    )
+        .prop_map(|(writes, cancel)| Step { writes, cancel })
+}
+
+/// Replays `schedule` on a fresh heap built with `granularity` and returns
+/// the full final field image. Reads are folded in (each write first reads
+/// its target and a neighbouring object that may share its stripe) so the
+/// read-validation path is exercised, not just acquisition.
+fn replay(
+    versioning: Versioning,
+    granularity: Granularity,
+    schedule: &[Step],
+) -> Vec<u64> {
+    let heap = Heap::new(
+        StmConfig { versioning, ..StmConfig::default() }.with_granularity(granularity),
+    );
+    let shape = heap.define_shape(Shape::new(
+        "Sched",
+        vec![
+            FieldDef::int("f0"),
+            FieldDef::int("f1"),
+            FieldDef::int("f2"),
+            FieldDef::int("f3"),
+        ],
+    ));
+    let objs: Vec<ObjRef> = (0..OBJECTS).map(|_| heap.alloc_public(shape)).collect();
+    for step in schedule {
+        let result: Option<()> = try_atomic(&heap, |tx| {
+            for &(o, f, v) in &step.writes {
+                // Read the target and a stripe-neighbour first: under the
+                // 2-stripe table below these frequently hit slots the
+                // transaction already owns for a *different* object.
+                let cur = tx.read(objs[o], f)?;
+                let _ = tx.read(objs[(o + 2) % OBJECTS], f)?;
+                tx.write(objs[o], f, v.wrapping_add(cur))?;
+            }
+            if step.cancel {
+                tx.cancel()
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(result.is_none(), step.cancel, "single-threaded runs never abort");
+    }
+    let image: Vec<u64> = objs
+        .iter()
+        .flat_map(|o| (0..FIELDS).map(|f| heap.read_raw(*o, f)))
+        .collect();
+    heap.audit().assert_clean();
+    Arc::try_unwrap(heap).ok().expect("no outstanding heap handles");
+    image
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Where the transaction record lives is invisible to committed state:
+    /// the same schedule leaves byte-identical heaps under the per-object
+    /// table and under striped tables with heavy slot sharing, for both
+    /// engines.
+    #[test]
+    fn striped_and_per_object_commit_identical_states(
+        schedule in prop::collection::vec(step_strategy(), 0..12),
+        lazy in any::<bool>(),
+    ) {
+        let versioning = if lazy { Versioning::Lazy } else { Versioning::Eager };
+        let reference = replay(versioning, Granularity::PerObject, &schedule);
+        for stripes in [2usize, 8, 64] {
+            let striped = replay(versioning, Granularity::Striped { stripes }, &schedule);
+            prop_assert_eq!(
+                &reference,
+                &striped,
+                "striped:{} diverged from per-object under {:?}",
+                stripes,
+                versioning
+            );
+        }
+    }
+}

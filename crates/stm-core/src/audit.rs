@@ -17,11 +17,20 @@
 //!   points at a *private* object (privacy would be violated the moment
 //!   another thread followed the reference).
 //!
+//! Under [`crate::config::Granularity::Striped`] the same stranded-slot and
+//! version-monotonicity checks run over the striped ownership-record table
+//! (every slot must be back in `Shared` after quiescence — the `Stripe*`
+//! findings mirror the per-object ones), plus two stripe-specific checks:
+//! no slot may carry the `Private` word (privacy lives only in the embedded
+//! per-object records), and adjacent slots must not share a cache line
+//! (the padding exists precisely to stop barrier-heavy threads from
+//! false-sharing neighbouring stripes).
+//!
 //! The auditor is read-only and cheap (one pass over the store); chaos runs
 //! call it after every campaign and fail on any finding.
 
 use crate::heap::{Heap, ObjRef};
-use crate::txnrec::RecState;
+use crate::txnrec::{RecState, RecordTable};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
@@ -75,6 +84,48 @@ pub enum AuditFinding {
         /// The private object reachable through it.
         target: ObjRef,
     },
+    /// A striped ownership-record slot is stuck in transactional
+    /// `Exclusive` state.
+    StripeExclusive {
+        /// The stranded slot index.
+        stripe: usize,
+        /// The owner-token word holding it.
+        owner_word: usize,
+        /// Whether the liveness registry knows this owner is dead.
+        owner_dead: bool,
+    },
+    /// A striped slot is stuck in the `ExclusiveAnon` (barrier-owned)
+    /// state.
+    StripeAnon {
+        /// The stranded slot index.
+        stripe: usize,
+        /// The version carried by the stuck slot.
+        version: usize,
+    },
+    /// A striped slot's version went backwards since the previous audit.
+    StripeVersionRegressed {
+        /// The slot whose version regressed.
+        stripe: usize,
+        /// High-water version from earlier audits.
+        before: usize,
+        /// Version observed now.
+        after: usize,
+    },
+    /// A striped slot carries the all-ones `Private` word. Privacy lives
+    /// only in the embedded per-object records; a private stripe would make
+    /// every object hashing to it silently skip the protocol.
+    StripePrivate {
+        /// The corrupt slot index.
+        stripe: usize,
+    },
+    /// Two adjacent stripes are closer than a cache line — the padding
+    /// failed and barrier-heavy threads would false-share them.
+    StripeFalseSharing {
+        /// The first of the adjacent slots.
+        stripe: usize,
+        /// Observed distance in bytes.
+        gap: usize,
+    },
 }
 
 impl std::fmt::Display for AuditFinding {
@@ -99,6 +150,24 @@ impl std::fmt::Display for AuditFinding {
             AuditFinding::PrivateReachable { container, field, target } => write!(
                 f,
                 "{container:?}.{field}: public object references private {target:?}"
+            ),
+            AuditFinding::StripeExclusive { stripe, owner_word, owner_dead } => write!(
+                f,
+                "stripe[{stripe}]: stranded Exclusive slot (owner {owner_word:#x}, {})",
+                if *owner_dead { "owner known dead" } else { "owner liveness unknown" }
+            ),
+            AuditFinding::StripeAnon { stripe, version } => {
+                write!(f, "stripe[{stripe}]: stranded ExclusiveAnon slot (version {version})")
+            }
+            AuditFinding::StripeVersionRegressed { stripe, before, after } => {
+                write!(f, "stripe[{stripe}]: version regressed {before} -> {after}")
+            }
+            AuditFinding::StripePrivate { stripe } => {
+                write!(f, "stripe[{stripe}]: slot carries the Private word")
+            }
+            AuditFinding::StripeFalseSharing { stripe, gap } => write!(
+                f,
+                "stripe[{stripe}]: adjacent slots only {gap} bytes apart (cache-line sharing)"
             ),
         }
     }
@@ -144,6 +213,9 @@ impl std::fmt::Display for AuditReport {
 #[derive(Debug, Default)]
 pub(crate) struct VersionHighWater {
     marks: Mutex<HashMap<usize, usize>>,
+    /// Separate key space for striped-table slots (a slot index would
+    /// otherwise collide with an object index).
+    stripe_marks: Mutex<HashMap<usize, usize>>,
 }
 
 impl Heap {
@@ -188,6 +260,54 @@ impl Heap {
             }
         }
         drop(marks);
+        // Striped ownership-record table: after quiescence every slot must
+        // be back in `Shared` (the per-object checks above still run — in
+        // striped mode the embedded records carry only the privacy state,
+        // and stranding one is just as much a protocol violation).
+        if let RecordTable::Striped { slots, .. } = &self.table {
+            let mut stripe_marks = self.audit_versions.stripe_marks.lock();
+            for (i, slot) in slots.iter().enumerate() {
+                match slot.0.load().state() {
+                    RecState::Shared { version } => {
+                        let mark = stripe_marks.entry(i).or_insert(version);
+                        if version < *mark {
+                            findings.push(AuditFinding::StripeVersionRegressed {
+                                stripe: i,
+                                before: *mark,
+                                after: version,
+                            });
+                        } else {
+                            *mark = version;
+                        }
+                    }
+                    RecState::Exclusive { owner } => {
+                        findings.push(AuditFinding::StripeExclusive {
+                            stripe: i,
+                            owner_word: owner.word(),
+                            owner_dead: self.liveness.is_dead(owner.word()),
+                        });
+                    }
+                    RecState::ExclusiveAnon { version } => {
+                        findings.push(AuditFinding::StripeAnon { stripe: i, version });
+                    }
+                    RecState::Private => {
+                        findings.push(AuditFinding::StripePrivate { stripe: i });
+                    }
+                }
+                // False-sharing audit on the live allocation: the padding
+                // must keep neighbouring slots on distinct cache lines.
+                if i + 1 < slots.len() {
+                    let a = &slots[i] as *const _ as usize;
+                    let b = &slots[i + 1] as *const _ as usize;
+                    if b.wrapping_sub(a) < 64 {
+                        findings.push(AuditFinding::StripeFalseSharing {
+                            stripe: i,
+                            gap: b.wrapping_sub(a),
+                        });
+                    }
+                }
+            }
+        }
         for (owner_word, records, undo_entries) in self.liveness.dead_descriptors() {
             findings.push(AuditFinding::UndrainedRecoveryLog {
                 owner_word,
@@ -249,16 +369,17 @@ mod tests {
 
     #[test]
     fn stranded_exclusive_is_found() {
+        // Strands the *guard* of `o`, so the finding is per-object or
+        // striped depending on the heap's ambient granularity.
         let heap = Heap::new(StmConfig::default());
         let s = shape(&heap);
         let o = heap.alloc_public(s);
-        heap.obj(o)
-            .rec
-            .store_raw(RecWord::exclusive(OwnerToken::from_id(42)));
+        heap.guard(o).store_raw(RecWord::exclusive(OwnerToken::from_id(42)));
         let report = heap.audit();
         assert!(matches!(
             report.findings.as_slice(),
             [AuditFinding::OrphanExclusive { owner_dead: false, .. }]
+                | [AuditFinding::StripeExclusive { owner_dead: false, .. }]
         ));
         assert!(report.to_string().contains("stranded Exclusive"));
     }
@@ -268,11 +389,11 @@ mod tests {
         let heap = Heap::new(StmConfig::default());
         let s = shape(&heap);
         let o = heap.alloc_public(s);
-        heap.obj(o).rec.bit_test_and_reset().unwrap();
+        heap.guard(o).bit_test_and_reset().unwrap();
         let report = heap.audit();
         assert!(matches!(
             report.findings.as_slice(),
-            [AuditFinding::OrphanAnon { .. }]
+            [AuditFinding::OrphanAnon { .. }] | [AuditFinding::StripeAnon { .. }]
         ));
     }
 
@@ -283,12 +404,47 @@ mod tests {
         let o = heap.alloc_public(s);
         atomic(&heap, |tx| tx.write(o, 0, 1));
         heap.audit().assert_clean();
-        heap.obj(o).rec.store_raw(RecWord::shared(1));
+        heap.guard(o).store_raw(RecWord::shared(1));
         let report = heap.audit();
         assert!(matches!(
             report.findings.as_slice(),
             [AuditFinding::VersionRegressed { .. }]
+                | [AuditFinding::StripeVersionRegressed { .. }]
         ));
+    }
+
+    #[test]
+    fn striped_table_audits_clean_after_quiescence() {
+        let heap = Heap::new(
+            StmConfig::strong_default()
+                .with_granularity(crate::config::Granularity::Striped { stripes: 8 }),
+        );
+        let s = shape(&heap);
+        // More objects than stripes, so slots are genuinely shared.
+        let objs: Vec<_> = (0..32).map(|_| heap.alloc_public(s)).collect();
+        for (i, &o) in objs.iter().enumerate() {
+            atomic(&heap, |tx| tx.write(o, 0, i as u64));
+            let _ = crate::barrier::write_barrier(&heap, o, 0, i as u64 + 1);
+        }
+        heap.audit().assert_clean();
+        heap.audit().assert_clean();
+    }
+
+    #[test]
+    fn striped_stranded_slot_is_found() {
+        let heap = Heap::new(
+            StmConfig::default()
+                .with_granularity(crate::config::Granularity::Striped { stripes: 8 }),
+        );
+        let s = shape(&heap);
+        let o = heap.alloc_public(s);
+        heap.guard(o).store_raw(RecWord::exclusive(OwnerToken::from_id(7)));
+        let report = heap.audit();
+        assert!(matches!(
+            report.findings.as_slice(),
+            [AuditFinding::StripeExclusive { owner_dead: false, .. }]
+        ));
+        assert!(report.to_string().contains("stripe["));
     }
 
     #[test]

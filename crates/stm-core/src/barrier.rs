@@ -58,7 +58,7 @@ pub fn read_barrier(heap: &Heap, r: ObjRef, field: usize) -> Word {
     let obj = heap.obj(r);
     let mut attempt = 0u32;
     loop {
-        let rec = obj.rec.load();
+        let rec = heap.guard_load(r);
         // DEA private fast path (optional; see module docs).
         if heap.config.dea && rec.is_private() {
             heap.stats.private_fast_path();
@@ -68,7 +68,7 @@ pub fn read_barrier(heap: &Heap, r: ObjRef, field: usize) -> Word {
         // Acquire ordering on the data load keeps the recheck from being
         // reordered before it.
         let val = obj.field(field).load(Ordering::Acquire);
-        if rec.read_bit_ok() && obj.rec.load() == rec {
+        if rec.read_bit_ok() && heap.guard_load(r) == rec {
             heap.stats.read_barrier();
             charge(CostKind::BarrierRead);
             if attempt > 0 {
@@ -96,7 +96,9 @@ pub fn ordering_read_barrier(heap: &Heap, r: ObjRef, field: usize) -> Word {
     let obj = heap.obj(r);
     let mut attempt = 0u32;
     loop {
-        let rec = obj.rec.load();
+        // Private records have bit 1 set, so (in striped+DEA mode, where
+        // `guard_load` folds privacy in) they pass the owner test below.
+        let rec = heap.guard_load(r);
         if rec.read_bit_ok() {
             heap.stats.read_barrier();
             charge(CostKind::BarrierRead);
@@ -137,7 +139,7 @@ fn write_barrier_inner(heap: &Heap, r: ObjRef, field: usize, value: Word, ord: O
     let obj = heap.obj(r);
     let mut attempt = 0u32;
     loop {
-        let rec = obj.rec.load();
+        let rec = heap.guard_load(r);
         if rec.is_private() {
             // Private fast path: the object is visible only to this thread,
             // so a plain store needs no synchronization at all. A reference
@@ -148,8 +150,9 @@ fn write_barrier_inner(heap: &Heap, r: ObjRef, field: usize, value: Word, ord: O
             heap.hit(SyncPoint::NonTxnAccessDone);
             return;
         }
-        // Records never become private, so after the check above BTR is safe.
-        match obj.rec.bit_test_and_reset() {
+        // Records never become private (and striped slots carry no privacy
+        // at all), so after the check above BTR on the guard is safe.
+        match heap.guard(r).bit_test_and_reset() {
             Ok(_prior) => {
                 heap.hit(SyncPoint::BarrierWriteAcquired);
                 // Publication check (reference types only): the object is
@@ -158,7 +161,7 @@ fn write_barrier_inner(heap: &Heap, r: ObjRef, field: usize, value: Word, ord: O
                     dea::publish_word(heap, value);
                 }
                 obj.field(field).store(value, ord);
-                obj.rec.release_anon();
+                heap.guard(r).release_anon();
                 heap.stats.write_barrier();
                 charge(CostKind::BarrierWrite);
                 if attempt > 0 {
@@ -218,24 +221,23 @@ impl<'h> OwnedObj<'h> {
 /// a whole: a private object's aggregated barrier performs no
 /// synchronization at all.
 pub fn aggregate<R>(heap: &Heap, r: ObjRef, f: impl FnOnce(&mut OwnedObj<'_>) -> R) -> R {
-    let obj = heap.obj(r);
     let mut attempt = 0u32;
     loop {
-        let rec = obj.rec.load();
+        let rec = heap.guard_load(r);
         if rec.is_private() {
             heap.stats.private_fast_path();
             charge(CostKind::BarrierPrivateFast);
             let mut owned = OwnedObj { heap, r, private: true };
             return f(&mut owned);
         }
-        match obj.rec.bit_test_and_reset() {
+        match heap.guard(r).bit_test_and_reset() {
             Ok(_prior) => {
                 heap.hit(SyncPoint::BarrierWriteAcquired);
                 charge(CostKind::BarrierAggregated);
                 heap.stats.write_barrier();
                 let mut owned = OwnedObj { heap, r, private: false };
                 let out = f(&mut owned);
-                obj.rec.release_anon();
+                heap.guard(r).release_anon();
                 if attempt > 0 {
                     heap.stats.record_wait_span(attempt);
                 }
@@ -288,7 +290,7 @@ pub fn write_access(
 /// Detects conflicts between two non-transactional writers (paper §3.2
 /// footnote: inspect only the lowest bit). Used by tests.
 pub fn record_snapshot(heap: &Heap, r: ObjRef) -> RecWord {
-    heap.obj(r).rec.load()
+    heap.guard_load(r)
 }
 
 #[cfg(test)]
@@ -397,14 +399,14 @@ mod tests {
         heap.write_raw(o, 0, 7);
         let rec_prior = record_snapshot(&heap, o);
         let owner = heap.fresh_owner();
-        heap.obj(o).rec.try_acquire_txn(rec_prior, owner).unwrap();
+        heap.guard(o).try_acquire_txn(rec_prior, owner).unwrap();
 
         let heap2 = Arc::clone(&heap);
         let reader = std::thread::spawn(move || read_barrier(&heap2, o, 0));
         std::thread::sleep(std::time::Duration::from_millis(20));
         assert!(!reader.is_finished(), "reader must wait on exclusive owner");
         heap.write_raw(o, 0, 8);
-        heap.obj(o).rec.release_txn(rec_prior);
+        heap.guard(o).release_txn(rec_prior);
         assert_eq!(reader.join().unwrap(), 8);
         assert!(heap.stats().snapshot().conflict_waits > 0);
     }
@@ -414,7 +416,7 @@ mod tests {
         let heap = heap_with(false);
         let s = node(&heap);
         let o = heap.alloc(s);
-        heap.obj(o).rec.bit_test_and_reset().unwrap();
+        heap.guard(o).bit_test_and_reset().unwrap();
         assert_eq!(
             record_snapshot(&heap, o).state(),
             RecState::ExclusiveAnon { version: 1 }
@@ -423,7 +425,7 @@ mod tests {
         let writer = std::thread::spawn(move || write_barrier(&heap2, o, 0, 42));
         std::thread::sleep(std::time::Duration::from_millis(20));
         assert!(!writer.is_finished());
-        heap.obj(o).rec.release_anon();
+        heap.guard(o).release_anon();
         writer.join().unwrap();
         assert_eq!(heap.read_raw(o, 0), 42);
     }

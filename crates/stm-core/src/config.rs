@@ -23,7 +23,7 @@ pub enum Versioning {
 /// writes to adjacent fields, producing the paper's *granular lost update*
 /// and *granular inconsistent read* anomalies under weak atomicity.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
-pub enum Granularity {
+pub enum VersionGranularity {
     /// Undo-log / write-buffer entries cover exactly one field.
     #[default]
     PerField,
@@ -32,18 +32,90 @@ pub enum Granularity {
     Pair,
 }
 
-impl Granularity {
+impl VersionGranularity {
     /// The field indices covered by the versioning entry containing `field`
     /// in an object with `len` fields.
     #[inline]
     pub fn span(self, field: usize, len: usize) -> std::ops::Range<usize> {
         match self {
-            Granularity::PerField => field..field + 1,
-            Granularity::Pair => {
+            VersionGranularity::PerField => field..field + 1,
+            VersionGranularity::Pair => {
                 let base = field & !1;
                 base..(base + 2).min(len)
             }
         }
+    }
+}
+
+/// Default stripe count for [`Granularity::Striped`] when none is given
+/// (e.g. `STM_GRANULARITY=striped`). Large enough that small test heaps
+/// never alias two objects onto one slot; small enough (64 KiB of padded
+/// slots) to stay cache-resident.
+pub const DEFAULT_STRIPES: usize = 1024;
+
+/// Where conflict-detection transaction records live (paper §2 frames this
+/// as a protocol choice; the TL2 lineage is the canonical striped design).
+///
+/// * `PerObject` — the paper's own layout: every object header embeds its
+///   record. No false conflicts; one record per object.
+/// * `Striped` — a global power-of-two array of tag-packed record words;
+///   objects hash to a slot by address. Distinct objects sharing a slot
+///   conflict *falsely*, traded against a fixed memory footprint and
+///   barrier-friendly cache behaviour.
+///
+/// The protocol (Figure 7 word encoding, Figure 8 transitions, the
+/// isolation-barrier instruction sequences) is identical in both modes —
+/// only the record's address differs. Under dynamic escape analysis the
+/// *privacy* state always lives in the embedded per-object record, so
+/// private objects never touch striped slots.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Granularity {
+    /// One embedded transaction record per object (the paper's layout).
+    PerObject,
+    /// TL2-style striped ownership-record table.
+    Striped {
+        /// Number of slots; must be a power of two.
+        stripes: usize,
+    },
+}
+
+impl Granularity {
+    /// The striped mode with the default stripe count.
+    pub fn striped_default() -> Self {
+        Granularity::Striped { stripes: DEFAULT_STRIPES }
+    }
+
+    /// Short label for reports and experiment tables.
+    pub fn label(self) -> String {
+        match self {
+            Granularity::PerObject => "per-object".to_string(),
+            Granularity::Striped { stripes } => format!("striped:{stripes}"),
+        }
+    }
+}
+
+impl Default for Granularity {
+    /// Defaults to `PerObject` unless the `STM_GRANULARITY` environment
+    /// variable overrides it (`striped`, `striped:<n>`, or `per-object`).
+    /// The override exists so a full test run can be repeated with the
+    /// striped table as the ambient default (the CI matrix job does this);
+    /// it is read once and cached.
+    fn default() -> Self {
+        static ENV_DEFAULT: std::sync::OnceLock<Granularity> = std::sync::OnceLock::new();
+        *ENV_DEFAULT.get_or_init(|| {
+            match std::env::var("STM_GRANULARITY").ok().as_deref() {
+                Some("striped") => Granularity::striped_default(),
+                Some(s) if s.starts_with("striped:") => {
+                    let stripes = s["striped:".len()..]
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|n| n.is_power_of_two())
+                        .unwrap_or(DEFAULT_STRIPES);
+                    Granularity::Striped { stripes }
+                }
+                _ => Granularity::PerObject,
+            }
+        })
     }
 }
 
@@ -84,8 +156,12 @@ impl BarrierMode {
 pub struct StmConfig {
     /// Eager or lazy version management.
     pub versioning: Versioning,
-    /// Versioning granularity (§2.4 anomalies).
+    /// Where conflict-detection records live: embedded per object, or in a
+    /// TL2-style striped ownership-record table.
     pub granularity: Granularity,
+    /// Versioning granularity (§2.4 anomalies): how wide an undo-log /
+    /// write-buffer entry is.
+    pub version_granularity: VersionGranularity,
     /// Dynamic escape analysis (paper §4): objects are allocated *private*
     /// and published on escape; barriers take the private fast path.
     pub dea: bool,
@@ -130,7 +206,8 @@ impl Default for StmConfig {
     fn default() -> Self {
         StmConfig {
             versioning: Versioning::Eager,
-            granularity: Granularity::PerField,
+            granularity: Granularity::default(),
+            version_granularity: VersionGranularity::PerField,
             dea: false,
             quiescence: false,
             conflict_retries: 64,
@@ -161,6 +238,12 @@ impl StmConfig {
     pub fn with_contention(self, contention: ContentionPolicy) -> Self {
         StmConfig { contention, ..self }
     }
+
+    /// The same configuration with a different conflict-detection
+    /// granularity.
+    pub fn with_granularity(self, granularity: Granularity) -> Self {
+        StmConfig { granularity, ..self }
+    }
 }
 
 #[cfg(test)]
@@ -169,11 +252,21 @@ mod tests {
 
     #[test]
     fn granularity_spans() {
-        assert_eq!(Granularity::PerField.span(3, 8), 3..4);
-        assert_eq!(Granularity::Pair.span(3, 8), 2..4);
-        assert_eq!(Granularity::Pair.span(2, 8), 2..4);
-        assert_eq!(Granularity::Pair.span(0, 1), 0..1, "clamped at object end");
-        assert_eq!(Granularity::Pair.span(4, 5), 4..5);
+        assert_eq!(VersionGranularity::PerField.span(3, 8), 3..4);
+        assert_eq!(VersionGranularity::Pair.span(3, 8), 2..4);
+        assert_eq!(VersionGranularity::Pair.span(2, 8), 2..4);
+        assert_eq!(VersionGranularity::Pair.span(0, 1), 0..1, "clamped at object end");
+        assert_eq!(VersionGranularity::Pair.span(4, 5), 4..5);
+    }
+
+    #[test]
+    fn granularity_labels() {
+        assert_eq!(Granularity::PerObject.label(), "per-object");
+        assert_eq!(Granularity::Striped { stripes: 64 }.label(), "striped:64");
+        assert!(matches!(
+            Granularity::striped_default(),
+            Granularity::Striped { stripes: DEFAULT_STRIPES }
+        ));
     }
 
     #[test]

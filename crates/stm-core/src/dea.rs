@@ -15,6 +15,12 @@
 //! each visit of a private object immediately marks it public, and traversal
 //! never continues past a public object, so every object is visited at most
 //! once.
+//!
+//! DEA is independent of [`crate::config::Granularity`]: the privacy
+//! authority is always the record embedded in the object header, even when
+//! conflict detection runs over the striped ownership-record table —
+//! private objects never touch a stripe slot, and publication flips only
+//! the embedded word ([`crate::heap::Heap::guard_load`] folds the two).
 
 use crate::heap::{Heap, Kind, ObjRef, Word};
 use std::sync::atomic::Ordering;

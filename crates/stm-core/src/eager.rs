@@ -6,6 +6,11 @@
 //! conflict manager: after `conflict_retries` backoffs the transaction
 //! aborts itself, which breaks deadlocks between writers.
 //!
+//! The open-read, acquire, validate, release, and finish paths are the
+//! shared [`TxnCore`] pipeline ([`crate::pipeline`]); this module adds only
+//! what is eager-specific — the undo log, in-place stores, and the DEA
+//! private-access compensation sets.
+//!
 //! Dynamic escape analysis integration (paper §4): accesses to *private*
 //! records skip locking and read-set logging entirely. Because a reference
 //! written into a public object publishes immediately — even inside a
@@ -14,24 +19,22 @@
 //! read or wrote while they were private are retroactively added to the
 //! read set / acquired for writing, preserving serializability.
 
-use crate::config::StmConfig;
-use crate::contention::{resolve, ConflictSite};
+use crate::contention::ConflictSite;
 use crate::cost::{charge, CostKind};
 use crate::dea;
 use crate::fault::{self, FaultSite};
-use crate::heap::{Heap, ObjRef, TxnSlot, Word};
-use crate::quiesce;
+use crate::heap::{Heap, ObjRef, Word};
+use crate::pipeline::{Acquired, CoreMark, ReadKind, TxnCore};
 use crate::stats::TxnTelemetry;
 use crate::syncpoint::SyncPoint;
-use crate::txn::{active_tokens, Abort, TxResult};
-use crate::txnrec::{OwnerToken, RecWord};
-use crate::watchdog::{OrphanUndo, OwnerDesc};
-use std::collections::{HashMap, HashSet};
+use crate::txn::TxResult;
+use crate::txnrec::RecWord;
+use crate::watchdog::OrphanUndo;
+use std::collections::HashSet;
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
 
 /// Maximum number of fields a single undo entry can span (the `Pair`
-/// granularity of [`crate::config::Granularity`]).
+/// granularity of [`crate::config::VersionGranularity`]).
 const MAX_SPAN: usize = 2;
 
 #[derive(Debug)]
@@ -45,181 +48,67 @@ struct UndoEntry {
 /// A savepoint for closed nesting: log lengths to roll back to.
 #[derive(Copy, Clone, Debug)]
 pub(crate) struct SavePoint {
-    read_len: usize,
+    mark: CoreMark,
     undo_len: usize,
-    on_abort_len: usize,
-    on_commit_len: usize,
 }
 
 /// An eager-versioning transaction. Use via [`crate::txn::atomic`].
 pub struct EagerTxn<'h> {
-    heap: &'h Heap,
-    owner: OwnerToken,
-    read_set: Vec<(ObjRef, RecWord)>,
-    /// Records we own exclusively, with the shared word to restore-and-bump.
-    owned: HashMap<ObjRef, RecWord>,
+    core: TxnCore<'h>,
     undo: Vec<UndoEntry>,
     /// Objects accessed while private (DEA compensation on publication).
     private_reads: HashSet<ObjRef>,
     private_writes: HashSet<ObjRef>,
-    on_abort: Vec<Box<dyn FnOnce() + 'h>>,
-    on_commit: Vec<Box<dyn FnOnce() + 'h>>,
-    slot: Option<Arc<TxnSlot>>,
-    telem: TxnTelemetry,
-    /// Heap-side owner descriptor (watchdog enabled only): acquisitions and
-    /// undo entries are mirrored here *before* any in-place store, so a
-    /// reclaimer can roll this transaction back if its thread dies.
-    desc: Option<Arc<OwnerDesc>>,
 }
 
 impl<'h> EagerTxn<'h> {
     pub(crate) fn new(heap: &'h Heap, age: u64) -> Self {
-        let slot = if heap.config.quiescence {
-            Some(heap.registry.claim(heap.serial.load(Ordering::Acquire)))
-        } else {
-            None
-        };
-        charge(CostKind::TxnBegin);
-        let owner = heap.fresh_owner();
-        if let Some(slot) = &slot {
-            slot.owner.store(owner.word(), Ordering::Release);
-        }
-        heap.register_age(owner, age);
-        let desc = heap.liveness_register(owner);
         EagerTxn {
-            heap,
-            owner,
-            read_set: Vec::new(),
-            owned: HashMap::new(),
+            core: TxnCore::begin(heap, age),
             undo: Vec::new(),
             private_reads: HashSet::new(),
             private_writes: HashSet::new(),
-            on_abort: Vec::new(),
-            on_commit: Vec::new(),
-            slot,
-            telem: TxnTelemetry { attempts: 1, ..TxnTelemetry::default() },
-            desc,
         }
     }
 
     pub(crate) fn heap(&self) -> &'h Heap {
-        self.heap
+        self.core.heap
     }
 
     pub(crate) fn owner_word(&self) -> usize {
-        self.owner.word()
-    }
-
-    fn config(&self) -> &StmConfig {
-        &self.heap.config
-    }
-
-    /// Consults the heap's contention manager about a conflict at `site`;
-    /// waits or aborts self per its decision. Provable self-deadlock (open
-    /// nesting touching an enclosing transaction's lock) aborts with the
-    /// structured [`Abort::Deadlock`] — recoverable, not fatal.
-    fn conflict(&mut self, site: ConflictSite, attempt: &mut u32, holder: RecWord) -> TxResult<()> {
-        if holder.is_txn_exclusive() && active_tokens().contains(&holder.raw()) {
-            self.telem.deadlocks += 1;
-            return Err(Abort::Deadlock);
-        }
-        if *attempt == 0 {
-            self.telem.conflicts += 1;
-        }
-        match resolve(self.heap, site, Some(self.owner), Some(holder), attempt) {
-            Ok(()) => {
-                self.telem.wait_rounds += 1;
-                Ok(())
-            }
-            Err(()) => {
-                self.telem.self_aborts += 1;
-                Err(Abort::Conflict)
-            }
-        }
-    }
-
-    /// Completes a contended acquisition: records the wait span in the
-    /// telemetry histogram.
-    fn conflict_resolved(&self, attempt: u32) {
-        if attempt > 0 {
-            self.heap.stats.record_wait_span(attempt);
-        }
+        self.core.owner_word()
     }
 
     /// Opens `r` for reading (paper: open-for-read barrier) and returns the
     /// field value.
     pub(crate) fn read(&mut self, r: ObjRef, field: usize) -> TxResult<Word> {
-        fault::hook(self.heap, FaultSite::OpenRead)?;
-        if self.config().eager_validation && !self.read_set_valid() {
-            self.heap.stats.abort_validation();
-            return Err(Abort::Conflict);
+        let (val, kind) = self.core.open_read(r, field)?;
+        if kind == ReadKind::Private {
+            // DEA fast path: no logging; compensated on publication.
+            self.private_reads.insert(r);
         }
-        let obj = self.heap.obj(r);
-        let mut attempt = 0u32;
-        loop {
-            let rec = obj.rec.load();
-            if rec.is_private() {
-                // DEA fast path: no logging; compensated on publication.
-                self.private_reads.insert(r);
-                self.conflict_resolved(attempt);
-                return Ok(obj.field(field).load(Ordering::Relaxed));
-            }
-            if rec.owned_by(self.owner) {
-                self.conflict_resolved(attempt);
-                return Ok(obj.field(field).load(Ordering::Relaxed));
-            }
-            if rec.is_shared() {
-                charge(CostKind::TxnOpenRead);
-                let val = obj.field(field).load(Ordering::Acquire);
-                self.read_set.push((r, rec));
-                self.conflict_resolved(attempt);
-                return Ok(val);
-            }
-            self.conflict(ConflictSite::TxnRead, &mut attempt, rec)?;
-        }
+        Ok(val)
     }
 
     /// Acquires `r` for writing and logs the undo span for `field`.
     fn open_write(&mut self, r: ObjRef, field: usize) -> TxResult<()> {
-        if self.config().eager_validation && !self.read_set_valid() {
-            self.heap.stats.abort_validation();
-            return Err(Abort::Conflict);
-        }
-        let obj = self.heap.obj(r);
-        let mut attempt = 0u32;
-        loop {
-            let rec = obj.rec.load();
-            if rec.is_private() {
+        self.core.write_preamble()?;
+        match self
+            .core
+            .acquire_for_write(r, ConflictSite::TxnWrite, CostKind::TxnOpenWrite)?
+        {
+            Acquired::Private => {
                 self.private_writes.insert(r);
-                self.log_undo(r, field);
-                self.conflict_resolved(attempt);
-                return Ok(());
             }
-            if rec.owned_by(self.owner) {
-                self.log_undo(r, field);
-                self.conflict_resolved(attempt);
-                return Ok(());
-            }
-            if rec.is_shared() {
-                charge(CostKind::TxnOpenWrite);
-                if obj.rec.try_acquire_txn(rec, self.owner).is_ok() {
-                    self.owned.insert(r, rec);
-                    if let Some(d) = &self.desc {
-                        d.note_acquired(r, rec);
-                    }
-                    self.log_undo(r, field);
-                    self.conflict_resolved(attempt);
-                    return Ok(());
-                }
-                continue; // record changed under us; re-read
-            }
-            self.conflict(ConflictSite::TxnWrite, &mut attempt, rec)?;
+            Acquired::Held => {}
         }
+        self.log_undo(r, field);
+        Ok(())
     }
 
     fn log_undo(&mut self, r: ObjRef, field: usize) {
-        let obj = self.heap.obj(r);
-        let span = self.config().granularity.span(field, obj.fields.len());
+        let obj = self.heap().obj(r);
+        let span = self.heap().config.version_granularity.span(field, obj.fields.len());
         let mut vals = [0u64; MAX_SPAN];
         for (i, f) in span.clone().enumerate() {
             vals[i] = obj.field(f).load(Ordering::Relaxed);
@@ -230,188 +119,111 @@ impl<'h> EagerTxn<'h> {
             len: span.len() as u8,
             vals,
         });
-        if let Some(d) = &self.desc {
-            d.note_undo(OrphanUndo {
-                obj: r,
-                base: span.start as u32,
-                len: span.len() as u8,
-                vals,
-            });
-        }
+        self.core.note_undo(OrphanUndo {
+            obj: r,
+            base: span.start as u32,
+            len: span.len() as u8,
+            vals,
+        });
     }
 
     /// Transactional write: acquire, undo-log, update in place, publish
     /// escaping references immediately (doomed-transaction rule, paper §4).
     pub(crate) fn write(&mut self, r: ObjRef, field: usize, value: Word) -> TxResult<()> {
         self.open_write(r, field)?;
-        let obj = self.heap.obj(r);
-        let obj_private = obj.rec.load_relaxed().is_private();
-        if !obj_private && self.heap.config.dea && self.heap.field_is_ref(r, field) {
+        let heap = self.heap();
+        let obj_private = heap.is_private(r);
+        if !obj_private && heap.config.dea && heap.field_is_ref(r, field) {
             self.publish_escaping(value);
         }
-        obj.field(field).store(value, Ordering::Relaxed);
-        self.heap.hit(SyncPoint::EagerAfterWrite);
+        self.heap().obj(r).field(field).store(value, Ordering::Relaxed);
+        self.heap().hit(SyncPoint::EagerAfterWrite);
         // The crash-safety hot spot: a panic injected here unwinds while the
         // record word is Exclusive and the undo log holds the only pre-image.
-        fault::hook(self.heap, FaultSite::PostWrite)?;
+        fault::hook(self.heap(), FaultSite::PostWrite)?;
         Ok(())
     }
 
     /// Publishes the object graph behind `word` and compensates the
     /// transaction's private-access bookkeeping: published objects this
     /// transaction wrote while private are acquired; published objects it
-    /// read while private join the read set.
+    /// read while private join the read set (unless their guard slot is
+    /// already ours — a lock-protected read needs no logging).
     fn publish_escaping(&mut self, word: Word) {
         let Some(root) = ObjRef::from_word(word) else { return };
-        if !self.heap.is_private(root) {
+        if !self.heap().is_private(root) {
             return;
         }
         let mut published = Vec::new();
-        dea::publish_with(self.heap, root, &mut |o| published.push(o));
+        dea::publish_with(self.heap(), root, &mut |o| published.push(o));
         for o in published {
             if self.private_writes.remove(&o) {
-                // Freshly public with a fresh shared record; nobody else has
-                // a reference yet (the publishing store has not executed),
-                // so acquisition succeeds immediately.
-                let obj = self.heap.obj(o);
-                let rec = obj.rec.load();
-                debug_assert!(rec.is_shared());
-                if obj.rec.try_acquire_txn(rec, self.owner).is_ok() {
-                    self.owned.insert(o, rec);
-                    if let Some(d) = &self.desc {
-                        d.note_acquired(o, rec);
-                    }
-                }
+                self.core.acquire_published(o);
                 self.private_reads.remove(&o);
             } else if self.private_reads.remove(&o) {
-                let rec = self.heap.obj(o).rec.load();
+                let rec = self.heap().guard_load(o);
                 if rec.is_shared() {
-                    self.read_set.push((o, rec));
+                    self.core.log_read(o, rec);
                 }
             }
         }
     }
 
-    /// Validates the read set (paper: optimistic read concurrency).
-    fn read_set_valid(&self) -> bool {
-        for &(r, logged) in &self.read_set {
-            charge(CostKind::TxnValidateEntry);
-            let cur = self.heap.obj(r).rec.load();
-            if cur == logged {
-                continue;
-            }
-            if cur.owned_by(self.owner) {
-                // We acquired it after reading; valid iff the version we
-                // locked is the version we read.
-                match self.owned.get(&r) {
-                    Some(prior) if prior.version() == logged.version() => continue,
-                    _ => return false,
-                }
-            }
-            return false;
-        }
-        true
-    }
-
-    /// Incremental validation (usable mid-transaction to bound the work a
-    /// doomed transaction performs; the interpreter calls this periodically).
+    /// Mid-transaction validation.
     pub(crate) fn validate(&mut self) -> TxResult<()> {
-        if self.read_set_valid() {
-            if let Some(slot) = &self.slot {
-                slot.vserial
-                    .store(self.heap.serial.load(Ordering::Acquire), Ordering::Release);
-            }
-            Ok(())
-        } else {
-            self.heap.stats.abort_validation();
-            Err(Abort::Conflict)
-        }
+        self.core.validate()
     }
 
     /// Attempts to commit. On validation failure the transaction is rolled
     /// back and released before `Err(Abort::Conflict)` is returned.
     pub(crate) fn commit(&mut self) -> TxResult<()> {
-        if !self.read_set_valid() {
-            self.heap.stats.abort_validation();
+        if let Err(abort) = self.core.validate_for_commit() {
             self.abort();
-            return Err(Abort::Conflict);
+            return Err(abort);
         }
-        self.heap.hit(SyncPoint::EagerAfterValidate);
-        for (r, prior) in self.owned.drain() {
-            charge(CostKind::TxnCommitEntry);
-            self.heap.obj(r).rec.release_txn(prior);
-        }
-        charge(CostKind::TxnCommit);
-        self.heap.stats.commit();
-        for h in self.on_commit.drain(..) {
-            h();
-        }
-        self.heap.hit(SyncPoint::TxnCommitted);
-        if let Some(slot) = self.slot.take() {
-            quiesce::finish_and_quiesce(self.heap, &slot, true);
-        }
-        self.clear();
+        self.heap().hit(SyncPoint::EagerAfterValidate);
+        self.core.release_owned(true);
+        self.core.finish_commit();
+        self.clear_local();
         Ok(())
     }
 
     /// Rolls back all speculative updates and releases all locks.
     pub(crate) fn abort(&mut self) {
-        self.heap.hit(SyncPoint::EagerBeforeRollback);
+        self.heap().hit(SyncPoint::EagerBeforeRollback);
         for e in self.undo.drain(..).rev() {
             charge(CostKind::TxnCommitEntry);
-            let obj = self.heap.obj(e.obj);
+            let obj = self.core.heap.obj(e.obj);
             for i in 0..e.len as usize {
                 obj.field(e.base as usize + i).store(e.vals[i], Ordering::Relaxed);
             }
         }
-        for (r, prior) in self.owned.drain() {
-            // Version bump: concurrent optimistic readers that observed the
-            // speculative values must fail validation.
-            self.heap.obj(r).rec.release_txn(prior);
-        }
-        self.heap.hit(SyncPoint::EagerAfterRollback);
-        for h in self.on_abort.drain(..).rev() {
-            h();
-        }
-        charge(CostKind::TxnAbort);
-        self.heap.stats.abort();
-        if let Some(slot) = self.slot.take() {
-            quiesce::finish_and_quiesce(self.heap, &slot, false);
-        }
-        self.clear();
+        // Version bump on release: concurrent optimistic readers that
+        // observed the speculative values must fail validation.
+        self.core.release_owned(false);
+        self.heap().hit(SyncPoint::EagerAfterRollback);
+        self.core.finish_abort();
+        self.clear_local();
     }
 
-    fn clear(&mut self) {
-        self.heap.retire_age(self.owner);
-        if self.desc.take().is_some() {
-            self.heap.liveness_deregister(self.owner);
-        }
-        self.read_set.clear();
+    fn clear_local(&mut self) {
         self.undo.clear();
-        self.owned.clear();
         self.private_reads.clear();
         self.private_writes.clear();
-        self.on_abort.clear();
-        self.on_commit.clear();
     }
 
     /// This attempt's contention telemetry.
     pub(crate) fn telemetry(&self) -> TxnTelemetry {
-        self.telem
+        self.core.telemetry()
     }
 
     /// Snapshot of the read set, used by `retry` to wait for a change.
     pub(crate) fn read_snapshot(&self) -> Vec<(ObjRef, RecWord)> {
-        self.read_set.clone()
+        self.core.read_snapshot()
     }
 
     pub(crate) fn savepoint(&self) -> SavePoint {
-        SavePoint {
-            read_len: self.read_set.len(),
-            undo_len: self.undo.len(),
-            on_abort_len: self.on_abort.len(),
-            on_commit_len: self.on_commit.len(),
-        }
+        SavePoint { mark: self.core.mark(), undo_len: self.undo.len() }
     }
 
     /// Closed-nesting partial rollback (paper: "closed nesting" support).
@@ -419,33 +231,30 @@ impl<'h> EagerTxn<'h> {
     /// two-phase locking, merely conservative.
     pub(crate) fn rollback_to(&mut self, sp: SavePoint) {
         for e in self.undo.drain(sp.undo_len..).rev() {
-            let obj = self.heap.obj(e.obj);
+            let obj = self.core.heap.obj(e.obj);
             for i in 0..e.len as usize {
                 obj.field(e.base as usize + i).store(e.vals[i], Ordering::Relaxed);
             }
         }
-        self.read_set.truncate(sp.read_len);
-        for h in self.on_abort.drain(sp.on_abort_len..).rev() {
-            h();
-        }
-        self.on_commit.truncate(sp.on_commit_len);
+        self.core.rollback_to_mark(sp.mark);
     }
 
     pub(crate) fn push_on_abort(&mut self, h: Box<dyn FnOnce() + 'h>) {
-        self.on_abort.push(h);
+        self.core.push_on_abort(h);
     }
 
     pub(crate) fn push_on_commit(&mut self, h: Box<dyn FnOnce() + 'h>) {
-        self.on_commit.push(h);
+        self.core.push_on_commit(h);
     }
 }
 
 impl std::fmt::Debug for EagerTxn<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (reads, owned) = self.core.debug_counts();
         f.debug_struct("EagerTxn")
-            .field("owner", &self.owner)
-            .field("reads", &self.read_set.len())
-            .field("owned", &self.owned.len())
+            .field("owner", &self.core.owner)
+            .field("reads", &reads)
+            .field("owned", &owned)
             .field("undo", &self.undo.len())
             .finish()
     }

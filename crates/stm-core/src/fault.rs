@@ -27,6 +27,11 @@
 //! explore a reproducible family of schedules. Panics are never injected
 //! inside commit/write-back (roll-forward is not modelled), only inside the
 //! user closure's read/write paths where rollback is well-defined.
+//!
+//! The hooks fire from the shared transaction pipeline's read/write
+//! preambles, *before* any record is resolved, so fault schedules are
+//! agnostic to [`crate::config::Granularity`] — the same sites fire whether
+//! the record under attack is an object header or a striped slot.
 
 use crate::cost::{backoff_wait, charge, CostKind};
 use crate::heap::Heap;

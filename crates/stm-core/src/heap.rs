@@ -17,7 +17,7 @@ use crate::fault::FaultInjector;
 use crate::segvec::SegVec;
 use crate::stats::{Stats, StatsSnapshot};
 use crate::syncpoint::{current_actor, Script, SyncPoint};
-use crate::txnrec::{OwnerToken, RecWord, TxnRecord};
+use crate::txnrec::{OwnerToken, RecWord, RecordTable, TxnRecord};
 use crate::watchdog::{Liveness, OwnerDesc, ReclaimOutcome};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -238,6 +238,11 @@ impl Registry {
 /// ```
 pub struct Heap {
     store: SegVec<Obj>,
+    /// Where conflict-detection records live: embedded per object or in a
+    /// striped global table ([`crate::config::Granularity`]). All protocol
+    /// code reaches records through [`Heap::guard`] / [`Heap::guard_load`],
+    /// which is what makes the engines granularity-agnostic.
+    pub(crate) table: RecordTable,
     shapes: RwLock<Vec<Arc<Shape>>>,
     shape_names: RwLock<HashMap<String, ShapeId>>,
     pub(crate) config: StmConfig,
@@ -269,8 +274,10 @@ impl Heap {
     pub fn new(config: StmConfig) -> Arc<Heap> {
         let cm = config.contention.build();
         let fault = config.fault.map(FaultInjector::new);
+        let table = RecordTable::new(config.granularity);
         Arc::new(Heap {
             store: SegVec::new(),
+            table,
             shapes: RwLock::new(Vec::new()),
             shape_names: RwLock::new(HashMap::new()),
             config,
@@ -490,14 +497,66 @@ impl Heap {
     }
 
     /// True if the object's record is currently in the private state.
+    ///
+    /// Privacy always lives in the embedded per-object record, regardless of
+    /// the conflict-detection granularity: a striped slot is shared between
+    /// objects and can never carry one object's privacy bit.
     pub fn is_private(&self, r: ObjRef) -> bool {
         self.obj(r).rec.load_relaxed().is_private()
     }
 
-    /// Current version of the object's record, if it has one (diagnostics).
+    /// The atomic record cell *guarding* `r` for conflict detection: the
+    /// embedded header record in per-object mode, the address-hashed stripe
+    /// slot in striped mode.
+    ///
+    /// Callers performing state transitions (BTR, CAS, release) go through
+    /// this; callers that only need the merged state (including privacy)
+    /// use [`Heap::guard_load`].
+    #[inline]
+    pub(crate) fn guard(&self, r: ObjRef) -> &TxnRecord {
+        match &self.table {
+            RecordTable::PerObject => &self.obj(r).rec,
+            t @ RecordTable::Striped { .. } => t.stripe(t.slot_of_index(r.index())),
+        }
+    }
+
+    /// Loads the record word guarding `r`, folding in the privacy state: in
+    /// striped mode a private object reports `Private` from its embedded
+    /// record (private objects never touch stripe slots); everything else
+    /// reports the guard's word.
+    #[inline]
+    pub(crate) fn guard_load(&self, r: ObjRef) -> RecWord {
+        match &self.table {
+            RecordTable::PerObject => self.obj(r).rec.load(),
+            t @ RecordTable::Striped { .. } => {
+                if self.config.dea && self.obj(r).rec.load_relaxed().is_private() {
+                    return RecWord::private();
+                }
+                t.stripe(t.slot_of_index(r.index())).load()
+            }
+        }
+    }
+
+    /// The slot key of `r`'s guard. Two objects compare equal exactly when
+    /// they share a guard record (never, in per-object mode). Transaction
+    /// ownership maps are keyed by this, so a stripe shared by several
+    /// written objects is acquired and released exactly once.
+    #[inline]
+    pub(crate) fn slot_of(&self, r: ObjRef) -> usize {
+        self.table.slot_of_index(r.index())
+    }
+
+    /// Number of slots in the striped ownership-record table, or `None` in
+    /// per-object mode.
+    pub fn stripe_count(&self) -> Option<usize> {
+        self.table.stripes()
+    }
+
+    /// Current version of the record guarding `r`, if it has one
+    /// (diagnostics). In striped mode this is the stripe's version.
     pub fn record_version(&self, r: ObjRef) -> Option<usize> {
         use crate::txnrec::RecState::*;
-        match self.obj(r).rec.load().state() {
+        match self.guard_load(r).state() {
             Shared { version } | ExclusiveAnon { version } => Some(version),
             _ => None,
         }

@@ -9,6 +9,11 @@
 //! [`SyncPoint::LazyMidWriteback`] so litmus tests can open that window
 //! deterministically.
 //!
+//! The read protocol, commit-time acquisition, validation, release, and
+//! finish paths are the shared [`TxnCore`] pipeline ([`crate::pipeline`]);
+//! this module adds only what is lazy-specific — the write buffer and the
+//! commit-time write-back.
+//!
 //! Versioning granularity (paper §2.4): when the configured granularity
 //! spans more than one field, creating a buffer entry snapshots the whole
 //! span. Reads served from the buffer then see the *stale snapshot* of
@@ -16,20 +21,18 @@
 //! the whole span (granular lost update) — both exactly as the paper
 //! describes.
 
-use crate::contention::{resolve, ConflictSite};
+use crate::contention::ConflictSite;
 use crate::cost::{charge, CostKind};
 use crate::dea;
 use crate::fault::{self, FaultSite};
-use crate::heap::{Heap, ObjRef, TxnSlot, Word};
-use crate::quiesce;
+use crate::heap::{Heap, ObjRef, Word};
+use crate::pipeline::{CoreMark, TxnCore};
 use crate::stats::TxnTelemetry;
 use crate::syncpoint::SyncPoint;
-use crate::txn::{active_tokens, Abort, TxResult};
-use crate::txnrec::{OwnerToken, RecWord};
-use crate::watchdog::OwnerDesc;
+use crate::txn::TxResult;
+use crate::txnrec::RecWord;
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
 
 const MAX_SPAN: usize = 2;
 
@@ -59,134 +62,49 @@ impl WriteBuffer {
 /// (nested blocks are rare; clarity over cleverness).
 #[derive(Clone, Debug)]
 pub(crate) struct LazySavePoint {
-    read_len: usize,
+    mark: CoreMark,
     buffer: WriteBuffer,
-    on_abort_len: usize,
-    on_commit_len: usize,
 }
 
 /// A lazy-versioning transaction. Use via [`crate::txn::atomic`].
 pub struct LazyTxn<'h> {
-    heap: &'h Heap,
-    owner: OwnerToken,
-    read_set: Vec<(ObjRef, RecWord)>,
+    core: TxnCore<'h>,
     buffer: WriteBuffer,
-    on_abort: Vec<Box<dyn FnOnce() + 'h>>,
-    on_commit: Vec<Box<dyn FnOnce() + 'h>>,
-    slot: Option<Arc<TxnSlot>>,
-    telem: TxnTelemetry,
-    /// Heap-side owner descriptor (watchdog enabled only). The lazy engine
-    /// holds no locks while the user closure runs, so the descriptor stays
-    /// empty — it exists to answer liveness queries from waiters that catch
-    /// the short commit-time acquisition window.
-    desc: Option<Arc<OwnerDesc>>,
 }
 
 impl<'h> LazyTxn<'h> {
     pub(crate) fn new(heap: &'h Heap, age: u64) -> Self {
-        let slot = if heap.config.quiescence {
-            Some(heap.registry.claim(heap.serial.load(Ordering::Acquire)))
-        } else {
-            None
-        };
-        charge(CostKind::TxnBegin);
-        let owner = heap.fresh_owner();
-        if let Some(slot) = &slot {
-            slot.owner.store(owner.word(), Ordering::Release);
-        }
-        heap.register_age(owner, age);
-        let desc = heap.liveness_register(owner);
-        LazyTxn {
-            heap,
-            owner,
-            read_set: Vec::new(),
-            buffer: WriteBuffer::default(),
-            on_abort: Vec::new(),
-            on_commit: Vec::new(),
-            slot,
-            telem: TxnTelemetry { attempts: 1, ..TxnTelemetry::default() },
-            desc,
-        }
+        LazyTxn { core: TxnCore::begin(heap, age), buffer: WriteBuffer::default() }
     }
 
     pub(crate) fn heap(&self) -> &'h Heap {
-        self.heap
+        self.core.heap
     }
 
     pub(crate) fn owner_word(&self) -> usize {
-        self.owner.word()
+        self.core.owner_word()
     }
 
     fn span_base(&self, r: ObjRef, field: usize) -> (u32, u8) {
-        let len = self.heap.obj(r).fields.len();
-        let span = self.heap.config.granularity.span(field, len);
+        let len = self.heap().obj(r).fields.len();
+        let span = self.heap().config.version_granularity.span(field, len);
         (span.start as u32, span.len() as u8)
-    }
-
-    /// Consults the heap's contention manager about a conflict at `site`;
-    /// waits or aborts self per its decision. Provable self-deadlock (open
-    /// nesting touching an enclosing transaction's lock) aborts with the
-    /// structured [`Abort::Deadlock`] — recoverable, not fatal.
-    fn conflict(&mut self, site: ConflictSite, attempt: &mut u32, holder: RecWord) -> TxResult<()> {
-        if holder.is_txn_exclusive() && active_tokens().contains(&holder.raw()) {
-            self.telem.deadlocks += 1;
-            return Err(Abort::Deadlock);
-        }
-        if *attempt == 0 {
-            self.telem.conflicts += 1;
-        }
-        match resolve(self.heap, site, Some(self.owner), Some(holder), attempt) {
-            Ok(()) => {
-                self.telem.wait_rounds += 1;
-                Ok(())
-            }
-            Err(()) => {
-                self.telem.self_aborts += 1;
-                Err(Abort::Conflict)
-            }
-        }
-    }
-
-    /// Completes a contended acquisition: records the wait span in the
-    /// telemetry histogram.
-    fn conflict_resolved(&self, attempt: u32) {
-        if attempt > 0 {
-            self.heap.stats.record_wait_span(attempt);
-        }
     }
 
     /// Transactional read: buffered value if the span was written (including
     /// the stale-neighbour case that yields granular inconsistent reads),
-    /// else an optimistic read with read-set logging.
+    /// else the shared optimistic-read protocol.
     pub(crate) fn read(&mut self, r: ObjRef, field: usize) -> TxResult<Word> {
-        fault::hook(self.heap, FaultSite::OpenRead)?;
-        if self.heap.config.eager_validation && !self.read_set_valid(&HashMap::new()) {
-            self.heap.stats.abort_validation();
-            return Err(Abort::Conflict);
-        }
+        self.core.read_preamble()?;
         let (base, _len) = self.span_base(r, field);
         if let Some(e) = self.buffer.lookup(r, base) {
             return Ok(e.vals[field - base as usize]);
         }
-        let obj = self.heap.obj(r);
-        let mut attempt = 0u32;
-        loop {
-            let rec = obj.rec.load();
-            if rec.is_private() {
-                self.conflict_resolved(attempt);
-                return Ok(obj.field(field).load(Ordering::Relaxed));
-            }
-            if rec.is_shared() {
-                charge(CostKind::TxnOpenRead);
-                let val = obj.field(field).load(Ordering::Acquire);
-                self.read_set.push((r, rec));
-                self.conflict_resolved(attempt);
-                return Ok(val);
-            }
-            // Exclusive: a committer is writing back (or a non-transactional
-            // writer owns it anonymously); both finish in bounded time.
-            self.conflict(ConflictSite::TxnRead, &mut attempt, rec)?;
-        }
+        // Exclusive guards here mean a committer is writing back (or a
+        // non-transactional writer owns the record anonymously); both
+        // finish in bounded time, so the protocol loop just waits them out.
+        let (val, _kind) = self.core.open_read_protocol(r, field)?;
+        Ok(val)
     }
 
     /// Transactional write: buffer only; shared memory is untouched until
@@ -205,22 +123,22 @@ impl<'h> LazyTxn<'h> {
             None => {
                 // Snapshot the whole span — the source of §2.4's granular
                 // anomalies when the span exceeds one field.
-                let obj = self.heap.obj(r);
+                let obj = self.heap().obj(r);
                 let mut attempt = 0u32;
                 let rec = loop {
-                    let rec = obj.rec.load();
+                    let rec = self.heap().guard_load(r);
                     if rec.is_private() || rec.is_shared() {
-                        self.conflict_resolved(attempt);
+                        self.core.conflict_resolved(attempt);
                         break rec;
                     }
-                    self.conflict(ConflictSite::TxnWrite, &mut attempt, rec)?;
+                    self.core.conflict(ConflictSite::TxnWrite, &mut attempt, rec)?;
                 };
                 let mut vals = [0u64; MAX_SPAN];
                 for (i, v) in vals.iter_mut().enumerate().take(len as usize) {
                     *v = obj.field(base as usize + i).load(Ordering::Acquire);
                 }
                 if rec.is_shared() {
-                    self.read_set.push((r, rec));
+                    self.core.log_read(r, rec);
                 }
                 let i = self.buffer.entries.len();
                 self.buffer.entries.push(BufEntry { obj: r, base, len, vals });
@@ -229,91 +147,54 @@ impl<'h> LazyTxn<'h> {
             }
         };
         self.buffer.entries[idx].vals[field - base as usize] = value;
-        self.heap.hit(SyncPoint::LazyAfterBuffer);
-        fault::hook(self.heap, FaultSite::PostBuffer)?;
+        self.heap().hit(SyncPoint::LazyAfterBuffer);
+        fault::hook(self.heap(), FaultSite::PostBuffer)?;
         Ok(())
-    }
-
-    fn read_set_valid(&self, owned: &HashMap<ObjRef, RecWord>) -> bool {
-        for &(r, logged) in &self.read_set {
-            charge(CostKind::TxnValidateEntry);
-            let cur = self.heap.obj(r).rec.load();
-            if cur == logged {
-                continue;
-            }
-            if cur.owned_by(self.owner) {
-                match owned.get(&r) {
-                    Some(prior) if prior.version() == logged.version() => continue,
-                    _ => return false,
-                }
-            }
-            return false;
-        }
-        true
     }
 
     /// Mid-transaction validation.
     pub(crate) fn validate(&mut self) -> TxResult<()> {
-        if self.read_set_valid(&HashMap::new()) {
-            if let Some(slot) = &self.slot {
-                slot.vserial
-                    .store(self.heap.serial.load(Ordering::Acquire), Ordering::Release);
-            }
-            Ok(())
-        } else {
-            self.heap.stats.abort_validation();
-            Err(Abort::Conflict)
-        }
+        self.core.validate()
     }
 
     /// Commit: acquire written records in global order, validate, write
     /// back, release. On failure everything is restored untouched.
     pub(crate) fn commit(&mut self) -> TxResult<()> {
-        // Acquire in ObjRef order to avoid deadlock between committers.
+        // Acquire in guard-slot order to avoid deadlock between committers.
+        // Slot order, not ObjRef order: under the striped table two objects
+        // may share one slot, and it is the slots that are locked. ObjRef
+        // breaks ties so the order stays total and deterministic.
         let mut to_acquire: Vec<usize> = (0..self.buffer.entries.len()).collect();
-        to_acquire.sort_by_key(|&i| self.buffer.entries[i].obj);
-        let mut owned: HashMap<ObjRef, RecWord> = HashMap::new();
-        let mut attempt = 0u32;
+        to_acquire.sort_by_key(|&i| {
+            let r = self.buffer.entries[i].obj;
+            (self.heap().slot_of(r), r)
+        });
         for &i in &to_acquire {
             let r = self.buffer.entries[i].obj;
-            if owned.contains_key(&r) {
+            if self.core.owns(r) {
                 continue;
             }
-            let obj = self.heap.obj(r);
-            loop {
-                let rec = obj.rec.load();
-                if rec.is_private() {
-                    // Still private ⇒ still ours alone; no lock needed.
-                    break;
-                }
-                if rec.is_shared() {
-                    charge(CostKind::TxnCommitEntry);
-                    if obj.rec.try_acquire_txn(rec, self.owner).is_ok() {
-                        owned.insert(r, rec);
-                        break;
-                    }
-                    continue;
-                }
-                if let Err(abort) = self.conflict(ConflictSite::TxnCommit, &mut attempt, rec) {
-                    self.release_restore(&mut owned);
-                    self.abort();
-                    return Err(abort);
-                }
+            // `Acquired::Private` ⇒ still private ⇒ still ours alone; no
+            // lock needed. `Held` ⇒ the slot is now ours.
+            if let Err(abort) =
+                self.core.acquire_for_write(r, ConflictSite::TxnCommit, CostKind::TxnCommitEntry)
+            {
+                self.core.restore_owned();
+                self.abort();
+                return Err(abort);
             }
         }
-        self.conflict_resolved(attempt);
 
-        if !self.read_set_valid(&owned) {
+        if let Err(abort) = self.core.validate_for_commit() {
             // No memory was written: restore the exact prior words so
             // versions do not change.
-            self.heap.stats.abort_validation();
-            self.release_restore(&mut owned);
+            self.core.restore_owned();
             self.abort();
-            return Err(Abort::Conflict);
+            return Err(abort);
         }
 
         // Logically committed (serialized) here.
-        self.heap.hit(SyncPoint::LazyAfterValidate);
+        self.heap().hit(SyncPoint::LazyAfterValidate);
 
         // Write-back: one buffered span at a time. The paper only promises
         // "no particular order" (§2.3); we fix heap-address order so runs
@@ -325,109 +206,71 @@ impl<'h> LazyTxn<'h> {
         wb_order.sort_by_key(|&i| (self.buffer.entries[i].obj, self.buffer.entries[i].base));
         for &ei in &wb_order {
             let e = &self.buffer.entries[ei];
-            self.heap.hit(SyncPoint::LazyBeforeWritebackEntry);
-            let obj = self.heap.obj(e.obj);
-            let publishing = self.heap.config.dea && !obj.rec.load_relaxed().is_private();
+            self.heap().hit(SyncPoint::LazyBeforeWritebackEntry);
+            let obj = self.core.heap.obj(e.obj);
+            let publishing = self.heap().config.dea && !self.heap().is_private(e.obj);
             for i in 0..e.len as usize {
                 let field = e.base as usize + i;
-                if publishing && self.heap.field_is_ref(e.obj, field) {
-                    dea::publish_word(self.heap, e.vals[i]);
+                if publishing && self.heap().field_is_ref(e.obj, field) {
+                    dea::publish_word(self.heap(), e.vals[i]);
                 }
                 charge(CostKind::TxnCommitEntry);
                 obj.field(field).store(e.vals[i], Ordering::Release);
             }
-            self.heap.hit(SyncPoint::LazyMidWriteback);
+            self.heap().hit(SyncPoint::LazyMidWriteback);
         }
-        self.heap.hit(SyncPoint::LazyAfterWriteback);
+        self.heap().hit(SyncPoint::LazyAfterWriteback);
 
-        for (r, prior) in owned.drain() {
-            self.heap.obj(r).rec.release_txn(prior);
-        }
-        charge(CostKind::TxnCommit);
-        self.heap.stats.commit();
-        for h in self.on_commit.drain(..) {
-            h();
-        }
-        self.heap.hit(SyncPoint::TxnCommitted);
-        if let Some(slot) = self.slot.take() {
-            quiesce::finish_and_quiesce(self.heap, &slot, true);
-        }
-        self.clear();
+        self.core.release_owned(false);
+        self.core.finish_commit();
+        self.clear_local();
         Ok(())
-    }
-
-    fn release_restore(&self, owned: &mut HashMap<ObjRef, RecWord>) {
-        for (r, prior) in owned.drain() {
-            self.heap.obj(r).rec.restore(prior);
-        }
     }
 
     /// Aborts: buffers are simply dropped; shared memory was never touched.
     pub(crate) fn abort(&mut self) {
-        for h in self.on_abort.drain(..).rev() {
-            h();
-        }
-        charge(CostKind::TxnAbort);
-        self.heap.stats.abort();
-        if let Some(slot) = self.slot.take() {
-            quiesce::finish_and_quiesce(self.heap, &slot, false);
-        }
-        self.clear();
+        self.core.finish_abort();
+        self.clear_local();
     }
 
-    fn clear(&mut self) {
-        self.heap.retire_age(self.owner);
-        if self.desc.take().is_some() {
-            self.heap.liveness_deregister(self.owner);
-        }
-        self.read_set.clear();
+    fn clear_local(&mut self) {
         self.buffer.entries.clear();
         self.buffer.index.clear();
-        self.on_abort.clear();
-        self.on_commit.clear();
     }
 
     /// This attempt's contention telemetry.
     pub(crate) fn telemetry(&self) -> TxnTelemetry {
-        self.telem
+        self.core.telemetry()
     }
 
     pub(crate) fn read_snapshot(&self) -> Vec<(ObjRef, RecWord)> {
-        self.read_set.clone()
+        self.core.read_snapshot()
     }
 
     pub(crate) fn savepoint(&self) -> LazySavePoint {
-        LazySavePoint {
-            read_len: self.read_set.len(),
-            buffer: self.buffer.clone(),
-            on_abort_len: self.on_abort.len(),
-            on_commit_len: self.on_commit.len(),
-        }
+        LazySavePoint { mark: self.core.mark(), buffer: self.buffer.clone() }
     }
 
     pub(crate) fn rollback_to(&mut self, sp: LazySavePoint) {
-        self.read_set.truncate(sp.read_len);
         self.buffer = sp.buffer;
-        for h in self.on_abort.drain(sp.on_abort_len..).rev() {
-            h();
-        }
-        self.on_commit.truncate(sp.on_commit_len);
+        self.core.rollback_to_mark(sp.mark);
     }
 
     pub(crate) fn push_on_abort(&mut self, h: Box<dyn FnOnce() + 'h>) {
-        self.on_abort.push(h);
+        self.core.push_on_abort(h);
     }
 
     pub(crate) fn push_on_commit(&mut self, h: Box<dyn FnOnce() + 'h>) {
-        self.on_commit.push(h);
+        self.core.push_on_commit(h);
     }
 }
 
 impl std::fmt::Debug for LazyTxn<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (reads, _owned) = self.core.debug_counts();
         f.debug_struct("LazyTxn")
-            .field("owner", &self.owner)
-            .field("reads", &self.read_set.len())
+            .field("owner", &self.core.owner)
+            .field("reads", &reads)
             .field("buffered", &self.buffer.entries.len())
             .finish()
     }

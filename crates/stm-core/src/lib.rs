@@ -15,7 +15,12 @@
 //! * [`heap`] — the shared object heap (shapes, typed fields, raw/volatile
 //!   access).
 //! * [`txn`] — atomic blocks: [`txn::atomic`], retry, closed/open nesting.
-//! * [`eager`] / [`lazy`] — the two version-management engines.
+//! * [`eager`] / [`lazy`] — the two version-management engines, built on a
+//!   shared internal pipeline (`pipeline`) that owns the open-read,
+//!   acquire, validate, release, and commit/abort paths for both — and
+//!   that reaches records through the granularity-agnostic guard API
+//!   ([`config::Granularity`]: embedded per-object records, or the
+//!   TL2-style striped ownership-record table).
 //! * [`barrier`] — non-transactional isolation barriers (Figures 9–10) and
 //!   barrier aggregation (Figure 14).
 //! * [`dea`] — object publication (Figure 11).
@@ -70,6 +75,7 @@ pub mod fault;
 pub mod heap;
 pub mod lazy;
 pub mod locks;
+mod pipeline;
 pub mod quiesce;
 pub mod segvec;
 pub mod stats;
@@ -86,7 +92,9 @@ pub use paste;
 pub mod prelude {
     pub use crate::audit::{AuditFinding, AuditReport};
     pub use crate::barrier::{aggregate, read_access, read_barrier, write_access, write_barrier};
-    pub use crate::config::{BarrierMode, Granularity, StmConfig, Versioning};
+    pub use crate::config::{
+        BarrierMode, Granularity, StmConfig, VersionGranularity, Versioning,
+    };
     pub use crate::contention::{CmDecision, ConflictSite, ContentionManager, ContentionPolicy};
     pub use crate::fault::{FaultPlan, FaultSite, InjectedPanic};
     pub use crate::heap::{FieldDef, Heap, Kind, ObjRef, Shape, ShapeId, Word};

@@ -1,0 +1,468 @@
+//! The shared transaction pipeline.
+//!
+//! Eager and lazy versioning differ only in *when data moves* (in-place
+//! writes + undo log vs a private write buffer + commit-time write-back).
+//! Everything else — beginning an attempt, the open-for-read protocol, the
+//! acquire-for-write CAS loop, read-set validation, conflict funnelling,
+//! record release, and the commit/abort epilogue (statistics, handlers,
+//! quiescence, liveness bookkeeping) — is one protocol, and [`TxnCore`] is
+//! its single owner. The engines in [`crate::eager`] and [`crate::lazy`]
+//! hold a `TxnCore` and add only their versioning-specific state.
+//!
+//! The core reaches every transaction record through [`Heap::guard`] /
+//! [`Heap::guard_load`], so it is agnostic to the conflict-detection
+//! granularity ([`crate::config::Granularity`]): records may be embedded
+//! per object or live in the striped ownership-record table. The ownership
+//! map is keyed by [`Heap::slot_of`], which means a stripe shared by
+//! several written objects is acquired once, released once, and mirrored
+//! into the watchdog descriptor once.
+
+use crate::contention::{resolve, ConflictSite};
+use crate::cost::{backoff_wait, charge, CostKind};
+use crate::fault::{self, FaultSite};
+use crate::heap::{Heap, ObjRef, TxnSlot, Word};
+use crate::quiesce;
+use crate::stats::TxnTelemetry;
+use crate::syncpoint::SyncPoint;
+use crate::txn::{active_tokens, Abort, TxResult};
+use crate::txnrec::{OwnerToken, RecWord};
+use crate::watchdog::{OrphanUndo, OwnerDesc};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// How an open-for-read was satisfied.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum ReadKind {
+    /// DEA private fast path: no logging (compensated on publication).
+    Private,
+    /// The guarding record is already exclusively ours; the read is
+    /// lock-protected and needs no logging.
+    Owned,
+    /// Optimistic shared read, logged in the read set.
+    Shared,
+}
+
+/// How an acquire-for-write was satisfied.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Acquired {
+    /// DEA private fast path: the object is ours alone, no lock taken.
+    Private,
+    /// The guarding record is exclusively ours (newly acquired or already
+    /// held — a stripe may guard several written objects).
+    Held,
+}
+
+/// Bounded spins when acquiring the guard of a freshly *published* object.
+/// Per-object this succeeds on the first try (the fresh record is shared
+/// and nobody else has the reference yet); in striped mode the slot may be
+/// transiently held by an unrelated transaction sharing the stripe.
+const PUBLISH_ACQUIRE_SPINS: u32 = 64;
+
+/// A savepoint over the core's logs (closed nesting). Engines wrap this
+/// with their versioning-specific state.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct CoreMark {
+    read_len: usize,
+    on_abort_len: usize,
+    on_commit_len: usize,
+}
+
+/// The engine-independent half of a transaction attempt.
+pub(crate) struct TxnCore<'h> {
+    pub(crate) heap: &'h Heap,
+    pub(crate) owner: OwnerToken,
+    read_set: Vec<(ObjRef, RecWord)>,
+    /// Guard slots we own exclusively: slot key → (representative object,
+    /// shared word to restore-and-bump on release).
+    owned: HashMap<usize, (ObjRef, RecWord)>,
+    on_abort: Vec<Box<dyn FnOnce() + 'h>>,
+    on_commit: Vec<Box<dyn FnOnce() + 'h>>,
+    slot: Option<Arc<TxnSlot>>,
+    pub(crate) telem: TxnTelemetry,
+    /// Heap-side owner descriptor (watchdog enabled only): acquisitions and
+    /// undo entries are mirrored here *before* any in-place store, so a
+    /// reclaimer can roll this transaction back if its thread dies.
+    desc: Option<Arc<OwnerDesc>>,
+}
+
+impl<'h> TxnCore<'h> {
+    /// Begins an attempt: quiescence slot, owner token, age registration,
+    /// liveness descriptor.
+    pub(crate) fn begin(heap: &'h Heap, age: u64) -> Self {
+        let slot = if heap.config.quiescence {
+            Some(heap.registry.claim(heap.serial.load(Ordering::Acquire)))
+        } else {
+            None
+        };
+        charge(CostKind::TxnBegin);
+        let owner = heap.fresh_owner();
+        if let Some(slot) = &slot {
+            slot.owner.store(owner.word(), Ordering::Release);
+        }
+        heap.register_age(owner, age);
+        let desc = heap.liveness_register(owner);
+        TxnCore {
+            heap,
+            owner,
+            read_set: Vec::new(),
+            owned: HashMap::new(),
+            on_abort: Vec::new(),
+            on_commit: Vec::new(),
+            slot,
+            telem: TxnTelemetry { attempts: 1, ..TxnTelemetry::default() },
+            desc,
+        }
+    }
+
+    pub(crate) fn owner_word(&self) -> usize {
+        self.owner.word()
+    }
+
+    /// Consults the heap's contention manager about a conflict at `site`;
+    /// waits or aborts self per its decision. Provable self-deadlock (open
+    /// nesting touching an enclosing transaction's lock) aborts with the
+    /// structured [`Abort::Deadlock`] — recoverable, not fatal.
+    pub(crate) fn conflict(
+        &mut self,
+        site: ConflictSite,
+        attempt: &mut u32,
+        holder: RecWord,
+    ) -> TxResult<()> {
+        if holder.is_txn_exclusive() && active_tokens().contains(&holder.raw()) {
+            self.telem.deadlocks += 1;
+            return Err(Abort::Deadlock);
+        }
+        if *attempt == 0 {
+            self.telem.conflicts += 1;
+        }
+        match resolve(self.heap, site, Some(self.owner), Some(holder), attempt) {
+            Ok(()) => {
+                self.telem.wait_rounds += 1;
+                Ok(())
+            }
+            Err(()) => {
+                self.telem.self_aborts += 1;
+                Err(Abort::Conflict)
+            }
+        }
+    }
+
+    /// Completes a contended acquisition: records the wait span in the
+    /// telemetry histogram.
+    pub(crate) fn conflict_resolved(&self, attempt: u32) {
+        if attempt > 0 {
+            self.heap.stats.record_wait_span(attempt);
+        }
+    }
+
+    /// The per-access preamble shared by both engines: the open-read fault
+    /// hook, then TL2-style per-access validation when configured.
+    pub(crate) fn read_preamble(&mut self) -> TxResult<()> {
+        fault::hook(self.heap, FaultSite::OpenRead)?;
+        if self.heap.config.eager_validation && !self.read_set_valid() {
+            self.heap.stats.abort_validation();
+            return Err(Abort::Conflict);
+        }
+        Ok(())
+    }
+
+    /// Per-access validation for write paths ([`StmConfig::eager_validation`]
+    /// runs before every transactional access, reads and writes alike).
+    ///
+    /// [`StmConfig::eager_validation`]: crate::config::StmConfig::eager_validation
+    pub(crate) fn write_preamble(&mut self) -> TxResult<()> {
+        if self.heap.config.eager_validation && !self.read_set_valid() {
+            self.heap.stats.abort_validation();
+            return Err(Abort::Conflict);
+        }
+        Ok(())
+    }
+
+    /// The open-for-read protocol (paper: open-for-read barrier): private
+    /// fast path, lock-protected read of an owned guard, or optimistic read
+    /// with read-set logging.
+    pub(crate) fn open_read_protocol(
+        &mut self,
+        r: ObjRef,
+        field: usize,
+    ) -> TxResult<(Word, ReadKind)> {
+        let obj = self.heap.obj(r);
+        let mut attempt = 0u32;
+        loop {
+            let rec = self.heap.guard_load(r);
+            if rec.is_private() {
+                self.conflict_resolved(attempt);
+                return Ok((obj.field(field).load(Ordering::Relaxed), ReadKind::Private));
+            }
+            if rec.owned_by(self.owner) {
+                self.conflict_resolved(attempt);
+                return Ok((obj.field(field).load(Ordering::Relaxed), ReadKind::Owned));
+            }
+            if rec.is_shared() {
+                charge(CostKind::TxnOpenRead);
+                let val = obj.field(field).load(Ordering::Acquire);
+                self.read_set.push((r, rec));
+                self.conflict_resolved(attempt);
+                return Ok((val, ReadKind::Shared));
+            }
+            self.conflict(ConflictSite::TxnRead, &mut attempt, rec)?;
+        }
+    }
+
+    /// Preamble plus protocol — the whole open-for-read path.
+    pub(crate) fn open_read(&mut self, r: ObjRef, field: usize) -> TxResult<(Word, ReadKind)> {
+        self.read_preamble()?;
+        self.open_read_protocol(r, field)
+    }
+
+    /// The acquire-for-write CAS loop (paper Figure 8, "CAS" edge), shared
+    /// by the eager open-for-write and the lazy commit-time acquisition.
+    /// `site` distinguishes them in the contention telemetry.
+    pub(crate) fn acquire_for_write(
+        &mut self,
+        r: ObjRef,
+        site: ConflictSite,
+        cost: CostKind,
+    ) -> TxResult<Acquired> {
+        let mut attempt = 0u32;
+        loop {
+            let rec = self.heap.guard_load(r);
+            if rec.is_private() {
+                self.conflict_resolved(attempt);
+                return Ok(Acquired::Private);
+            }
+            if rec.owned_by(self.owner) {
+                self.conflict_resolved(attempt);
+                return Ok(Acquired::Held);
+            }
+            if rec.is_shared() {
+                charge(cost);
+                if self.heap.guard(r).try_acquire_txn(rec, self.owner).is_ok() {
+                    self.note_owned(r, rec);
+                    self.conflict_resolved(attempt);
+                    return Ok(Acquired::Held);
+                }
+                continue; // record changed under us; re-read
+            }
+            self.conflict(site, &mut attempt, rec)?;
+        }
+    }
+
+    /// Records a fresh acquisition in the ownership map and mirrors it into
+    /// the watchdog descriptor. Keyed by guard slot, so each slot is noted
+    /// exactly once however many objects it guards.
+    fn note_owned(&mut self, r: ObjRef, prior: RecWord) {
+        let slot = self.heap.slot_of(r);
+        debug_assert!(!self.owned.contains_key(&slot), "double acquisition of one slot");
+        self.owned.insert(slot, (r, prior));
+        if let Some(d) = &self.desc {
+            d.note_acquired(r, prior);
+        }
+    }
+
+    /// Whether this transaction owns the guard slot of `r`.
+    pub(crate) fn owns(&self, r: ObjRef) -> bool {
+        self.owned.contains_key(&self.heap.slot_of(r))
+    }
+
+    /// Mirrors an undo-log append into the watchdog descriptor (eager
+    /// engine; called before the in-place store so the recovery data is
+    /// never behind shared memory).
+    pub(crate) fn note_undo(&self, entry: OrphanUndo) {
+        if let Some(d) = &self.desc {
+            d.note_undo(entry);
+        }
+    }
+
+    /// Appends a read-set entry directly (DEA publication compensation).
+    pub(crate) fn log_read(&mut self, r: ObjRef, rec: RecWord) {
+        self.read_set.push((r, rec));
+    }
+
+    /// Acquires the guard of a freshly *published* object this transaction
+    /// wrote while it was private (DEA compensation, paper §4). Per-object
+    /// this succeeds immediately — the record is fresh and nobody else has
+    /// the reference yet. In striped mode the slot may be held by an
+    /// unrelated transaction sharing the stripe; we spin briefly and
+    /// otherwise fall back to the seed's best-effort single-attempt
+    /// semantics (the publishing store has not executed, so the window is
+    /// benign in practice and bounded by the watchdog in pathology).
+    pub(crate) fn acquire_published(&mut self, o: ObjRef) {
+        if self.owns(o) {
+            return;
+        }
+        for spin in 0..PUBLISH_ACQUIRE_SPINS {
+            let rec = self.heap.guard_load(o);
+            if rec.owned_by(self.owner) {
+                return;
+            }
+            if rec.is_shared() {
+                if self.heap.guard(o).try_acquire_txn(rec, self.owner).is_ok() {
+                    self.note_owned(o, rec);
+                    return;
+                }
+                continue;
+            }
+            backoff_wait(spin.min(6));
+        }
+    }
+
+    /// Validates the read set (paper: optimistic read concurrency). An
+    /// entry whose guard we acquired *after* reading is valid iff the
+    /// version we locked is the version we read.
+    pub(crate) fn read_set_valid(&self) -> bool {
+        for &(r, logged) in &self.read_set {
+            charge(CostKind::TxnValidateEntry);
+            let cur = self.heap.guard_load(r);
+            if cur == logged {
+                continue;
+            }
+            if cur.owned_by(self.owner) {
+                match self.owned.get(&self.heap.slot_of(r)) {
+                    Some((_, prior)) if prior.version() == logged.version() => continue,
+                    _ => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Incremental validation (usable mid-transaction to bound the work a
+    /// doomed transaction performs; the interpreter calls this
+    /// periodically). Announces a consistent state to quiescence waiters on
+    /// success.
+    pub(crate) fn validate(&mut self) -> TxResult<()> {
+        if self.read_set_valid() {
+            if let Some(slot) = &self.slot {
+                slot.vserial
+                    .store(self.heap.serial.load(Ordering::Acquire), Ordering::Release);
+            }
+            Ok(())
+        } else {
+            self.heap.stats.abort_validation();
+            Err(Abort::Conflict)
+        }
+    }
+
+    /// Commit-time validation: like [`TxnCore::validate`] but without
+    /// announcing a consistent state (the transaction finishes either way).
+    pub(crate) fn validate_for_commit(&mut self) -> TxResult<()> {
+        if self.read_set_valid() {
+            Ok(())
+        } else {
+            self.heap.stats.abort_validation();
+            Err(Abort::Conflict)
+        }
+    }
+
+    /// Releases every owned guard with a version bump (paper Figure 8,
+    /// "Txn end" edge). Used on commit and on eager abort — in both cases
+    /// concurrent optimistic readers that observed this transaction's
+    /// values must fail validation.
+    pub(crate) fn release_owned(&mut self, charge_entries: bool) {
+        for (_, (r, prior)) in self.owned.drain() {
+            if charge_entries {
+                charge(CostKind::TxnCommitEntry);
+            }
+            self.heap.guard(r).release_txn(prior);
+        }
+    }
+
+    /// Restores every owned guard to its exact pre-acquisition word (lazy
+    /// commit failure before any write-back: no values changed, so versions
+    /// must not change either).
+    pub(crate) fn restore_owned(&mut self) {
+        for (_, (r, prior)) in self.owned.drain() {
+            self.heap.guard(r).restore(prior);
+        }
+    }
+
+    /// Commit epilogue: statistics, `on_commit` handlers, quiescence,
+    /// bookkeeping teardown. The caller has already validated, written
+    /// back (lazy), and released.
+    pub(crate) fn finish_commit(&mut self) {
+        charge(CostKind::TxnCommit);
+        self.heap.stats.commit();
+        for h in self.on_commit.drain(..) {
+            h();
+        }
+        self.heap.hit(SyncPoint::TxnCommitted);
+        if let Some(slot) = self.slot.take() {
+            quiesce::finish_and_quiesce(self.heap, &slot, true);
+        }
+        self.clear();
+    }
+
+    /// Abort epilogue: `on_abort` compensations (reverse registration
+    /// order), statistics, quiescence, bookkeeping teardown. The caller has
+    /// already rolled back its data (eager undo replay) and released.
+    pub(crate) fn finish_abort(&mut self) {
+        for h in self.on_abort.drain(..).rev() {
+            h();
+        }
+        charge(CostKind::TxnAbort);
+        self.heap.stats.abort();
+        if let Some(slot) = self.slot.take() {
+            quiesce::finish_and_quiesce(self.heap, &slot, false);
+        }
+        self.clear();
+    }
+
+    fn clear(&mut self) {
+        self.heap.retire_age(self.owner);
+        if self.desc.take().is_some() {
+            self.heap.liveness_deregister(self.owner);
+        }
+        self.read_set.clear();
+        self.owned.clear();
+        self.on_abort.clear();
+        self.on_commit.clear();
+    }
+
+    /// This attempt's contention telemetry.
+    pub(crate) fn telemetry(&self) -> TxnTelemetry {
+        self.telem
+    }
+
+    /// Snapshot of the read set, used by `retry` to wait for a change.
+    pub(crate) fn read_snapshot(&self) -> Vec<(ObjRef, RecWord)> {
+        self.read_set.clone()
+    }
+
+    /// Savepoint over the core's logs (closed nesting). Locks acquired
+    /// inside the nested block are retained — safe under two-phase locking,
+    /// merely conservative.
+    pub(crate) fn mark(&self) -> CoreMark {
+        CoreMark {
+            read_len: self.read_set.len(),
+            on_abort_len: self.on_abort.len(),
+            on_commit_len: self.on_commit.len(),
+        }
+    }
+
+    /// Partial rollback to `mark`: truncates the read set, runs the nested
+    /// block's `on_abort` compensations (LIFO), drops its `on_commit`
+    /// handlers.
+    pub(crate) fn rollback_to_mark(&mut self, mark: CoreMark) {
+        self.read_set.truncate(mark.read_len);
+        for h in self.on_abort.drain(mark.on_abort_len..).rev() {
+            h();
+        }
+        self.on_commit.truncate(mark.on_commit_len);
+    }
+
+    pub(crate) fn push_on_abort(&mut self, h: Box<dyn FnOnce() + 'h>) {
+        self.on_abort.push(h);
+    }
+
+    pub(crate) fn push_on_commit(&mut self, h: Box<dyn FnOnce() + 'h>) {
+        self.on_commit.push(h);
+    }
+
+    /// Debug counters for the engines' `Debug` impls.
+    pub(crate) fn debug_counts(&self) -> (usize, usize) {
+        (self.read_set.len(), self.owned.len())
+    }
+}

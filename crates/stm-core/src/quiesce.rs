@@ -9,6 +9,10 @@
 //! This handles the privatization idiom of paper Figure 1 (and Figure 4(b)),
 //! but *not* the general anomalies (speculative dirty reads, memory
 //! inconsistency) — a distinction the litmus suite demonstrates.
+//!
+//! Quiescence tracks transaction *slots*, not records, so it is agnostic to
+//! [`crate::config::Granularity`]: waiting out in-flight transactions works
+//! identically over per-object and striped record tables.
 
 use crate::contention::{resolve, ConflictSite};
 use crate::heap::{Heap, TxnSlot};

@@ -13,9 +13,20 @@
 //! Everything is relaxed atomics: counters are diagnostics, not
 //! synchronization. Snapshot with [`Stats::snapshot`] (or
 //! [`crate::heap::Heap::stats_snapshot`]).
+//!
+//! ## Sharding
+//!
+//! The counters sit on the hot path of every barrier and transaction, so a
+//! single set of shared atomics becomes a cache-line ping-pong hot spot
+//! exactly when the STM itself scales. [`Stats`] therefore keeps
+//! [`SHARDS`] cache-line-aligned copies of every counter; each thread picks
+//! a shard once (round-robin at first use) and increments only that copy.
+//! [`Stats::snapshot`] sums across shards, so every aggregate identity the
+//! test suite asserts (commits + aborts, per-site vs total waits, …) holds
+//! unchanged — the split is invisible outside this module.
 
 use crate::contention::ConflictSite;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Number of buckets in the wait-span histogram. Bucket `i` counts conflicts
 /// resolved (or given up) after `n` backoff rounds with
@@ -27,30 +38,37 @@ fn site_array() -> [AtomicU64; ConflictSite::COUNT] {
     std::array::from_fn(|_| AtomicU64::new(0))
 }
 
-/// Per-heap event counters.
+/// Number of per-thread counter shards (power of two). Threads claim a
+/// shard round-robin at first use; with more threads than shards, sharing
+/// returns gradually rather than failing.
+pub const SHARDS: usize = 16;
+
+/// One shard of the counters: a full private copy of every counter,
+/// cache-line-aligned so neighbouring shards never false-share.
+#[repr(align(128))]
 #[derive(Debug)]
-pub struct Stats {
+struct StatShard {
     /// Committed transactions.
-    pub commits: AtomicU64,
+    commits: AtomicU64,
     /// Aborted transaction attempts (validation failure, conflict-manager
     /// self-abort, or explicit user retry).
-    pub aborts: AtomicU64,
+    aborts: AtomicU64,
     /// Non-transactional read barriers executed (slow protocol, i.e. not the
     /// private fast path).
-    pub read_barriers: AtomicU64,
+    read_barriers: AtomicU64,
     /// Non-transactional write barriers executed (slow protocol).
-    pub write_barriers: AtomicU64,
+    write_barriers: AtomicU64,
     /// Barrier executions that took the DEA private fast path.
-    pub private_fast_paths: AtomicU64,
+    private_fast_paths: AtomicU64,
     /// Objects published by `publishObject` (including transitively reached
     /// ones).
-    pub publishes: AtomicU64,
+    publishes: AtomicU64,
     /// Conflict-manager waits (both transactional and barrier-side).
-    pub conflict_waits: AtomicU64,
+    conflict_waits: AtomicU64,
     /// Transactions blocked in commit-time quiescence at least once.
-    pub quiescence_waits: AtomicU64,
+    quiescence_waits: AtomicU64,
     /// User-initiated `retry` operations.
-    pub retries: AtomicU64,
+    retries: AtomicU64,
 
     // --- structured contention telemetry ---
     /// Distinct conflict events per site (each acquisition that found the
@@ -88,9 +106,9 @@ pub struct Stats {
     watchdog_self_aborts: AtomicU64,
 }
 
-impl Default for Stats {
+impl Default for StatShard {
     fn default() -> Self {
-        Stats {
+        StatShard {
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
             read_barriers: AtomicU64::new(0),
@@ -118,15 +136,46 @@ impl Default for Stats {
     }
 }
 
+/// Per-heap event counters (sharded; see the module docs).
+#[derive(Debug, Default)]
+pub struct Stats {
+    shards: [StatShard; SHARDS],
+}
+
+/// This thread's shard index, claimed round-robin on first use.
+fn thread_shard() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static INDEX: usize = NEXT.fetch_add(1, Ordering::Relaxed) & (SHARDS - 1);
+    }
+    INDEX.with(|i| *i)
+}
+
 macro_rules! bump {
     ($($name:ident => $field:ident),* $(,)?) => {
         $(
-            #[doc = concat!("Increments `", stringify!($field), "`.")]
+            #[doc = concat!("Increments `", stringify!($field), "` (this thread's shard).")]
             #[inline]
             pub fn $name(&self) {
-                self.$field.fetch_add(1, Ordering::Relaxed);
+                self.shard().$field.fetch_add(1, Ordering::Relaxed);
             }
         )*
+    };
+}
+
+/// Sums one scalar field across all shards.
+macro_rules! sum {
+    ($self:ident, $field:ident) => {
+        $self.shards.iter().map(|s| s.$field.load(Ordering::Relaxed)).sum::<u64>()
+    };
+}
+
+/// Sums one array field across all shards, element-wise.
+macro_rules! sum_array {
+    ($self:ident, $field:ident) => {
+        std::array::from_fn(|i| {
+            $self.shards.iter().map(|s| s.$field[i].load(Ordering::Relaxed)).sum::<u64>()
+        })
     };
 }
 
@@ -134,6 +183,11 @@ impl Stats {
     /// Creates zeroed counters.
     pub fn new() -> Self {
         Stats::default()
+    }
+
+    #[inline]
+    fn shard(&self) -> &StatShard {
+        &self.shards[thread_shard()]
     }
 
     bump! {
@@ -161,19 +215,19 @@ impl Stats {
     /// Records a fresh conflict event at `site`.
     #[inline]
     pub fn conflict_event(&self, site: ConflictSite) {
-        self.conflict_events[site.index()].fetch_add(1, Ordering::Relaxed);
+        self.shard().conflict_events[site.index()].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one contention-manager wait round at `site`.
     #[inline]
     pub fn cm_wait(&self, site: ConflictSite) {
-        self.cm_waits[site.index()].fetch_add(1, Ordering::Relaxed);
+        self.shard().cm_waits[site.index()].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a contention-manager self-abort decision at `site`.
     #[inline]
     pub fn cm_self_abort(&self, site: ConflictSite) {
-        self.cm_self_aborts[site.index()].fetch_add(1, Ordering::Relaxed);
+        self.shard().cm_self_aborts[site.index()].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records that a conflict was resolved (or abandoned) after `rounds`
@@ -184,36 +238,36 @@ impl Stats {
             return;
         }
         let bucket = (31 - rounds.leading_zeros()).min(WAIT_BUCKETS as u32 - 1) as usize;
-        self.wait_hist[bucket].fetch_add(1, Ordering::Relaxed);
+        self.shard().wait_hist[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// A point-in-time snapshot, convenient for assertions.
+    /// A point-in-time snapshot, convenient for assertions: sums every
+    /// counter across the shards.
     pub fn snapshot(&self) -> StatsSnapshot {
-        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
         StatsSnapshot {
-            commits: load(&self.commits),
-            aborts: load(&self.aborts),
-            read_barriers: load(&self.read_barriers),
-            write_barriers: load(&self.write_barriers),
-            private_fast_paths: load(&self.private_fast_paths),
-            publishes: load(&self.publishes),
-            conflict_waits: load(&self.conflict_waits),
-            quiescence_waits: load(&self.quiescence_waits),
-            retries: load(&self.retries),
-            conflict_events: std::array::from_fn(|i| load(&self.conflict_events[i])),
-            cm_waits: std::array::from_fn(|i| load(&self.cm_waits[i])),
-            cm_self_aborts: std::array::from_fn(|i| load(&self.cm_self_aborts[i])),
-            aborts_validation: load(&self.aborts_validation),
-            aborts_cancel: load(&self.aborts_cancel),
-            wait_hist: std::array::from_fn(|i| load(&self.wait_hist[i])),
-            aborts_deadlock: load(&self.aborts_deadlock),
-            panic_rollbacks: load(&self.panic_rollbacks),
-            faults_delays: load(&self.faults_delays),
-            faults_forced_aborts: load(&self.faults_forced_aborts),
-            faults_panics: load(&self.faults_panics),
-            orphan_reclaims: load(&self.orphan_reclaims),
-            watchdog_escalations: load(&self.watchdog_escalations),
-            watchdog_self_aborts: load(&self.watchdog_self_aborts),
+            commits: sum!(self, commits),
+            aborts: sum!(self, aborts),
+            read_barriers: sum!(self, read_barriers),
+            write_barriers: sum!(self, write_barriers),
+            private_fast_paths: sum!(self, private_fast_paths),
+            publishes: sum!(self, publishes),
+            conflict_waits: sum!(self, conflict_waits),
+            quiescence_waits: sum!(self, quiescence_waits),
+            retries: sum!(self, retries),
+            conflict_events: sum_array!(self, conflict_events),
+            cm_waits: sum_array!(self, cm_waits),
+            cm_self_aborts: sum_array!(self, cm_self_aborts),
+            aborts_validation: sum!(self, aborts_validation),
+            aborts_cancel: sum!(self, aborts_cancel),
+            wait_hist: sum_array!(self, wait_hist),
+            aborts_deadlock: sum!(self, aborts_deadlock),
+            panic_rollbacks: sum!(self, panic_rollbacks),
+            faults_delays: sum!(self, faults_delays),
+            faults_forced_aborts: sum!(self, faults_forced_aborts),
+            faults_panics: sum!(self, faults_panics),
+            orphan_reclaims: sum!(self, orphan_reclaims),
+            watchdog_escalations: sum!(self, watchdog_escalations),
+            watchdog_self_aborts: sum!(self, watchdog_self_aborts),
         }
     }
 }
@@ -380,6 +434,30 @@ mod tests {
         assert_eq!(snap.read_barriers, 1);
         assert_eq!(snap.private_fast_paths, 1);
         assert_eq!(snap.write_barriers, 0);
+    }
+
+    #[test]
+    fn shards_aggregate_across_threads() {
+        // Each thread lands on its own shard (round-robin); the snapshot
+        // must still see every increment exactly once.
+        let s = std::sync::Arc::new(Stats::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.commit();
+                        s.conflict_event(ConflictSite::TxnRead);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.commits, 8000);
+        assert_eq!(snap.conflicts_at(ConflictSite::TxnRead), 8000);
     }
 
     #[test]

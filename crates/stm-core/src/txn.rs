@@ -454,7 +454,7 @@ fn wait_for_change(heap: &Heap, snapshot: &[(ObjRef, RecWord)]) {
     let mut attempt = 0u32;
     loop {
         for &(r, logged) in snapshot {
-            if heap.obj(r).rec.load() != logged {
+            if heap.guard_load(r) != logged {
                 return;
             }
         }
@@ -466,7 +466,7 @@ fn wait_for_change(heap: &Heap, snapshot: &[(ObjRef, RecWord)]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{Granularity, StmConfig, Versioning};
+    use crate::config::{StmConfig, VersionGranularity, Versioning};
     use crate::heap::{FieldDef, Shape};
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
@@ -767,7 +767,7 @@ mod tests {
         // the mechanism behind granular lost updates (exercised as an
         // anomaly in the litmus crate; here we just check the span logic).
         let heap = Heap::new(StmConfig {
-            granularity: Granularity::Pair,
+            version_granularity: VersionGranularity::Pair,
             ..StmConfig::default()
         });
         let s = counter_shape(&heap);

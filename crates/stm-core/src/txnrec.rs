@@ -352,6 +352,87 @@ impl TxnRecord {
     }
 }
 
+/// One slot of the striped ownership-record table, padded to a cache line
+/// so that concurrent acquisitions of neighbouring stripes never contend on
+/// the same line (the false sharing the stripe layout exists to avoid —
+/// [`crate::heap::Heap::audit`] checks the alignment invariant).
+#[repr(align(64))]
+#[derive(Debug)]
+pub(crate) struct PaddedRecord(pub(crate) TxnRecord);
+
+/// Where the transaction record guarding an object lives
+/// ([`crate::config::Granularity`]).
+///
+/// * `PerObject` — the record is the one embedded in the object header;
+///   this table holds no storage of its own.
+/// * `Striped` — a TL2-style global array of records; an object maps to the
+///   slot indexed by its heap address (object index) masked to the
+///   power-of-two table size. Object indices are dense, so the shift-free
+///   `index & mask` hash spreads a small heap perfectly (no aliasing until
+///   the heap outgrows the table) — the same word-alignment argument TL2
+///   makes for `(addr >> shift) & mask`.
+///
+/// In striped mode the embedded per-object records still exist but only
+/// carry the dynamic-escape-analysis *privacy* state (`Private` vs
+/// `Shared`); all ownership and versioning lives in the stripe slots, and
+/// private objects never touch them.
+#[derive(Debug)]
+pub(crate) enum RecordTable {
+    /// Records are embedded in object headers.
+    PerObject,
+    /// Striped global table; `slots.len()` is a power of two and
+    /// `mask == slots.len() - 1`.
+    Striped { slots: Box<[PaddedRecord]>, mask: usize },
+}
+
+impl RecordTable {
+    /// Builds the table for the configured granularity.
+    ///
+    /// # Panics
+    /// Panics if a striped stripe count is zero or not a power of two.
+    pub(crate) fn new(granularity: crate::config::Granularity) -> Self {
+        match granularity {
+            crate::config::Granularity::PerObject => RecordTable::PerObject,
+            crate::config::Granularity::Striped { stripes } => {
+                assert!(
+                    stripes.is_power_of_two(),
+                    "stripe count must be a non-zero power of two, got {stripes}"
+                );
+                let slots = (0..stripes)
+                    .map(|_| PaddedRecord(TxnRecord::new_shared()))
+                    .collect();
+                RecordTable::Striped { slots, mask: stripes - 1 }
+            }
+        }
+    }
+
+    /// Number of stripes, or `None` in per-object mode.
+    pub(crate) fn stripes(&self) -> Option<usize> {
+        match self {
+            RecordTable::PerObject => None,
+            RecordTable::Striped { slots, .. } => Some(slots.len()),
+        }
+    }
+
+    /// The stripe record for `slot` (striped mode only).
+    pub(crate) fn stripe(&self, slot: usize) -> &TxnRecord {
+        match self {
+            RecordTable::PerObject => unreachable!("stripe() in per-object mode"),
+            RecordTable::Striped { slots, .. } => &slots[slot].0,
+        }
+    }
+
+    /// The slot an object index maps to. In per-object mode every object is
+    /// its own slot, so the identity mapping keeps slot keys unique.
+    #[inline]
+    pub(crate) fn slot_of_index(&self, obj_index: usize) -> usize {
+        match self {
+            RecordTable::PerObject => obj_index,
+            RecordTable::Striped { mask, .. } => obj_index & mask,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -479,6 +560,32 @@ mod tests {
         r.try_acquire_txn(prior, OwnerToken::from_id(3)).unwrap();
         r.restore(prior);
         assert_eq!(r.load(), prior);
+    }
+
+    #[test]
+    fn record_table_striped_layout() {
+        // Padding is what prevents false sharing between adjacent stripes.
+        assert!(std::mem::align_of::<PaddedRecord>() >= 64);
+        let t = RecordTable::new(crate::config::Granularity::Striped { stripes: 8 });
+        assert_eq!(t.stripes(), Some(8));
+        for i in 0..8 {
+            assert!(t.stripe(i).load().is_shared(), "fresh stripes are shared");
+        }
+        assert_eq!(t.slot_of_index(9), 1, "dense indices wrap by mask");
+        assert_eq!(t.slot_of_index(7), 7);
+    }
+
+    #[test]
+    fn record_table_per_object_is_identity() {
+        let t = RecordTable::new(crate::config::Granularity::PerObject);
+        assert_eq!(t.stripes(), None);
+        assert_eq!(t.slot_of_index(9), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn record_table_rejects_bad_stripe_count() {
+        let _ = RecordTable::new(crate::config::Granularity::Striped { stripes: 3 });
     }
 
     #[test]

@@ -188,8 +188,10 @@ impl Liveness {
                 }
             }
             for (r, prior) in inner.owned.drain(..) {
-                debug_assert_eq!(heap.obj(r).rec.load().raw(), holder.raw());
-                heap.obj(r).rec.release_txn(prior);
+                // The descriptor mirrors acquisitions per guard *slot*, so
+                // this releases each striped slot exactly once too.
+                debug_assert_eq!(heap.guard(r).load().raw(), holder.raw());
+                heap.guard(r).release_txn(prior);
                 heap.stats().orphan_reclaim();
                 records += 1;
             }

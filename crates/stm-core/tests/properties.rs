@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use std::sync::Arc;
-use stm_core::config::{Granularity, StmConfig, Versioning};
+use stm_core::config::{StmConfig, VersionGranularity, Versioning};
 use stm_core::heap::{FieldDef, Heap, ObjRef, Shape};
 use stm_core::segvec::SegVec;
 use stm_core::txn::{atomic, try_atomic};
@@ -44,11 +44,11 @@ proptest! {
     #[test]
     fn granularity_span_properties(field in 0usize..64, len in 1usize..65) {
         prop_assume!(field < len);
-        for g in [Granularity::PerField, Granularity::Pair] {
+        for g in [VersionGranularity::PerField, VersionGranularity::Pair] {
             let span = g.span(field, len);
             prop_assert!(span.contains(&field));
             prop_assert!(span.end <= len);
-            if g == Granularity::Pair {
+            if g == VersionGranularity::Pair {
                 prop_assert_eq!(span.start % 2, 0);
                 prop_assert!(span.len() <= 2);
             } else {
@@ -95,13 +95,13 @@ fn objref_from_index(index: usize) -> ObjRef {
 /// applied increments regardless of policy/granularity/DEA.
 fn serializability_case(
     versioning: Versioning,
-    granularity: Granularity,
+    granularity: VersionGranularity,
     dea: bool,
     plan: &[Vec<u8>],
 ) {
     let heap = Heap::new(StmConfig {
         versioning,
-        granularity,
+        version_granularity: granularity,
         dea,
         ..StmConfig::default()
     });
@@ -151,7 +151,7 @@ proptest! {
     ) {
         serializability_case(
             if lazy { Versioning::Lazy } else { Versioning::Eager },
-            if pair { Granularity::Pair } else { Granularity::PerField },
+            if pair { VersionGranularity::Pair } else { VersionGranularity::PerField },
             dea,
             &plan,
         );
@@ -212,7 +212,7 @@ proptest! {
     ) {
         let heap = Heap::new(StmConfig {
             versioning: if lazy { Versioning::Lazy } else { Versioning::Eager },
-            granularity: if pair { Granularity::Pair } else { Granularity::PerField },
+            version_granularity: if pair { VersionGranularity::Pair } else { VersionGranularity::PerField },
             ..StmConfig::default()
         });
         let shape = heap.define_shape(Shape::new(

@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 use stm_core::barrier::{aggregate, read_barrier, write_barrier};
-use stm_core::config::{Granularity, StmConfig, Versioning};
+use stm_core::config::{StmConfig, VersionGranularity, Versioning};
 use stm_core::dea;
 use stm_core::heap::{FieldDef, Heap, ObjRef, Shape};
 use stm_core::txn::{atomic, try_atomic};
@@ -25,11 +25,11 @@ fn bank_shape(heap: &Heap) -> stm_core::heap::ShapeId {
 #[test]
 fn conservation_under_all_configs() {
     for versioning in [Versioning::Eager, Versioning::Lazy] {
-        for granularity in [Granularity::PerField, Granularity::Pair] {
+        for granularity in [VersionGranularity::PerField, VersionGranularity::Pair] {
             for dea_on in [false, true] {
                 let heap = heap_with(StmConfig {
                     versioning,
-                    granularity,
+                    version_granularity: granularity,
                     dea: dea_on,
                     ..StmConfig::default()
                 });
@@ -287,7 +287,7 @@ fn pair_granularity_txn_neighbours_safe() {
     for versioning in [Versioning::Eager, Versioning::Lazy] {
         let heap = heap_with(StmConfig {
             versioning,
-            granularity: Granularity::Pair,
+            version_granularity: VersionGranularity::Pair,
             ..StmConfig::default()
         });
         let s = bank_shape(&heap);
