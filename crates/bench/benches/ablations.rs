@@ -1,7 +1,8 @@
 //! Ablation benchmarks for the design choices DESIGN.md calls out:
 //! versioning granularity (per-field vs pair), commit-time quiescence
-//! (off vs on, idle vs with concurrent readers), and the §3.3 ordering-only
-//! read barrier vs the full eager read barrier.
+//! (off vs on, idle vs with concurrent readers), bare begin/commit
+//! lifecycle latency (the lock-free slot registry's regression canary),
+//! and the §3.3 ordering-only read barrier vs the full eager read barrier.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -96,6 +97,40 @@ fn bench_quiescence(c: &mut Criterion) {
     g.finish();
 }
 
+/// Bare transaction-lifecycle latency: an empty transaction is nothing but
+/// begin + commit, so this measures the slot claim, liveness registration,
+/// scratch checkout, and quiescence epilogue with no data-path noise. The
+/// steady state must stay allocation-free and lock-free, so these numbers
+/// are the regression canary for the lock-free registry.
+fn bench_lifecycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_txn_lifecycle");
+    g.sample_size(60);
+    for (name, quiescence) in [("plain", false), ("quiescent", true)] {
+        let (heap, _o) = heap_with(StmConfig { quiescence, ..Default::default() });
+        g.bench_function(format!("begin_commit_empty_{name}"), |b| {
+            b.iter(|| atomic(&heap, |_tx| Ok(black_box(0))))
+        });
+    }
+    // One read-modify-write per engine, quiescence on: the shortest useful
+    // transaction, dominated by lifecycle rather than data-path cost.
+    for versioning in [Versioning::Eager, Versioning::Lazy] {
+        let vname = match versioning {
+            Versioning::Eager => "eager",
+            Versioning::Lazy => "lazy",
+        };
+        let (heap, o) = heap_with(StmConfig { versioning, quiescence: true, ..Default::default() });
+        g.bench_function(format!("{vname}_rmw1_quiescent"), |b| {
+            b.iter(|| {
+                atomic(&heap, |tx| {
+                    let v = tx.read(o, 0)?;
+                    tx.write(o, 0, v + 1)
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_ordering_barrier(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_read_barriers");
     g.sample_size(60);
@@ -112,5 +147,11 @@ fn bench_ordering_barrier(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_granularity, bench_quiescence, bench_ordering_barrier);
+criterion_group!(
+    benches,
+    bench_granularity,
+    bench_quiescence,
+    bench_lifecycle,
+    bench_ordering_barrier
+);
 criterion_main!(benches);

@@ -772,6 +772,213 @@ pub fn granularity_to(ops_per_thread: u64, artifact: &std::path::Path) -> String
     out
 }
 
+/// One measured cell of the transaction-lifecycle scalability experiment.
+struct ScaleRow {
+    workload: &'static str,
+    engine: &'static str,
+    threads: usize,
+    ops: u64,
+    /// Simulated makespan in cycles (virtual time on the simulated
+    /// multiprocessor, so the sweep is meaningful on any host core count).
+    makespan: u64,
+    commits: u64,
+    aborts: u64,
+    /// Quiescence slots the heap ended with — the registry's bound is the
+    /// thread count, independent of how many transactions ran.
+    slots: usize,
+    /// Throughput relative to the 1-thread row of the same (workload,
+    /// engine) group; filled in once the group's base is known.
+    speedup: f64,
+}
+
+impl ScaleRow {
+    /// Committed operations per million simulated cycles.
+    fn throughput(&self) -> f64 {
+        self.ops as f64 / (self.makespan.max(1) as f64 / 1e6)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"workload\":\"{}\",\"engine\":\"{}\",\"threads\":{},\"ops\":{},\
+             \"makespan_cycles\":{},\"throughput_ops_per_mcycle\":{:.3},\
+             \"speedup_vs_1_thread\":{:.3},\"commits\":{},\"aborts\":{},\"slots\":{}}}",
+            self.workload,
+            self.engine,
+            self.threads,
+            self.ops,
+            self.makespan,
+            self.throughput(),
+            self.speedup,
+            self.commits,
+            self.aborts,
+            self.slots,
+        )
+    }
+}
+
+/// Runs one cell of the lifecycle-scalability sweep on the simulated
+/// multiprocessor (`threads` workers on `threads` processors), with
+/// quiescence on so begin/commit exercises the slot registry.
+///
+/// * `disjoint = true` — each worker owns a private 32-object slice: zero
+///   data conflicts, so any throughput lost to added threads is lifecycle
+///   overhead (slot claiming, quiescence scans, liveness registration).
+/// * `disjoint = false` — all workers hammer a 4-object hot set: real
+///   conflicts dominate and the sweep shows how contention, not the
+///   lifecycle, caps scaling.
+fn scale_case(
+    versioning: stm_core::config::Versioning,
+    threads: usize,
+    disjoint: bool,
+    ops_per_thread: u64,
+) -> ScaleRow {
+    use std::sync::Arc;
+    use stm_core::config::StmConfig;
+    use stm_core::heap::{FieldDef, Heap, Shape};
+    use stm_core::txn::atomic;
+    use workloads::scale::run_workers;
+
+    const SLICE: usize = 32;
+    let heap = Heap::new(StmConfig { versioning, quiescence: true, ..StmConfig::default() });
+    let shape = heap.define_shape(Shape::new(
+        "Cell",
+        vec![FieldDef::int("n"), FieldDef::int("side")],
+    ));
+    let objects: Vec<_> = (0..if disjoint { threads * SLICE } else { 4 })
+        .map(|_| heap.alloc_public(shape))
+        .collect();
+
+    let worker_heap = Arc::clone(&heap);
+    let (makespan, commits, aborts, _) = run_workers(&heap, threads, threads, move |t| {
+        let mut rng = 0x9E37_79B9u64.wrapping_mul(t as u64 + 1) | 1;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for i in 0..ops_per_thread {
+            let (a, b) = if disjoint {
+                let base = t * SLICE;
+                (
+                    objects[base + next() as usize % SLICE],
+                    objects[base + next() as usize % SLICE],
+                )
+            } else {
+                let a = next() as usize % objects.len();
+                (objects[a], objects[(a + 1) % objects.len()])
+            };
+            atomic(&worker_heap, |tx| {
+                let v = tx.read(a, 0)?;
+                tx.write(a, 0, v + 1)?;
+                let w = tx.read(b, 1)?;
+                tx.write(b, 1, w.wrapping_add(i))
+            });
+        }
+        0
+    });
+    heap.audit().assert_clean();
+    ScaleRow {
+        workload: if disjoint { "disjoint" } else { "contended" },
+        engine: match versioning {
+            stm_core::config::Versioning::Eager => "eager",
+            stm_core::config::Versioning::Lazy => "lazy",
+        },
+        threads,
+        ops: threads as u64 * ops_per_thread,
+        makespan,
+        commits,
+        aborts,
+        slots: heap.txn_slot_count(),
+        speedup: 0.0,
+    }
+}
+
+/// Transaction-lifecycle scalability: begin/commit throughput across a
+/// 1–16 thread sweep on the simulated multiprocessor, per engine, on one
+/// disjoint and one contended workload, quiescence on. Writes
+/// machine-readable rows to `BENCH_scale.json` next to the report.
+///
+/// The disjoint sweep is the lock-free-lifecycle probe: no data ever
+/// conflicts, so throughput should scale near-linearly with threads — a
+/// serialized begin/commit path (the old global registry mutex) flattens
+/// exactly this curve. The slot column checks the registry's other
+/// promise: slots stay bounded by the thread count however many
+/// transactions churn through.
+pub fn scale(ops_per_thread: u64) -> String {
+    scale_to(ops_per_thread, std::path::Path::new("BENCH_scale.json"))
+}
+
+/// [`scale`] with an explicit artifact path (tests point it at a temporary
+/// directory).
+pub fn scale_to(ops_per_thread: u64, artifact: &std::path::Path) -> String {
+    use stm_core::config::Versioning;
+
+    let mut rows: Vec<ScaleRow> = Vec::new();
+    for engine in [Versioning::Eager, Versioning::Lazy] {
+        for disjoint in [true, false] {
+            let mut base = 0.0f64;
+            for threads in THREADS {
+                let mut row = scale_case(engine, threads, disjoint, ops_per_thread);
+                if threads == 1 {
+                    base = row.throughput();
+                }
+                row.speedup = row.throughput() / base.max(f64::MIN_POSITIVE);
+                rows.push(row);
+            }
+        }
+    }
+
+    let mut out = String::new();
+    writeln!(out, "== Transaction-lifecycle scalability: begin/commit under load ==\n").unwrap();
+    writeln!(
+        out,
+        "(simulated N-way multiprocessor, N = thread count; {ops_per_thread} txns/thread,\n\
+         quiescence on; disjoint = private per-thread slices, so the curve is pure\n\
+         lifecycle overhead; slots = registry size after the run, bound = threads)\n"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<11} {:<7} {:>4} {:>8} {:>14} {:>9} {:>8} {:>7} {:>6}",
+        "workload", "engine", "thr", "ops", "ops/Mcycle", "speedup", "commits", "aborts", "slots"
+    )
+    .unwrap();
+    for r in &rows {
+        writeln!(
+            out,
+            "{:<11} {:<7} {:>4} {:>8} {:>14.1} {:>8.2}x {:>8} {:>7} {:>6}",
+            r.workload,
+            r.engine,
+            r.threads,
+            r.ops,
+            r.throughput(),
+            r.speedup,
+            r.commits,
+            r.aborts,
+            r.slots,
+        )
+        .unwrap();
+    }
+
+    let json = format!(
+        "{{\"experiment\":\"scale\",\"ops_per_thread\":{ops_per_thread},\"rows\":[\n  {}\n]}}\n",
+        rows.iter().map(ScaleRow::json).collect::<Vec<_>>().join(",\n  ")
+    );
+    match std::fs::write(artifact, &json) {
+        Ok(()) => writeln!(out, "\nwrote {} ({} rows)", artifact.display(), rows.len()).unwrap(),
+        Err(e) => writeln!(out, "\nfailed to write {}: {e}", artifact.display()).unwrap(),
+    }
+    writeln!(
+        out,
+        "(disjoint speedup tracks the thread count because no transaction ever\n\
+         waits on another's data — only on the lifecycle itself; the contended\n\
+         curve flattens where real conflicts serialize the hot set)"
+    )
+    .unwrap();
+    out
+}
+
 /// Runs every experiment (the `repro all` command).
 pub fn all(scale: usize) -> String {
     let mut out = String::new();
@@ -788,6 +995,7 @@ pub fn all(scale: usize) -> String {
         fig20(),
         contention(),
         granularity(2000),
+        self::scale(400),
     ] {
         out.push_str(&part);
         out.push('\n');
@@ -857,6 +1065,42 @@ mod tests {
         assert!(json.contains("\"experiment\":\"granularity\""), "{json}");
         assert!(json.contains("\"workload\":\"disjoint\""), "{json}");
         assert!(json.contains("\"false_conflict_rate\":null"), "{json}");
+    }
+
+    #[test]
+    fn scale_reports_emit_json_and_disjoint_scales() {
+        let dir = std::env::temp_dir().join("bench-scale-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let artifact = dir.join("BENCH_scale.json");
+        let s = scale_to(120, &artifact);
+
+        assert!(s.contains("disjoint"), "{s}");
+        assert!(s.contains("contended"), "{s}");
+        assert!(s.contains("eager"), "{s}");
+        assert!(s.contains("lazy"), "{s}");
+        assert!(s.contains("BENCH_scale.json"), "{s}");
+        let json = std::fs::read_to_string(&artifact).expect("JSON artifact written");
+        assert!(json.contains("\"experiment\":\"scale\""), "{json}");
+        assert!(json.contains("\"threads\":16"), "{json}");
+
+        // The acceptance bar: with no data conflicts, 8 threads must reach
+        // at least 2.5x the 1-thread throughput in simulated time. Parse it
+        // back out of the artifact rather than re-measuring.
+        let mut checked = 0;
+        for row in json.split('{').filter(|r| r.contains("\"workload\":\"disjoint\"")) {
+            if !row.contains("\"threads\":8,") {
+                continue;
+            }
+            let speedup: f64 = row
+                .split("\"speedup_vs_1_thread\":")
+                .nth(1)
+                .and_then(|s| s.split(',').next())
+                .and_then(|s| s.parse().ok())
+                .expect("speedup field");
+            assert!(speedup >= 2.5, "disjoint 8-thread speedup {speedup} < 2.5x:\n{s}");
+            checked += 1;
+        }
+        assert_eq!(checked, 2, "expected one 8-thread disjoint row per engine:\n{json}");
     }
 
     #[test]

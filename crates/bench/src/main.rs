@@ -16,6 +16,10 @@
 //! repro chaos [--seeds N] [--seed S]   # crash-safety campaign: seeded fault
 //!                        # injection vs the heap auditor (default 32 seeds
 //!                        # from 1; --seed S replays the single seed S)
+//! repro scale [ops]      # transaction-lifecycle scalability: begin/commit
+//!                        # throughput over 1..16 simulated threads, per
+//!                        # engine, disjoint + contended; writes
+//!                        # BENCH_scale.json (default 2000 ops/thread)
 //! ```
 
 use bench::experiments as ex;
@@ -44,6 +48,10 @@ fn main() {
             let ops: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
             ex::granularity(ops)
         }
+        "scale" => {
+            let ops: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
+            ex::scale(ops)
+        }
         "chaos" => {
             let mut first = 1u64;
             let mut count = 32u64;
@@ -69,7 +77,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment `{other}`; try: all, fig1..fig6, fig13..fig20, \
-                 contention, granularity, chaos"
+                 contention, granularity, chaos, scale"
             );
             std::process::exit(2);
         }

@@ -224,7 +224,7 @@ fn replay(
         .flat_map(|o| (0..FIELDS).map(|f| heap.read_raw(*o, f)))
         .collect();
     heap.audit().assert_clean();
-    Arc::try_unwrap(heap).ok().expect("no outstanding heap handles");
+    assert!(Arc::try_unwrap(heap).is_ok(), "no outstanding heap handles");
     image
 }
 

@@ -126,6 +126,17 @@ pub enum AuditFinding {
         /// Observed distance in bytes.
         gap: usize,
     },
+    /// A quiescence slot is still marked active at a quiescent moment even
+    /// though its owner is registered alive (or the slot carries no owner
+    /// at all) — the transaction lifecycle leaked the slot. Slots stranded
+    /// by *crashed* owners (owner word set, owner not registered alive) are
+    /// expected leftovers under fault injection and are not reported.
+    SlotStrandedActive {
+        /// The leaked slot's index in the registry.
+        slot: usize,
+        /// The owner word the slot carries (0 = never set).
+        owner_word: usize,
+    },
 }
 
 impl std::fmt::Display for AuditFinding {
@@ -168,6 +179,11 @@ impl std::fmt::Display for AuditFinding {
             AuditFinding::StripeFalseSharing { stripe, gap } => write!(
                 f,
                 "stripe[{stripe}]: adjacent slots only {gap} bytes apart (cache-line sharing)"
+            ),
+            AuditFinding::SlotStrandedActive { slot, owner_word } => write!(
+                f,
+                "txn-slot[{slot}]: active at a quiescent moment (owner {owner_word:#x} \
+                 registered alive or never set)"
             ),
         }
     }
@@ -308,6 +324,19 @@ impl Heap {
                 }
             }
         }
+        // Quiescence-slot registry: at a quiescent moment every slot must be
+        // inactive unless its owner crashed mid-flight (those are expected
+        // leftovers — quiescence skips them — and already surface through
+        // the orphan/recovery findings above when they matter).
+        for (i, slot) in self.registry.iter() {
+            if !slot.active.load(std::sync::atomic::Ordering::Acquire) {
+                continue;
+            }
+            let owner_word = slot.owner.load(std::sync::atomic::Ordering::Acquire);
+            if owner_word == 0 || self.liveness.is_alive(owner_word) {
+                findings.push(AuditFinding::SlotStrandedActive { slot: i, owner_word });
+            }
+        }
         for (owner_word, records, undo_entries) in self.liveness.dead_descriptors() {
             findings.push(AuditFinding::UndrainedRecoveryLog {
                 owner_word,
@@ -424,7 +453,7 @@ mod tests {
         let objs: Vec<_> = (0..32).map(|_| heap.alloc_public(s)).collect();
         for (i, &o) in objs.iter().enumerate() {
             atomic(&heap, |tx| tx.write(o, 0, i as u64));
-            let _ = crate::barrier::write_barrier(&heap, o, 0, i as u64 + 1);
+            crate::barrier::write_barrier(&heap, o, 0, i as u64 + 1);
         }
         heap.audit().assert_clean();
         heap.audit().assert_clean();
@@ -445,6 +474,27 @@ mod tests {
             [AuditFinding::StripeExclusive { owner_dead: false, .. }]
         ));
         assert!(report.to_string().contains("stripe["));
+    }
+
+    #[test]
+    fn stranded_active_slot_is_found() {
+        let heap = Heap::new(StmConfig { quiescence: true, ..StmConfig::default() });
+        let idx = heap.claim_txn_slot(0);
+        let owner = heap.fresh_owner();
+        heap.liveness.register(owner);
+        heap.txn_slot(idx)
+            .owner
+            .store(owner.word(), std::sync::atomic::Ordering::Release);
+        let report = heap.audit();
+        assert!(matches!(
+            report.findings.as_slice(),
+            [AuditFinding::SlotStrandedActive { owner_word, .. }] if *owner_word == owner.word()
+        ));
+        assert!(report.to_string().contains("txn-slot["));
+        // A slot stranded by a *crashed* owner (not registered alive) is an
+        // expected leftover, not a finding.
+        heap.liveness.deregister(owner);
+        heap.audit().assert_clean();
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //!
 //! The open-read, acquire, validate, release, and finish paths are the
 //! shared [`TxnCore`] pipeline ([`crate::pipeline`]); this module adds only
-//! what is eager-specific — the undo log, in-place stores, and the DEA
-//! private-access compensation sets.
+//! what is eager-specific — the undo log (the core's pooled span log) and
+//! in-place stores. The DEA private-access compensation sets also live in
+//! the core's pooled scratch.
 //!
 //! Dynamic escape analysis integration (paper §4): accesses to *private*
 //! records skip locking and read-set logging entirely. Because a reference
@@ -24,26 +25,12 @@ use crate::cost::{charge, CostKind};
 use crate::dea;
 use crate::fault::{self, FaultSite};
 use crate::heap::{Heap, ObjRef, Word};
-use crate::pipeline::{Acquired, CoreMark, ReadKind, TxnCore};
+use crate::pipeline::{Acquired, CoreMark, ReadKind, SpanEntry, TxnCore, MAX_SPAN};
 use crate::stats::TxnTelemetry;
 use crate::syncpoint::SyncPoint;
 use crate::txn::TxResult;
 use crate::txnrec::RecWord;
-use crate::watchdog::OrphanUndo;
-use std::collections::HashSet;
 use std::sync::atomic::Ordering;
-
-/// Maximum number of fields a single undo entry can span (the `Pair`
-/// granularity of [`crate::config::VersionGranularity`]).
-const MAX_SPAN: usize = 2;
-
-#[derive(Debug)]
-struct UndoEntry {
-    obj: ObjRef,
-    base: u32,
-    len: u8,
-    vals: [Word; MAX_SPAN],
-}
 
 /// A savepoint for closed nesting: log lengths to roll back to.
 #[derive(Copy, Clone, Debug)]
@@ -55,20 +42,11 @@ pub(crate) struct SavePoint {
 /// An eager-versioning transaction. Use via [`crate::txn::atomic`].
 pub struct EagerTxn<'h> {
     core: TxnCore<'h>,
-    undo: Vec<UndoEntry>,
-    /// Objects accessed while private (DEA compensation on publication).
-    private_reads: HashSet<ObjRef>,
-    private_writes: HashSet<ObjRef>,
 }
 
 impl<'h> EagerTxn<'h> {
     pub(crate) fn new(heap: &'h Heap, age: u64) -> Self {
-        EagerTxn {
-            core: TxnCore::begin(heap, age),
-            undo: Vec::new(),
-            private_reads: HashSet::new(),
-            private_writes: HashSet::new(),
-        }
+        EagerTxn { core: TxnCore::begin(heap, age) }
     }
 
     pub(crate) fn heap(&self) -> &'h Heap {
@@ -79,13 +57,17 @@ impl<'h> EagerTxn<'h> {
         self.core.owner_word()
     }
 
+    pub(crate) fn slot_index(&self) -> Option<usize> {
+        self.core.slot_index()
+    }
+
     /// Opens `r` for reading (paper: open-for-read barrier) and returns the
     /// field value.
     pub(crate) fn read(&mut self, r: ObjRef, field: usize) -> TxResult<Word> {
         let (val, kind) = self.core.open_read(r, field)?;
         if kind == ReadKind::Private {
             // DEA fast path: no logging; compensated on publication.
-            self.private_reads.insert(r);
+            self.core.private_reads.insert(r);
         }
         Ok(val)
     }
@@ -98,7 +80,7 @@ impl<'h> EagerTxn<'h> {
             .acquire_for_write(r, ConflictSite::TxnWrite, CostKind::TxnOpenWrite)?
         {
             Acquired::Private => {
-                self.private_writes.insert(r);
+                self.core.private_writes.insert(r);
             }
             Acquired::Held => {}
         }
@@ -113,18 +95,14 @@ impl<'h> EagerTxn<'h> {
         for (i, f) in span.clone().enumerate() {
             vals[i] = obj.field(f).load(Ordering::Relaxed);
         }
-        self.undo.push(UndoEntry {
+        let entry = SpanEntry {
             obj: r,
             base: span.start as u32,
             len: span.len() as u8,
             vals,
-        });
-        self.core.note_undo(OrphanUndo {
-            obj: r,
-            base: span.start as u32,
-            len: span.len() as u8,
-            vals,
-        });
+        };
+        self.core.spans.push(entry);
+        self.core.note_undo(entry);
     }
 
     /// Transactional write: acquire, undo-log, update in place, publish
@@ -157,10 +135,10 @@ impl<'h> EagerTxn<'h> {
         let mut published = Vec::new();
         dea::publish_with(self.heap(), root, &mut |o| published.push(o));
         for o in published {
-            if self.private_writes.remove(&o) {
+            if self.core.private_writes.remove(&o) {
                 self.core.acquire_published(o);
-                self.private_reads.remove(&o);
-            } else if self.private_reads.remove(&o) {
+                self.core.private_reads.remove(&o);
+            } else if self.core.private_reads.remove(&o) {
                 let rec = self.heap().guard_load(o);
                 if rec.is_shared() {
                     self.core.log_read(o, rec);
@@ -184,32 +162,23 @@ impl<'h> EagerTxn<'h> {
         self.heap().hit(SyncPoint::EagerAfterValidate);
         self.core.release_owned(true);
         self.core.finish_commit();
-        self.clear_local();
         Ok(())
     }
 
     /// Rolls back all speculative updates and releases all locks.
     pub(crate) fn abort(&mut self) {
         self.heap().hit(SyncPoint::EagerBeforeRollback);
-        for e in self.undo.drain(..).rev() {
+        let heap = self.core.heap;
+        // Undo replay in reverse append order.
+        while let Some(e) = self.core.spans.pop() {
             charge(CostKind::TxnCommitEntry);
-            let obj = self.core.heap.obj(e.obj);
-            for i in 0..e.len as usize {
-                obj.field(e.base as usize + i).store(e.vals[i], Ordering::Relaxed);
-            }
+            e.store_vals(heap, Ordering::Relaxed);
         }
         // Version bump on release: concurrent optimistic readers that
         // observed the speculative values must fail validation.
         self.core.release_owned(false);
         self.heap().hit(SyncPoint::EagerAfterRollback);
         self.core.finish_abort();
-        self.clear_local();
-    }
-
-    fn clear_local(&mut self) {
-        self.undo.clear();
-        self.private_reads.clear();
-        self.private_writes.clear();
     }
 
     /// This attempt's contention telemetry.
@@ -223,18 +192,17 @@ impl<'h> EagerTxn<'h> {
     }
 
     pub(crate) fn savepoint(&self) -> SavePoint {
-        SavePoint { mark: self.core.mark(), undo_len: self.undo.len() }
+        SavePoint { mark: self.core.mark(), undo_len: self.core.spans.len() }
     }
 
     /// Closed-nesting partial rollback (paper: "closed nesting" support).
     /// Locks acquired inside the nested block are retained — safe under
     /// two-phase locking, merely conservative.
     pub(crate) fn rollback_to(&mut self, sp: SavePoint) {
-        for e in self.undo.drain(sp.undo_len..).rev() {
-            let obj = self.core.heap.obj(e.obj);
-            for i in 0..e.len as usize {
-                obj.field(e.base as usize + i).store(e.vals[i], Ordering::Relaxed);
-            }
+        let heap = self.core.heap;
+        while self.core.spans.len() > sp.undo_len {
+            let e = self.core.spans.pop().expect("len checked above");
+            e.store_vals(heap, Ordering::Relaxed);
         }
         self.core.rollback_to_mark(sp.mark);
     }
@@ -255,7 +223,7 @@ impl std::fmt::Debug for EagerTxn<'_> {
             .field("owner", &self.core.owner)
             .field("reads", &reads)
             .field("owned", &owned)
-            .field("undo", &self.undo.len())
+            .field("undo", &self.core.spans.len())
             .finish()
     }
 }

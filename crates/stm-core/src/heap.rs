@@ -15,15 +15,17 @@ use crate::config::StmConfig;
 use crate::contention::ContentionManager;
 use crate::fault::FaultInjector;
 use crate::segvec::SegVec;
+use crate::shardmap::ShardMap;
 use crate::stats::{Stats, StatsSnapshot};
 use crate::syncpoint::{current_actor, Script, SyncPoint};
 use crate::txnrec::{OwnerToken, RecWord, RecordTable, TxnRecord};
 use crate::watchdog::{Liveness, OwnerDesc, ReclaimOutcome};
 use parking_lot::{Mutex, RwLock};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::num::NonZeroU64;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 /// A 64-bit field value. Integer fields store the value directly; reference
 /// fields store [`ObjRef::to_word`] (0 = null).
@@ -183,41 +185,151 @@ pub(crate) struct TxnSlot {
     /// Owner-token word of the attempt using this slot (0 = unset). Lets
     /// quiescence waiters skip slots whose owner died without deactivating.
     pub(crate) owner: AtomicUsize,
+    /// Free-list link: `index + 1` of the next free slot (0 = end of list).
+    /// Owned by the registry's Treiber stack; meaningful only while the
+    /// slot is on it.
+    next_free: AtomicU64,
 }
 
+const FREE_IDX_MASK: u64 = 0xffff_ffff;
+
+/// The lock-free transaction-slot table: an append-only [`SegVec`] of slots
+/// (stable addresses, index-addressed, iterable in place) plus a
+/// Treiber-style free list of retired slot indices. The free-list head is
+/// tagged — low 32 bits `index + 1` (0 = empty), high 32 bits a pop counter
+/// — so a stale CAS cannot splice the list through a reused head (ABA).
+///
+/// Slots parked in a thread's [`SlotCache`] are *not* on the free list;
+/// only their owning thread ever activates them, which is what makes the
+/// cached claim two plain stores instead of a CAS.
 #[derive(Debug, Default)]
 pub(crate) struct Registry {
-    slots: Mutex<Vec<Arc<TxnSlot>>>,
+    slots: SegVec<TxnSlot>,
+    free_head: AtomicU64,
 }
 
 impl Registry {
-    /// Claims a slot (reusing inactive ones) and marks it active at `serial`.
-    pub(crate) fn claim(&self, serial: u64) -> Arc<TxnSlot> {
-        let mut slots = self.slots.lock();
-        for slot in slots.iter() {
-            if slot
-                .active
-                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
-            {
-                slot.owner.store(0, Ordering::Release);
-                slot.vserial.store(serial, Ordering::Release);
-                return Arc::clone(slot);
-            }
-        }
-        let slot = Arc::new(TxnSlot {
-            active: AtomicBool::new(true),
-            vserial: AtomicU64::new(serial),
-            owner: AtomicUsize::new(0),
-        });
-        slots.push(Arc::clone(&slot));
-        slot
+    /// The slot at `idx`. Indices come from [`Heap::claim_txn_slot`] and
+    /// are always initialized.
+    #[inline]
+    pub(crate) fn slot(&self, idx: usize) -> &TxnSlot {
+        self.slots.get(idx).expect("slot index was issued by this registry")
     }
 
-    /// Snapshot of all slots (active or not).
-    pub(crate) fn all(&self) -> Vec<Arc<TxnSlot>> {
-        self.slots.lock().clone()
+    /// Number of slots ever created — bounded by peak transaction
+    /// concurrency (plus one parked slot per thread), never by the number
+    /// of transactions run.
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
     }
+
+    /// In-place iteration over every slot: no clone, no lock.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (usize, &TxnSlot)> {
+        self.slots.iter().enumerate()
+    }
+
+    /// Pops a free slot or appends a fresh one, activating it at `serial`.
+    /// A popped slot is exclusively ours until `active` is published, so
+    /// plain stores suffice; `active` is stored last so a quiescence waiter
+    /// that observes it also observes the cleared owner and new serial.
+    fn acquire(&self, serial: u64) -> usize {
+        match self.pop_free() {
+            Some(idx) => {
+                let slot = self.slot(idx);
+                slot.owner.store(0, Ordering::Release);
+                slot.vserial.store(serial, Ordering::Release);
+                slot.active.store(true, Ordering::Release);
+                idx
+            }
+            None => self.slots.push(TxnSlot {
+                active: AtomicBool::new(true),
+                vserial: AtomicU64::new(serial),
+                owner: AtomicUsize::new(0),
+                next_free: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    fn push_free(&self, idx: usize) {
+        let slot = self.slot(idx);
+        debug_assert!(!slot.active.load(Ordering::Acquire), "free-listing an active slot");
+        let mut head = self.free_head.load(Ordering::Acquire);
+        loop {
+            slot.next_free.store(head & FREE_IDX_MASK, Ordering::Release);
+            let tag = (head >> 32).wrapping_add(1);
+            let new = (tag << 32) | (idx as u64 + 1);
+            match self
+                .free_head
+                .compare_exchange_weak(head, new, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return,
+                Err(cur) => head = cur,
+            }
+        }
+    }
+
+    fn pop_free(&self) -> Option<usize> {
+        let mut head = self.free_head.load(Ordering::Acquire);
+        loop {
+            let idx1 = head & FREE_IDX_MASK;
+            if idx1 == 0 {
+                return None;
+            }
+            let idx = (idx1 - 1) as usize;
+            let next = self.slot(idx).next_free.load(Ordering::Acquire);
+            let tag = (head >> 32).wrapping_add(1);
+            let new = (tag << 32) | (next & FREE_IDX_MASK);
+            match self
+                .free_head
+                .compare_exchange_weak(head, new, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return Some(idx),
+                Err(cur) => head = cur,
+            }
+        }
+    }
+}
+
+/// Source of process-unique heap identities for the per-thread slot cache.
+static HEAP_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// This thread's parked quiescence slot: claimed once, then reused by every
+/// later top-level transaction on the same heap, so steady-state begin
+/// never touches the free list. The `Weak` back-reference lets eviction
+/// (thread exit or heap switch) return the slot to the owning heap's free
+/// list without keeping the heap alive.
+struct SlotCache {
+    heap_id: u64,
+    idx: usize,
+    heap: Weak<Heap>,
+}
+
+struct SlotCacheCell(Option<SlotCache>);
+
+impl SlotCacheCell {
+    /// Returns the cached slot to its heap's free list — unless the heap is
+    /// already gone, or the slot is still active (an enclosing transaction
+    /// on this thread is using it; its own retire free-lists it once the
+    /// cache no longer points there).
+    fn evict(&mut self) {
+        if let Some(c) = self.0.take() {
+            if let Some(heap) = c.heap.upgrade() {
+                if !heap.registry.slot(c.idx).active.load(Ordering::Acquire) {
+                    heap.registry.push_free(c.idx);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for SlotCacheCell {
+    fn drop(&mut self) {
+        self.evict();
+    }
+}
+
+thread_local! {
+    static SLOT_CACHE: RefCell<SlotCacheCell> = const { RefCell::new(SlotCacheCell(None)) };
 }
 
 /// The shared transactional heap.
@@ -237,6 +349,12 @@ impl Registry {
 /// assert_eq!(heap.read_raw(p, 0), 42);
 /// ```
 pub struct Heap {
+    /// Process-unique identity, compared by the per-thread slot cache to
+    /// tell whether its parked slot belongs to *this* heap.
+    heap_id: u64,
+    /// Back-reference handed to slot caches so thread-exit eviction can
+    /// find the registry without keeping the heap alive.
+    self_weak: Weak<Heap>,
     store: SegVec<Obj>,
     /// Where conflict-detection records live: embedded per object or in a
     /// striped global table ([`crate::config::Granularity`]). All protocol
@@ -260,7 +378,9 @@ pub struct Heap {
     age_counter: AtomicU64,
     /// Owner-token word → birth ticket of the atomic block currently using
     /// that token. Maintained only when the policy reports `needs_age()`.
-    ages: Mutex<HashMap<usize, u64>>,
+    /// Sharded so age-based policies don't serialize every attempt in the
+    /// process on one lock.
+    ages: ShardMap<u64>,
     /// Armed fault injector (from [`StmConfig::fault`]).
     fault: Option<FaultInjector>,
     /// Owner-liveness registry for the stuck-owner watchdog.
@@ -275,7 +395,9 @@ impl Heap {
         let cm = config.contention.build();
         let fault = config.fault.map(FaultInjector::new);
         let table = RecordTable::new(config.granularity);
-        Arc::new(Heap {
+        Arc::new_cyclic(|weak| Heap {
+            heap_id: HEAP_IDS.fetch_add(1, Ordering::Relaxed),
+            self_weak: weak.clone(),
             store: SegVec::new(),
             table,
             shapes: RwLock::new(Vec::new()),
@@ -290,11 +412,95 @@ impl Heap {
             races: Mutex::new(Vec::new()),
             cm,
             age_counter: AtomicU64::new(1),
-            ages: Mutex::new(HashMap::new()),
+            ages: ShardMap::default(),
             fault,
             liveness: Liveness::default(),
             audit_versions: VersionHighWater::default(),
         })
+    }
+
+    /// Claims a quiescence slot for a transaction beginning at `serial`.
+    ///
+    /// Fast path: this thread's parked slot. A parked slot is never on the
+    /// free list, so only this thread can activate it — no CAS is needed,
+    /// just plain stores with `active` published last (a quiescence waiter
+    /// that sees `active` therefore also sees the cleared owner word and the
+    /// fresh serial, never a dead prior owner's).
+    ///
+    /// If the parked slot is already active, an enclosing transaction on
+    /// this thread (open nesting) is using it: fall through to the shared
+    /// acquire path without touching the cache. If the cache points at a
+    /// *different* heap, evict its slot back to that heap and re-park here.
+    pub(crate) fn claim_txn_slot(&self, serial: u64) -> usize {
+        SLOT_CACHE
+            .try_with(|cell| {
+                let mut cell = cell.borrow_mut();
+                if let Some(c) = cell.0.as_ref() {
+                    if c.heap_id == self.heap_id {
+                        let slot = self.registry.slot(c.idx);
+                        if slot.active.load(Ordering::Acquire) {
+                            return self.registry.acquire(serial);
+                        }
+                        slot.owner.store(0, Ordering::Release);
+                        slot.vserial.store(serial, Ordering::Release);
+                        slot.active.store(true, Ordering::Release);
+                        return c.idx;
+                    }
+                }
+                cell.evict();
+                let idx = self.registry.acquire(serial);
+                cell.0 = Some(SlotCache {
+                    heap_id: self.heap_id,
+                    idx,
+                    heap: self.self_weak.clone(),
+                });
+                idx
+            })
+            // TLS already torn down (transaction inside a thread-local
+            // destructor): no cache to consult, use the shared path.
+            .unwrap_or_else(|_| self.registry.acquire(serial))
+    }
+
+    /// Returns a (deactivated) slot after the transaction finished: parked
+    /// slots stay parked for the next begin on this thread; any other slot
+    /// goes back on the free list.
+    pub(crate) fn retire_txn_slot(&self, idx: usize) {
+        debug_assert!(
+            !self.registry.slot(idx).active.load(Ordering::Acquire),
+            "retiring a still-active slot"
+        );
+        let parked = SLOT_CACHE
+            .try_with(|cell| {
+                cell.borrow()
+                    .0
+                    .as_ref()
+                    .is_some_and(|c| c.heap_id == self.heap_id && c.idx == idx)
+            })
+            .unwrap_or(false);
+        if !parked {
+            self.registry.push_free(idx);
+        }
+    }
+
+    /// The quiescence slot at `idx`.
+    #[inline]
+    pub(crate) fn txn_slot(&self, idx: usize) -> &TxnSlot {
+        self.registry.slot(idx)
+    }
+
+    /// Number of quiescence slots ever created. Bounded by peak transaction
+    /// concurrency plus one parked slot per thread that has run here — not
+    /// by the number of transactions — which the churn stress tests assert.
+    pub fn txn_slot_count(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Whether `owner_word` is currently registered alive in the watchdog's
+    /// liveness map. Quiescence waits only on slots whose owner is known
+    /// live; a reclaimed or vanished owner never deactivates its slot, and
+    /// waiting on it would hang forever.
+    pub(crate) fn owner_known_live(&self, owner_word: usize) -> bool {
+        self.liveness.is_alive(owner_word)
     }
 
     /// The armed fault injector, if [`StmConfig::fault`] set one.
@@ -323,11 +529,6 @@ impl Heap {
     /// a no-op for owners that already deregistered.
     pub(crate) fn owner_vanished(&self, owner_word: usize) {
         self.liveness.mark_dead(owner_word);
-    }
-
-    /// Whether `owner_word` is registered and known dead.
-    pub(crate) fn owner_is_dead(&self, owner_word: usize) -> bool {
-        self.liveness.is_dead(owner_word)
     }
 
     /// Attempts to reclaim the records of the (apparently stuck) exclusive
@@ -367,21 +568,21 @@ impl Heap {
     /// duration of one attempt. No-op unless the policy needs ages.
     pub(crate) fn register_age(&self, token: OwnerToken, age: u64) {
         if self.cm.needs_age() {
-            self.ages.lock().insert(token.word(), age);
+            self.ages.insert(token.word(), age);
         }
     }
 
     /// Drops the age registration of `token` (attempt finished).
     pub(crate) fn retire_age(&self, token: OwnerToken) {
         if self.cm.needs_age() {
-            self.ages.lock().remove(&token.word());
+            self.ages.remove(token.word());
         }
     }
 
     /// Birth ticket of the transaction whose owner token encodes to `word`,
     /// if registered.
     pub(crate) fn age_of_word(&self, word: usize) -> Option<u64> {
-        self.ages.lock().get(&word).copied()
+        self.ages.with(word, |age| *age)
     }
 
     /// Registers a shape; names must be unique.
@@ -755,13 +956,44 @@ mod tests {
     #[test]
     fn registry_reuses_slots() {
         let heap = Heap::new(StmConfig::default());
-        let s1 = heap.registry.claim(1);
-        s1.active.store(false, Ordering::Release);
-        let s2 = heap.registry.claim(2);
-        assert!(Arc::ptr_eq(&s1, &s2), "inactive slot is reused");
-        let s3 = heap.registry.claim(3);
-        assert!(!Arc::ptr_eq(&s2, &s3));
-        assert_eq!(heap.registry.all().len(), 2);
+        let i1 = heap.claim_txn_slot(1);
+        heap.txn_slot(i1).active.store(false, Ordering::Release);
+        heap.retire_txn_slot(i1);
+        // The retired slot is parked on this thread and claimed again.
+        let i2 = heap.claim_txn_slot(2);
+        assert_eq!(i1, i2, "parked slot is reused by the same thread");
+        // A second concurrent claim (the parked slot is busy) gets a
+        // distinct slot.
+        let i3 = heap.claim_txn_slot(3);
+        assert_ne!(i2, i3);
+        assert_eq!(heap.txn_slot_count(), 2);
+        // Retiring the non-parked slot free-lists it; the table never grows
+        // past peak concurrency.
+        heap.txn_slot(i3).active.store(false, Ordering::Release);
+        heap.retire_txn_slot(i3);
+        heap.txn_slot(i2).active.store(false, Ordering::Release);
+        heap.retire_txn_slot(i2);
+        let a = heap.claim_txn_slot(4);
+        let b = heap.claim_txn_slot(5);
+        assert_ne!(a, b);
+        assert_eq!(heap.txn_slot_count(), 2);
+    }
+
+    #[test]
+    fn slot_cache_moves_between_heaps() {
+        let h1 = Heap::new(StmConfig::default());
+        let h2 = Heap::new(StmConfig::default());
+        let i1 = h1.claim_txn_slot(1);
+        h1.txn_slot(i1).active.store(false, Ordering::Release);
+        h1.retire_txn_slot(i1);
+        // Claiming on another heap evicts the parked slot back to h1's free
+        // list; a later claim on h1 still reuses it (via the free list).
+        let j = h2.claim_txn_slot(1);
+        h2.txn_slot(j).active.store(false, Ordering::Release);
+        h2.retire_txn_slot(j);
+        let i2 = h1.claim_txn_slot(2);
+        assert_eq!(i1, i2, "evicted slot was free-listed, not leaked");
+        assert_eq!(h1.txn_slot_count(), 1);
     }
 
     #[test]

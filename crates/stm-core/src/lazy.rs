@@ -11,7 +11,8 @@
 //!
 //! The read protocol, commit-time acquisition, validation, release, and
 //! finish paths are the shared [`TxnCore`] pipeline ([`crate::pipeline`]);
-//! this module adds only what is lazy-specific — the write buffer and the
+//! this module adds only what is lazy-specific — the write buffer (the
+//! core's pooled span log plus its read-your-own-writes index) and the
 //! commit-time write-back.
 //!
 //! Versioning granularity (paper §2.4): when the configured granularity
@@ -26,7 +27,7 @@ use crate::cost::{charge, CostKind};
 use crate::dea;
 use crate::fault::{self, FaultSite};
 use crate::heap::{Heap, ObjRef, Word};
-use crate::pipeline::{CoreMark, TxnCore};
+use crate::pipeline::{CoreMark, SpanEntry, TxnCore, MAX_SPAN};
 use crate::stats::TxnTelemetry;
 use crate::syncpoint::SyncPoint;
 use crate::txn::TxResult;
@@ -34,47 +35,23 @@ use crate::txnrec::RecWord;
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 
-const MAX_SPAN: usize = 2;
-
-#[derive(Clone, Debug)]
-struct BufEntry {
-    obj: ObjRef,
-    base: u32,
-    len: u8,
-    vals: [Word; MAX_SPAN],
-}
-
-/// The private write buffer: entry per (object, span base), with an index
-/// for read-your-own-writes lookups.
-#[derive(Clone, Debug, Default)]
-struct WriteBuffer {
-    entries: Vec<BufEntry>,
-    index: HashMap<(ObjRef, u32), usize>,
-}
-
-impl WriteBuffer {
-    fn lookup(&self, obj: ObjRef, base: u32) -> Option<&BufEntry> {
-        self.index.get(&(obj, base)).map(|&i| &self.entries[i])
-    }
-}
-
 /// Closed-nesting savepoint: the lazy engine snapshots its buffer wholesale
 /// (nested blocks are rare; clarity over cleverness).
 #[derive(Clone, Debug)]
 pub(crate) struct LazySavePoint {
     mark: CoreMark,
-    buffer: WriteBuffer,
+    spans: Vec<SpanEntry>,
+    index: HashMap<(ObjRef, u32), usize>,
 }
 
 /// A lazy-versioning transaction. Use via [`crate::txn::atomic`].
 pub struct LazyTxn<'h> {
     core: TxnCore<'h>,
-    buffer: WriteBuffer,
 }
 
 impl<'h> LazyTxn<'h> {
     pub(crate) fn new(heap: &'h Heap, age: u64) -> Self {
-        LazyTxn { core: TxnCore::begin(heap, age), buffer: WriteBuffer::default() }
+        LazyTxn { core: TxnCore::begin(heap, age) }
     }
 
     pub(crate) fn heap(&self) -> &'h Heap {
@@ -83,6 +60,10 @@ impl<'h> LazyTxn<'h> {
 
     pub(crate) fn owner_word(&self) -> usize {
         self.core.owner_word()
+    }
+
+    pub(crate) fn slot_index(&self) -> Option<usize> {
+        self.core.slot_index()
     }
 
     fn span_base(&self, r: ObjRef, field: usize) -> (u32, u8) {
@@ -97,8 +78,8 @@ impl<'h> LazyTxn<'h> {
     pub(crate) fn read(&mut self, r: ObjRef, field: usize) -> TxResult<Word> {
         self.core.read_preamble()?;
         let (base, _len) = self.span_base(r, field);
-        if let Some(e) = self.buffer.lookup(r, base) {
-            return Ok(e.vals[field - base as usize]);
+        if let Some(&i) = self.core.span_index.get(&(r, base)) {
+            return Ok(self.core.spans[i].vals[field - base as usize]);
         }
         // Exclusive guards here mean a committer is writing back (or a
         // non-transactional writer owns the record anonymously); both
@@ -118,12 +99,11 @@ impl<'h> LazyTxn<'h> {
     pub(crate) fn write(&mut self, r: ObjRef, field: usize, value: Word) -> TxResult<()> {
         charge(CostKind::TxnOpenWrite);
         let (base, len) = self.span_base(r, field);
-        let idx = match self.buffer.index.get(&(r, base)) {
+        let idx = match self.core.span_index.get(&(r, base)) {
             Some(&i) => i,
             None => {
                 // Snapshot the whole span — the source of §2.4's granular
                 // anomalies when the span exceeds one field.
-                let obj = self.heap().obj(r);
                 let mut attempt = 0u32;
                 let rec = loop {
                     let rec = self.heap().guard_load(r);
@@ -133,6 +113,7 @@ impl<'h> LazyTxn<'h> {
                     }
                     self.core.conflict(ConflictSite::TxnWrite, &mut attempt, rec)?;
                 };
+                let obj = self.heap().obj(r);
                 let mut vals = [0u64; MAX_SPAN];
                 for (i, v) in vals.iter_mut().enumerate().take(len as usize) {
                     *v = obj.field(base as usize + i).load(Ordering::Acquire);
@@ -140,13 +121,13 @@ impl<'h> LazyTxn<'h> {
                 if rec.is_shared() {
                     self.core.log_read(r, rec);
                 }
-                let i = self.buffer.entries.len();
-                self.buffer.entries.push(BufEntry { obj: r, base, len, vals });
-                self.buffer.index.insert((r, base), i);
+                let i = self.core.spans.len();
+                self.core.spans.push(SpanEntry { obj: r, base, len, vals });
+                self.core.span_index.insert((r, base), i);
                 i
             }
         };
-        self.buffer.entries[idx].vals[field - base as usize] = value;
+        self.core.spans[idx].vals[field - base as usize] = value;
         self.heap().hit(SyncPoint::LazyAfterBuffer);
         fault::hook(self.heap(), FaultSite::PostBuffer)?;
         Ok(())
@@ -160,17 +141,25 @@ impl<'h> LazyTxn<'h> {
     /// Commit: acquire written records in global order, validate, write
     /// back, release. On failure everything is restored untouched.
     pub(crate) fn commit(&mut self) -> TxResult<()> {
+        let heap = self.core.heap;
         // Acquire in guard-slot order to avoid deadlock between committers.
         // Slot order, not ObjRef order: under the striped table two objects
         // may share one slot, and it is the slots that are locked. ObjRef
-        // breaks ties so the order stays total and deterministic.
-        let mut to_acquire: Vec<usize> = (0..self.buffer.entries.len()).collect();
-        to_acquire.sort_by_key(|&i| {
-            let r = self.buffer.entries[i].obj;
-            (self.heap().slot_of(r), r)
-        });
-        for &i in &to_acquire {
-            let r = self.buffer.entries[i].obj;
+        // breaks ties so the order stays total and deterministic. The order
+        // lives in the core's pooled scratch; `sort_unstable` because a
+        // stable sort allocates its merge buffer (keys are distinct, so the
+        // result is identical).
+        {
+            let TxnCore { spans, order, .. } = &mut self.core;
+            order.clear();
+            order.extend(0..spans.len());
+            order.sort_unstable_by_key(|&i| {
+                let r = spans[i].obj;
+                (heap.slot_of(r), r)
+            });
+        }
+        for k in 0..self.core.order.len() {
+            let r = self.core.spans[self.core.order[k]].obj;
             if self.core.owns(r) {
                 continue;
             }
@@ -202,17 +191,19 @@ impl<'h> LazyTxn<'h> {
         // publication-before-initialization flavour of memory inconsistency
         // (a root holding the publishing reference usually has a lower
         // address than the freshly allocated object it publishes).
-        let mut wb_order: Vec<usize> = (0..self.buffer.entries.len()).collect();
-        wb_order.sort_by_key(|&i| (self.buffer.entries[i].obj, self.buffer.entries[i].base));
-        for &ei in &wb_order {
-            let e = &self.buffer.entries[ei];
+        {
+            let TxnCore { spans, order, .. } = &mut self.core;
+            order.sort_unstable_by_key(|&i| (spans[i].obj, spans[i].base));
+        }
+        for k in 0..self.core.order.len() {
+            let e = self.core.spans[self.core.order[k]];
             self.heap().hit(SyncPoint::LazyBeforeWritebackEntry);
-            let obj = self.core.heap.obj(e.obj);
-            let publishing = self.heap().config.dea && !self.heap().is_private(e.obj);
+            let obj = heap.obj(e.obj);
+            let publishing = heap.config.dea && !heap.is_private(e.obj);
             for i in 0..e.len as usize {
                 let field = e.base as usize + i;
-                if publishing && self.heap().field_is_ref(e.obj, field) {
-                    dea::publish_word(self.heap(), e.vals[i]);
+                if publishing && heap.field_is_ref(e.obj, field) {
+                    dea::publish_word(heap, e.vals[i]);
                 }
                 charge(CostKind::TxnCommitEntry);
                 obj.field(field).store(e.vals[i], Ordering::Release);
@@ -223,19 +214,12 @@ impl<'h> LazyTxn<'h> {
 
         self.core.release_owned(false);
         self.core.finish_commit();
-        self.clear_local();
         Ok(())
     }
 
     /// Aborts: buffers are simply dropped; shared memory was never touched.
     pub(crate) fn abort(&mut self) {
         self.core.finish_abort();
-        self.clear_local();
-    }
-
-    fn clear_local(&mut self) {
-        self.buffer.entries.clear();
-        self.buffer.index.clear();
     }
 
     /// This attempt's contention telemetry.
@@ -248,11 +232,16 @@ impl<'h> LazyTxn<'h> {
     }
 
     pub(crate) fn savepoint(&self) -> LazySavePoint {
-        LazySavePoint { mark: self.core.mark(), buffer: self.buffer.clone() }
+        LazySavePoint {
+            mark: self.core.mark(),
+            spans: self.core.spans.clone(),
+            index: self.core.span_index.clone(),
+        }
     }
 
     pub(crate) fn rollback_to(&mut self, sp: LazySavePoint) {
-        self.buffer = sp.buffer;
+        self.core.spans = sp.spans;
+        self.core.span_index = sp.index;
         self.core.rollback_to_mark(sp.mark);
     }
 
@@ -271,7 +260,7 @@ impl std::fmt::Debug for LazyTxn<'_> {
         f.debug_struct("LazyTxn")
             .field("owner", &self.core.owner)
             .field("reads", &reads)
-            .field("buffered", &self.buffer.entries.len())
+            .field("buffered", &self.core.spans.len())
             .finish()
     }
 }

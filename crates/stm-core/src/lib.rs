@@ -78,6 +78,7 @@ pub mod locks;
 mod pipeline;
 pub mod quiesce;
 pub mod segvec;
+mod shardmap;
 pub mod stats;
 pub mod syncpoint;
 pub mod txn;

@@ -16,20 +16,61 @@
 //! map is keyed by [`Heap::slot_of`], which means a stripe shared by
 //! several written objects is acquired once, released once, and mirrored
 //! into the watchdog descriptor once.
+//!
+//! ## Allocation-free steady state
+//!
+//! Every growable container an attempt uses — read set, ownership map,
+//! span log (the eager undo log / lazy write buffer), handler vecs, DEA
+//! compensation sets, commit ordering scratch — lives in a pooled
+//! [`Scratch`]: popped from a thread-local stack at begin, cleared and
+//! pushed back at finish with its capacity intact. Together with the
+//! heap's parked quiescence slots and pooled watchdog descriptors, a
+//! steady-state transaction touches no global mutex and performs no heap
+//! allocation.
 
 use crate::contention::{resolve, ConflictSite};
 use crate::cost::{backoff_wait, charge, CostKind};
 use crate::fault::{self, FaultSite};
-use crate::heap::{Heap, ObjRef, TxnSlot, Word};
+use crate::heap::{Heap, ObjRef, Word};
 use crate::quiesce;
 use crate::stats::TxnTelemetry;
 use crate::syncpoint::SyncPoint;
-use crate::txn::{active_tokens, Abort, TxResult};
+use crate::txn::{token_is_active, Abort, TxResult};
 use crate::txnrec::{OwnerToken, RecWord};
-use crate::watchdog::{OrphanUndo, OwnerDesc};
-use std::collections::HashMap;
+use crate::watchdog::OwnerDesc;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::mem::ManuallyDrop;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+
+/// Maximum number of fields a single versioning span covers (the `Pair`
+/// granularity of [`crate::config::VersionGranularity`]).
+pub(crate) const MAX_SPAN: usize = 2;
+
+/// One field-span snapshot: `(object, base field, span length, values)`.
+/// The eager undo log, the lazy write buffer, and the watchdog's mirrored
+/// recovery log are all vectors of these — one `Copy` type, so the span
+/// log lives in the pooled scratch and mirroring is a memcpy.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct SpanEntry {
+    pub(crate) obj: ObjRef,
+    pub(crate) base: u32,
+    pub(crate) len: u8,
+    pub(crate) vals: [Word; MAX_SPAN],
+}
+
+impl SpanEntry {
+    /// Stores the snapshot back into the object's fields (undo replay,
+    /// orphan rollback, lazy write-back).
+    #[inline]
+    pub(crate) fn store_vals(&self, heap: &Heap, order: Ordering) {
+        let obj = heap.obj(self.obj);
+        for i in 0..self.len as usize {
+            obj.field(self.base as usize + i).store(self.vals[i], order);
+        }
+    }
+}
 
 /// How an open-for-read was satisfied.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -59,6 +100,42 @@ pub(crate) enum Acquired {
 /// transiently held by an unrelated transaction sharing the stripe.
 const PUBLISH_ACQUIRE_SPINS: u32 = 64;
 
+/// The pooled container set of one transaction attempt. Only capacities
+/// survive in the pool — every container is empty between attempts.
+#[derive(Default)]
+struct Scratch {
+    read_set: Vec<(ObjRef, RecWord)>,
+    owned: HashMap<usize, (ObjRef, RecWord)>,
+    on_abort: Vec<Box<dyn FnOnce()>>,
+    on_commit: Vec<Box<dyn FnOnce()>>,
+    spans: Vec<SpanEntry>,
+    span_index: HashMap<(ObjRef, u32), usize>,
+    private_reads: HashSet<ObjRef>,
+    private_writes: HashSet<ObjRef>,
+    order: Vec<usize>,
+}
+
+/// Pool depth: open nesting runs an inner transaction while the outer one
+/// is live, so the pool is a small stack, not a single slot.
+const SCRATCH_POOL_DEPTH: usize = 8;
+
+thread_local! {
+    static SCRATCH_POOL: RefCell<Vec<Scratch>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Reclaims an emptied handler vec's capacity across lifetimes, so the
+/// pool (which must be `'static`) can keep it for the next attempt.
+fn recycle_handlers<'h>(mut v: Vec<Box<dyn FnOnce() + 'h>>) -> Vec<Box<dyn FnOnce()>> {
+    v.clear();
+    let mut v = ManuallyDrop::new(v);
+    let (ptr, cap) = (v.as_mut_ptr(), v.capacity());
+    // SAFETY: the vec is empty, so no `'h`-bounded element is ever read
+    // through the new type; `Box<dyn FnOnce() + 'h>` and
+    // `Box<dyn FnOnce() + 'static>` have identical layout, so the pointer
+    // and capacity describe the same allocation.
+    unsafe { Vec::from_raw_parts(ptr.cast(), 0, cap) }
+}
+
 /// A savepoint over the core's logs (closed nesting). Engines wrap this
 /// with their versioning-specific state.
 #[derive(Copy, Clone, Debug)]
@@ -78,45 +155,74 @@ pub(crate) struct TxnCore<'h> {
     owned: HashMap<usize, (ObjRef, RecWord)>,
     on_abort: Vec<Box<dyn FnOnce() + 'h>>,
     on_commit: Vec<Box<dyn FnOnce() + 'h>>,
-    slot: Option<Arc<TxnSlot>>,
+    /// Index of this attempt's quiescence slot in the heap's registry.
+    slot: Option<usize>,
     pub(crate) telem: TxnTelemetry,
     /// Heap-side owner descriptor (watchdog enabled only): acquisitions and
     /// undo entries are mirrored here *before* any in-place store, so a
     /// reclaimer can roll this transaction back if its thread dies.
     desc: Option<Arc<OwnerDesc>>,
+    /// The engine's span log: the eager undo log or the lazy write buffer.
+    pub(crate) spans: Vec<SpanEntry>,
+    /// Read-your-own-writes index over `spans` (lazy engine).
+    pub(crate) span_index: HashMap<(ObjRef, u32), usize>,
+    /// Objects accessed while private (DEA compensation on publication).
+    pub(crate) private_reads: HashSet<ObjRef>,
+    pub(crate) private_writes: HashSet<ObjRef>,
+    /// Commit-time ordering scratch (lazy acquire and write-back orders).
+    pub(crate) order: Vec<usize>,
 }
 
 impl<'h> TxnCore<'h> {
-    /// Begins an attempt: quiescence slot, owner token, age registration,
-    /// liveness descriptor.
+    /// Begins an attempt: owner token, age registration, liveness
+    /// descriptor, quiescence slot, pooled scratch.
     pub(crate) fn begin(heap: &'h Heap, age: u64) -> Self {
+        charge(CostKind::TxnBegin);
+        let owner = heap.fresh_owner();
+        heap.register_age(owner, age);
+        // Liveness is registered BEFORE the owner word is published in the
+        // quiescence slot: a committer treats a slot owner that is not
+        // registered alive as crashed and skips the slot, so registration
+        // must be visible first or a live transaction could be skipped.
+        let desc = heap.liveness_register(owner);
         let slot = if heap.config.quiescence {
-            Some(heap.registry.claim(heap.serial.load(Ordering::Acquire)))
+            let idx = heap.claim_txn_slot(heap.serial.load(Ordering::Acquire));
+            heap.txn_slot(idx).owner.store(owner.word(), Ordering::Release);
+            Some(idx)
         } else {
             None
         };
-        charge(CostKind::TxnBegin);
-        let owner = heap.fresh_owner();
-        if let Some(slot) = &slot {
-            slot.owner.store(owner.word(), Ordering::Release);
-        }
-        heap.register_age(owner, age);
-        let desc = heap.liveness_register(owner);
+        let scratch = SCRATCH_POOL
+            .try_with(|p| p.borrow_mut().pop())
+            .ok()
+            .flatten()
+            .unwrap_or_default();
         TxnCore {
             heap,
             owner,
-            read_set: Vec::new(),
-            owned: HashMap::new(),
-            on_abort: Vec::new(),
-            on_commit: Vec::new(),
+            read_set: scratch.read_set,
+            owned: scratch.owned,
+            on_abort: scratch.on_abort,
+            on_commit: scratch.on_commit,
             slot,
             telem: TxnTelemetry { attempts: 1, ..TxnTelemetry::default() },
             desc,
+            spans: scratch.spans,
+            span_index: scratch.span_index,
+            private_reads: scratch.private_reads,
+            private_writes: scratch.private_writes,
+            order: scratch.order,
         }
     }
 
     pub(crate) fn owner_word(&self) -> usize {
         self.owner.word()
+    }
+
+    /// Index of this attempt's quiescence slot, if quiescence is on. Tests
+    /// assert slot exclusivity and reuse through this.
+    pub(crate) fn slot_index(&self) -> Option<usize> {
+        self.slot
     }
 
     /// Consults the heap's contention manager about a conflict at `site`;
@@ -129,7 +235,7 @@ impl<'h> TxnCore<'h> {
         attempt: &mut u32,
         holder: RecWord,
     ) -> TxResult<()> {
-        if holder.is_txn_exclusive() && active_tokens().contains(&holder.raw()) {
+        if holder.is_txn_exclusive() && token_is_active(holder.raw()) {
             self.telem.deadlocks += 1;
             return Err(Abort::Deadlock);
         }
@@ -269,7 +375,7 @@ impl<'h> TxnCore<'h> {
     /// Mirrors an undo-log append into the watchdog descriptor (eager
     /// engine; called before the in-place store so the recovery data is
     /// never behind shared memory).
-    pub(crate) fn note_undo(&self, entry: OrphanUndo) {
+    pub(crate) fn note_undo(&self, entry: SpanEntry) {
         if let Some(d) = &self.desc {
             d.note_undo(entry);
         }
@@ -335,8 +441,10 @@ impl<'h> TxnCore<'h> {
     /// success.
     pub(crate) fn validate(&mut self) -> TxResult<()> {
         if self.read_set_valid() {
-            if let Some(slot) = &self.slot {
-                slot.vserial
+            if let Some(idx) = self.slot {
+                self.heap
+                    .txn_slot(idx)
+                    .vserial
                     .store(self.heap.serial.load(Ordering::Acquire), Ordering::Release);
             }
             Ok(())
@@ -389,8 +497,9 @@ impl<'h> TxnCore<'h> {
             h();
         }
         self.heap.hit(SyncPoint::TxnCommitted);
-        if let Some(slot) = self.slot.take() {
-            quiesce::finish_and_quiesce(self.heap, &slot, true);
+        if let Some(idx) = self.slot.take() {
+            quiesce::finish_and_quiesce(self.heap, idx, true);
+            self.heap.retire_txn_slot(idx);
         }
         self.clear();
     }
@@ -404,12 +513,15 @@ impl<'h> TxnCore<'h> {
         }
         charge(CostKind::TxnAbort);
         self.heap.stats.abort();
-        if let Some(slot) = self.slot.take() {
-            quiesce::finish_and_quiesce(self.heap, &slot, false);
+        if let Some(idx) = self.slot.take() {
+            quiesce::finish_and_quiesce(self.heap, idx, false);
+            self.heap.retire_txn_slot(idx);
         }
         self.clear();
     }
 
+    /// Tears down bookkeeping and returns the emptied containers to the
+    /// thread-local scratch pool (capacities intact).
     fn clear(&mut self) {
         self.heap.retire_age(self.owner);
         if self.desc.take().is_some() {
@@ -419,6 +531,28 @@ impl<'h> TxnCore<'h> {
         self.owned.clear();
         self.on_abort.clear();
         self.on_commit.clear();
+        self.spans.clear();
+        self.span_index.clear();
+        self.private_reads.clear();
+        self.private_writes.clear();
+        self.order.clear();
+        let scratch = Scratch {
+            read_set: std::mem::take(&mut self.read_set),
+            owned: std::mem::take(&mut self.owned),
+            on_abort: recycle_handlers(std::mem::take(&mut self.on_abort)),
+            on_commit: recycle_handlers(std::mem::take(&mut self.on_commit)),
+            spans: std::mem::take(&mut self.spans),
+            span_index: std::mem::take(&mut self.span_index),
+            private_reads: std::mem::take(&mut self.private_reads),
+            private_writes: std::mem::take(&mut self.private_writes),
+            order: std::mem::take(&mut self.order),
+        };
+        let _ = SCRATCH_POOL.try_with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < SCRATCH_POOL_DEPTH {
+                pool.push(scratch);
+            }
+        });
     }
 
     /// This attempt's contention telemetry.

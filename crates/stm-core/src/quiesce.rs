@@ -15,21 +15,31 @@
 //! identically over per-object and striped record tables.
 
 use crate::contention::{resolve, ConflictSite};
-use crate::heap::{Heap, TxnSlot};
+use crate::heap::Heap;
 use crate::syncpoint::SyncPoint;
+use crate::txn::token_is_active;
 use std::sync::atomic::Ordering;
 
-/// Marks `slot` finished (at a fresh serialization point) and, on commit,
-/// waits until every other active transaction has reached a consistent
-/// state at or after that point.
+/// Marks the slot at `idx` finished (at a fresh serialization point) and,
+/// on commit, waits until every other active transaction has reached a
+/// consistent state at or after that point.
 ///
 /// Consistent states are announced through `TxnSlot::vserial`: transactions
 /// bump it at begin, successful validation, commit, and abort. Progress
 /// therefore relies on in-flight transactions eventually reaching one of
 /// those events — the same assumption the quiescence literature makes
 /// (long-running transactions should call `Txn::validate` periodically).
-pub(crate) fn finish_and_quiesce(heap: &Heap, slot: &TxnSlot, committed: bool) {
+///
+/// The committer walks the registry *in place* — slot table entries have
+/// stable addresses, so this takes no lock and clones nothing. Slots
+/// appended concurrently with the walk belong to transactions that began
+/// after our serialization point (their `vserial` starts at a begin serial
+/// `>= s` only if they started after us; if below `s`, they are waited out
+/// like any other laggard), so visiting a prefix is sound and visiting a
+/// concurrent append is harmless.
+pub(crate) fn finish_and_quiesce(heap: &Heap, idx: usize, committed: bool) {
     let s = heap.serial.fetch_add(1, Ordering::AcqRel) + 1;
+    let slot = heap.txn_slot(idx);
     slot.vserial.store(s, Ordering::Release);
     slot.active.store(false, Ordering::Release);
     if !committed {
@@ -38,16 +48,30 @@ pub(crate) fn finish_and_quiesce(heap: &Heap, slot: &TxnSlot, committed: bool) {
     heap.hit(SyncPoint::QuiesceStart);
     let mut waited = false;
     let mut attempt = 0u32;
-    for other in heap.registry.all() {
-        if std::ptr::eq(other.as_ref(), slot) {
+    for (i, other) in heap.registry.iter() {
+        if i == idx {
             continue;
         }
         while other.active.load(Ordering::Acquire) && other.vserial.load(Ordering::Acquire) < s {
             // A slot whose owner died mid-flight (panic with panic safety
             // off) will never reach another consistent state; its doomed
             // reads can no longer be acted on, so the committer skips it.
+            // "Dead" here means *not registered alive*: watchdog reclamation
+            // removes an owner from the liveness map entirely, and waiting
+            // on a reclaimed owner's slot would hang forever. Live owners
+            // are never mistaken for dead ones because `TxnCore::begin`
+            // registers liveness before publishing the owner word.
             let ow = other.owner.load(Ordering::Acquire);
-            if ow != 0 && heap.owner_is_dead(ow) {
+            if ow != 0 && heap.config.watchdog.enabled && !heap.owner_known_live(ow) {
+                break;
+            }
+            // A slot owned by an *enclosing* transaction of this thread
+            // (open nesting) is suspended beneath us on the same stack: it
+            // cannot reach a consistent state until we return, so waiting
+            // on it is a self-deadlock. It is not concurrent — it resumes
+            // only after this commit completes — so skipping it preserves
+            // the quiescence guarantee.
+            if ow != 0 && token_is_active(ow) {
                 break;
             }
             if !waited {
@@ -73,29 +97,29 @@ mod tests {
     #[test]
     fn abort_does_not_wait() {
         let heap = Heap::new(StmConfig { quiescence: true, ..StmConfig::default() });
-        let mine = heap.registry.claim(0);
+        let mine = heap.claim_txn_slot(0);
         // Another transaction is active and behind — an abort must not wait
         // for it.
-        let _other = heap.registry.claim(0);
-        finish_and_quiesce(&heap, &mine, false);
-        assert!(!mine.active.load(Ordering::Acquire));
+        let _other = heap.claim_txn_slot(0);
+        finish_and_quiesce(&heap, mine, false);
+        assert!(!heap.txn_slot(mine).active.load(Ordering::Acquire));
         assert_eq!(heap.stats().snapshot().quiescence_waits, 0);
     }
 
     #[test]
     fn commit_waits_for_lagging_txn() {
         let heap = Heap::new(StmConfig { quiescence: true, ..StmConfig::default() });
-        let mine = heap.registry.claim(0);
-        let other = heap.registry.claim(0);
+        let mine = heap.claim_txn_slot(0);
+        let other = heap.claim_txn_slot(0);
 
         let heap2 = Arc::clone(&heap);
         let committer = std::thread::spawn(move || {
-            finish_and_quiesce(&heap2, &mine, true);
+            finish_and_quiesce(&heap2, mine, true);
         });
         std::thread::sleep(std::time::Duration::from_millis(30));
         assert!(!committer.is_finished(), "committer must quiesce-wait");
         // The lagging transaction reaches a consistent state.
-        other
+        heap.txn_slot(other)
             .vserial
             .store(heap.serial.load(Ordering::Acquire) + 1, Ordering::Release);
         committer.join().unwrap();
@@ -105,24 +129,43 @@ mod tests {
     #[test]
     fn commit_skips_inactive_slots() {
         let heap = Heap::new(StmConfig { quiescence: true, ..StmConfig::default() });
-        let mine = heap.registry.claim(0);
-        let other = heap.registry.claim(0);
-        other.active.store(false, Ordering::Release);
-        finish_and_quiesce(&heap, &mine, true); // returns immediately
+        let mine = heap.claim_txn_slot(0);
+        let other = heap.claim_txn_slot(0);
+        heap.txn_slot(other).active.store(false, Ordering::Release);
+        finish_and_quiesce(&heap, mine, true); // returns immediately
     }
 
     #[test]
     fn commit_skips_dead_owner_slots() {
         let heap = Heap::new(StmConfig { quiescence: true, ..StmConfig::default() });
-        let mine = heap.registry.claim(0);
+        let mine = heap.claim_txn_slot(0);
         // Another transaction is active, behind, and its owner has died
         // without deactivating the slot — the committer must not wait on it.
-        let other = heap.registry.claim(0);
+        let other = heap.claim_txn_slot(0);
         let dead = heap.fresh_owner();
-        other.owner.store(dead.word(), Ordering::Release);
+        heap.txn_slot(other).owner.store(dead.word(), Ordering::Release);
         heap.liveness.register(dead);
         heap.liveness.mark_dead(dead.word());
-        finish_and_quiesce(&heap, &mine, true); // returns immediately
-        assert!(other.active.load(Ordering::Acquire), "slot untouched");
+        finish_and_quiesce(&heap, mine, true); // returns immediately
+        assert!(
+            heap.txn_slot(other).active.load(Ordering::Acquire),
+            "slot untouched"
+        );
+    }
+
+    #[test]
+    fn commit_skips_reclaimed_owner_slots() {
+        // After watchdog reclamation the owner is *removed* from the
+        // liveness map (not just marked dead); the committer must still
+        // skip its stale slot rather than hang.
+        let heap = Heap::new(StmConfig { quiescence: true, ..StmConfig::default() });
+        let mine = heap.claim_txn_slot(0);
+        let other = heap.claim_txn_slot(0);
+        let gone = heap.fresh_owner();
+        heap.txn_slot(other).owner.store(gone.word(), Ordering::Release);
+        // `gone` was never registered (or was registered and later
+        // reclaimed) — either way it is not registered alive.
+        finish_and_quiesce(&heap, mine, true); // returns immediately
+        assert!(heap.txn_slot(other).active.load(Ordering::Acquire));
     }
 }

@@ -1,0 +1,125 @@
+//! A sharded concurrent map keyed by owner-token words.
+//!
+//! The transaction lifecycle registers two per-attempt facts keyed by the
+//! owner token: the liveness descriptor (watchdog) and the birth ticket
+//! (age-based contention policies). A single global `Mutex<HashMap>` for
+//! either turns every begin/commit in the process into contention on one
+//! cache line. Sharding by a mixed key spreads concurrent transactions over
+//! independent locks, so the steady-state lifecycle never takes a *global*
+//! mutex — at most one uncontended shard lock.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Number of shards. A power of two comfortably above the thread counts the
+/// tests and simulated machines use, so distinct threads practically always
+/// land on distinct locks.
+const SHARDS: usize = 64;
+
+/// One shard, padded to its own cache lines so neighbouring shard locks are
+/// never false-shared.
+#[repr(align(128))]
+struct Shard<V> {
+    map: Mutex<HashMap<usize, V>>,
+}
+
+impl<V> Default for Shard<V> {
+    fn default() -> Self {
+        Shard { map: Mutex::new(HashMap::new()) }
+    }
+}
+
+/// A fixed-shard concurrent map from `usize` keys to `V`.
+pub(crate) struct ShardMap<V> {
+    shards: Box<[Shard<V>]>,
+}
+
+impl<V> Default for ShardMap<V> {
+    fn default() -> Self {
+        ShardMap { shards: (0..SHARDS).map(|_| Shard::default()).collect() }
+    }
+}
+
+impl<V> std::fmt::Debug for ShardMap<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardMap").field("shards", &SHARDS).finish()
+    }
+}
+
+impl<V> ShardMap<V> {
+    /// Fibonacci-mixes `key` into a shard: owner words are sequential ids
+    /// shifted into tag space, so the multiplicative hash (not the low
+    /// bits) is what spreads them.
+    #[inline]
+    fn shard(&self, key: usize) -> &Shard<V> {
+        let mix = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(mix >> 58) as usize]
+    }
+
+    /// Inserts `value` under `key`, returning any displaced value.
+    pub(crate) fn insert(&self, key: usize, value: V) -> Option<V> {
+        self.shard(key).map.lock().insert(key, value)
+    }
+
+    /// Removes and returns the value under `key`.
+    pub(crate) fn remove(&self, key: usize) -> Option<V> {
+        self.shard(key).map.lock().remove(&key)
+    }
+
+    /// Runs `f` on the value under `key` (if present) while holding only
+    /// that shard's lock.
+    pub(crate) fn with<R>(&self, key: usize, f: impl FnOnce(&V) -> R) -> Option<R> {
+        self.shard(key).map.lock().get(&key).map(f)
+    }
+
+    /// Clones the value under `key` out of the map.
+    pub(crate) fn get(&self, key: usize) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.shard(key).map.lock().get(&key).cloned()
+    }
+
+    /// Visits every entry, one shard lock at a time. Entries inserted or
+    /// removed concurrently may or may not be seen; each shard is
+    /// internally consistent.
+    pub(crate) fn for_each(&self, mut f: impl FnMut(usize, &V)) {
+        for shard in self.shards.iter() {
+            for (&k, v) in shard.map.lock().iter() {
+                f(k, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let m: ShardMap<u64> = ShardMap::default();
+        // Owner words are ids shifted left; use that shape here.
+        for id in 1usize..200 {
+            assert_eq!(m.insert(id << 3, id as u64), None);
+        }
+        assert_eq!(m.get(5 << 3), Some(5));
+        assert_eq!(m.with(7 << 3, |v| *v + 1), Some(8));
+        assert_eq!(m.remove(5 << 3), Some(5));
+        assert_eq!(m.get(5 << 3), None);
+        let mut n = 0;
+        m.for_each(|_, _| n += 1);
+        assert_eq!(n, 198);
+    }
+
+    #[test]
+    fn sequential_ids_spread_over_shards() {
+        let m: ShardMap<()> = ShardMap::default();
+        let mut used = std::collections::HashSet::new();
+        for id in 1usize..=64 {
+            let key = id << 3;
+            used.insert(m.shard(key) as *const _ as usize);
+        }
+        assert!(used.len() > 16, "mixing failed: {} shards for 64 keys", used.len());
+    }
+}

@@ -83,10 +83,11 @@ thread_local! {
     static ACTIVE_TOKENS: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Owner-token words of transactions currently running on this thread
-/// (outermost first). Used to detect open-nesting self-deadlock.
-pub(crate) fn active_tokens() -> Vec<usize> {
-    ACTIVE_TOKENS.with(|t| t.borrow().clone())
+/// Whether `word` is the owner token of a transaction currently running on
+/// this thread (open-nesting self-deadlock detection). Checked in place —
+/// the conflict path must not clone the token stack on every probe.
+pub(crate) fn token_is_active(word: usize) -> bool {
+    ACTIVE_TOKENS.with(|t| t.borrow().contains(&word))
 }
 
 /// Scope guard for one transaction attempt. Besides maintaining the
@@ -151,6 +152,17 @@ impl<'h> Txn<'h> {
         match &self.inner {
             Inner::Eager(t) => t.owner_word(),
             Inner::Lazy(t) => t.owner_word(),
+        }
+    }
+
+    /// Index of this transaction's quiescence slot, if quiescence is
+    /// enabled. Exposed for the slot-exclusivity stress tests; not part of
+    /// the stable API.
+    #[doc(hidden)]
+    pub fn quiescence_slot(&self) -> Option<usize> {
+        match &self.inner {
+            Inner::Eager(t) => t.slot_index(),
+            Inner::Lazy(t) => t.slot_index(),
         }
     }
 

@@ -25,10 +25,12 @@
 //! serializes competing reclaimers and the first one drains the recovery
 //! log.
 
-use crate::heap::{Heap, ObjRef, Word};
+use crate::heap::{Heap, ObjRef};
+use crate::pipeline::SpanEntry;
+use crate::shardmap::ShardMap;
 use crate::txnrec::{OwnerToken, RecWord};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -54,23 +56,13 @@ impl Default for WatchdogConfig {
     }
 }
 
-/// One mirrored undo entry (object, field span, prior values) — the same
-/// data the eager engine keeps privately, lifted to the heap so a reclaimer
-/// can roll a dead owner back.
-#[derive(Copy, Clone, Debug)]
-pub(crate) struct OrphanUndo {
-    pub(crate) obj: ObjRef,
-    pub(crate) base: u32,
-    pub(crate) len: u8,
-    pub(crate) vals: [Word; 2],
-}
-
 #[derive(Debug, Default)]
 struct DescInner {
     /// Records this owner acquired, with the shared word to restore-and-bump.
     owned: Vec<(ObjRef, RecWord)>,
-    /// Mirrored undo log, in append order.
-    undo: Vec<OrphanUndo>,
+    /// Mirrored undo log ([`SpanEntry`] — the same type the eager engine
+    /// keeps privately, lifted to the heap), in append order.
+    undo: Vec<SpanEntry>,
 }
 
 /// A per-attempt owner descriptor shared between the owning transaction and
@@ -89,9 +81,19 @@ impl OwnerDesc {
     }
 
     /// Mirrors an undo-log append (same ordering contract).
-    pub(crate) fn note_undo(&self, entry: OrphanUndo) {
+    pub(crate) fn note_undo(&self, entry: SpanEntry) {
         self.inner.lock().undo.push(entry);
     }
+}
+
+/// Pool depth for retired descriptors (mirrors the scratch pool's depth:
+/// open nesting keeps several attempts live on one thread).
+const DESC_POOL_DEPTH: usize = 8;
+
+thread_local! {
+    /// Retired owner descriptors, reused by later attempts on this thread
+    /// so steady-state liveness registration allocates nothing.
+    static DESC_POOL: RefCell<Vec<Arc<OwnerDesc>>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Outcome of a reclamation attempt at a stuck spin site.
@@ -110,58 +112,91 @@ pub(crate) enum ReclaimOutcome {
     Unknown,
 }
 
-/// The owner-liveness registry, one per heap.
+/// The owner-liveness registry, one per heap. Sharded by owner word, so
+/// register/deregister on distinct threads practically never contend — the
+/// registry is on the begin/commit fast path whenever the watchdog is on.
 #[derive(Debug, Default)]
 pub(crate) struct Liveness {
-    map: Mutex<HashMap<usize, Arc<OwnerDesc>>>,
+    map: ShardMap<Arc<OwnerDesc>>,
 }
 
 impl Liveness {
-    /// Registers a fresh, live owner and returns its descriptor.
+    /// Registers a fresh, live owner and returns its descriptor (pooled
+    /// when possible).
     pub(crate) fn register(&self, owner: OwnerToken) -> Arc<OwnerDesc> {
-        let desc = Arc::new(OwnerDesc {
-            alive: AtomicBool::new(true),
-            inner: Mutex::new(DescInner::default()),
-        });
-        self.map.lock().insert(owner.word(), Arc::clone(&desc));
+        let desc = DESC_POOL
+            .try_with(|p| p.borrow_mut().pop())
+            .ok()
+            .flatten()
+            .unwrap_or_else(|| {
+                Arc::new(OwnerDesc {
+                    alive: AtomicBool::new(true),
+                    inner: Mutex::new(DescInner::default()),
+                })
+            });
+        desc.alive.store(true, Ordering::Release);
+        self.map.insert(owner.word(), Arc::clone(&desc));
         desc
     }
 
-    /// Removes an owner that completed normally (commit or abort).
+    /// Removes an owner that completed normally (commit or abort). The
+    /// descriptor is pooled for reuse — but only if no reclaimer still
+    /// holds a clone (a descriptor another thread can reach must never be
+    /// handed to a fresh owner).
     pub(crate) fn deregister(&self, owner: OwnerToken) {
-        self.map.lock().remove(&owner.word());
+        if let Some(desc) = self.map.remove(owner.word()) {
+            if Arc::strong_count(&desc) == 1 {
+                {
+                    let mut inner = desc.inner.lock();
+                    inner.owned.clear();
+                    inner.undo.clear();
+                }
+                let _ = DESC_POOL.try_with(move |p| {
+                    let mut pool = p.borrow_mut();
+                    if pool.len() < DESC_POOL_DEPTH {
+                        pool.push(desc);
+                    }
+                });
+            }
+        }
     }
 
     /// Marks an owner dead. Called from the runner's token guard when an
     /// attempt unwinds without completing; tokens are never reused, so a
     /// dead mark can never apply to a later transaction.
     pub(crate) fn mark_dead(&self, owner_word: usize) {
-        if let Some(desc) = self.map.lock().get(&owner_word) {
-            desc.alive.store(false, Ordering::Release);
-        }
+        self.map.with(owner_word, |d| d.alive.store(false, Ordering::Release));
     }
 
     /// Whether `owner_word` is registered and known dead.
     pub(crate) fn is_dead(&self, owner_word: usize) -> bool {
         self.map
-            .lock()
-            .get(&owner_word)
-            .is_some_and(|d| !d.alive.load(Ordering::Acquire))
+            .with(owner_word, |d| !d.alive.load(Ordering::Acquire))
+            .unwrap_or(false)
+    }
+
+    /// Whether `owner_word` is registered and alive. Quiescence waits only
+    /// on slots whose owner passes this — an owner that was reclaimed (and
+    /// so *removed* from the registry) must read as not-alive, which
+    /// `!is_dead` would get wrong.
+    pub(crate) fn is_alive(&self, owner_word: usize) -> bool {
+        self.map
+            .with(owner_word, |d| d.alive.load(Ordering::Acquire))
+            .unwrap_or(false)
     }
 
     /// Registered descriptors whose owner is dead:
     /// `(owner word, records still listed, undo entries still listed)`.
     /// Non-empty at a quiescent moment means an orphan was never reclaimed.
     pub(crate) fn dead_descriptors(&self) -> Vec<(usize, usize, usize)> {
-        self.map
-            .lock()
-            .iter()
-            .filter(|(_, d)| !d.alive.load(Ordering::Acquire))
-            .map(|(&w, d)| {
+        let mut out = Vec::new();
+        self.map.for_each(|w, d| {
+            if !d.alive.load(Ordering::Acquire) {
                 let inner = d.inner.lock();
-                (w, inner.owned.len(), inner.undo.len())
-            })
-            .collect()
+                out.push((w, inner.owned.len(), inner.undo.len()));
+            }
+        });
+        out
     }
 
     /// Attempts to reclaim the records of the owner encoded in `holder`
@@ -171,8 +206,8 @@ impl Liveness {
     /// fail validation.
     pub(crate) fn try_reclaim(&self, heap: &Heap, holder: RecWord) -> ReclaimOutcome {
         debug_assert!(holder.is_txn_exclusive());
-        let desc = match self.map.lock().get(&holder.raw()) {
-            Some(d) => Arc::clone(d),
+        let desc = match self.map.get(holder.raw()) {
+            Some(d) => d,
             None => return ReclaimOutcome::Unknown,
         };
         if desc.alive.load(Ordering::Acquire) {
@@ -181,11 +216,8 @@ impl Liveness {
         let mut records = 0;
         {
             let mut inner = desc.inner.lock();
-            for u in inner.undo.drain(..).rev() {
-                let obj = heap.obj(u.obj);
-                for i in 0..u.len as usize {
-                    obj.field(u.base as usize + i).store(u.vals[i], Ordering::Relaxed);
-                }
+            while let Some(u) = inner.undo.pop() {
+                u.store_vals(heap, Ordering::Relaxed);
             }
             for (r, prior) in inner.owned.drain(..) {
                 // The descriptor mirrors acquisitions per guard *slot*, so
@@ -196,7 +228,7 @@ impl Liveness {
                 records += 1;
             }
         }
-        self.map.lock().remove(&holder.raw());
+        self.map.remove(holder.raw());
         ReclaimOutcome::Reclaimed { records }
     }
 }
