@@ -364,7 +364,7 @@ pub fn chaos(first_seed: u64, count: u64) -> String {
     use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
-    use stm_core::config::{Granularity, StmConfig, Versioning};
+    use stm_core::config::{Granularity, IsolationLevel, StmConfig, Versioning};
     use stm_core::contention::ContentionPolicy;
     use stm_core::fault::{FaultPlan, FaultSite, InjectedPanic};
     use stm_core::heap::{FieldDef, Heap, Shape};
@@ -403,14 +403,19 @@ pub fn chaos(first_seed: u64, count: u64) -> String {
 
     for seed in first_seed..first_seed + count {
         for versioning in [Versioning::Eager, Versioning::Lazy] {
-            for (granularity, policy) in granularities
-                .into_iter()
-                .flat_map(|g| ContentionPolicy::ALL.into_iter().map(move |p| (g, p)))
+            for (isolation, (granularity, policy)) in
+                IsolationLevel::ALL.into_iter().flat_map(|iso| {
+                    granularities
+                        .into_iter()
+                        .flat_map(|g| ContentionPolicy::ALL.into_iter().map(move |p| (g, p)))
+                        .map(move |gp| (iso, gp))
+                })
             {
                 let heap = Heap::new(StmConfig {
                     versioning,
                     granularity,
                     contention: policy,
+                    isolation,
                     dea: true,
                     fault: Some(FaultPlan::seeded(seed)),
                     watchdog: WatchdogConfig { enabled: true, spin_budget: 64 },
@@ -493,7 +498,9 @@ pub fn chaos(first_seed: u64, count: u64) -> String {
                 let report = heap.audit();
                 if !report.is_clean() {
                     failures.push(format!(
-                        "seed={seed} engine={versioning:?} records={} policy={}:\n{report}",
+                        "seed={seed} engine={versioning:?} isolation={} records={} \
+                         policy={}:\n{report}",
+                        isolation.label(),
                         granularity.label(),
                         policy.label()
                     ));
@@ -513,13 +520,18 @@ pub fn chaos(first_seed: u64, count: u64) -> String {
 
     let injected = injected_panics.load(Ordering::Relaxed);
     let exclusive = exclusive_panics.load(Ordering::Relaxed);
-    let runs = count * 2 * granularities.len() as u64 * ContentionPolicy::ALL.len() as u64;
+    let runs = count
+        * 2
+        * stm_core::config::IsolationLevel::ALL.len() as u64
+        * granularities.len() as u64
+        * ContentionPolicy::ALL.len() as u64;
     let mut out = String::new();
     writeln!(out, "== Chaos campaign: seeded faults vs the heap auditor ==\n").unwrap();
     writeln!(
         out,
-        "seeds {first_seed}..{} x {{eager, lazy}} x {{per-object, striped:64}} x \
-         {{aggressive, backoff, karma}} = {runs} runs ({THREADS} threads x {OPS} ops each)",
+        "seeds {first_seed}..{} x {{eager, lazy}} x {{strong, snapshot, quiescence}} x \
+         {{per-object, striped:64}} x {{aggressive, backoff, karma}} = {runs} runs \
+         ({THREADS} threads x {OPS} ops each)",
         first_seed + count
     )
     .unwrap();
@@ -979,6 +991,267 @@ pub fn scale_to(ops_per_thread: u64, artifact: &std::path::Path) -> String {
     out
 }
 
+/// One measured cell of the isolation-level experiment.
+struct IsoRow {
+    level: &'static str,
+    engine: &'static str,
+    threads: usize,
+    ops: u64,
+    elapsed_s: f64,
+    commits: u64,
+    aborts: u64,
+    snapshot_reads: u64,
+    snapshot_conflicts: u64,
+    barriers_elided: u64,
+}
+
+impl IsoRow {
+    fn throughput(&self) -> f64 {
+        self.ops as f64 / self.elapsed_s
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"level\":\"{}\",\"engine\":\"{}\",\"threads\":{},\"ops\":{},\
+             \"elapsed_s\":{:.6},\"throughput_ops_per_s\":{:.1},\"commits\":{},\
+             \"aborts\":{},\"snapshot_reads\":{},\"snapshot_conflicts\":{},\
+             \"barriers_elided\":{}}}",
+            self.level,
+            self.engine,
+            self.threads,
+            self.ops,
+            self.elapsed_s,
+            self.throughput(),
+            self.commits,
+            self.aborts,
+            self.snapshot_reads,
+            self.snapshot_conflicts,
+            self.barriers_elided,
+        )
+    }
+}
+
+/// Runs one isolation-level workload cell: a mixed transactional + barrier
+/// hammer on a small hot set, so each level's mechanism actually engages —
+/// snapshot isolation pays first-committer-wins retries against the barrier
+/// traffic, quiescence privatization elides the barriers entirely and pays
+/// commit-time quiescence instead.
+fn iso_case(
+    level: stm_core::config::IsolationLevel,
+    versioning: stm_core::config::Versioning,
+    threads: usize,
+    ops_per_thread: u64,
+) -> IsoRow {
+    use std::sync::Arc;
+    use stm_core::config::{StmConfig, Versioning};
+    use stm_core::heap::{FieldDef, Heap, Shape};
+    use stm_core::txn::atomic;
+
+    let heap = Heap::new(StmConfig {
+        versioning,
+        isolation: level,
+        ..StmConfig::default()
+    });
+    let shape = heap.define_shape(Shape::new(
+        "Iso",
+        vec![FieldDef::int("n"), FieldDef::int("side")],
+    ));
+    let objects: Vec<_> = (0..4).map(|_| heap.alloc_public(shape)).collect();
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let heap = Arc::clone(&heap);
+            let objects = objects.clone();
+            std::thread::spawn(move || {
+                let mut rng = 0x9E37_79B9u64.wrapping_mul(t as u64 + 1) | 1;
+                let mut next = move || {
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    rng
+                };
+                for i in 0..ops_per_thread {
+                    let o = objects[next() as usize % objects.len()];
+                    match next() % 4 {
+                        // Transactional read-modify-write. The repeat read
+                        // (before the write takes ownership) is the
+                        // snapshot-cache hit under SI; the yield widens the
+                        // window in which a rival barrier store can land and
+                        // trigger a first-committer-wins retry.
+                        0 | 1 => {
+                            atomic(&heap, |tx| {
+                                let v = tx.read(o, 0)?;
+                                let _ = tx.read(o, 0)?;
+                                std::thread::yield_now();
+                                tx.write(o, 0, v + 1)
+                            });
+                        }
+                        // Barriered store to the side field: stamped under
+                        // SI, elided under quiescence privatization.
+                        2 => stm_core::barrier::write_barrier(&heap, o, 1, i),
+                        _ => {
+                            let _ = stm_core::barrier::read_barrier(&heap, o, 0);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    let snap = heap.stats_snapshot();
+    IsoRow {
+        level: level.label(),
+        engine: match versioning {
+            Versioning::Eager => "eager",
+            Versioning::Lazy => "lazy",
+        },
+        threads,
+        ops: threads as u64 * ops_per_thread,
+        elapsed_s,
+        commits: snap.commits,
+        aborts: snap.aborts,
+        snapshot_reads: snap.si_snapshot_reads,
+        snapshot_conflicts: snap.si_write_conflicts,
+        barriers_elided: snap.barriers_elided,
+    }
+}
+
+/// Isolation-level spectrum: the machine-checked anomaly-witness matrix
+/// (strong atomicity vs snapshot isolation vs quiescence-only
+/// privatization, both engines) plus a mixed-workload cost sweep. Writes
+/// matrix cells and measured rows to `BENCH_isolation.json`.
+pub fn isolation(ops_per_thread: u64) -> String {
+    isolation_to(ops_per_thread, std::path::Path::new("BENCH_isolation.json"))
+}
+
+/// [`isolation`] with an explicit artifact path (tests point it at a
+/// temporary directory).
+pub fn isolation_to(ops_per_thread: u64, artifact: &std::path::Path) -> String {
+    use litmus::anomalies::{
+        engine_label, expected_isolation_matrix, isolation_matrix, render_isolation_matrix,
+        IsoAnomaly, ENGINES,
+    };
+    use stm_core::config::IsolationLevel;
+
+    const THREADS: usize = 4;
+
+    let got = isolation_matrix();
+    let want = expected_isolation_matrix();
+    let matches = got == want;
+
+    let mut out = String::new();
+    writeln!(out, "== Isolation-level spectrum: anomaly matrix + cost sweep ==\n").unwrap();
+    writeln!(
+        out,
+        "(columns: isolation level x engine; `yes` = the witness script\n\
+         observed the anomaly; write skew (WS) is snapshot isolation's own)\n"
+    )
+    .unwrap();
+    out.push_str(&render_isolation_matrix(&got));
+    writeln!(out, "\nmatches expected spectrum: {}", if matches { "YES" } else { "NO" }).unwrap();
+    if !matches {
+        for (i, anomaly) in IsoAnomaly::ALL.iter().enumerate() {
+            for (li, level) in IsolationLevel::ALL.iter().enumerate() {
+                for (ei, engine) in ENGINES.iter().enumerate() {
+                    let j = li * 2 + ei;
+                    if got[i][j] != want[i][j] {
+                        writeln!(
+                            out,
+                            "  MISMATCH {} level={} engine={}: expected {}, observed {}",
+                            anomaly.abbrev(),
+                            level.label(),
+                            engine_label(*engine),
+                            want[i][j],
+                            got[i][j]
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+        }
+    }
+
+    let mut rows: Vec<IsoRow> = Vec::new();
+    for level in IsolationLevel::ALL {
+        for engine in [
+            stm_core::config::Versioning::Eager,
+            stm_core::config::Versioning::Lazy,
+        ] {
+            rows.push(iso_case(level, engine, THREADS, ops_per_thread));
+        }
+    }
+
+    writeln!(
+        out,
+        "\n{:<11} {:<7} {:>4} {:>12} {:>9} {:>7} {:>10} {:>10} {:>8}",
+        "level", "engine", "thr", "ops/s", "commits", "aborts", "snap-read", "snap-conf", "elided"
+    )
+    .unwrap();
+    for r in &rows {
+        writeln!(
+            out,
+            "{:<11} {:<7} {:>4} {:>12.0} {:>9} {:>7} {:>10} {:>10} {:>8}",
+            r.level,
+            r.engine,
+            r.threads,
+            r.throughput(),
+            r.commits,
+            r.aborts,
+            r.snapshot_reads,
+            r.snapshot_conflicts,
+            r.barriers_elided,
+        )
+        .unwrap();
+    }
+
+    let matrix_json = IsoAnomaly::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, anomaly)| {
+            let cells = IsolationLevel::ALL
+                .iter()
+                .enumerate()
+                .flat_map(|(li, level)| {
+                    ENGINES.iter().enumerate().map(move |(ei, engine)| {
+                        format!(
+                            "\"{}/{}\":{}",
+                            level.label(),
+                            engine_label(*engine),
+                            got[i][li * 2 + ei]
+                        )
+                    })
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            format!("{{\"anomaly\":\"{}\",{}}}", anomaly.abbrev(), cells)
+        })
+        .collect::<Vec<_>>()
+        .join(",\n  ");
+    let json = format!(
+        "{{\"experiment\":\"isolation\",\"threads\":{THREADS},\
+         \"ops_per_thread\":{ops_per_thread},\"matrix_matches_expected\":{matches},\
+         \"matrix\":[\n  {matrix_json}\n],\"rows\":[\n  {}\n]}}\n",
+        rows.iter().map(IsoRow::json).collect::<Vec<_>>().join(",\n  ")
+    );
+    match std::fs::write(artifact, &json) {
+        Ok(()) => writeln!(out, "\nwrote {} ({} rows)", artifact.display(), rows.len()).unwrap(),
+        Err(e) => writeln!(out, "\nfailed to write {}: {e}", artifact.display()).unwrap(),
+    }
+    writeln!(
+        out,
+        "(snapshot isolation trades barrier blocking for first-committer-wins\n\
+         retries; quiescence privatization removes per-access barriers and pays\n\
+         only commit-time quiescence — exactly the §2 anomalies return with it)"
+    )
+    .unwrap();
+    assert!(matches, "isolation anomaly matrix diverged from the expected spectrum:\n{out}");
+    out
+}
+
 /// Runs every experiment (the `repro all` command).
 pub fn all(scale: usize) -> String {
     let mut out = String::new();
@@ -996,6 +1269,7 @@ pub fn all(scale: usize) -> String {
         contention(),
         granularity(2000),
         self::scale(400),
+        isolation(2000),
     ] {
         out.push_str(&part);
         out.push('\n');
@@ -1047,7 +1321,28 @@ mod tests {
         // Two seeds keep the debug-build test quick; the CI chaos job runs
         // the full 32-seed campaign in release mode.
         let s = chaos(1, 2);
-        assert!(s.contains("audits: 24/24 clean"), "{s}");
+        assert!(s.contains("audits: 72/72 clean"), "{s}");
+    }
+
+    #[test]
+    fn isolation_reports_and_emits_json() {
+        let dir = std::env::temp_dir().join("bench-isolation-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let artifact = dir.join("BENCH_isolation.json");
+        // Tiny op count: this test checks shape (and the embedded anomaly
+        // matrix, which isolation_to asserts internally), not performance.
+        let s = isolation_to(40, &artifact);
+
+        assert!(s.contains("matches expected spectrum: YES"), "{s}");
+        for label in ["strong", "snapshot", "quiescence"] {
+            assert!(s.contains(label), "missing {label}: {s}");
+        }
+        assert!(s.contains("BENCH_isolation.json"), "{s}");
+        let json = std::fs::read_to_string(&artifact).expect("JSON artifact written");
+        assert!(json.contains("\"experiment\":\"isolation\""), "{json}");
+        assert!(json.contains("\"matrix_matches_expected\":true"), "{json}");
+        assert!(json.contains("\"anomaly\":\"WS\""), "{json}");
+        assert!(json.contains("\"level\":\"quiescence\""), "{json}");
     }
 
     #[test]

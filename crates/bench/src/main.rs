@@ -20,6 +20,11 @@
 //!                        # throughput over 1..16 simulated threads, per
 //!                        # engine, disjoint + contended; writes
 //!                        # BENCH_scale.json (default 2000 ops/thread)
+//! repro isolation [ops]  # isolation-level spectrum: the 9-anomaly x
+//!                        # 6-column witness matrix (strong / snapshot /
+//!                        # quiescence x eager / lazy) plus a mixed-workload
+//!                        # cost sweep; writes BENCH_isolation.json
+//!                        # (default 2000 ops/thread)
 //! ```
 
 use bench::experiments as ex;
@@ -52,6 +57,10 @@ fn main() {
             let ops: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
             ex::scale(ops)
         }
+        "isolation" => {
+            let ops: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
+            ex::isolation(ops)
+        }
         "chaos" => {
             let mut first = 1u64;
             let mut count = 32u64;
@@ -77,7 +86,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment `{other}`; try: all, fig1..fig6, fig13..fig20, \
-                 contention, granularity, chaos, scale"
+                 contention, granularity, chaos, scale, isolation"
             );
             std::process::exit(2);
         }

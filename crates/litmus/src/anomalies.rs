@@ -1,0 +1,672 @@
+//! The isolation-level spectrum: every §2 anomaly (plus write skew) as a
+//! deterministic witness, re-run under each [`IsolationLevel`] × engine.
+//!
+//! The Figure-6 matrix ([`crate::anomaly_matrix`]) varies the *barrier*
+//! strategy; this module holds the barrier strategy fixed (strong barriers,
+//! the repo's default) and varies the *isolation level* of the STM runtime
+//! instead:
+//!
+//! - [`IsolationLevel::StrongAtomicity`] — the historical behaviour: no
+//!   anomaly is observable.
+//! - [`IsolationLevel::SnapshotIsolation`] — begin-time snapshot reads plus
+//!   first-committer-wins writes (the SI of Raad, Lahav & Vafeiadis,
+//!   arXiv:1805.06196). Every §2 anomaly stays impossible, but *write skew*
+//!   — SI's signature anomaly — becomes observable under both engines.
+//! - [`IsolationLevel::QuiescencePrivatization`] — per-access barriers are
+//!   elided and only commit-time quiescence remains (the privatization-only
+//!   safety of Khyzha et al., arXiv:1801.04249). The §2 anomalies reappear
+//!   exactly as in the corresponding weak column of Figure 6, while write
+//!   skew stays impossible because transaction-vs-transaction read
+//!   validation is untouched.
+//!
+//! Each witness is a two-thread script choreographed via sync points, so
+//! every cell of [`isolation_matrix`] is asserted both positively (the
+//! anomaly fires under the permissive level) and negatively (it cannot fire
+//! under the others), deterministically.
+
+use crate::harness::{run2_labeled, u, with_isolation, Env, T1, T2};
+use crate::Mode;
+use std::sync::Arc;
+use stm_core::config::{IsolationLevel, VersionGranularity, Versioning};
+use stm_core::heap::ObjRef;
+use stm_core::syncpoint::SyncPoint;
+use stm_core::txn::atomic;
+
+/// The anomalies of the isolation matrix: the paper's eight §2 violations
+/// plus snapshot isolation's write skew.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum IsoAnomaly {
+    /// Two reads of the same location inside one transaction disagree.
+    NonRepeatableRead,
+    /// A buffered span serves a stale neighbouring field after ordering
+    /// implies freshness (Figure 5(b), needs `Pair` versioning granularity).
+    GranularInconsistentRead,
+    /// A non-transactional store lands between a transactional read and the
+    /// dependent write, and is overwritten (Figure 2(b)).
+    IntermediateLostUpdate,
+    /// A doomed transaction's rollback clobbers a store that raced with its
+    /// speculative write (Figure 3(a)).
+    SpeculativeLostUpdate,
+    /// Undo/write-back at span granularity reverts an untouched neighbouring
+    /// field (Figure 5(a), needs `Pair` versioning granularity).
+    GranularLostUpdate,
+    /// A published object is observed before its initialization because
+    /// write-back applies in "no particular order" (Figure 4(a)).
+    MemoryInconsistency,
+    /// A non-transactional read observes an intermediate (odd) state of an
+    /// invariant-preserving transaction (Figure 2(c)).
+    IntermediateDirtyRead,
+    /// A non-transactional reader acts on a speculative value that is later
+    /// rolled back (Figure 3(b)).
+    SpeculativeDirtyRead,
+    /// Two transactions with disjoint writes but overlapping reads both
+    /// commit against their begin-time snapshots — the canonical snapshot
+    /// isolation anomaly (arXiv:1805.06196 §2).
+    WriteSkew,
+}
+
+impl IsoAnomaly {
+    /// All nine anomalies, in matrix row order (the eight §2 rows first).
+    pub const ALL: [IsoAnomaly; 9] = [
+        IsoAnomaly::NonRepeatableRead,
+        IsoAnomaly::GranularInconsistentRead,
+        IsoAnomaly::IntermediateLostUpdate,
+        IsoAnomaly::SpeculativeLostUpdate,
+        IsoAnomaly::GranularLostUpdate,
+        IsoAnomaly::MemoryInconsistency,
+        IsoAnomaly::IntermediateDirtyRead,
+        IsoAnomaly::SpeculativeDirtyRead,
+        IsoAnomaly::WriteSkew,
+    ];
+
+    /// The paper's abbreviation (write skew follows the SI literature).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            IsoAnomaly::NonRepeatableRead => "NR",
+            IsoAnomaly::GranularInconsistentRead => "GIR",
+            IsoAnomaly::IntermediateLostUpdate => "ILU",
+            IsoAnomaly::SpeculativeLostUpdate => "SLU",
+            IsoAnomaly::GranularLostUpdate => "GLU",
+            IsoAnomaly::MemoryInconsistency => "MI",
+            IsoAnomaly::IntermediateDirtyRead => "IDR",
+            IsoAnomaly::SpeculativeDirtyRead => "SDR",
+            IsoAnomaly::WriteSkew => "WS",
+        }
+    }
+
+    /// Runs this anomaly's witness under `level` × `engine`; `true` means
+    /// the anomaly was observed.
+    pub fn observe(self, level: IsolationLevel, engine: Versioning) -> bool {
+        match self {
+            IsoAnomaly::NonRepeatableRead => non_repeatable_read(level, engine),
+            IsoAnomaly::GranularInconsistentRead => granular_inconsistent_read(level, engine),
+            IsoAnomaly::IntermediateLostUpdate => intermediate_lost_update(level, engine),
+            IsoAnomaly::SpeculativeLostUpdate => speculative_lost_update(level, engine),
+            IsoAnomaly::GranularLostUpdate => granular_lost_update(level, engine),
+            IsoAnomaly::MemoryInconsistency => memory_inconsistency(level, engine),
+            IsoAnomaly::IntermediateDirtyRead => intermediate_dirty_read(level, engine),
+            IsoAnomaly::SpeculativeDirtyRead => speculative_dirty_read(level, engine),
+            IsoAnomaly::WriteSkew => write_skew(level, engine),
+        }
+    }
+}
+
+/// Both engines, in matrix column order within each isolation level.
+pub const ENGINES: [Versioning; 2] = [Versioning::Eager, Versioning::Lazy];
+
+/// The isolation matrix: 9 anomaly rows × 6 columns. Columns are
+/// level-major in [`IsolationLevel::ALL`] order, eager before lazy:
+/// `strong/eager, strong/lazy, snapshot/eager, snapshot/lazy,
+/// quiescence/eager, quiescence/lazy`.
+pub type IsoMatrix = [[bool; 6]; 9];
+
+/// Short display name for an engine.
+pub fn engine_label(engine: Versioning) -> &'static str {
+    match engine {
+        Versioning::Eager => "eager",
+        Versioning::Lazy => "lazy",
+    }
+}
+
+fn env_for(level: IsolationLevel, engine: Versioning) -> Arc<Env> {
+    env_with(level, engine, VersionGranularity::PerField)
+}
+
+fn env_with(
+    level: IsolationLevel,
+    engine: Versioning,
+    granularity: VersionGranularity,
+) -> Arc<Env> {
+    // Strong barriers always: the isolation level is what varies. Under
+    // QuiescencePrivatization the runtime elides them, which is the point.
+    let mode = match engine {
+        Versioning::Lazy => Mode::StrongLazy,
+        Versioning::Eager => Mode::Strong,
+    };
+    with_isolation(level, || Arc::new(Env::with_granularity(mode, granularity)))
+}
+
+fn cell_label(anomaly: IsoAnomaly, level: IsolationLevel, engine: Versioning) -> String {
+    format!("{} level={} engine={}", anomaly.abbrev(), level.label(), engine_label(engine))
+}
+
+/// The quiescence-privatization script for scenarios whose second thread
+/// dooms the first transactionally: the doomer's commit quiesce-waits on
+/// the parked witness transaction, so the script must release the witness
+/// *at* [`SyncPoint::QuiesceStart`] rather than after the doomer finishes.
+fn qp_doom_script() -> Vec<(stm_core::syncpoint::ActorId, SyncPoint)> {
+    vec![(T1, u(1)), (T2, u(2)), (T2, SyncPoint::QuiesceStart), (T1, u(4))]
+}
+
+/// Figure 2(a) under the spectrum. Thread 2's store is barriered (blocked
+/// or version-bumping) except under quiescence privatization, where the
+/// elided store slips between the two reads unnoticed.
+pub fn non_repeatable_read(level: IsolationLevel, engine: Versioning) -> bool {
+    let env = env_for(level, engine);
+    let x = env.obj();
+    let script = vec![(T1, u(1)), (T2, u(2)), (T2, u(3)), (T1, u(4))];
+
+    let e1 = Arc::clone(&env);
+    let e2 = Arc::clone(&env);
+    let ((r1, r2), ()) = run2_labeled(
+        &env.heap,
+        &cell_label(IsoAnomaly::NonRepeatableRead, level, engine),
+        script,
+        move || {
+            atomic(&e1.heap, |tx| {
+                let r1 = tx.read(x, 0)?;
+                e1.heap.hit(u(1));
+                e1.heap.hit(u(4));
+                let r2 = tx.read(x, 0)?;
+                Ok((r1, r2))
+            })
+        },
+        move || {
+            e2.heap.hit(u(2));
+            e2.nt_write(x, 0, 10);
+            e2.heap.hit(u(3));
+        },
+    );
+    r1 != r2
+}
+
+/// Figure 2(b) under the spectrum: `x = x + 1` atomically versus a
+/// non-transactional `x = 10` in between. Anomaly: the store was lost.
+pub fn intermediate_lost_update(level: IsolationLevel, engine: Versioning) -> bool {
+    let env = env_for(level, engine);
+    let x = env.obj();
+    let script = vec![(T1, u(1)), (T2, u(2)), (T2, u(3)), (T1, u(4))];
+
+    let e1 = Arc::clone(&env);
+    let e2 = Arc::clone(&env);
+    run2_labeled(
+        &env.heap,
+        &cell_label(IsoAnomaly::IntermediateLostUpdate, level, engine),
+        script,
+        move || {
+            atomic(&e1.heap, |tx| {
+                let r = tx.read(x, 0)?;
+                e1.heap.hit(u(1));
+                e1.heap.hit(u(4));
+                tx.write(x, 0, r + 1)
+            });
+        },
+        move || {
+            e2.heap.hit(u(2));
+            e2.nt_write(x, 0, 10);
+            e2.heap.hit(u(3));
+        },
+    );
+    env.heap.read_raw(x, 0) == 1
+}
+
+/// Figure 2(c) under the spectrum: Thread 1 keeps `x` even; Thread 2 reads
+/// in between. Anomaly: the observed value was odd.
+pub fn intermediate_dirty_read(level: IsolationLevel, engine: Versioning) -> bool {
+    let env = env_for(level, engine);
+    let x = env.obj();
+    // With barriers active (strong and snapshot levels) T2's read blocks on
+    // T1's ownership, so T1 must not wait for T2's completion marker.
+    let script = if level.elides_barriers() {
+        vec![(T1, u(1)), (T2, u(2)), (T2, u(3)), (T1, u(4))]
+    } else {
+        vec![(T1, u(1)), (T2, u(2)), (T1, u(4))]
+    };
+
+    let e1 = Arc::clone(&env);
+    let e2 = Arc::clone(&env);
+    let (_, observed) = run2_labeled(
+        &env.heap,
+        &cell_label(IsoAnomaly::IntermediateDirtyRead, level, engine),
+        script,
+        move || {
+            atomic(&e1.heap, |tx| {
+                let v = tx.read(x, 0)?;
+                tx.write(x, 0, v + 1)?;
+                e1.heap.hit(u(1));
+                e1.heap.hit(u(4));
+                let v = tx.read(x, 0)?;
+                tx.write(x, 0, v + 1)
+            });
+        },
+        move || {
+            e2.heap.hit(u(2));
+            let r = e2.nt_read(x, 0);
+            e2.heap.hit(u(3));
+            r
+        },
+    );
+    observed % 2 == 1
+}
+
+/// Figure 3(a) under the spectrum: a doomed transaction's rollback clobbers
+/// the concurrent store `x = 2`. Anomaly: final `x == 0`.
+pub fn speculative_lost_update(level: IsolationLevel, engine: Versioning) -> bool {
+    let env = env_for(level, engine);
+    let x = env.obj();
+    let y = env.obj();
+    let d = env.obj(); // doom flag, read by T1's transaction
+    let script = if level.elides_barriers() {
+        qp_doom_script()
+    } else if matches!(engine, Versioning::Eager) {
+        // T2's barriered store blocks on T1's ownership of x.
+        vec![(T1, u(1)), (T2, u(2)), (T1, u(4))]
+    } else {
+        vec![(T1, u(1)), (T2, u(2)), (T2, u(3)), (T1, u(4))]
+    };
+
+    let e1 = Arc::clone(&env);
+    let e2 = Arc::clone(&env);
+    run2_labeled(
+        &env.heap,
+        &cell_label(IsoAnomaly::SpeculativeLostUpdate, level, engine),
+        script,
+        move || {
+            atomic(&e1.heap, |tx| {
+                let _doom = tx.read(d, 0)?;
+                if tx.read(y, 0)? == 0 {
+                    tx.write(x, 0, 1)?;
+                }
+                e1.heap.hit(u(1));
+                e1.heap.hit(u(4));
+                Ok(())
+            });
+        },
+        move || {
+            e2.heap.hit(u(2));
+            e2.nt_write(x, 0, 2);
+            e2.nt_write(y, 0, 1);
+            e2.bump(d); // dooms T1's first attempt
+            e2.heap.hit(u(3));
+        },
+    );
+    env.heap.read_raw(x, 0) == 0
+}
+
+/// Figure 3(b) under the spectrum: Thread 2 acts on Thread 1's speculative
+/// `x = 1`, which is then rolled back. Anomaly: final `x == 0`.
+pub fn speculative_dirty_read(level: IsolationLevel, engine: Versioning) -> bool {
+    let env = env_for(level, engine);
+    let x = env.obj();
+    let y = env.obj();
+    let d = env.obj();
+    let script = if level.elides_barriers() {
+        qp_doom_script()
+    } else if matches!(engine, Versioning::Eager) {
+        // T2's barriered read blocks on T1's ownership of x.
+        vec![(T1, u(1)), (T2, u(2)), (T1, u(4))]
+    } else {
+        vec![(T1, u(1)), (T2, u(2)), (T2, u(3)), (T1, u(4))]
+    };
+
+    let e1 = Arc::clone(&env);
+    let e2 = Arc::clone(&env);
+    run2_labeled(
+        &env.heap,
+        &cell_label(IsoAnomaly::SpeculativeDirtyRead, level, engine),
+        script,
+        move || {
+            atomic(&e1.heap, |tx| {
+                let _doom = tx.read(d, 0)?;
+                if tx.read(y, 0)? == 0 {
+                    tx.write(x, 0, 1)?;
+                }
+                e1.heap.hit(u(1));
+                e1.heap.hit(u(4));
+                Ok(())
+            });
+        },
+        move || {
+            e2.heap.hit(u(2));
+            if e2.nt_read(x, 0) == 1 {
+                e2.nt_write(y, 0, 1);
+            }
+            e2.bump(d);
+            e2.heap.hit(u(3));
+        },
+    );
+    env.heap.read_raw(x, 0) == 0
+}
+
+/// Figure 5(a) under the spectrum, at `Pair` versioning granularity: the
+/// transaction's wide undo/buffer span reverts Thread 2's store to the
+/// neighbouring field. Anomaly: final `x.g == 0`.
+pub fn granular_lost_update(level: IsolationLevel, engine: Versioning) -> bool {
+    let env = env_with(level, engine, VersionGranularity::Pair);
+    let x = env.obj(); // fields 0 ("f") and 1 ("g") share a Pair span
+    let d = env.obj();
+
+    let qp = level.elides_barriers();
+    let eager = matches!(engine, Versioning::Eager);
+    let script = match (qp, eager) {
+        // Eager needs a doom-forced rollback, and the doomer's commit
+        // quiesce-waits on T1 under this level.
+        (true, true) => qp_doom_script(),
+        // Lazy only needs the store to land inside the buffer window.
+        (true, false) => vec![
+            (T1, SyncPoint::LazyAfterBuffer),
+            (T2, u(2)),
+            (T2, u(3)),
+            (T1, SyncPoint::LazyAfterValidate),
+        ],
+        // Barriers active: T2's store to x blocks on / invalidates T1.
+        (false, _) => vec![(T1, u(1)), (T2, u(2)), (T1, u(4))],
+    };
+
+    let e1 = Arc::clone(&env);
+    let e2 = Arc::clone(&env);
+    run2_labeled(
+        &env.heap,
+        &cell_label(IsoAnomaly::GranularLostUpdate, level, engine),
+        script,
+        move || {
+            atomic(&e1.heap, |tx| {
+                let _doom = tx.read(d, 0)?;
+                tx.write(x, 0, 7)?;
+                e1.heap.hit(u(1));
+                e1.heap.hit(u(4));
+                Ok(())
+            });
+        },
+        move || {
+            e2.heap.hit(u(2));
+            e2.nt_write(x, 1, 1);
+            if qp && eager {
+                e2.bump(d); // force the rollback that clobbers x.g
+            }
+            e2.heap.hit(u(3));
+        },
+    );
+    env.heap.read_raw(x, 1) == 0
+}
+
+/// Figure 5(b) under the spectrum, at `Pair` versioning granularity: the
+/// ordering `x.g = 1; y = 1` implies Thread 1 must see `x.g == 1` once it
+/// sees `y == 1`, yet the lazy buffer serves the stale snapshot. Anomaly:
+/// observed `0`.
+pub fn granular_inconsistent_read(level: IsolationLevel, engine: Versioning) -> bool {
+    let env = env_with(level, engine, VersionGranularity::Pair);
+    let x = env.obj();
+    let y = env.obj();
+
+    let script = match (level.elides_barriers(), matches!(engine, Versioning::Eager)) {
+        (_, false) => vec![
+            (T1, SyncPoint::LazyAfterBuffer),
+            (T2, u(2)),
+            (T2, u(3)),
+            (T1, u(4)),
+        ],
+        (true, true) => {
+            vec![(T1, SyncPoint::EagerAfterWrite), (T2, u(2)), (T2, u(3)), (T1, u(4))]
+        }
+        // Barriers active, eager: T2's store to x.g blocks on T1's
+        // ownership of x, so T1 must not wait for T2's completion.
+        (false, true) => vec![(T1, SyncPoint::EagerAfterWrite), (T2, u(2)), (T1, u(4))],
+    };
+
+    let e1 = Arc::clone(&env);
+    let e2 = Arc::clone(&env);
+    let (observed, ()) = run2_labeled(
+        &env.heap,
+        &cell_label(IsoAnomaly::GranularInconsistentRead, level, engine),
+        script,
+        move || {
+            atomic(&e1.heap, |tx| {
+                tx.write(x, 0, 7)?;
+                e1.heap.hit(u(4));
+                if tx.read(y, 0)? == 1 {
+                    Ok(tx.read(x, 1)? as i64)
+                } else {
+                    Ok(-1)
+                }
+            })
+        },
+        move || {
+            e2.heap.hit(u(2));
+            e2.nt_write(x, 1, 1);
+            e2.nt_write(y, 0, 1);
+            e2.heap.hit(u(3));
+        },
+    );
+    observed == 0
+}
+
+/// Figure 4(a) under the spectrum: publication lands before initialization
+/// during lazy write-back. Anomaly: the published object was observed with
+/// its field still `0`.
+pub fn memory_inconsistency(level: IsolationLevel, engine: Versioning) -> bool {
+    let env = env_for(level, engine);
+    // Allocate the holder of `x` before `el` so address-ordered write-back
+    // applies the publication before the initialization.
+    let holder = env.ref_obj(); // field 0: x (reference)
+    let el = env.obj(); // field 0: val
+
+    let script = match (level.elides_barriers(), matches!(engine, Versioning::Eager)) {
+        (true, false) => vec![
+            // After the first buffered span (the publication) lands, T1 is
+            // held before the second (the initialization) while T2 reads.
+            (T1, SyncPoint::LazyBeforeWritebackEntry),
+            (T1, SyncPoint::LazyMidWriteback),
+            (T2, u(2)),
+            (T2, u(3)),
+            (T1, SyncPoint::LazyBeforeWritebackEntry),
+        ],
+        (false, false) => vec![
+            // T2's ordering barrier blocks on the held record, so T1 must
+            // keep running; just order T2's attempt inside the window.
+            (T1, SyncPoint::LazyAfterValidate),
+            (T2, u(2)),
+        ],
+        // Eager versioning writes in place in program order; the window
+        // between the two stores never shows the inconsistency.
+        (_, true) => vec![(T1, u(1)), (T2, u(2)), (T2, u(3)), (T1, u(4))],
+    };
+
+    let e1 = Arc::clone(&env);
+    let e2 = Arc::clone(&env);
+    let (_, observed) = run2_labeled(
+        &env.heap,
+        &cell_label(IsoAnomaly::MemoryInconsistency, level, engine),
+        script,
+        move || {
+            atomic(&e1.heap, |tx| {
+                tx.write(el, 0, 1)?;
+                e1.heap.hit(u(1));
+                e1.heap.hit(u(4));
+                tx.write_ref(holder, 0, Some(el))?;
+                Ok(())
+            });
+        },
+        move || {
+            e2.heap.hit(u(2));
+            let rx = e2.nt_read(holder, 0);
+            let r = match ObjRef::from_word(rx) {
+                Some(obj) => e2.nt_read(obj, 0) as i64,
+                None => -1,
+            };
+            e2.heap.hit(u(3));
+            r
+        },
+    );
+    observed == 0
+}
+
+/// Write skew (arXiv:1805.06196 §2): from `x == y == 1`, T1 runs
+/// `x := x + y` and T2 runs `y := x + y` with both reads taken before
+/// either write commits. Any serial order ends in `{2, 3}`; snapshot
+/// isolation commits both against their begin-time snapshots and ends in
+/// `(2, 2)`. Anomaly: final state `(2, 2)`.
+pub fn write_skew(level: IsolationLevel, engine: Versioning) -> bool {
+    let env = env_for(level, engine);
+    let x = env.obj();
+    let y = env.obj();
+    env.heap.write_raw(x, 0, 1);
+    env.heap.write_raw(y, 0, 1);
+    // Both transactions take their reads strictly before T1's write (T1 is
+    // parked at u(3) until T2's reads are done), and T2 writes only after
+    // T1's commit completed — the classic skew interleaving.
+    let script = vec![
+        (T1, u(1)),
+        (T2, u(2)),
+        (T1, u(3)),
+        (T1, SyncPoint::TxnCommitted),
+        (T2, u(4)),
+    ];
+
+    let e1 = Arc::clone(&env);
+    let e2 = Arc::clone(&env);
+    run2_labeled(
+        &env.heap,
+        &cell_label(IsoAnomaly::WriteSkew, level, engine),
+        script,
+        move || {
+            atomic(&e1.heap, |tx| {
+                let rx = tx.read(x, 0)?;
+                let ry = tx.read(y, 0)?;
+                e1.heap.hit(u(1));
+                e1.heap.hit(u(3));
+                tx.write(x, 0, rx + ry)
+            });
+        },
+        move || {
+            atomic(&e2.heap, |tx| {
+                let rx = tx.read(x, 0)?;
+                let ry = tx.read(y, 0)?;
+                e2.heap.hit(u(2));
+                e2.heap.hit(u(4));
+                tx.write(y, 0, rx + ry)
+            });
+        },
+    );
+    env.heap.read_raw(x, 0) == 2 && env.heap.read_raw(y, 0) == 2
+}
+
+/// Computes the observed isolation matrix by running every witness under
+/// every level × engine.
+pub fn isolation_matrix() -> IsoMatrix {
+    let mut m = [[false; 6]; 9];
+    for (row, anomaly) in IsoAnomaly::ALL.iter().enumerate() {
+        for (li, level) in IsolationLevel::ALL.iter().enumerate() {
+            for (ei, engine) in ENGINES.iter().enumerate() {
+                m[row][li * 2 + ei] = anomaly.observe(*level, *engine);
+            }
+        }
+    }
+    m
+}
+
+/// The expected matrix: strong atomicity admits nothing; snapshot isolation
+/// admits exactly write skew; quiescence privatization re-admits each §2
+/// anomaly in the engines whose weak Figure-6 column shows it, and nothing
+/// else.
+pub fn expected_isolation_matrix() -> IsoMatrix {
+    // Columns: strong/eager, strong/lazy, snapshot/eager, snapshot/lazy,
+    //          quiescence/eager, quiescence/lazy.
+    [
+        /* NR  */ [false, false, false, false, true, true],
+        /* GIR */ [false, false, false, false, false, true],
+        /* ILU */ [false, false, false, false, true, true],
+        /* SLU */ [false, false, false, false, true, false],
+        /* GLU */ [false, false, false, false, true, true],
+        /* MI  */ [false, false, false, false, false, true],
+        /* IDR */ [false, false, false, false, true, false],
+        /* SDR */ [false, false, false, false, true, false],
+        /* WS  */ [false, false, true, true, false, false],
+    ]
+}
+
+/// Renders a matrix as an aligned text table (for `repro isolation`).
+pub fn render_isolation_matrix(m: &IsoMatrix) -> String {
+    let mut out = String::new();
+    out.push_str("Anomaly  strong/E strong/L snap/E snap/L quiesce/E quiesce/L\n");
+    let widths = [8, 8, 6, 6, 9, 9];
+    for (row, anomaly) in IsoAnomaly::ALL.iter().enumerate() {
+        out.push_str(&format!("{:<8}", anomaly.abbrev()));
+        for (col, w) in widths.iter().enumerate() {
+            let cell = if m[row][col] { "yes" } else { "no" };
+            out.push_str(&format!(" {cell:<w$}", w = w));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strong_columns_admit_nothing() {
+        for anomaly in IsoAnomaly::ALL {
+            for engine in ENGINES {
+                assert!(
+                    !anomaly.observe(IsolationLevel::StrongAtomicity, engine),
+                    "{} must be impossible under strong atomicity ({})",
+                    anomaly.abbrev(),
+                    engine_label(engine)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_isolation_admits_exactly_write_skew() {
+        for engine in ENGINES {
+            assert!(
+                write_skew(IsolationLevel::SnapshotIsolation, engine),
+                "write skew must be observable under snapshot isolation ({})",
+                engine_label(engine)
+            );
+            assert!(
+                !write_skew(IsolationLevel::StrongAtomicity, engine),
+                "write skew must serialize under strong atomicity ({})",
+                engine_label(engine)
+            );
+            assert!(
+                !write_skew(IsolationLevel::QuiescencePrivatization, engine),
+                "write skew must serialize under quiescence privatization ({})",
+                engine_label(engine)
+            );
+        }
+    }
+
+    #[test]
+    fn quiescence_reverts_to_weak_figure6_columns() {
+        // Spot checks; the full matrix lives in tests/isolation_matrix.rs.
+        let qp = IsolationLevel::QuiescencePrivatization;
+        assert!(non_repeatable_read(qp, Versioning::Eager));
+        assert!(non_repeatable_read(qp, Versioning::Lazy));
+        assert!(speculative_lost_update(qp, Versioning::Eager));
+        assert!(!speculative_lost_update(qp, Versioning::Lazy));
+        assert!(memory_inconsistency(qp, Versioning::Lazy));
+        assert!(!memory_inconsistency(qp, Versioning::Eager));
+    }
+
+    #[test]
+    fn render_contains_every_row() {
+        let text = render_isolation_matrix(&expected_isolation_matrix());
+        for anomaly in IsoAnomaly::ALL {
+            assert!(text.contains(anomaly.abbrev()), "missing row {}", anomaly.abbrev());
+        }
+    }
+}

@@ -3,7 +3,9 @@
 use crate::Mode;
 use std::cell::Cell;
 use std::sync::Arc;
-use stm_core::config::{BarrierMode, Granularity, StmConfig, VersionGranularity, Versioning};
+use stm_core::config::{
+    BarrierMode, Granularity, IsolationLevel, StmConfig, VersionGranularity, Versioning,
+};
 use stm_core::contention::ContentionPolicy;
 use stm_core::heap::{FieldDef, Heap, ObjRef, Shape, ShapeId, Word};
 use stm_core::locks::SyncTable;
@@ -18,6 +20,7 @@ pub const T2: ActorId = ActorId(2);
 thread_local! {
     static POLICY: Cell<ContentionPolicy> = const { Cell::new(ContentionPolicy::Backoff) };
     static CONFLICT_GRANULARITY: Cell<Option<Granularity>> = const { Cell::new(None) };
+    static ISOLATION: Cell<Option<IsolationLevel>> = const { Cell::new(None) };
 }
 
 /// Runs `f` with every [`Env`] built on this thread using `policy` as its
@@ -51,6 +54,23 @@ pub fn with_conflict_granularity<R>(granularity: Granularity, f: impl FnOnce() -
 /// built with (the process default unless overridden).
 pub fn current_conflict_granularity() -> Granularity {
     CONFLICT_GRANULARITY.with(|g| g.get()).unwrap_or_default()
+}
+
+/// Runs `f` with every [`Env`] built on this thread using `isolation` as its
+/// isolation level. This is how the isolation × anomaly matrix
+/// ([`crate::anomalies`]) reruns the witness scenarios under snapshot
+/// isolation and quiescence-only privatization without touching them.
+pub fn with_isolation<R>(isolation: IsolationLevel, f: impl FnOnce() -> R) -> R {
+    let prior = ISOLATION.with(|i| i.replace(Some(isolation)));
+    let out = f();
+    ISOLATION.with(|i| i.set(prior));
+    out
+}
+
+/// The isolation level new environments on this thread are built with (the
+/// process default unless overridden).
+pub fn current_isolation() -> IsolationLevel {
+    ISOLATION.with(|i| i.get()).unwrap_or_default()
 }
 
 /// A litmus environment: a heap configured for one column of the paper's
@@ -142,6 +162,7 @@ impl Env {
             quiescence,
             record_races,
             contention: current_policy(),
+            isolation: current_isolation(),
             ..StmConfig::default()
         };
         let barriers = match mode {
@@ -201,6 +222,43 @@ impl Env {
 /// Runs two closures as scripted threads `T1`/`T2`, returning both results.
 /// Installs `script` on `heap` for the duration and asserts it fully
 /// executed.
+///
+/// `label` names the scenario (anomaly id, mode, isolation level, …) so a
+/// stuck or wedged script reports *which* litmus cell failed rather than the
+/// bare "script fully executed".
+pub fn run2_labeled<R1, R2>(
+    heap: &Arc<Heap>,
+    label: &str,
+    script: Vec<(ActorId, SyncPoint)>,
+    f1: impl FnOnce() -> R1 + Send + 'static,
+    f2: impl FnOnce() -> R2 + Send + 'static,
+) -> (R1, R2)
+where
+    R1: Send + 'static,
+    R2: Send + 'static,
+{
+    let planned = script.len();
+    let script = Arc::new(Script::new(script));
+    heap.install_script(Arc::clone(&script));
+    let h1 = std::thread::spawn(move || as_actor(T1, f1));
+    let h2 = std::thread::spawn(move || as_actor(T2, f2));
+    let r1 = h1
+        .join()
+        .unwrap_or_else(|_| panic!("litmus [{label}]: thread T1 panicked"));
+    let r2 = h2
+        .join()
+        .unwrap_or_else(|_| panic!("litmus [{label}]: thread T2 panicked"));
+    let left = script.remaining();
+    assert_eq!(
+        left, 0,
+        "litmus [{label}]: script not fully executed — {} of {} sync points never hit",
+        left, planned
+    );
+    heap.clear_script();
+    (r1, r2)
+}
+
+/// [`run2_labeled`] without a scenario label (legacy call sites).
 pub fn run2<R1, R2>(
     heap: &Arc<Heap>,
     script: Vec<(ActorId, SyncPoint)>,
@@ -211,15 +269,7 @@ where
     R1: Send + 'static,
     R2: Send + 'static,
 {
-    let script = Arc::new(Script::new(script));
-    heap.install_script(Arc::clone(&script));
-    let h1 = std::thread::spawn(move || as_actor(T1, f1));
-    let h2 = std::thread::spawn(move || as_actor(T2, f2));
-    let r1 = h1.join().expect("thread 1 completed");
-    let r2 = h2.join().expect("thread 2 completed");
-    assert_eq!(script.remaining(), 0, "litmus script fully executed");
-    heap.clear_script();
-    (r1, r2)
+    run2_labeled(heap, "unlabeled scenario", script, f1, f2)
 }
 
 /// Shorthand for a user sync point.

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod anomalies;
 pub mod crash;
 pub mod granular;
 pub mod harness;

@@ -52,6 +52,14 @@ use std::sync::atomic::Ordering;
 /// the cheaper [`ordering_read_barrier`].
 #[inline]
 pub fn read_barrier(heap: &Heap, r: ObjRef, field: usize) -> Word {
+    // Quiescence-only privatization: per-access isolation barriers are
+    // elided at runtime — the access degenerates to a plain load and the
+    // only remaining protection is commit-time quiescence.
+    if heap.config.isolation.elides_barriers() {
+        heap.stats.barrier_elided();
+        charge(CostKind::PlainRead);
+        return heap.read_raw(r, field);
+    }
     if matches!(heap.config.versioning, crate::config::Versioning::Lazy) {
         return ordering_read_barrier(heap, r, field);
     }
@@ -136,6 +144,13 @@ pub fn write_barrier_volatile(heap: &Heap, r: ObjRef, field: usize, value: Word)
 }
 
 fn write_barrier_inner(heap: &Heap, r: ObjRef, field: usize, value: Word, ord: Ordering) {
+    // Quiescence-only privatization: see `read_barrier`.
+    if heap.config.isolation.elides_barriers() {
+        heap.stats.barrier_elided();
+        charge(CostKind::PlainWrite);
+        heap.obj(r).field(field).store(value, ord);
+        return;
+    }
     let obj = heap.obj(r);
     let mut attempt = 0u32;
     loop {
@@ -161,6 +176,12 @@ fn write_barrier_inner(heap: &Heap, r: ObjRef, field: usize, value: Word, ord: O
                     dea::publish_word(heap, value);
                 }
                 obj.field(field).store(value, ord);
+                // Snapshot isolation: a barriered write is a committed
+                // write, so it participates in first-committer-wins. Stamp
+                // while still exclusive-anonymous.
+                if heap.config.isolation.snapshot_reads() {
+                    heap.si_stamp_slot(r, heap.si_next_commit_stamp());
+                }
                 heap.guard(r).release_anon();
                 heap.stats.write_barrier();
                 charge(CostKind::BarrierWrite);
@@ -237,6 +258,11 @@ pub fn aggregate<R>(heap: &Heap, r: ObjRef, f: impl FnOnce(&mut OwnedObj<'_>) ->
                 heap.stats.write_barrier();
                 let mut owned = OwnedObj { heap, r, private: false };
                 let out = f(&mut owned);
+                // Aggregated barriers may write; stamp conservatively under
+                // snapshot isolation (see `write_barrier`).
+                if heap.config.isolation.snapshot_reads() {
+                    heap.si_stamp_slot(r, heap.si_next_commit_stamp());
+                }
                 heap.guard(r).release_anon();
                 if attempt > 0 {
                     heap.stats.record_wait_span(attempt);

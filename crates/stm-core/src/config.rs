@@ -119,6 +119,89 @@ impl Default for Granularity {
     }
 }
 
+/// The isolation level a heap enforces between transactions and the rest of
+/// the program (the spectrum the paper's §2 anomaly taxonomy measures
+/// against).
+///
+/// * `StrongAtomicity` — the paper's target: full single-global-lock
+///   semantics. All §2 anomalies and write skew are forbidden.
+/// * `SnapshotIsolation` — each transaction reads from a begin-time
+///   snapshot (first read of a location is cached and repeated reads are
+///   served from the cache) and commits under first-committer-wins
+///   write-conflict detection, in the style axiomatized by Raad, Lahav &
+///   Vafeiadis (arXiv 1805.06196). Read-set validation is off; the only
+///   commit-time conflict is an overlapping write. This forbids every §2
+///   anomaly but permits *write skew*.
+/// * `QuiescencePrivatization` — per-access isolation barriers are elided
+///   and the only non-transactional protection is commit-time quiescence
+///   (forced on), per Khyzha, Attiya, Gotsman & Rinetzky's observation that
+///   quiescence alone suffices for privatization safety but not for general
+///   strong atomicity (arXiv 1801.04249). Transaction-vs-transaction
+///   conflicts are still fully detected (so no write skew), while
+///   transaction-vs-plain-access races reproduce the paper's Figure 6 weak
+///   column per engine.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum IsolationLevel {
+    /// Full strong atomicity (the repo's historical — and still default —
+    /// behaviour).
+    StrongAtomicity,
+    /// Begin-time read snapshot + first-committer-wins writes.
+    SnapshotIsolation,
+    /// No per-access barriers; commit-time quiescence only.
+    QuiescencePrivatization,
+}
+
+impl IsolationLevel {
+    /// All levels, in spectrum order (strongest first).
+    pub const ALL: [IsolationLevel; 3] = [
+        IsolationLevel::StrongAtomicity,
+        IsolationLevel::SnapshotIsolation,
+        IsolationLevel::QuiescencePrivatization,
+    ];
+
+    /// Short label for reports, experiment tables, and failure messages.
+    pub fn label(self) -> &'static str {
+        match self {
+            IsolationLevel::StrongAtomicity => "strong",
+            IsolationLevel::SnapshotIsolation => "snapshot",
+            IsolationLevel::QuiescencePrivatization => "quiescence",
+        }
+    }
+
+    /// Whether transactions read through a begin-time snapshot with
+    /// first-committer-wins commit checks.
+    #[inline]
+    pub fn snapshot_reads(self) -> bool {
+        self == IsolationLevel::SnapshotIsolation
+    }
+
+    /// Whether non-transactional access barriers are elided at runtime.
+    #[inline]
+    pub fn elides_barriers(self) -> bool {
+        self == IsolationLevel::QuiescencePrivatization
+    }
+}
+
+impl Default for IsolationLevel {
+    /// Defaults to `StrongAtomicity` unless the `STM_ISOLATION` environment
+    /// variable overrides it (`strong`, `snapshot`/`si`, or
+    /// `quiescence`/`privatization`/`qp`), mirroring `STM_GRANULARITY` so a
+    /// full test run can be repeated under a weaker ambient level; read once
+    /// and cached.
+    fn default() -> Self {
+        static ENV_DEFAULT: std::sync::OnceLock<IsolationLevel> = std::sync::OnceLock::new();
+        *ENV_DEFAULT.get_or_init(|| {
+            match std::env::var("STM_ISOLATION").ok().as_deref() {
+                Some("snapshot") | Some("si") => IsolationLevel::SnapshotIsolation,
+                Some("quiescence") | Some("privatization") | Some("qp") => {
+                    IsolationLevel::QuiescencePrivatization
+                }
+                _ => IsolationLevel::StrongAtomicity,
+            }
+        })
+    }
+}
+
 /// Which non-transactional accesses execute isolation barriers.
 ///
 /// This is a property of the *code* (the compiler decides per access site),
@@ -159,6 +242,11 @@ pub struct StmConfig {
     /// Where conflict-detection records live: embedded per object, or in a
     /// TL2-style striped ownership-record table.
     pub granularity: Granularity,
+    /// The isolation level the heap enforces (strong atomicity, snapshot
+    /// isolation, or quiescence-only privatization). Weakening this trades
+    /// anomaly-freedom for cheaper access paths; the litmus crate's
+    /// isolation matrix pins exactly which §2 anomalies each level admits.
+    pub isolation: IsolationLevel,
     /// Versioning granularity (§2.4 anomalies): how wide an undo-log /
     /// write-buffer entry is.
     pub version_granularity: VersionGranularity,
@@ -207,6 +295,7 @@ impl Default for StmConfig {
         StmConfig {
             versioning: Versioning::Eager,
             granularity: Granularity::default(),
+            isolation: IsolationLevel::default(),
             version_granularity: VersionGranularity::PerField,
             dea: false,
             quiescence: false,
@@ -244,6 +333,13 @@ impl StmConfig {
     pub fn with_granularity(self, granularity: Granularity) -> Self {
         StmConfig { granularity, ..self }
     }
+
+    /// The same configuration at a different isolation level. Note that
+    /// [`crate::heap::Heap::new`] normalizes `QuiescencePrivatization` by
+    /// forcing `quiescence` on — the level is *defined* by it.
+    pub fn with_isolation(self, isolation: IsolationLevel) -> Self {
+        StmConfig { isolation, ..self }
+    }
 }
 
 #[cfg(test)]
@@ -267,6 +363,28 @@ mod tests {
             Granularity::striped_default(),
             Granularity::Striped { stripes: DEFAULT_STRIPES }
         ));
+    }
+
+    #[test]
+    fn isolation_labels_and_axes() {
+        assert_eq!(IsolationLevel::StrongAtomicity.label(), "strong");
+        assert_eq!(IsolationLevel::SnapshotIsolation.label(), "snapshot");
+        assert_eq!(IsolationLevel::QuiescencePrivatization.label(), "quiescence");
+        assert!(!IsolationLevel::StrongAtomicity.snapshot_reads());
+        assert!(!IsolationLevel::StrongAtomicity.elides_barriers());
+        assert!(IsolationLevel::SnapshotIsolation.snapshot_reads());
+        assert!(!IsolationLevel::SnapshotIsolation.elides_barriers());
+        assert!(!IsolationLevel::QuiescencePrivatization.snapshot_reads());
+        assert!(IsolationLevel::QuiescencePrivatization.elides_barriers());
+        assert_eq!(IsolationLevel::ALL.len(), 3);
+    }
+
+    #[test]
+    fn with_isolation_builder() {
+        let c = StmConfig::default().with_isolation(IsolationLevel::SnapshotIsolation);
+        assert_eq!(c.isolation, IsolationLevel::SnapshotIsolation);
+        // The rest of the config is untouched.
+        assert_eq!(c.versioning, StmConfig::default().versioning);
     }
 
     #[test]

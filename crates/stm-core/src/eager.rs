@@ -160,6 +160,9 @@ impl<'h> EagerTxn<'h> {
             return Err(abort);
         }
         self.heap().hit(SyncPoint::EagerAfterValidate);
+        // Snapshot isolation: stamp written slots while still exclusive, so
+        // rival first-committer-wins checks cannot miss this commit.
+        self.core.si_stamp_owned();
         self.core.release_owned(true);
         self.core.finish_commit();
         Ok(())

@@ -381,6 +381,15 @@ pub struct Heap {
     /// Sharded so age-based policies don't serialize every attempt in the
     /// process on one lock.
     ages: ShardMap<u64>,
+    /// Snapshot-isolation commit clock: bumped once per committed writer
+    /// (transactional or barriered) so first-committer-wins checks can
+    /// compare a transaction's begin time against later committed writes.
+    /// Only advanced under [`crate::config::IsolationLevel::SnapshotIsolation`].
+    pub(crate) si_clock: AtomicU64,
+    /// Guard-slot → clock value of the last committed write to that slot,
+    /// maintained only under snapshot isolation. Striping conservatively
+    /// aliases stamps exactly as it aliases conflicts.
+    pub(crate) si_stamps: ShardMap<u64>,
     /// Armed fault injector (from [`StmConfig::fault`]).
     fault: Option<FaultInjector>,
     /// Owner-liveness registry for the stuck-owner watchdog.
@@ -391,7 +400,15 @@ pub struct Heap {
 
 impl Heap {
     /// Creates a heap with the given configuration.
-    pub fn new(config: StmConfig) -> Arc<Heap> {
+    ///
+    /// Normalization: `IsolationLevel::QuiescencePrivatization` *is* the
+    /// commit-time-quiescence-only discipline, so it forces
+    /// [`StmConfig::quiescence`] on — a caller cannot construct the level
+    /// without its one remaining protection.
+    pub fn new(mut config: StmConfig) -> Arc<Heap> {
+        if config.isolation.elides_barriers() {
+            config.quiescence = true;
+        }
         let cm = config.contention.build();
         let fault = config.fault.map(FaultInjector::new);
         let table = RecordTable::new(config.granularity);
@@ -413,6 +430,8 @@ impl Heap {
             cm,
             age_counter: AtomicU64::new(1),
             ages: ShardMap::default(),
+            si_clock: AtomicU64::new(0),
+            si_stamps: ShardMap::default(),
             fault,
             liveness: Liveness::default(),
             audit_versions: VersionHighWater::default(),
@@ -745,6 +764,33 @@ impl Heap {
     #[inline]
     pub(crate) fn slot_of(&self, r: ObjRef) -> usize {
         self.table.slot_of_index(r.index())
+    }
+
+    /// Snapshot isolation: the clock value a beginning transaction records
+    /// as its begin time. Writes stamped strictly later conflict with it
+    /// under first-committer-wins.
+    pub(crate) fn si_begin_stamp(&self) -> u64 {
+        self.si_clock.load(Ordering::Acquire)
+    }
+
+    /// Snapshot isolation: a fresh commit stamp, strictly greater than any
+    /// begin stamp sampled before this call.
+    pub(crate) fn si_next_commit_stamp(&self) -> u64 {
+        self.si_clock.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Snapshot isolation: records that the guard slot of `r` was written
+    /// by a commit at clock value `stamp`. Callers stamp while still owning
+    /// the record, so a rival's first-committer-wins check either sees the
+    /// stamp or is still blocked on the exclusive record.
+    pub(crate) fn si_stamp_slot(&self, r: ObjRef, stamp: u64) {
+        self.si_stamps.insert(self.slot_of(r), stamp);
+    }
+
+    /// Snapshot isolation: the last committed-write stamp of the guard slot
+    /// of `r` (zero if it was never written under SI).
+    pub(crate) fn si_stamp_of(&self, r: ObjRef) -> u64 {
+        self.si_stamps.with(self.slot_of(r), |t| *t).unwrap_or(0)
     }
 
     /// Number of slots in the striped ownership-record table, or `None` in

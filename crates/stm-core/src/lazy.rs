@@ -212,6 +212,9 @@ impl<'h> LazyTxn<'h> {
         }
         self.heap().hit(SyncPoint::LazyAfterWriteback);
 
+        // Snapshot isolation: stamp written slots while still exclusive, so
+        // rival first-committer-wins checks cannot miss this commit.
+        self.core.si_stamp_owned();
         self.core.release_owned(false);
         self.core.finish_commit();
         Ok(())

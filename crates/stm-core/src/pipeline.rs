@@ -113,6 +113,7 @@ struct Scratch {
     private_reads: HashSet<ObjRef>,
     private_writes: HashSet<ObjRef>,
     order: Vec<usize>,
+    si_cache: HashMap<(ObjRef, u32), Word>,
 }
 
 /// Pool depth: open nesting runs an inner transaction while the outer one
@@ -171,6 +172,15 @@ pub(crate) struct TxnCore<'h> {
     pub(crate) private_writes: HashSet<ObjRef>,
     /// Commit-time ordering scratch (lazy acquire and write-back orders).
     pub(crate) order: Vec<usize>,
+    /// Snapshot-isolation read cache: the first shared read of each
+    /// `(object, field)` is pinned here, and repeated reads are served from
+    /// it — the lazily-materialized begin-time snapshot. Unused (and empty)
+    /// at other isolation levels.
+    si_cache: HashMap<(ObjRef, u32), Word>,
+    /// Snapshot-isolation begin stamp (`rv`): the commit-clock value
+    /// sampled at begin. A committed write stamped strictly later loses
+    /// first-committer-wins against it.
+    si_rv: u64,
 }
 
 impl<'h> TxnCore<'h> {
@@ -212,6 +222,12 @@ impl<'h> TxnCore<'h> {
             private_reads: scratch.private_reads,
             private_writes: scratch.private_writes,
             order: scratch.order,
+            si_cache: scratch.si_cache,
+            si_rv: if heap.config.isolation.snapshot_reads() {
+                heap.si_begin_stamp()
+            } else {
+                0
+            },
         }
     }
 
@@ -293,6 +309,17 @@ impl<'h> TxnCore<'h> {
         r: ObjRef,
         field: usize,
     ) -> TxResult<(Word, ReadKind)> {
+        let si = self.heap.config.isolation.snapshot_reads();
+        // Snapshot isolation: repeated reads are served from the pinned
+        // snapshot, not from shared memory — unless we own the guard slot
+        // ourselves, in which case the lock-protected current value is the
+        // transaction's own (read-your-own-writes beats the snapshot).
+        if si && !self.owns(r) {
+            if let Some(&val) = self.si_cache.get(&(r, field as u32)) {
+                self.heap.stats.si_snapshot_read();
+                return Ok((val, ReadKind::Shared));
+            }
+        }
         let obj = self.heap.obj(r);
         let mut attempt = 0u32;
         loop {
@@ -309,6 +336,9 @@ impl<'h> TxnCore<'h> {
                 charge(CostKind::TxnOpenRead);
                 let val = obj.field(field).load(Ordering::Acquire);
                 self.read_set.push((r, rec));
+                if si {
+                    self.si_cache.insert((r, field as u32), val);
+                }
                 self.conflict_resolved(attempt);
                 return Ok((val, ReadKind::Shared));
             }
@@ -418,6 +448,12 @@ impl<'h> TxnCore<'h> {
     /// entry whose guard we acquired *after* reading is valid iff the
     /// version we locked is the version we read.
     pub(crate) fn read_set_valid(&self) -> bool {
+        // Snapshot isolation reads from a pinned snapshot, so versions
+        // moving under the read set is expected, not a conflict: the only
+        // commit-time gate is the first-committer-wins write check.
+        if self.heap.config.isolation.snapshot_reads() {
+            return true;
+        }
         for &(r, logged) in &self.read_set {
             charge(CostKind::TxnValidateEntry);
             let cur = self.heap.guard_load(r);
@@ -456,12 +492,51 @@ impl<'h> TxnCore<'h> {
 
     /// Commit-time validation: like [`TxnCore::validate`] but without
     /// announcing a consistent state (the transaction finishes either way).
+    /// Under snapshot isolation the read-set check degenerates to the
+    /// first-committer-wins write check.
     pub(crate) fn validate_for_commit(&mut self) -> TxResult<()> {
+        self.si_commit_check()?;
         if self.read_set_valid() {
             Ok(())
         } else {
             self.heap.stats.abort_validation();
             Err(Abort::Conflict)
+        }
+    }
+
+    /// First-committer-wins (snapshot isolation): the commit loses if any
+    /// guard slot it is about to publish was stamped by a commit *after*
+    /// this transaction's begin stamp. No-op at other isolation levels.
+    /// Each refusal counts as both an `si_write_conflicts` event and an
+    /// `aborts_validation` cause, so the abort-accounting identity the
+    /// contention-stress suite asserts is unchanged.
+    fn si_commit_check(&mut self) -> TxResult<()> {
+        if !self.heap.config.isolation.snapshot_reads() {
+            return Ok(());
+        }
+        for (r, _) in self.owned.values() {
+            charge(CostKind::TxnValidateEntry);
+            if self.heap.si_stamp_of(*r) > self.si_rv {
+                self.heap.stats.si_write_conflict();
+                self.heap.stats.abort_validation();
+                return Err(Abort::Conflict);
+            }
+        }
+        Ok(())
+    }
+
+    /// Stamps every owned guard slot at one fresh commit-clock tick
+    /// (snapshot isolation). Must run *before* [`TxnCore::release_owned`]:
+    /// while the records are still exclusively ours, a rival committer's
+    /// first-committer-wins check either sees the stamp already or is still
+    /// blocked acquiring the record. No-op at other isolation levels.
+    pub(crate) fn si_stamp_owned(&self) {
+        if !self.heap.config.isolation.snapshot_reads() || self.owned.is_empty() {
+            return;
+        }
+        let stamp = self.heap.si_next_commit_stamp();
+        for (r, _) in self.owned.values() {
+            self.heap.si_stamp_slot(*r, stamp);
         }
     }
 
@@ -536,6 +611,7 @@ impl<'h> TxnCore<'h> {
         self.private_reads.clear();
         self.private_writes.clear();
         self.order.clear();
+        self.si_cache.clear();
         let scratch = Scratch {
             read_set: std::mem::take(&mut self.read_set),
             owned: std::mem::take(&mut self.owned),
@@ -546,6 +622,7 @@ impl<'h> TxnCore<'h> {
             private_reads: std::mem::take(&mut self.private_reads),
             private_writes: std::mem::take(&mut self.private_writes),
             order: std::mem::take(&mut self.order),
+            si_cache: std::mem::take(&mut self.si_cache),
         };
         let _ = SCRATCH_POOL.try_with(|p| {
             let mut pool = p.borrow_mut();

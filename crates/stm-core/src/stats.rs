@@ -104,6 +104,19 @@ struct StatShard {
     /// Self-aborts forced by the watchdog after an exhausted budget against
     /// a live (or unknown) owner.
     watchdog_self_aborts: AtomicU64,
+
+    // --- isolation-level telemetry ---
+    /// Transactional reads served from the snapshot-isolation read cache
+    /// (repeatable reads; only bumped under `SnapshotIsolation`).
+    si_snapshot_reads: AtomicU64,
+    /// First-committer-wins conflicts: commits refused because an
+    /// overlapping write committed after this transaction began (each such
+    /// conflict also surfaces as an `aborts_validation` abort, keeping the
+    /// abort-accounting identity intact).
+    si_write_conflicts: AtomicU64,
+    /// Non-transactional access barriers elided at runtime because the heap
+    /// runs under `QuiescencePrivatization`.
+    barriers_elided: AtomicU64,
 }
 
 impl Default for StatShard {
@@ -132,6 +145,9 @@ impl Default for StatShard {
             orphan_reclaims: AtomicU64::new(0),
             watchdog_escalations: AtomicU64::new(0),
             watchdog_self_aborts: AtomicU64::new(0),
+            si_snapshot_reads: AtomicU64::new(0),
+            si_write_conflicts: AtomicU64::new(0),
+            barriers_elided: AtomicU64::new(0),
         }
     }
 }
@@ -210,6 +226,9 @@ impl Stats {
         orphan_reclaim => orphan_reclaims,
         watchdog_escalation => watchdog_escalations,
         watchdog_self_abort => watchdog_self_aborts,
+        si_snapshot_read => si_snapshot_reads,
+        si_write_conflict => si_write_conflicts,
+        barrier_elided => barriers_elided,
     }
 
     /// Records a fresh conflict event at `site`.
@@ -268,6 +287,9 @@ impl Stats {
             orphan_reclaims: sum!(self, orphan_reclaims),
             watchdog_escalations: sum!(self, watchdog_escalations),
             watchdog_self_aborts: sum!(self, watchdog_self_aborts),
+            si_snapshot_reads: sum!(self, si_snapshot_reads),
+            si_write_conflicts: sum!(self, si_write_conflicts),
+            barriers_elided: sum!(self, barriers_elided),
         }
     }
 }
@@ -321,6 +343,12 @@ pub struct StatsSnapshot {
     pub watchdog_escalations: u64,
     /// Watchdog-forced self-aborts.
     pub watchdog_self_aborts: u64,
+    /// Reads served from the snapshot-isolation read cache.
+    pub si_snapshot_reads: u64,
+    /// First-committer-wins write conflicts (snapshot isolation).
+    pub si_write_conflicts: u64,
+    /// Barriers elided under quiescence-only privatization.
+    pub barriers_elided: u64,
 }
 
 impl StatsSnapshot {

@@ -14,7 +14,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use stm_core::barrier::{read_barrier, write_barrier};
-use stm_core::config::{StmConfig, Versioning};
+use stm_core::config::{IsolationLevel, StmConfig, Versioning};
 use stm_core::contention::{ConflictSite, ContentionPolicy};
 use stm_core::heap::{FieldDef, Heap, ObjRef, Shape};
 use stm_core::stats::TxnTelemetry;
@@ -119,9 +119,14 @@ fn hammer(heap: &Arc<Heap>, objs: &[ObjRef]) -> TxnTelemetry {
 }
 
 fn run_policy(policy: ContentionPolicy, versioning: Versioning) {
+    run_config(policy, versioning, IsolationLevel::StrongAtomicity);
+}
+
+fn run_config(policy: ContentionPolicy, versioning: Versioning, isolation: IsolationLevel) {
     let config = StmConfig {
         versioning,
         contention: policy,
+        isolation,
         ..StmConfig::default()
     };
     let (heap, objs) = small_world(config);
@@ -197,6 +202,35 @@ fn run_policy(policy: ContentionPolicy, versioning: Versioning) {
         "at most one recorded span per conflict event"
     );
 
+    // The isolation-tagged counters fire only under their own level. Under
+    // snapshot isolation every first-committer-wins conflict also surfaces
+    // as a validation abort, so the abort identity above already covers it.
+    match isolation {
+        IsolationLevel::StrongAtomicity => {
+            assert_eq!(snap.si_snapshot_reads, 0, "no snapshot cache under strong");
+            assert_eq!(snap.si_write_conflicts, 0, "no FCW checks under strong");
+            assert_eq!(snap.barriers_elided, 0, "no elided barriers under strong");
+        }
+        IsolationLevel::SnapshotIsolation => {
+            assert_eq!(snap.barriers_elided, 0, "snapshot isolation keeps barriers");
+            assert!(
+                snap.si_write_conflicts <= snap.aborts_validation,
+                "{}: FCW conflicts ({}) are a subset of validation aborts ({})",
+                policy.label(),
+                snap.si_write_conflicts,
+                snap.aborts_validation
+            );
+        }
+        IsolationLevel::QuiescencePrivatization => {
+            assert_eq!(snap.si_snapshot_reads, 0, "no snapshot cache under quiescence");
+            assert_eq!(snap.si_write_conflicts, 0, "no FCW checks under quiescence");
+            assert!(
+                snap.barriers_elided > 0,
+                "the barrier ops in this workload must all be elided"
+            );
+        }
+    }
+
     // The aggressive policy never waits at transactional sites.
     if policy == ContentionPolicy::Aggressive {
         for site in [ConflictSite::TxnRead, ConflictSite::TxnWrite, ConflictSite::TxnCommit] {
@@ -238,4 +272,26 @@ fn backoff_lazy_progresses_with_exact_telemetry() {
 #[test]
 fn karma_lazy_progresses_with_exact_telemetry() {
     run_policy(ContentionPolicy::Karma, Versioning::Lazy);
+}
+
+#[test]
+fn snapshot_isolation_keeps_exact_telemetry_under_stress() {
+    for versioning in [Versioning::Eager, Versioning::Lazy] {
+        run_config(
+            ContentionPolicy::Backoff,
+            versioning,
+            IsolationLevel::SnapshotIsolation,
+        );
+    }
+}
+
+#[test]
+fn quiescence_privatization_keeps_exact_telemetry_under_stress() {
+    for versioning in [Versioning::Eager, Versioning::Lazy] {
+        run_config(
+            ContentionPolicy::Backoff,
+            versioning,
+            IsolationLevel::QuiescencePrivatization,
+        );
+    }
 }

@@ -59,7 +59,9 @@ pub use workloads as bench_workloads;
 /// The most commonly used items across the workspace.
 pub mod prelude {
     pub use stm_core::barrier::{aggregate, read_barrier, write_barrier};
-    pub use stm_core::config::{BarrierMode, Granularity, StmConfig, VersionGranularity, Versioning};
+    pub use stm_core::config::{
+        BarrierMode, Granularity, IsolationLevel, StmConfig, VersionGranularity, Versioning,
+    };
     pub use stm_core::contention::{CmDecision, ConflictSite, ContentionManager, ContentionPolicy};
     pub use stm_core::heap::{FieldDef, Heap, ObjRef, Shape, ShapeId, Word};
     pub use stm_core::locks::SyncTable;
