@@ -342,8 +342,10 @@ pub fn contention() -> String {
 }
 
 /// Chaos campaign: `count` seeded fault-injection runs starting at
-/// `first_seed`, each swept across both versioning engines, all three
-/// contention policies, and both conflict-detection granularities, with
+/// `first_seed`, each swept across both versioning engines, the
+/// multiversion axis (version rings off and on, with declared read-only
+/// transactions in the op mix), all three contention policies, and both
+/// conflict-detection granularities, with
 /// [`Heap::audit`](stm_core::heap::Heap::audit) as the oracle after every
 /// run.
 ///
@@ -403,12 +405,19 @@ pub fn chaos(first_seed: u64, count: u64) -> String {
 
     for seed in first_seed..first_seed + count {
         for versioning in [Versioning::Eager, Versioning::Lazy] {
-            for (isolation, (granularity, policy)) in
-                IsolationLevel::ALL.into_iter().flat_map(|iso| {
-                    granularities
+            for (multiversion, (isolation, (granularity, policy))) in
+                [false, true].into_iter().flat_map(|m| {
+                    IsolationLevel::ALL
                         .into_iter()
-                        .flat_map(|g| ContentionPolicy::ALL.into_iter().map(move |p| (g, p)))
-                        .map(move |gp| (iso, gp))
+                        .flat_map(|iso| {
+                            granularities
+                                .into_iter()
+                                .flat_map(|g| {
+                                    ContentionPolicy::ALL.into_iter().map(move |p| (g, p))
+                                })
+                                .map(move |gp| (iso, gp))
+                        })
+                        .map(move |igp| (m, igp))
                 })
             {
                 let heap = Heap::new(StmConfig {
@@ -416,6 +425,7 @@ pub fn chaos(first_seed: u64, count: u64) -> String {
                     granularity,
                     contention: policy,
                     isolation,
+                    multiversion,
                     dea: true,
                     fault: Some(FaultPlan::seeded(seed)),
                     watchdog: WatchdogConfig { enabled: true, spin_budget: 64 },
@@ -449,7 +459,7 @@ pub fn chaos(first_seed: u64, count: u64) -> String {
                             };
                             for i in 0..OPS {
                                 let o = objs[next() as usize % objs.len()];
-                                let op = next() % 5;
+                                let op = next() % 6;
                                 let run = catch_unwind(AssertUnwindSafe(|| match op {
                                     // Transactional increment of the hot field.
                                     0 | 1 => atomic(&heap, |tx| {
@@ -468,8 +478,19 @@ pub fn chaos(first_seed: u64, count: u64) -> String {
                                     }),
                                     // Non-transactional barrier traffic.
                                     3 => stm_core::barrier::write_barrier(&heap, o, 1, i),
-                                    _ => {
+                                    4 => {
                                         let _ = stm_core::barrier::read_barrier(&heap, o, 0);
+                                    }
+                                    // Declared read-only transaction: the
+                                    // wait-free snapshot path when the
+                                    // multiversion axis is on, the ordinary
+                                    // validated path when it is off.
+                                    _ => {
+                                        let _ = stm_core::txn::atomic_read_only(&heap, |tx| {
+                                            let a = tx.read(o, 0)?;
+                                            let b = tx.read(o, 1)?;
+                                            Ok(a.wrapping_add(b))
+                                        });
                                     }
                                 }));
                                 if let Err(payload) = run {
@@ -499,7 +520,7 @@ pub fn chaos(first_seed: u64, count: u64) -> String {
                 if !report.is_clean() {
                     failures.push(format!(
                         "seed={seed} engine={versioning:?} isolation={} records={} \
-                         policy={}:\n{report}",
+                         policy={} multiversion={multiversion}:\n{report}",
                         isolation.label(),
                         granularity.label(),
                         policy.label()
@@ -521,7 +542,8 @@ pub fn chaos(first_seed: u64, count: u64) -> String {
     let injected = injected_panics.load(Ordering::Relaxed);
     let exclusive = exclusive_panics.load(Ordering::Relaxed);
     let runs = count
-        * 2
+        * 2 // engines
+        * 2 // multiversion off/on
         * stm_core::config::IsolationLevel::ALL.len() as u64
         * granularities.len() as u64
         * ContentionPolicy::ALL.len() as u64;
@@ -529,8 +551,9 @@ pub fn chaos(first_seed: u64, count: u64) -> String {
     writeln!(out, "== Chaos campaign: seeded faults vs the heap auditor ==\n").unwrap();
     writeln!(
         out,
-        "seeds {first_seed}..{} x {{eager, lazy}} x {{strong, snapshot, quiescence}} x \
-         {{per-object, striped:64}} x {{aggressive, backoff, karma}} = {runs} runs \
+        "seeds {first_seed}..{} x {{eager, lazy}} x {{mv-off, mv-on}} x \
+         {{strong, snapshot, quiescence}} x {{per-object, striped:64}} x \
+         {{aggressive, backoff, karma}} = {runs} runs \
          ({THREADS} threads x {OPS} ops each)",
         first_seed + count
     )
@@ -991,6 +1014,213 @@ pub fn scale_to(ops_per_thread: u64, artifact: &std::path::Path) -> String {
     out
 }
 
+/// One measured cell of the multiversion read-concurrency experiment.
+struct MvRow {
+    mode: &'static str,
+    threads: usize,
+    ops: u64,
+    makespan: u64,
+    commits: u64,
+    aborts: u64,
+    /// Re-executions of declared read-only transactions (demotions to the
+    /// validated path) — the acceptance bar requires zero with the rings on.
+    ro_aborts: u64,
+    ro_fast_commits: u64,
+    mv_snapshot_reads: u64,
+    mv_ring_overflows: u64,
+    speedup: f64,
+}
+
+impl MvRow {
+    fn throughput(&self) -> f64 {
+        self.ops as f64 / (self.makespan.max(1) as f64 / 1e6)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"mode\":\"{}\",\"threads\":{},\"ops\":{},\"makespan_cycles\":{},\
+             \"throughput_ops_per_mcycle\":{:.3},\"speedup_vs_1_thread\":{:.3},\
+             \"commits\":{},\"aborts\":{},\"ro_aborts\":{},\"ro_fast_commits\":{},\
+             \"mv_snapshot_reads\":{},\"mv_ring_overflows\":{}}}",
+            self.mode,
+            self.threads,
+            self.ops,
+            self.makespan,
+            self.throughput(),
+            self.speedup,
+            self.commits,
+            self.aborts,
+            self.ro_aborts,
+            self.ro_fast_commits,
+            self.mv_snapshot_reads,
+            self.mv_ring_overflows,
+        )
+    }
+}
+
+/// Runs one cell of the read-heavy contended sweep: `threads` workers on
+/// the simulated multiprocessor hammer a 4-object hot set. One in four
+/// workers is a writer (read-modify-write pairs, the `repro scale`
+/// contended body); the rest run declared read-only transactions scanning
+/// the hot set.
+fn mv_case(multiversion: bool, threads: usize, ops_per_thread: u64) -> MvRow {
+    use std::sync::Arc;
+    use stm_core::config::StmConfig;
+    use stm_core::heap::{FieldDef, Heap, Shape};
+    use stm_core::txn::{atomic, atomic_read_only_traced};
+    use workloads::scale::run_workers;
+
+    let heap = Heap::new(StmConfig { multiversion, quiescence: true, ..StmConfig::default() });
+    let shape = heap.define_shape(Shape::new(
+        "Cell",
+        vec![FieldDef::int("n"), FieldDef::int("side")],
+    ));
+    let objects: Vec<_> = (0..4).map(|_| heap.alloc_public(shape)).collect();
+    // Commit one writer up front so every ring holds a version (a cold
+    // ring would start every reader on the fallback path).
+    atomic(&heap, |tx| {
+        for &o in &objects {
+            tx.write(o, 0, 1)?;
+            tx.write(o, 1, 1)?;
+        }
+        Ok(())
+    });
+
+    let worker_heap = Arc::clone(&heap);
+    let objs = objects.clone();
+    let (makespan, commits, aborts, per_worker) =
+        run_workers(&heap, threads, threads, move |t| {
+            let mut rng = 0x9E37_79B9u64.wrapping_mul(t as u64 + 1) | 1;
+            let mut next = move || {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                rng
+            };
+            // 1-in-4 workers write; with 1 thread the single worker writes
+            // (the baseline must pay the same writer costs it contends with
+            // at scale).
+            let writer = t % 4 == 0;
+            let mut demotions = 0u64;
+            for i in 0..ops_per_thread {
+                if writer {
+                    let a = next() as usize % objs.len();
+                    let (a, b) = (objs[a], objs[(a + 1) % objs.len()]);
+                    atomic(&worker_heap, |tx| {
+                        let v = tx.read(a, 0)?;
+                        tx.write(a, 0, v + 1)?;
+                        let w = tx.read(b, 1)?;
+                        tx.write(b, 1, w.wrapping_add(i))
+                    });
+                } else {
+                    let (_, telem) = atomic_read_only_traced(&worker_heap, |tx| {
+                        let mut sum = 0u64;
+                        for &o in &objs {
+                            sum = sum.wrapping_add(tx.read(o, 0)?);
+                        }
+                        Ok(sum)
+                    });
+                    demotions += u64::from(telem.attempts.saturating_sub(1));
+                }
+            }
+            demotions
+        });
+    heap.audit().assert_clean();
+    let snap = heap.stats().snapshot();
+    MvRow {
+        mode: if multiversion { "mv-on" } else { "mv-off" },
+        threads,
+        ops: threads as u64 * ops_per_thread,
+        makespan,
+        commits,
+        aborts,
+        ro_aborts: per_worker.iter().sum(),
+        ro_fast_commits: snap.ro_fast_commits,
+        mv_snapshot_reads: snap.mv_snapshot_reads,
+        mv_ring_overflows: snap.mv_ring_overflows,
+        speedup: 0.0,
+    }
+}
+
+/// Multiversion read concurrency: the contended read-heavy sweep that the
+/// scale experiment's collapse motivated. 1–16 workers share a 4-object
+/// hot set, 3 of every 4 workers are declared read-only; the sweep runs
+/// with the version rings off (readers fight writers through validation)
+/// and on (readers commit wait-free from snapshots). Writes
+/// `BENCH_mv.json` next to the report.
+pub fn mv(ops_per_thread: u64) -> String {
+    mv_to(ops_per_thread, std::path::Path::new("BENCH_mv.json"))
+}
+
+/// [`mv`] with an explicit artifact path (tests point it at a temporary
+/// directory).
+pub fn mv_to(ops_per_thread: u64, artifact: &std::path::Path) -> String {
+    let mut rows: Vec<MvRow> = Vec::new();
+    for multiversion in [false, true] {
+        let mut base = 0.0f64;
+        for threads in THREADS {
+            let mut row = mv_case(multiversion, threads, ops_per_thread);
+            if threads == 1 {
+                base = row.throughput();
+            }
+            row.speedup = row.throughput() / base.max(f64::MIN_POSITIVE);
+            rows.push(row);
+        }
+    }
+
+    let mut out = String::new();
+    writeln!(out, "== Multiversion read concurrency: contended read-heavy sweep ==\n").unwrap();
+    writeln!(
+        out,
+        "(simulated N-way multiprocessor; {ops_per_thread} txns/thread on a 4-object hot\n\
+         set; 1-in-4 workers write, the rest are declared read-only; mv-off = the\n\
+         validated path, mv-on = wait-free snapshots from the version rings)\n"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<7} {:>4} {:>8} {:>14} {:>9} {:>8} {:>7} {:>9} {:>9} {:>10} {:>9}",
+        "mode", "thr", "ops", "ops/Mcycle", "speedup", "commits", "aborts", "ro-aborts",
+        "ro-fast", "snap-reads", "overflows"
+    )
+    .unwrap();
+    for r in &rows {
+        writeln!(
+            out,
+            "{:<7} {:>4} {:>8} {:>14.1} {:>8.2}x {:>8} {:>7} {:>9} {:>9} {:>10} {:>9}",
+            r.mode,
+            r.threads,
+            r.ops,
+            r.throughput(),
+            r.speedup,
+            r.commits,
+            r.aborts,
+            r.ro_aborts,
+            r.ro_fast_commits,
+            r.mv_snapshot_reads,
+            r.mv_ring_overflows,
+        )
+        .unwrap();
+    }
+
+    let json = format!(
+        "{{\"experiment\":\"mv\",\"ops_per_thread\":{ops_per_thread},\"rows\":[\n  {}\n]}}\n",
+        rows.iter().map(MvRow::json).collect::<Vec<_>>().join(",\n  ")
+    );
+    match std::fs::write(artifact, &json) {
+        Ok(()) => writeln!(out, "\nwrote {} ({} rows)", artifact.display(), rows.len()).unwrap(),
+        Err(e) => writeln!(out, "\nfailed to write {}: {e}", artifact.display()).unwrap(),
+    }
+    writeln!(
+        out,
+        "(the acceptance bar: mv-on at 16 workers beats its own 1-worker baseline\n\
+         with ro-aborts = 0 — wait-free readers neither abort nor collapse under\n\
+         writer contention; overflowed readers fall back, they never spin)"
+    )
+    .unwrap();
+    out
+}
+
 /// One measured cell of the isolation-level experiment.
 struct IsoRow {
     level: &'static str,
@@ -1270,6 +1500,7 @@ pub fn all(scale: usize) -> String {
         granularity(2000),
         self::scale(400),
         isolation(2000),
+        mv(400),
     ] {
         out.push_str(&part);
         out.push('\n');
@@ -1321,7 +1552,7 @@ mod tests {
         // Two seeds keep the debug-build test quick; the CI chaos job runs
         // the full 32-seed campaign in release mode.
         let s = chaos(1, 2);
-        assert!(s.contains("audits: 72/72 clean"), "{s}");
+        assert!(s.contains("audits: 144/144 clean"), "{s}");
     }
 
     #[test]
@@ -1396,6 +1627,45 @@ mod tests {
             checked += 1;
         }
         assert_eq!(checked, 2, "expected one 8-thread disjoint row per engine:\n{json}");
+    }
+
+    #[test]
+    fn mv_reports_wait_free_readers_and_emit_json() {
+        let dir = std::env::temp_dir().join("bench-mv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let artifact = dir.join("BENCH_mv.json");
+        let s = mv_to(150, &artifact);
+
+        assert!(s.contains("mv-off"), "{s}");
+        assert!(s.contains("mv-on"), "{s}");
+        assert!(s.contains("BENCH_mv.json"), "{s}");
+        let json = std::fs::read_to_string(&artifact).expect("JSON artifact written");
+        assert!(json.contains("\"experiment\":\"mv\""), "{json}");
+
+        // The acceptance bar, parsed back out of the artifact: the mv-on
+        // contended read-heavy mix at 16 workers beats its own 1-worker
+        // baseline, read-only fast commits actually fired, and no declared
+        // read-only transaction ever aborted or demoted.
+        let mut checked = 0;
+        for row in json.split('{').filter(|r| r.contains("\"mode\":\"mv-on\"")) {
+            let field = |name: &str| -> f64 {
+                row.split(&format!("\"{name}\":"))
+                    .nth(1)
+                    .and_then(|s| s.split([',', '}']).next())
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("field {name} in {row}"))
+            };
+            assert_eq!(field("ro_aborts") as u64, 0, "RO txn aborted/demoted:\n{row}");
+            if row.contains("\"threads\":16,") {
+                assert!(
+                    field("speedup_vs_1_thread") > 1.0,
+                    "mv-on 16-worker read-heavy speedup did not beat 1 thread:\n{s}"
+                );
+                assert!(field("ro_fast_commits") > 0.0, "no RO fast commits:\n{row}");
+                checked += 1;
+            }
+        }
+        assert_eq!(checked, 1, "expected one mv-on 16-worker row:\n{json}");
     }
 
     #[test]

@@ -25,6 +25,11 @@
 //!                        # quiescence x eager / lazy) plus a mixed-workload
 //!                        # cost sweep; writes BENCH_isolation.json
 //!                        # (default 2000 ops/thread)
+//! repro mv [ops]         # multiversion read concurrency: contended
+//!                        # read-heavy sweep over 1..16 workers with the
+//!                        # version rings off vs on (wait-free read-only
+//!                        # commits); writes BENCH_mv.json
+//!                        # (default 2000 ops/thread)
 //! ```
 
 use bench::experiments as ex;
@@ -61,6 +66,10 @@ fn main() {
             let ops: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
             ex::isolation(ops)
         }
+        "mv" => {
+            let ops: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
+            ex::mv(ops)
+        }
         "chaos" => {
             let mut first = 1u64;
             let mut count = 32u64;
@@ -86,7 +95,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment `{other}`; try: all, fig1..fig6, fig13..fig20, \
-                 contention, granularity, chaos, scale, isolation"
+                 contention, granularity, chaos, scale, isolation, mv"
             );
             std::process::exit(2);
         }

@@ -21,6 +21,7 @@ thread_local! {
     static POLICY: Cell<ContentionPolicy> = const { Cell::new(ContentionPolicy::Backoff) };
     static CONFLICT_GRANULARITY: Cell<Option<Granularity>> = const { Cell::new(None) };
     static ISOLATION: Cell<Option<IsolationLevel>> = const { Cell::new(None) };
+    static MULTIVERSION: Cell<Option<bool>> = const { Cell::new(None) };
 }
 
 /// Runs `f` with every [`Env`] built on this thread using `policy` as its
@@ -71,6 +72,23 @@ pub fn with_isolation<R>(isolation: IsolationLevel, f: impl FnOnce() -> R) -> R 
 /// process default unless overridden).
 pub fn current_isolation() -> IsolationLevel {
     ISOLATION.with(|i| i.get()).unwrap_or_default()
+}
+
+/// Runs `f` with every [`Env`] built on this thread keeping multiversion
+/// read concurrency on (or off). This is how the chaos campaign and the
+/// read-only-snapshot witnesses rerun scenarios against the version rings
+/// without touching them.
+pub fn with_multiversion<R>(multiversion: bool, f: impl FnOnce() -> R) -> R {
+    let prior = MULTIVERSION.with(|m| m.replace(Some(multiversion)));
+    let out = f();
+    MULTIVERSION.with(|m| m.set(prior));
+    out
+}
+
+/// Whether new environments on this thread enable multiversion read
+/// concurrency (the process default unless overridden).
+pub fn current_multiversion() -> bool {
+    MULTIVERSION.with(|m| m.get()).unwrap_or_else(|| StmConfig::default().multiversion)
 }
 
 /// A litmus environment: a heap configured for one column of the paper's
@@ -163,6 +181,7 @@ impl Env {
             record_races,
             contention: current_policy(),
             isolation: current_isolation(),
+            multiversion: current_multiversion(),
             ..StmConfig::default()
         };
         let barriers = match mode {

@@ -1,0 +1,362 @@
+//! Multi-version read-only snapshot litmus tests.
+//!
+//! Under [`StmConfig::multiversion`] a declared read-only transaction
+//! serves every read from a consistent snapshot (the newest committed
+//! version at or below its begin stamp) and commits wait-free — no
+//! validation, no locks, no aborts. These tests pin that claim against the
+//! sharpest schedules the scripted harness can produce:
+//!
+//! * a reader racing an *eager* writer parked between two in-place stores
+//!   (the torn-snapshot shape) still sees the pre-state of both fields;
+//! * read-only observers embedded around the §SI write-skew interleaving
+//!   see only committed, mutually consistent states, and never abort;
+//! * the whole 9-anomaly × 6-column isolation matrix is bit-identical with
+//!   multiversion on — the version rings add a read path, not an anomaly;
+//! * a reader overtaken by the bounded ring falls back to the validated
+//!   path (a structured demotion, counted in `mv_ring_overflows`) rather
+//!   than spinning or serving a stale version;
+//! * a conservation-law proptest: racing transfer writers never let a
+//!   read-only snapshot observe a partial transfer.
+//!
+//! [`StmConfig::multiversion`]: stm_core::config::StmConfig::multiversion
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use stm_core::config::IsolationLevel;
+use stm_core::heap::ObjRef;
+use stm_core::stats::StatsSnapshot;
+use stm_core::syncpoint::SyncPoint;
+use stm_core::txn::{atomic, atomic_read_only, atomic_read_only_traced};
+
+use litmus::anomalies::{
+    engine_label, expected_isolation_matrix, isolation_matrix, write_skew, IsoAnomaly, ENGINES,
+};
+use litmus::harness::{run2_labeled, u, with_isolation, with_multiversion, Env, T1, T2};
+use litmus::Mode;
+
+/// Engine → litmus mode with strong barriers (the isolation level and the
+/// multiversion axis are what vary in this file).
+fn mode_of(engine: stm_core::config::Versioning) -> Mode {
+    match engine {
+        stm_core::config::Versioning::Lazy => Mode::StrongLazy,
+        _ => Mode::Strong,
+    }
+}
+
+/// Sum of every abort-shaped counter: a wait-free reader must move none of
+/// them.
+fn abort_total(s: &StatsSnapshot) -> u64 {
+    s.aborts
+        + s.aborts_validation
+        + s.aborts_cancel
+        + s.aborts_deadlock
+        + s.watchdog_self_aborts
+        + s.cm_self_aborts.iter().sum::<u64>()
+}
+
+/// Transactionally initializes `(x, y)` so both version rings hold a
+/// committed version (a cold ring would force the reader's fallback and
+/// hide the wait-free path this file is probing).
+fn init_pair(env: &Env, x: ObjRef, y: ObjRef, v: u64) {
+    atomic(&env.heap, |tx| {
+        tx.write(x, 0, v)?;
+        tx.write(y, 0, v)
+    });
+}
+
+/// The torn-snapshot shape: an eager writer updates `x` in place, parks,
+/// then updates `y`. A read-only transaction running in the gap must see
+/// the pre-state `(1, 1)` — never the mixed `(2, 1)` the raw memory holds —
+/// and must commit wait-free on its first attempt with zero aborts.
+#[test]
+fn ro_snapshot_is_consistent_while_writer_is_mid_flight() {
+    for engine in ENGINES {
+        for level in [IsolationLevel::StrongAtomicity, IsolationLevel::SnapshotIsolation] {
+            let env = with_multiversion(true, || {
+                with_isolation(level, || Arc::new(Env::new(mode_of(engine))))
+            });
+            let x = env.obj();
+            let y = env.obj();
+            init_pair(&env, x, y, 1);
+            let before = env.heap.stats().snapshot();
+
+            let script = vec![(T1, u(1)), (T2, u(2)), (T1, u(3))];
+            let e1 = Arc::clone(&env);
+            let e2 = Arc::clone(&env);
+            let ((), (seen, telem)) = run2_labeled(
+                &env.heap,
+                &format!("mv mid-flight engine={} level={}", engine_label(engine), level.label()),
+                script,
+                move || {
+                    atomic(&e1.heap, |tx| {
+                        tx.write(x, 0, 2)?;
+                        e1.heap.hit(u(1));
+                        e1.heap.hit(u(3));
+                        tx.write(y, 0, 2)
+                    });
+                },
+                move || {
+                    let out = atomic_read_only_traced(&e2.heap, |tx| {
+                        let rx = tx.read(x, 0)?;
+                        let ry = tx.read(y, 0)?;
+                        Ok((rx, ry))
+                    });
+                    e2.heap.hit(u(2));
+                    out
+                },
+            );
+
+            let cell = format!("engine={} level={}", engine_label(engine), level.label());
+            assert_eq!(seen, (1, 1), "torn snapshot under {cell}");
+            assert_eq!(telem.attempts, 1, "wait-free reader re-executed under {cell}");
+            let after = env.heap.stats().snapshot();
+            assert_eq!(
+                abort_total(&after),
+                abort_total(&before),
+                "an abort counter moved under {cell}"
+            );
+            assert!(after.ro_fast_commits > before.ro_fast_commits, "no fast commit under {cell}");
+            assert!(
+                after.mv_snapshot_reads > before.mv_snapshot_reads,
+                "reads did not use the snapshot path under {cell}"
+            );
+            assert_eq!(env.heap.read_raw(x, 0), 2, "writer lost its x update under {cell}");
+            assert_eq!(env.heap.read_raw(y, 0), 2, "writer lost its y update under {cell}");
+            env.heap.audit().assert_clean();
+        }
+    }
+}
+
+/// Read-only observers bracketing the snapshot-isolation write-skew script:
+/// the observer before the skew sees the initial `(1, 1)`; the observer
+/// after both commits sees the skew outcome `(2, 2)`. Neither aborts —
+/// write skew is a *writer* anomaly, invisible to a snapshot reader.
+#[test]
+fn ro_observers_around_a_write_skew_interleaving() {
+    for engine in ENGINES {
+        let env = with_multiversion(true, || {
+            with_isolation(IsolationLevel::SnapshotIsolation, || {
+                Arc::new(Env::new(mode_of(engine)))
+            })
+        });
+        let x = env.obj();
+        let y = env.obj();
+        init_pair(&env, x, y, 1);
+        let before = env.heap.stats().snapshot();
+
+        // The classic skew interleaving (litmus::anomalies::write_skew):
+        // both transactions read before either commits, T1 commits first.
+        let script = vec![
+            (T1, u(1)),
+            (T2, u(2)),
+            (T1, u(3)),
+            (T1, SyncPoint::TxnCommitted),
+            (T2, u(4)),
+        ];
+        let e1 = Arc::clone(&env);
+        let e2 = Arc::clone(&env);
+        let ((), (pre, post)) = run2_labeled(
+            &env.heap,
+            &format!("mv write-skew observers engine={}", engine_label(engine)),
+            script,
+            move || {
+                atomic(&e1.heap, |tx| {
+                    let rx = tx.read(x, 0)?;
+                    let ry = tx.read(y, 0)?;
+                    e1.heap.hit(u(1));
+                    e1.heap.hit(u(3));
+                    tx.write(x, 0, rx + ry)
+                });
+            },
+            move || {
+                // Before T2's skew transaction: nothing has committed yet,
+                // so the snapshot is the initial state regardless of where
+                // T1 is parked.
+                let pre = atomic_read_only(&e2.heap, |tx| Ok((tx.read(x, 0)?, tx.read(y, 0)?)));
+                atomic(&e2.heap, |tx| {
+                    let rx = tx.read(x, 0)?;
+                    let ry = tx.read(y, 0)?;
+                    e2.heap.hit(u(2));
+                    e2.heap.hit(u(4));
+                    tx.write(y, 0, rx + ry)
+                });
+                // After both commits: the skew outcome, never a mix.
+                let post = atomic_read_only(&e2.heap, |tx| Ok((tx.read(x, 0)?, tx.read(y, 0)?)));
+                (pre, post)
+            },
+        );
+
+        let cell = format!("engine={}", engine_label(engine));
+        assert_eq!(pre, (1, 1), "pre-skew observer saw a torn state under {cell}");
+        assert_eq!(post, (2, 2), "post-skew observer missed the skew outcome under {cell}");
+        let after = env.heap.stats().snapshot();
+        assert!(after.ro_fast_commits >= before.ro_fast_commits + 2, "observers not wait-free");
+        env.heap.audit().assert_clean();
+    }
+}
+
+/// The full isolation × anomaly matrix is unchanged by the multiversion
+/// axis: version rings serve declared read-only transactions and every
+/// witness here runs ordinary read-write transactions, so each cell —
+/// including both write-skew columns — must match the published spectrum.
+#[test]
+fn isolation_matrix_is_multiversion_invariant() {
+    let want = expected_isolation_matrix();
+    let got = with_multiversion(true, isolation_matrix);
+    for (i, anomaly) in IsoAnomaly::ALL.iter().enumerate() {
+        for (li, level) in IsolationLevel::ALL.iter().enumerate() {
+            for (ei, engine) in ENGINES.iter().enumerate() {
+                let j = li * 2 + ei;
+                assert_eq!(
+                    got[i][j],
+                    want[i][j],
+                    "{} under level={} engine={} with multiversion on: \
+                     expected observable={}, observed={}",
+                    anomaly.abbrev(),
+                    level.label(),
+                    engine_label(*engine),
+                    want[i][j],
+                    got[i][j]
+                );
+            }
+        }
+    }
+    // And the headline skew cells once more, directly.
+    for engine in ENGINES {
+        with_multiversion(true, || {
+            assert!(
+                write_skew(IsolationLevel::SnapshotIsolation, engine),
+                "SI write skew must still fire with multiversion on"
+            );
+            assert!(
+                !write_skew(IsolationLevel::StrongAtomicity, engine),
+                "strong atomicity must still exclude write skew with multiversion on"
+            );
+        });
+    }
+}
+
+/// The ring-overflow boundary: a parked reader whose snapshot predates
+/// every retained version must *fall back* — demote, re-execute on the
+/// validated path, and return the current committed state — never spin and
+/// never serve a stale or torn version.
+#[test]
+fn overtaken_ro_reader_falls_back_to_the_validated_path() {
+    let env = with_multiversion(true, || Arc::new(Env::new(Mode::Strong)));
+    let x = env.obj();
+    let y = env.obj();
+    init_pair(&env, x, y, 1);
+    let before = env.heap.stats().snapshot();
+
+    // T2 samples its snapshot and reads x, then parks; T1 commits more
+    // writers to y than the ring retains (strictly inside the park window —
+    // u(2)/u(4) fence the write burst); T2 then reads y — its version is
+    // gone, so the attempt demotes and re-executes read-write.
+    let script = vec![(T2, u(1)), (T1, u(2)), (T1, u(4)), (T2, u(3))];
+    let e1 = Arc::clone(&env);
+    let e2 = Arc::clone(&env);
+    let writes = (stm_core::mv::MV_RING + 4) as u64;
+    let ((), (seen, telem)) = run2_labeled(
+        &env.heap,
+        "mv ring overflow",
+        script,
+        move || {
+            e1.heap.hit(u(2));
+            for i in 0..writes {
+                atomic(&e1.heap, |tx| tx.write(y, 0, 10 + i));
+            }
+            e1.heap.hit(u(4));
+        },
+        move || {
+            atomic_read_only_traced(&e2.heap, |tx| {
+                let rx = tx.read(x, 0)?;
+                e2.heap.hit(u(1));
+                e2.heap.hit(u(3));
+                let ry = tx.read(y, 0)?;
+                Ok((rx, ry))
+            })
+        },
+    );
+
+    // The fallback re-execution reads the final committed state.
+    assert_eq!(seen, (1, 10 + writes - 1), "fallback must read the current state");
+    assert!(telem.attempts >= 2, "overtaken reader must re-execute, got {}", telem.attempts);
+    let after = env.heap.stats().snapshot();
+    assert!(
+        after.mv_ring_overflows > before.mv_ring_overflows,
+        "the overflow fallback must be counted"
+    );
+    env.heap.audit().assert_clean();
+}
+
+// ---------------------------------------------------------------------------
+// Conservation proptest: snapshots never observe a partial transfer.
+// ---------------------------------------------------------------------------
+
+const ACCOUNTS: usize = 4;
+const BALANCE: u64 = 1_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Writers move random amounts between accounts (total conserved);
+    /// concurrent read-only transactions snapshot every account. Any torn
+    /// or stale-mix snapshot breaks the conservation sum. Ring overflows
+    /// are allowed (the reader falls back) — inconsistency is not.
+    #[test]
+    fn ro_snapshots_preserve_the_conservation_sum(
+        transfers in prop::collection::vec((0..ACCOUNTS, 1..ACCOUNTS, 1u64..50), 4..24),
+        lazy in any::<bool>(),
+    ) {
+        let mode = if lazy { Mode::StrongLazy } else { Mode::Strong };
+        let env = with_multiversion(true, || Arc::new(Env::new(mode)));
+        let accounts: Vec<ObjRef> = (0..ACCOUNTS).map(|_| env.obj()).collect();
+        atomic(&env.heap, |tx| {
+            for &a in &accounts {
+                tx.write(a, 0, BALANCE)?;
+            }
+            Ok(())
+        });
+
+        let writer = {
+            let heap = Arc::clone(&env.heap);
+            let accounts = accounts.clone();
+            let transfers = transfers.clone();
+            std::thread::spawn(move || {
+                for (from, gap, amount) in transfers {
+                    let to = (from + gap) % ACCOUNTS;
+                    atomic(&heap, |tx| {
+                        let f = tx.read(accounts[from], 0)?;
+                        let t = tx.read(accounts[to], 0)?;
+                        let moved = amount.min(f);
+                        tx.write(accounts[from], 0, f - moved)?;
+                        tx.write(accounts[to], 0, t + moved)
+                    });
+                }
+            })
+        };
+        let reader = {
+            let heap = Arc::clone(&env.heap);
+            let accounts = accounts.clone();
+            std::thread::spawn(move || {
+                for _ in 0..32 {
+                    let total = atomic_read_only(&heap, |tx| {
+                        let mut sum = 0u64;
+                        for &a in &accounts {
+                            sum += tx.read(a, 0)?;
+                        }
+                        Ok(sum)
+                    });
+                    assert_eq!(
+                        total,
+                        ACCOUNTS as u64 * BALANCE,
+                        "snapshot observed a partial transfer"
+                    );
+                }
+            })
+        };
+        writer.join().expect("writer thread");
+        reader.join().expect("reader thread");
+        env.heap.audit().assert_clean();
+    }
+}

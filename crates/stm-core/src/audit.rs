@@ -126,6 +126,42 @@ pub enum AuditFinding {
         /// Observed distance in bytes.
         gap: usize,
     },
+    /// A multiversion ring retains a stamp newer than the commit clock —
+    /// a version no committer can have installed (leaked or corrupt entry).
+    MvFutureStamp {
+        /// The ring's object index.
+        obj: usize,
+        /// The ring's field slot.
+        field: u32,
+        /// The impossible stamp.
+        stamp: u64,
+        /// The commit clock at audit time.
+        clock: u64,
+    },
+    /// A multiversion ring's newest retained stamp went backwards since the
+    /// previous audit: installs only ever add newer versions, and GC only
+    /// drops superseded *older* ones.
+    MvStampRegressed {
+        /// The ring's object index.
+        obj: usize,
+        /// The ring's field slot.
+        field: u32,
+        /// High-water newest stamp from earlier audits.
+        before: u64,
+        /// Newest stamp observed now.
+        after: u64,
+    },
+    /// A multiversion ring holds the same stamp in two entries — one commit
+    /// occupying two slots halves the usable history and means the
+    /// in-place-reinstall path was bypassed.
+    MvDuplicateStamp {
+        /// The ring's object index.
+        obj: usize,
+        /// The ring's field slot.
+        field: u32,
+        /// The duplicated stamp.
+        stamp: u64,
+    },
     /// A quiescence slot is still marked active at a quiescent moment even
     /// though its owner is registered alive (or the slot carries no owner
     /// at all) — the transaction lifecycle leaked the slot. Slots stranded
@@ -180,6 +216,18 @@ impl std::fmt::Display for AuditFinding {
                 f,
                 "stripe[{stripe}]: adjacent slots only {gap} bytes apart (cache-line sharing)"
             ),
+            AuditFinding::MvFutureStamp { obj, field, stamp, clock } => write!(
+                f,
+                "mv[{obj}.{field}]: retained stamp {stamp} is newer than the commit clock {clock}"
+            ),
+            AuditFinding::MvStampRegressed { obj, field, before, after } => write!(
+                f,
+                "mv[{obj}.{field}]: newest stamp regressed {before} -> {after}"
+            ),
+            AuditFinding::MvDuplicateStamp { obj, field, stamp } => write!(
+                f,
+                "mv[{obj}.{field}]: stamp {stamp} retained in two ring entries"
+            ),
             AuditFinding::SlotStrandedActive { slot, owner_word } => write!(
                 f,
                 "txn-slot[{slot}]: active at a quiescent moment (owner {owner_word:#x} \
@@ -232,6 +280,8 @@ pub(crate) struct VersionHighWater {
     /// Separate key space for striped-table slots (a slot index would
     /// otherwise collide with an object index).
     stripe_marks: Mutex<HashMap<usize, usize>>,
+    /// Newest-retained-stamp high water per multiversion ring.
+    mv_marks: Mutex<HashMap<(usize, u32), u64>>,
 }
 
 impl Heap {
@@ -323,6 +373,48 @@ impl Heap {
                     }
                 }
             }
+        }
+        // Multiversion rings: every retained stamp must have been drawn
+        // from the commit clock (no future stamps), the newest retained
+        // stamp per ring must never regress (installs add newer versions,
+        // GC drops only superseded older ones), and no commit may occupy
+        // two entries of one ring. Bounded length is structural — the ring
+        // is a fixed array — so these three checks are what "no leaked
+        // versions" means operationally.
+        if let Some(mv) = &self.mv {
+            let clock = self.si_begin_stamp();
+            let mut mv_marks = self.audit_versions.mv_marks.lock();
+            mv.for_each(|obj, field, ring| {
+                let mut stamps = ring.stamps();
+                stamps.sort_unstable();
+                for pair in stamps.windows(2) {
+                    if pair[0] == pair[1] {
+                        findings.push(AuditFinding::MvDuplicateStamp {
+                            obj,
+                            field,
+                            stamp: pair[0],
+                        });
+                    }
+                }
+                for &stamp in &stamps {
+                    if stamp > clock {
+                        findings.push(AuditFinding::MvFutureStamp { obj, field, stamp, clock });
+                    }
+                }
+                if let Some(newest) = ring.newest_stamp() {
+                    let mark = mv_marks.entry((obj, field)).or_insert(newest);
+                    if newest < *mark {
+                        findings.push(AuditFinding::MvStampRegressed {
+                            obj,
+                            field,
+                            before: *mark,
+                            after: newest,
+                        });
+                    } else {
+                        *mark = newest;
+                    }
+                }
+            });
         }
         // Quiescence-slot registry: at a quiescent moment every slot must be
         // inactive unless its owner crashed mid-flight (those are expected
@@ -495,6 +587,74 @@ mod tests {
         // expected leftover, not a finding.
         heap.liveness.deregister(owner);
         heap.audit().assert_clean();
+    }
+
+    #[test]
+    fn multiversion_heap_audits_clean() {
+        let heap = Heap::new(StmConfig::strong_default().with_multiversion(true));
+        let s = shape(&heap);
+        let o = heap.alloc_public(s);
+        atomic(&heap, |tx| tx.write(o, 0, 7));
+        crate::barrier::write_barrier(&heap, o, 0, 8);
+        let v = crate::txn::atomic_read_only(&heap, |tx| tx.read(o, 0));
+        assert_eq!(v, 8);
+        heap.audit().assert_clean();
+        heap.audit().assert_clean();
+    }
+
+    #[test]
+    fn mv_future_stamp_is_found() {
+        let heap = Heap::new(StmConfig::strong_default().with_multiversion(true));
+        // Clock never advanced: any nonzero stamp is from the future.
+        heap.mv
+            .as_ref()
+            .unwrap()
+            .with_ring(0, 0, |ring| ring.install(999, 1));
+        let report = heap.audit();
+        assert!(matches!(
+            report.findings.as_slice(),
+            [AuditFinding::MvFutureStamp { stamp: 999, .. }]
+        ));
+        assert!(report.to_string().contains("newer than the commit clock"));
+    }
+
+    #[test]
+    fn mv_stamp_regression_is_found() {
+        let heap = Heap::new(StmConfig::strong_default().with_multiversion(true));
+        for _ in 0..5 {
+            let stamp = heap.si_next_commit_stamp();
+            heap.si_publish(stamp);
+        }
+        let mv = heap.mv.as_ref().unwrap();
+        mv.with_ring(0, 0, |ring| ring.install(5, 1));
+        heap.audit().assert_clean();
+        mv.with_ring(0, 0, |ring| {
+            ring.clear();
+            ring.install(3, 1);
+        });
+        let report = heap.audit();
+        assert!(matches!(
+            report.findings.as_slice(),
+            [AuditFinding::MvStampRegressed { before: 5, after: 3, .. }]
+        ));
+    }
+
+    #[test]
+    fn mv_duplicate_stamp_is_found() {
+        let heap = Heap::new(StmConfig::strong_default().with_multiversion(true));
+        for _ in 0..10 {
+            let stamp = heap.si_next_commit_stamp();
+            heap.si_publish(stamp);
+        }
+        heap.mv.as_ref().unwrap().with_ring(0, 0, |ring| {
+            ring.force_entry(0, 10, 1);
+            ring.force_entry(1, 10, 2);
+        });
+        let report = heap.audit();
+        assert!(matches!(
+            report.findings.as_slice(),
+            [AuditFinding::MvDuplicateStamp { stamp: 10, .. }]
+        ));
     }
 
     #[test]

@@ -175,12 +175,29 @@ fn write_barrier_inner(heap: &Heap, r: ObjRef, field: usize, value: Word, ord: O
                 if heap.field_is_ref(r, field) {
                     dea::publish_word(heap, value);
                 }
+                // Multiversion: the overwritten value is this field's
+                // pre-image; it seeds a still-empty ring so snapshot
+                // readers older than this write are still served.
+                let pre = heap
+                    .mv_enabled()
+                    .then(|| obj.field(field).load(Ordering::Relaxed));
                 obj.field(field).store(value, ord);
-                // Snapshot isolation: a barriered write is a committed
-                // write, so it participates in first-committer-wins. Stamp
-                // while still exclusive-anonymous.
-                if heap.config.isolation.snapshot_reads() {
-                    heap.si_stamp_slot(r, heap.si_next_commit_stamp());
+                // A barriered write is a committed write: it participates
+                // in first-committer-wins (snapshot isolation) and in the
+                // version rings (multiversion). Stamp and install while
+                // still exclusive-anonymous.
+                if heap.config.isolation.snapshot_reads() || heap.mv_enabled() {
+                    if let Some(pre) = pre {
+                        heap.mv_seed(r, field, heap.si_stamp_of(r), pre);
+                    }
+                    let stamp = heap.si_next_commit_stamp();
+                    heap.si_stamp_slot(r, stamp);
+                    if heap.mv_enabled() {
+                        heap.mv_install(r, field, stamp, value);
+                        // Every mv-heap stamp draw must publish (in-order
+                        // visibility; a gap wedges later publishers).
+                        heap.si_publish(stamp);
+                    }
                 }
                 heap.guard(r).release_anon();
                 heap.stats.write_barrier();
@@ -208,6 +225,10 @@ pub struct OwnedObj<'h> {
     heap: &'h Heap,
     r: ObjRef,
     private: bool,
+    /// Fields written through this aggregate (multiversion heaps only):
+    /// their committed values are installed into the version rings at
+    /// release under one commit stamp.
+    mv_written: Vec<usize>,
 }
 
 impl<'h> OwnedObj<'h> {
@@ -224,6 +245,14 @@ impl<'h> OwnedObj<'h> {
     pub fn set(&mut self, field: usize, value: Word) {
         if !self.private && self.heap.field_is_ref(self.r, field) {
             dea::publish_word(self.heap, value);
+        }
+        if !self.private && self.heap.mv_enabled() {
+            // The overwritten value is the field's pre-image: seed a
+            // still-empty ring before it is lost, and remember the field
+            // for the release-time install.
+            let pre = self.heap.obj(self.r).field(field).load(Ordering::Relaxed);
+            self.heap.mv_seed(self.r, field, self.heap.si_stamp_of(self.r), pre);
+            self.mv_written.push(field);
         }
         self.heap.obj(self.r).field(field).store(value, Ordering::Relaxed);
     }
@@ -248,7 +277,7 @@ pub fn aggregate<R>(heap: &Heap, r: ObjRef, f: impl FnOnce(&mut OwnedObj<'_>) ->
         if rec.is_private() {
             heap.stats.private_fast_path();
             charge(CostKind::BarrierPrivateFast);
-            let mut owned = OwnedObj { heap, r, private: true };
+            let mut owned = OwnedObj { heap, r, private: true, mv_written: Vec::new() };
             return f(&mut owned);
         }
         match heap.guard(r).bit_test_and_reset() {
@@ -256,12 +285,24 @@ pub fn aggregate<R>(heap: &Heap, r: ObjRef, f: impl FnOnce(&mut OwnedObj<'_>) ->
                 heap.hit(SyncPoint::BarrierWriteAcquired);
                 charge(CostKind::BarrierAggregated);
                 heap.stats.write_barrier();
-                let mut owned = OwnedObj { heap, r, private: false };
+                let mut owned = OwnedObj { heap, r, private: false, mv_written: Vec::new() };
                 let out = f(&mut owned);
                 // Aggregated barriers may write; stamp conservatively under
-                // snapshot isolation (see `write_barrier`).
-                if heap.config.isolation.snapshot_reads() {
-                    heap.si_stamp_slot(r, heap.si_next_commit_stamp());
+                // snapshot isolation (see `write_barrier`), and install the
+                // written fields' committed values under multiversion.
+                if heap.config.isolation.snapshot_reads() || !owned.mv_written.is_empty() {
+                    let stamp = heap.si_next_commit_stamp();
+                    heap.si_stamp_slot(r, stamp);
+                    for &field in &owned.mv_written {
+                        let val = heap.obj(r).field(field).load(Ordering::Relaxed);
+                        heap.mv_install(r, field, stamp, val);
+                    }
+                    if heap.mv_enabled() {
+                        // Publish whenever a stamp is drawn on an mv heap —
+                        // even on the SI-gate-only path with no installs —
+                        // or later publishers wedge on the gap.
+                        heap.si_publish(stamp);
+                    }
                 }
                 heap.guard(r).release_anon();
                 if attempt > 0 {

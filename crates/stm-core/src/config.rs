@@ -288,6 +288,28 @@ pub struct StmConfig {
     /// models a crashed participant — records strand in `Exclusive` state
     /// until the watchdog reclaims them.
     pub panic_safety: bool,
+    /// Multi-version read concurrency: committing writers install
+    /// `(commit_stamp, value)` versions into a bounded per-field ring so
+    /// read-only transactions ([`crate::txn::TxnKind::ReadOnly`]) read a
+    /// consistent begin-time snapshot and commit wait-free — no validation,
+    /// no locks, no aborts. Readers that outlive the ring (their snapshot is
+    /// older than the oldest retained version) fall back to the ordinary
+    /// validated path. Orthogonal to [`StmConfig::isolation`]; defaults to
+    /// the `STM_MULTIVERSION` environment variable.
+    pub multiversion: bool,
+}
+
+/// The cached `STM_MULTIVERSION` environment default (`1`/`on`/`true`
+/// enable), mirroring `STM_GRANULARITY`/`STM_ISOLATION` so a full test run
+/// can be repeated with multiversion as the ambient default.
+fn multiversion_env_default() -> bool {
+    static ENV_DEFAULT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENV_DEFAULT.get_or_init(|| {
+        matches!(
+            std::env::var("STM_MULTIVERSION").ok().as_deref(),
+            Some("1") | Some("on") | Some("true") | Some("yes")
+        )
+    })
 }
 
 impl Default for StmConfig {
@@ -306,6 +328,7 @@ impl Default for StmConfig {
             fault: None,
             watchdog: WatchdogConfig::default(),
             panic_safety: true,
+            multiversion: multiversion_env_default(),
         }
     }
 }
@@ -339,6 +362,11 @@ impl StmConfig {
     /// forcing `quiescence` on — the level is *defined* by it.
     pub fn with_isolation(self, isolation: IsolationLevel) -> Self {
         StmConfig { isolation, ..self }
+    }
+
+    /// The same configuration with multi-version read concurrency toggled.
+    pub fn with_multiversion(self, multiversion: bool) -> Self {
+        StmConfig { multiversion, ..self }
     }
 }
 
@@ -385,6 +413,13 @@ mod tests {
         assert_eq!(c.isolation, IsolationLevel::SnapshotIsolation);
         // The rest of the config is untouched.
         assert_eq!(c.versioning, StmConfig::default().versioning);
+    }
+
+    #[test]
+    fn with_multiversion_builder() {
+        let c = StmConfig::default().with_multiversion(true);
+        assert!(c.multiversion);
+        assert!(!c.with_multiversion(false).multiversion);
     }
 
     #[test]

@@ -39,7 +39,11 @@ pub fn publish(heap: &Heap, root: ObjRef) {
 /// from private to public (the transaction engines use this to compensate
 /// their private-access bookkeeping).
 pub fn publish_with(heap: &Heap, root: ObjRef, on_published: &mut dyn FnMut(ObjRef)) {
-    let obj = heap.obj(root);
+    // Checked lookups throughout: the walked words come out of shared
+    // memory, and a doomed (panic-unwound, not-yet-reclaimed) writer may
+    // have left a speculative or half-written reference behind. A word that
+    // does not name a real object is skipped, not followed into a panic.
+    let Some(obj) = heap.try_obj(root) else { return };
     if !obj.rec.load_relaxed().is_private() {
         return;
     }
@@ -64,7 +68,7 @@ pub fn publish_with(heap: &Heap, root: ObjRef, on_published: &mut dyn FnMut(ObjR
             // relaxed read observes the thread's own writes.
             let word = obj.field(slot).load(Ordering::Relaxed);
             if let Some(target) = ObjRef::from_word(word) {
-                let t = heap.obj(target);
+                let Some(t) = heap.try_obj(target) else { continue };
                 if t.rec.load_relaxed().is_private() {
                     t.rec.publish();
                     heap.stats.publish();

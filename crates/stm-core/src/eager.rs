@@ -28,7 +28,7 @@ use crate::heap::{Heap, ObjRef, Word};
 use crate::pipeline::{Acquired, CoreMark, ReadKind, SpanEntry, TxnCore, MAX_SPAN};
 use crate::stats::TxnTelemetry;
 use crate::syncpoint::SyncPoint;
-use crate::txn::TxResult;
+use crate::txn::{TxResult, TxnKind};
 use crate::txnrec::RecWord;
 use std::sync::atomic::Ordering;
 
@@ -45,8 +45,8 @@ pub struct EagerTxn<'h> {
 }
 
 impl<'h> EagerTxn<'h> {
-    pub(crate) fn new(heap: &'h Heap, age: u64) -> Self {
-        EagerTxn { core: TxnCore::begin(heap, age) }
+    pub(crate) fn new(heap: &'h Heap, age: u64, kind: TxnKind) -> Self {
+        EagerTxn { core: TxnCore::begin(heap, age, kind) }
     }
 
     pub(crate) fn heap(&self) -> &'h Heap {
@@ -74,6 +74,7 @@ impl<'h> EagerTxn<'h> {
 
     /// Acquires `r` for writing and logs the undo span for `field`.
     fn open_write(&mut self, r: ObjRef, field: usize) -> TxResult<()> {
+        self.core.ro_write_guard()?;
         self.core.write_preamble()?;
         match self
             .core
@@ -155,17 +156,32 @@ impl<'h> EagerTxn<'h> {
     /// Attempts to commit. On validation failure the transaction is rolled
     /// back and released before `Err(Abort::Conflict)` is returned.
     pub(crate) fn commit(&mut self) -> TxResult<()> {
+        match self.core.try_fast_commit() {
+            Ok(true) => return Ok(()),
+            Ok(false) => {}
+            Err(abort) => {
+                self.abort();
+                return Err(abort);
+            }
+        }
         if let Err(abort) = self.core.validate_for_commit() {
             self.abort();
             return Err(abort);
         }
         self.heap().hit(SyncPoint::EagerAfterValidate);
-        // Snapshot isolation: stamp written slots while still exclusive, so
-        // rival first-committer-wins checks cannot miss this commit.
-        self.core.si_stamp_owned();
+        // Stamp written slots (and install multiversion entries) while
+        // still exclusive, so rival first-committer-wins checks and
+        // wait-free readers cannot miss this commit. The eager span log
+        // holds pre-images, which seed still-empty rings.
+        self.core.si_stamp_owned(true);
         self.core.release_owned(true);
         self.core.finish_commit();
         Ok(())
+    }
+
+    /// Whether this attempt asked to be re-executed as read-write.
+    pub(crate) fn ro_demoted(&self) -> bool {
+        self.core.ro_demoted()
     }
 
     /// Rolls back all speculative updates and releases all locks.
@@ -203,8 +219,11 @@ impl<'h> EagerTxn<'h> {
     /// two-phase locking, merely conservative.
     pub(crate) fn rollback_to(&mut self, sp: SavePoint) {
         let heap = self.core.heap;
+        // `while let`, not an indexed pop-and-expect: this runs on unwind
+        // paths (closed-nesting rollback inside a panicking attempt), where
+        // a secondary panic would escalate to an abort of the process.
         while self.core.spans.len() > sp.undo_len {
-            let e = self.core.spans.pop().expect("len checked above");
+            let Some(e) = self.core.spans.pop() else { break };
             e.store_vals(heap, Ordering::Relaxed);
         }
         self.core.rollback_to_mark(sp.mark);

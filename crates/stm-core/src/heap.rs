@@ -14,6 +14,7 @@ use crate::audit::VersionHighWater;
 use crate::config::StmConfig;
 use crate::contention::ContentionManager;
 use crate::fault::FaultInjector;
+use crate::mv::MvTable;
 use crate::segvec::SegVec;
 use crate::shardmap::ShardMap;
 use crate::stats::{Stats, StatsSnapshot};
@@ -185,6 +186,11 @@ pub(crate) struct TxnSlot {
     /// Owner-token word of the attempt using this slot (0 = unset). Lets
     /// quiescence waiters skip slots whose owner died without deactivating.
     pub(crate) owner: AtomicUsize,
+    /// Multiversion read stamp (`rv + 1`; 0 = not a snapshot reader).
+    /// Published by read-only transactions under [`StmConfig::multiversion`]
+    /// so committing writers can compute the oldest snapshot still in use
+    /// (the eviction horizon) and not starve a live reader out of the ring.
+    pub(crate) rv: AtomicU64,
     /// Free-list link: `index + 1` of the next free slot (0 = end of list).
     /// Owned by the registry's Treiber stack; meaningful only while the
     /// slot is on it.
@@ -237,6 +243,7 @@ impl Registry {
             Some(idx) => {
                 let slot = self.slot(idx);
                 slot.owner.store(0, Ordering::Release);
+                slot.rv.store(0, Ordering::Release);
                 slot.vserial.store(serial, Ordering::Release);
                 slot.active.store(true, Ordering::Release);
                 idx
@@ -245,6 +252,7 @@ impl Registry {
                 active: AtomicBool::new(true),
                 vserial: AtomicU64::new(serial),
                 owner: AtomicUsize::new(0),
+                rv: AtomicU64::new(0),
                 next_free: AtomicU64::new(0),
             }),
         }
@@ -386,10 +394,21 @@ pub struct Heap {
     /// compare a transaction's begin time against later committed writes.
     /// Only advanced under [`crate::config::IsolationLevel::SnapshotIsolation`].
     pub(crate) si_clock: AtomicU64,
+    /// Multiversion visibility clock: the newest commit stamp whose version
+    /// installs are complete. Trails [`Heap::si_clock`]; advanced in stamp
+    /// order by [`Heap::si_publish`]. Read-only transactions take their
+    /// snapshot (`rv`) from this clock so no half-installed commit is ever
+    /// inside a snapshot.
+    pub(crate) si_visible: AtomicU64,
     /// Guard-slot → clock value of the last committed write to that slot,
     /// maintained only under snapshot isolation. Striping conservatively
     /// aliases stamps exactly as it aliases conflicts.
     pub(crate) si_stamps: ShardMap<u64>,
+    /// Multi-version table: per-field bounded rings of committed
+    /// `(stamp, value)` versions. `Some` iff [`StmConfig::multiversion`] is
+    /// on; committing writers install into it (reusing the SI commit clock)
+    /// and read-only transactions serve snapshot reads from it.
+    pub(crate) mv: Option<MvTable>,
     /// Armed fault injector (from [`StmConfig::fault`]).
     fault: Option<FaultInjector>,
     /// Owner-liveness registry for the stuck-owner watchdog.
@@ -412,6 +431,7 @@ impl Heap {
         let cm = config.contention.build();
         let fault = config.fault.map(FaultInjector::new);
         let table = RecordTable::new(config.granularity);
+        let mv = config.multiversion.then(MvTable::default);
         Arc::new_cyclic(|weak| Heap {
             heap_id: HEAP_IDS.fetch_add(1, Ordering::Relaxed),
             self_weak: weak.clone(),
@@ -431,7 +451,9 @@ impl Heap {
             age_counter: AtomicU64::new(1),
             ages: ShardMap::default(),
             si_clock: AtomicU64::new(0),
+            si_visible: AtomicU64::new(0),
             si_stamps: ShardMap::default(),
+            mv,
             fault,
             liveness: Liveness::default(),
             audit_versions: VersionHighWater::default(),
@@ -461,6 +483,7 @@ impl Heap {
                             return self.registry.acquire(serial);
                         }
                         slot.owner.store(0, Ordering::Release);
+                        slot.rv.store(0, Ordering::Release);
                         slot.vserial.store(serial, Ordering::Release);
                         slot.active.store(true, Ordering::Release);
                         return c.idx;
@@ -697,6 +720,17 @@ impl Heap {
             .expect("ObjRef refers to an initialized heap slot")
     }
 
+    /// Checked object lookup: `None` when `r` does not name an initialized
+    /// heap slot. Used where an [`ObjRef`] was decoded from a *word read
+    /// out of shared memory* — a panic-unwound writer can leave a
+    /// half-written reference field behind until rollback or watchdog
+    /// reclamation restores it, and following such a word must degrade
+    /// gracefully instead of panicking.
+    #[inline]
+    pub(crate) fn try_obj(&self, r: ObjRef) -> Option<&Obj> {
+        self.store.get(r.index())
+    }
+
     /// The object's kind tag.
     pub fn kind(&self, r: ObjRef) -> Kind {
         self.obj(r).kind
@@ -775,8 +809,36 @@ impl Heap {
 
     /// Snapshot isolation: a fresh commit stamp, strictly greater than any
     /// begin stamp sampled before this call.
+    ///
+    /// On a multiversion heap every drawn stamp MUST subsequently be
+    /// published with [`Heap::si_publish`] (after the commit's version
+    /// installs), on a panic-free straight-line path: publication is
+    /// in-order, so one unpublished stamp wedges every later publisher.
     pub(crate) fn si_next_commit_stamp(&self) -> u64 {
         self.si_clock.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Multiversion: marks commit stamp `stamp` *visible* — all of its
+    /// version installs and in-place stores have landed. Publication is
+    /// strictly in-order (stamp `n` waits for `n-1`), so
+    /// [`Heap::si_visible_stamp`] bounds a prefix-closed set of commits: a
+    /// read-only transaction whose `rv` comes from the visible clock can
+    /// never observe one field of a commit without the rest.
+    ///
+    /// The wait is writer-vs-writer only and bounded: the predecessor is
+    /// between its clock draw and its publish, a short panic-free span.
+    pub(crate) fn si_publish(&self, stamp: u64) {
+        while self.si_visible.load(Ordering::Acquire) != stamp - 1 {
+            std::hint::spin_loop();
+        }
+        self.si_visible.store(stamp, Ordering::Release);
+    }
+
+    /// Multiversion: the newest commit stamp whose effects are fully
+    /// installed (see [`Heap::si_publish`]). Read-only transactions sample
+    /// this — not the allocation clock — as their `rv`.
+    pub(crate) fn si_visible_stamp(&self) -> u64 {
+        self.si_visible.load(Ordering::Acquire)
     }
 
     /// Snapshot isolation: records that the guard slot of `r` was written
@@ -791,6 +853,73 @@ impl Heap {
     /// of `r` (zero if it was never written under SI).
     pub(crate) fn si_stamp_of(&self, r: ObjRef) -> u64 {
         self.si_stamps.with(self.slot_of(r), |t| *t).unwrap_or(0)
+    }
+
+    /// Whether the multi-version table is maintained
+    /// ([`StmConfig::multiversion`]).
+    #[inline]
+    pub(crate) fn mv_enabled(&self) -> bool {
+        self.mv.is_some()
+    }
+
+    /// Multiversion: installs a committed `(stamp, value)` version of
+    /// `field` of `r`. The caller owns the guarding record exclusively (or
+    /// holds the barrier's anonymous lock), so installs to one ring never
+    /// race each other. Eviction is oldest-first; an overtaken reader is
+    /// forced to fall back by the ring's floor, never served stale.
+    pub(crate) fn mv_install(&self, r: ObjRef, field: usize, stamp: u64, val: Word) {
+        if let Some(mv) = &self.mv {
+            mv.with_ring(r.index(), field as u32, |ring| ring.install(stamp, val));
+            self.stats.mv_version_install();
+        }
+    }
+
+    /// Multiversion: seeds the ring of `field` of `r` with its pre-image —
+    /// the value it held before the first stamped write, valid since
+    /// `stamp` (usually 0 = pre-history). A no-op once the ring has any
+    /// version.
+    pub(crate) fn mv_seed(&self, r: ObjRef, field: usize, stamp: u64, val: Word) {
+        if let Some(mv) = &self.mv {
+            mv.with_ring(r.index(), field as u32, |ring| ring.seed(stamp, val));
+        }
+    }
+
+    /// Multiversion: the newest retained version of `field` of `r` with
+    /// stamp at most `rv`. `None` means the ring has no such version (never
+    /// created, or overflowed past this reader) and the caller must fall
+    /// back to the validated path.
+    pub(crate) fn mv_read_at(&self, r: ObjRef, field: usize, rv: u64) -> Option<Word> {
+        let mv = self.mv.as_ref()?;
+        mv.with_existing(r.index(), field as u32, |ring| ring.read_at(rv))
+            .flatten()
+            .map(|(_, v)| v)
+    }
+
+    /// Multiversion: the oldest begin stamp of any live read-only
+    /// transaction — the GC horizon. `u64::MAX` when no snapshot reader is
+    /// active (only the newest version then needs retaining).
+    pub(crate) fn mv_horizon(&self) -> u64 {
+        let mut horizon = u64::MAX;
+        for (_, slot) in self.registry.iter() {
+            if slot.active.load(Ordering::Acquire) {
+                let rv1 = slot.rv.load(Ordering::Acquire);
+                if rv1 > 0 {
+                    horizon = horizon.min(rv1 - 1);
+                }
+            }
+        }
+        horizon
+    }
+
+    /// Multiversion: drops versions superseded for every possible reader
+    /// (strictly older than the newest version at or below the current
+    /// horizon). Returns how many versions were reclaimed.
+    pub fn mv_gc(&self) -> usize {
+        let Some(mv) = &self.mv else { return 0 };
+        let horizon = self.mv_horizon();
+        let mut dropped = 0;
+        mv.for_each(|_, _, ring| dropped += ring.gc(horizon));
+        dropped
     }
 
     /// Number of slots in the striped ownership-record table, or `None` in

@@ -30,7 +30,7 @@ use crate::heap::{Heap, ObjRef, Word};
 use crate::pipeline::{CoreMark, SpanEntry, TxnCore, MAX_SPAN};
 use crate::stats::TxnTelemetry;
 use crate::syncpoint::SyncPoint;
-use crate::txn::TxResult;
+use crate::txn::{TxResult, TxnKind};
 use crate::txnrec::RecWord;
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
@@ -50,8 +50,8 @@ pub struct LazyTxn<'h> {
 }
 
 impl<'h> LazyTxn<'h> {
-    pub(crate) fn new(heap: &'h Heap, age: u64) -> Self {
-        LazyTxn { core: TxnCore::begin(heap, age) }
+    pub(crate) fn new(heap: &'h Heap, age: u64, kind: TxnKind) -> Self {
+        LazyTxn { core: TxnCore::begin(heap, age, kind) }
     }
 
     pub(crate) fn heap(&self) -> &'h Heap {
@@ -97,6 +97,7 @@ impl<'h> LazyTxn<'h> {
     /// what lets a strongly atomic lazy system hide the versioning
     /// granularity, paper §2.4 end).
     pub(crate) fn write(&mut self, r: ObjRef, field: usize, value: Word) -> TxResult<()> {
+        self.core.ro_write_guard()?;
         charge(CostKind::TxnOpenWrite);
         let (base, len) = self.span_base(r, field);
         let idx = match self.core.span_index.get(&(r, base)) {
@@ -141,6 +142,14 @@ impl<'h> LazyTxn<'h> {
     /// Commit: acquire written records in global order, validate, write
     /// back, release. On failure everything is restored untouched.
     pub(crate) fn commit(&mut self) -> TxResult<()> {
+        match self.core.try_fast_commit() {
+            Ok(true) => return Ok(()),
+            Ok(false) => {}
+            Err(abort) => {
+                self.abort();
+                return Err(abort);
+            }
+        }
         let heap = self.core.heap;
         // Acquire in guard-slot order to avoid deadlock between committers.
         // Slot order, not ObjRef order: under the striped table two objects
@@ -212,12 +221,20 @@ impl<'h> LazyTxn<'h> {
         }
         self.heap().hit(SyncPoint::LazyAfterWriteback);
 
-        // Snapshot isolation: stamp written slots while still exclusive, so
-        // rival first-committer-wins checks cannot miss this commit.
-        self.core.si_stamp_owned();
+        // Stamp written slots (and install multiversion entries) while
+        // still exclusive, so rival first-committer-wins checks and
+        // wait-free readers cannot miss this commit. The lazy span log
+        // holds the new values (no pre-images survive write-back), so it
+        // seeds nothing.
+        self.core.si_stamp_owned(false);
         self.core.release_owned(false);
         self.core.finish_commit();
         Ok(())
+    }
+
+    /// Whether this attempt asked to be re-executed as read-write.
+    pub(crate) fn ro_demoted(&self) -> bool {
+        self.core.ro_demoted()
     }
 
     /// Aborts: buffers are simply dropped; shared memory was never touched.

@@ -75,6 +75,7 @@ pub mod fault;
 pub mod heap;
 pub mod lazy;
 pub mod locks;
+pub mod mv;
 mod pipeline;
 pub mod quiesce;
 pub mod segvec;
@@ -101,7 +102,10 @@ pub mod prelude {
     pub use crate::heap::{FieldDef, Heap, Kind, ObjRef, Shape, ShapeId, Word};
     pub use crate::locks::SyncTable;
     pub use crate::stats::{StatsSnapshot, TxnTelemetry};
-    pub use crate::txn::{atomic, atomic_traced, try_atomic, try_atomic_traced, Abort, TxResult, Txn};
+    pub use crate::txn::{
+        atomic, atomic_read_only, atomic_read_only_traced, atomic_traced, try_atomic,
+        try_atomic_read_only, try_atomic_traced, Abort, TxResult, Txn, TxnKind,
+    };
     pub use crate::typed::{RefRecord, TArray, TCell, Transactable};
     pub use crate::watchdog::WatchdogConfig;
 }

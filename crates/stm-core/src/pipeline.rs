@@ -35,7 +35,7 @@ use crate::heap::{Heap, ObjRef, Word};
 use crate::quiesce;
 use crate::stats::TxnTelemetry;
 use crate::syncpoint::SyncPoint;
-use crate::txn::{token_is_active, Abort, TxResult};
+use crate::txn::{token_is_active, Abort, TxResult, TxnKind};
 use crate::txnrec::{OwnerToken, RecWord};
 use crate::watchdog::OwnerDesc;
 use std::cell::RefCell;
@@ -179,25 +179,59 @@ pub(crate) struct TxnCore<'h> {
     si_cache: HashMap<(ObjRef, u32), Word>,
     /// Snapshot-isolation begin stamp (`rv`): the commit-clock value
     /// sampled at begin. A committed write stamped strictly later loses
-    /// first-committer-wins against it.
+    /// first-committer-wins against it. Also the snapshot stamp of a
+    /// read-only transaction under [`StmConfig::multiversion`].
+    ///
+    /// [`StmConfig::multiversion`]: crate::config::StmConfig::multiversion
     si_rv: u64,
+    /// Wait-free snapshot-read mode is live: the block was declared
+    /// [`TxnKind::ReadOnly`] and the heap maintains the multi-version
+    /// table. Reads are served at `si_rv` without logging or locking, and
+    /// commit validates nothing.
+    ro_active: bool,
+    /// The wait-free path hit a wall — a ring overflowed past `si_rv`, or
+    /// the block wrote despite its read-only declaration. The attempt
+    /// aborts and the runner re-executes it as an ordinary read-write
+    /// transaction (the "existing validated path" fallback).
+    ro_demote: bool,
 }
 
 impl<'h> TxnCore<'h> {
     /// Begins an attempt: owner token, age registration, liveness
     /// descriptor, quiescence slot, pooled scratch.
-    pub(crate) fn begin(heap: &'h Heap, age: u64) -> Self {
+    pub(crate) fn begin(heap: &'h Heap, age: u64, kind: TxnKind) -> Self {
         charge(CostKind::TxnBegin);
         let owner = heap.fresh_owner();
         heap.register_age(owner, age);
+        let ro_active = kind == TxnKind::ReadOnly && heap.mv_enabled();
+        // A wait-free reader snapshots the *visibility* clock, not the
+        // allocation clock: a stamp is visible only once all its version
+        // installs landed, so `rv` never includes a half-installed commit
+        // (which a cross-field read could otherwise observe torn). Plain
+        // snapshot isolation keeps the allocation clock — its validation
+        // catches racing commits instead.
+        let si_rv = if ro_active {
+            heap.si_visible_stamp()
+        } else if heap.config.isolation.snapshot_reads() {
+            heap.si_begin_stamp()
+        } else {
+            0
+        };
         // Liveness is registered BEFORE the owner word is published in the
         // quiescence slot: a committer treats a slot owner that is not
         // registered alive as crashed and skips the slot, so registration
         // must be visible first or a live transaction could be skipped.
         let desc = heap.liveness_register(owner);
-        let slot = if heap.config.quiescence {
+        // A wait-free reader claims a slot even without quiescence: the
+        // slot's `rv` advertises its snapshot so committing writers compute
+        // the eviction horizon and don't starve it out of the version rings
+        // (best-effort — a missed advertisement only costs a fallback).
+        let slot = if heap.config.quiescence || ro_active {
             let idx = heap.claim_txn_slot(heap.serial.load(Ordering::Acquire));
             heap.txn_slot(idx).owner.store(owner.word(), Ordering::Release);
+            if ro_active {
+                heap.txn_slot(idx).rv.store(si_rv + 1, Ordering::Release);
+            }
             Some(idx)
         } else {
             None
@@ -223,11 +257,9 @@ impl<'h> TxnCore<'h> {
             private_writes: scratch.private_writes,
             order: scratch.order,
             si_cache: scratch.si_cache,
-            si_rv: if heap.config.isolation.snapshot_reads() {
-                heap.si_begin_stamp()
-            } else {
-                0
-            },
+            si_rv,
+            ro_active,
+            ro_demote: false,
         }
     }
 
@@ -309,6 +341,9 @@ impl<'h> TxnCore<'h> {
         r: ObjRef,
         field: usize,
     ) -> TxResult<(Word, ReadKind)> {
+        if self.ro_active {
+            return self.ro_read(r, field);
+        }
         let si = self.heap.config.isolation.snapshot_reads();
         // Snapshot isolation: repeated reads are served from the pinned
         // snapshot, not from shared memory — unless we own the guard slot
@@ -350,6 +385,65 @@ impl<'h> TxnCore<'h> {
     pub(crate) fn open_read(&mut self, r: ObjRef, field: usize) -> TxResult<(Word, ReadKind)> {
         self.read_preamble()?;
         self.open_read_protocol(r, field)
+    }
+
+    /// The wait-free snapshot read of a declared read-only transaction
+    /// under multiversion: serve the newest committed version of the field
+    /// with stamp at most `si_rv`. Never logs, never locks, never spins —
+    /// each arm is a bounded number of loads:
+    ///
+    /// 1. a private object is ours alone — plain load;
+    /// 2. a shared, unowned record whose slot stamp is at most `si_rv`
+    ///    holds its newest committed version in place — direct load,
+    ///    double-checked against the record word;
+    /// 3. otherwise the version ring serves the newest version `<= si_rv`;
+    /// 4. if even the ring has only newer versions (this reader outlived
+    ///    the bounded history), the attempt is demoted: it aborts and
+    ///    re-executes on the ordinary validated path instead of spinning.
+    fn ro_read(&mut self, r: ObjRef, field: usize) -> TxResult<(Word, ReadKind)> {
+        let heap = self.heap;
+        let rec = heap.guard_load(r);
+        if rec.is_private() {
+            return Ok((heap.obj(r).field(field).load(Ordering::Relaxed), ReadKind::Private));
+        }
+        // Direct path: the slot-stamp load precedes the value load, so a
+        // writer cycle completing in between bumps the record version and
+        // fails the double-check; a cycle completing before the first
+        // record load already published its (newer) stamp.
+        if rec.is_shared() && heap.si_stamp_of(r) <= self.si_rv {
+            let val = heap.obj(r).field(field).load(Ordering::Acquire);
+            if heap.guard_load(r) == rec {
+                charge(CostKind::TxnOpenRead);
+                heap.stats.mv_snapshot_read();
+                return Ok((val, ReadKind::Shared));
+            }
+        }
+        if let Some(val) = heap.mv_read_at(r, field, self.si_rv) {
+            charge(CostKind::TxnOpenRead);
+            heap.stats.mv_snapshot_read();
+            return Ok((val, ReadKind::Shared));
+        }
+        heap.stats.mv_ring_overflow();
+        self.ro_demote = true;
+        Err(Abort::Conflict)
+    }
+
+    /// Guards the write paths of a declared read-only block: its snapshot
+    /// reads were never logged or validated, so the attempt cannot be
+    /// soundly continued as a writer. It aborts and the runner re-executes
+    /// it as an ordinary read-write transaction.
+    pub(crate) fn ro_write_guard(&mut self) -> TxResult<()> {
+        if self.ro_active {
+            self.ro_demote = true;
+            return Err(Abort::Conflict);
+        }
+        Ok(())
+    }
+
+    /// Whether this attempt asked to be re-executed as read-write (ring
+    /// overflow, or a write inside a declared read-only block).
+    pub(crate) fn ro_demoted(&self) -> bool {
+        self.ro_demote
     }
 
     /// The acquire-for-write CAS loop (paper Figure 8, "CAS" edge), shared
@@ -525,18 +619,109 @@ impl<'h> TxnCore<'h> {
         Ok(())
     }
 
-    /// Stamps every owned guard slot at one fresh commit-clock tick
-    /// (snapshot isolation). Must run *before* [`TxnCore::release_owned`]:
-    /// while the records are still exclusively ours, a rival committer's
+    /// Commit fast path for transactions that wrote nothing — the
+    /// degenerate case that previously paid full commit-time validation
+    /// and the committer-side quiescence wait for an empty write set.
+    /// Returns `Ok(true)` if the commit completed here.
+    ///
+    /// * Declared read-only under multiversion: every read came from the
+    ///   begin-time snapshot, consistent by construction — **no
+    ///   validation, no locks, no aborts** ([`ro_fast_commits`] counts
+    ///   these).
+    /// * Inferred read-only (never wrote): the read set must still
+    ///   validate — under strong atomicity the reads were optimistic — but
+    ///   the commit skips commit stamping, the release loop, and (via
+    ///   [`TxnCore::finish_commit`]) the quiescence wait.
+    ///
+    /// [`ro_fast_commits`]: crate::stats::StatsSnapshot::ro_fast_commits
+    pub(crate) fn try_fast_commit(&mut self) -> TxResult<bool> {
+        if !self.spans.is_empty() || !self.owned.is_empty() || !self.private_writes.is_empty() {
+            return Ok(false);
+        }
+        if self.ro_active {
+            self.heap.stats.ro_fast_commit();
+        } else if !self.read_set_valid() {
+            self.heap.stats.abort_validation();
+            return Err(Abort::Conflict);
+        }
+        self.finish_commit();
+        Ok(true)
+    }
+
+    /// Stamps every owned guard slot at one fresh commit-clock tick and,
+    /// under multiversion, installs the committed values into the version
+    /// rings. Must run *before* [`TxnCore::release_owned`]: while the
+    /// records are still exclusively ours, a rival committer's
     /// first-committer-wins check either sees the stamp already or is still
-    /// blocked acquiring the record. No-op at other isolation levels.
-    pub(crate) fn si_stamp_owned(&self) {
-        if !self.heap.config.isolation.snapshot_reads() || self.owned.is_empty() {
+    /// blocked acquiring the record, and a wait-free reader either sees the
+    /// new stamp or an unchanged record word. No-op when neither snapshot
+    /// isolation nor multiversion needs the clock.
+    ///
+    /// `pre_images` is set by the eager engine, whose span log holds the
+    /// values each field had *before* this transaction: they seed
+    /// still-empty rings so readers older than this commit are served. The
+    /// lazy engine's span log holds the new values (pre-images are gone by
+    /// write-back), so it seeds nothing.
+    pub(crate) fn si_stamp_owned(&self, pre_images: bool) {
+        let mv = self.heap.mv_enabled();
+        if (!mv && !self.heap.config.isolation.snapshot_reads()) || self.owned.is_empty() {
             return;
+        }
+        // Dedup by scanning earlier span entries instead of a HashSet:
+        // spans are short and this path must stay allocation-free in
+        // steady state (slot_churn pins it, with mv as the ambient
+        // default too).
+        let first_covering = |upto: usize, obj, field: usize| {
+            self.spans[..upto]
+                .iter()
+                .all(|p| p.obj != obj || field < p.base as usize || field >= p.base as usize + p.len as usize)
+        };
+        if mv && pre_images {
+            // Seed before the slot stamps move: the pre-image is valid
+            // since the slot's *previous* commit stamp. Only the first span
+            // entry per field is the true pre-image (repeated writes log
+            // repeated undo entries).
+            for (ei, e) in self.spans.iter().enumerate() {
+                if self.heap.is_private(e.obj) {
+                    continue;
+                }
+                let prev = self.heap.si_stamp_of(e.obj);
+                for i in 0..e.len as usize {
+                    let field = e.base as usize + i;
+                    if first_covering(ei, e.obj, field) {
+                        self.heap.mv_seed(e.obj, field, prev, e.vals[i]);
+                    }
+                }
+            }
         }
         let stamp = self.heap.si_next_commit_stamp();
         for (r, _) in self.owned.values() {
             self.heap.si_stamp_slot(*r, stamp);
+        }
+        if mv {
+            // Install the committed values — memory is current for both
+            // engines here (eager wrote in place; lazy ran write-back).
+            for (ei, e) in self.spans.iter().enumerate() {
+                if self.heap.is_private(e.obj) {
+                    continue;
+                }
+                for i in 0..e.len as usize {
+                    let field = e.base as usize + i;
+                    if first_covering(ei, e.obj, field) {
+                        let val = self.heap.obj(e.obj).field(field).load(Ordering::Relaxed);
+                        self.heap.mv_install(e.obj, field, stamp, val);
+                    }
+                }
+            }
+            // All installs landed: make the stamp visible to wait-free
+            // readers. Must be unconditional on every mv-heap stamp draw —
+            // publication is in-order and a gap wedges later publishers.
+            self.heap.si_publish(stamp);
+            // Periodic sweep of superseded versions, amortized over writer
+            // commits (the ring also self-bounds by evicting on install).
+            if stamp & 0xff == 0 {
+                self.heap.mv_gc();
+            }
         }
     }
 
@@ -573,7 +758,12 @@ impl<'h> TxnCore<'h> {
         }
         self.heap.hit(SyncPoint::TxnCommitted);
         if let Some(idx) = self.slot.take() {
-            quiesce::finish_and_quiesce(self.heap, idx, true);
+            // A committer that published no writes exposed nothing a doomed
+            // transaction could have observed, so it finishes its slot
+            // without the committer-side quiescence wait (the empty-write-
+            // set short-circuit; also the wait-free read-only commit).
+            let wrote = !self.spans.is_empty() || !self.private_writes.is_empty();
+            quiesce::finish_and_quiesce(self.heap, idx, wrote);
             self.heap.retire_txn_slot(idx);
         }
         self.clear();

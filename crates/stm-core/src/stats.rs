@@ -117,6 +117,22 @@ struct StatShard {
     /// Non-transactional access barriers elided at runtime because the heap
     /// runs under `QuiescencePrivatization`.
     barriers_elided: AtomicU64,
+
+    // --- multi-version read-concurrency telemetry ---
+    /// Read-only transactional reads served from a retained version (the
+    /// version ring or the stamped current value) without logging or
+    /// validation.
+    mv_snapshot_reads: AtomicU64,
+    /// Versions installed into rings by committing writers.
+    mv_version_installs: AtomicU64,
+    /// Read-only reads that found every retained version newer than the
+    /// reader's snapshot (the ring overflowed past it); the reader falls
+    /// back to the validated read-write path.
+    mv_ring_overflows: AtomicU64,
+    /// Transactions that committed through the read-only / empty-write-set
+    /// fast path: no validation work beyond what isolation requires, no
+    /// record releases, no committer-side quiescence wait.
+    ro_fast_commits: AtomicU64,
 }
 
 impl Default for StatShard {
@@ -148,6 +164,10 @@ impl Default for StatShard {
             si_snapshot_reads: AtomicU64::new(0),
             si_write_conflicts: AtomicU64::new(0),
             barriers_elided: AtomicU64::new(0),
+            mv_snapshot_reads: AtomicU64::new(0),
+            mv_version_installs: AtomicU64::new(0),
+            mv_ring_overflows: AtomicU64::new(0),
+            ro_fast_commits: AtomicU64::new(0),
         }
     }
 }
@@ -229,6 +249,10 @@ impl Stats {
         si_snapshot_read => si_snapshot_reads,
         si_write_conflict => si_write_conflicts,
         barrier_elided => barriers_elided,
+        mv_snapshot_read => mv_snapshot_reads,
+        mv_version_install => mv_version_installs,
+        mv_ring_overflow => mv_ring_overflows,
+        ro_fast_commit => ro_fast_commits,
     }
 
     /// Records a fresh conflict event at `site`.
@@ -290,6 +314,10 @@ impl Stats {
             si_snapshot_reads: sum!(self, si_snapshot_reads),
             si_write_conflicts: sum!(self, si_write_conflicts),
             barriers_elided: sum!(self, barriers_elided),
+            mv_snapshot_reads: sum!(self, mv_snapshot_reads),
+            mv_version_installs: sum!(self, mv_version_installs),
+            mv_ring_overflows: sum!(self, mv_ring_overflows),
+            ro_fast_commits: sum!(self, ro_fast_commits),
         }
     }
 }
@@ -349,6 +377,14 @@ pub struct StatsSnapshot {
     pub si_write_conflicts: u64,
     /// Barriers elided under quiescence-only privatization.
     pub barriers_elided: u64,
+    /// Read-only reads served from retained multi-version state.
+    pub mv_snapshot_reads: u64,
+    /// Versions installed into rings by committing writers.
+    pub mv_version_installs: u64,
+    /// Ring overflows that demoted a read-only reader to the validated path.
+    pub mv_ring_overflows: u64,
+    /// Commits through the read-only / empty-write-set fast path.
+    pub ro_fast_commits: u64,
 }
 
 impl StatsSnapshot {

@@ -59,6 +59,14 @@ pub enum Abort {
     /// deadlock identically); [`Txn::open_nested`] escalates it to a panic,
     /// [`try_atomic`] callers observe `None`.
     Deadlock,
+    /// The transaction followed a reference word that does not name an
+    /// initialized heap object — the signature of state torn by a crashed
+    /// participant: a panic-unwound writer's speculative reference, still
+    /// in shared memory until rollback or watchdog reclamation restores the
+    /// pre-image. The block re-executes like a conflict (validation would
+    /// have doomed this attempt anyway); it never dereferences the torn
+    /// word.
+    Reclaimed,
 }
 
 impl std::fmt::Display for Abort {
@@ -70,6 +78,9 @@ impl std::fmt::Display for Abort {
             Abort::Deadlock => {
                 write!(f, "provable self-deadlock on data locked by an enclosing transaction")
             }
+            Abort::Reclaimed => {
+                write!(f, "followed a torn reference left by a crashed participant")
+            }
         }
     }
 }
@@ -78,6 +89,31 @@ impl std::error::Error for Abort {}
 
 /// Result type of transactional operations.
 pub type TxResult<T> = Result<T, Abort>;
+
+/// Declared access mode of an atomic block.
+///
+/// Under [`StmConfig::multiversion`] a block declared [`TxnKind::ReadOnly`]
+/// (via [`atomic_read_only`]) reads a consistent begin-time snapshot from
+/// the per-field version rings and commits **wait-free** — no read-set
+/// validation, no record acquisition, no aborts. Two events fall off the
+/// wait-free path, both by re-executing the block as an ordinary
+/// [`TxnKind::ReadWrite`] transaction: a write inside the block (the
+/// declaration was wrong), and a ring overflow (the reader outlived the
+/// bounded version history — it falls back to the validated path rather
+/// than spin or see a torn value). Without multiversion the hint is
+/// ignored and the block runs as an ordinary transaction.
+///
+/// [`StmConfig::multiversion`]: crate::config::StmConfig::multiversion
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum TxnKind {
+    /// An ordinary transaction (the default): optimistic reads, two-phase
+    /// locked writes, commit-time validation.
+    #[default]
+    ReadWrite,
+    /// Declared read-only: serve every read from the newest committed
+    /// version at or before the block's begin stamp.
+    ReadOnly,
+}
 
 thread_local! {
     static ACTIVE_TOKENS: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
@@ -132,10 +168,10 @@ pub struct Txn<'h> {
 }
 
 impl<'h> Txn<'h> {
-    fn begin(heap: &'h Heap, age: u64) -> Self {
+    fn begin(heap: &'h Heap, age: u64, kind: TxnKind) -> Self {
         let inner = match heap.config.versioning {
-            Versioning::Eager => Inner::Eager(EagerTxn::new(heap, age)),
-            Versioning::Lazy => Inner::Lazy(LazyTxn::new(heap, age)),
+            Versioning::Eager => Inner::Eager(EagerTxn::new(heap, age, kind)),
+            Versioning::Lazy => Inner::Lazy(LazyTxn::new(heap, age, kind)),
         };
         Txn { inner }
     }
@@ -171,6 +207,7 @@ impl<'h> Txn<'h> {
     /// # Errors
     /// [`Abort::Conflict`] if the conflict-manager budget is exhausted.
     pub fn read(&mut self, r: ObjRef, field: usize) -> TxResult<Word> {
+        self.check_target(r)?;
         match &mut self.inner {
             Inner::Eager(t) => t.read(r, field),
             Inner::Lazy(t) => t.read(r, field),
@@ -182,10 +219,29 @@ impl<'h> Txn<'h> {
     /// # Errors
     /// [`Abort::Conflict`] if the conflict-manager budget is exhausted.
     pub fn write(&mut self, r: ObjRef, field: usize, value: Word) -> TxResult<()> {
+        self.check_target(r)?;
         match &mut self.inner {
             Inner::Eager(t) => t.write(r, field, value),
             Inner::Lazy(t) => t.write(r, field, value),
         }
+    }
+
+    /// Rejects an [`ObjRef`] that does not name an initialized heap object
+    /// with [`Abort::Reclaimed`] instead of letting the engines panic on
+    /// it. Such refs only arise from decoding a *word read out of shared
+    /// memory* — i.e. a speculative reference a crashed (panic-unwound,
+    /// not-yet-reclaimed) writer left behind; rolling back and re-executing
+    /// reads the restored pre-image.
+    #[inline]
+    fn check_target(&self, r: ObjRef) -> TxResult<()> {
+        let heap = match &self.inner {
+            Inner::Eager(t) => t.heap(),
+            Inner::Lazy(t) => t.heap(),
+        };
+        if heap.try_obj(r).is_none() {
+            return Err(Abort::Reclaimed);
+        }
+        Ok(())
     }
 
     /// Reads a reference field.
@@ -321,6 +377,13 @@ impl<'h> Txn<'h> {
         }
     }
 
+    fn ro_demoted(&self) -> bool {
+        match &self.inner {
+            Inner::Eager(t) => t.ro_demoted(),
+            Inner::Lazy(t) => t.ro_demoted(),
+        }
+    }
+
     fn telemetry(&self) -> TxnTelemetry {
         match &self.inner {
             Inner::Eager(t) => t.telemetry(),
@@ -352,6 +415,42 @@ pub fn try_atomic<T>(heap: &Heap, f: impl FnMut(&mut Txn<'_>) -> TxResult<T>) ->
     try_atomic_traced(heap, f).0
 }
 
+/// Runs `f` as a declared-read-only atomic block ([`TxnKind::ReadOnly`]).
+///
+/// Under [`StmConfig::multiversion`] the block reads a consistent
+/// begin-time snapshot and commits wait-free — no validation, no locks, no
+/// aborts; if the block writes, or a version ring overflows past the
+/// block's snapshot, it transparently re-executes as an ordinary
+/// read-write transaction. Without multiversion the hint is ignored.
+///
+/// [`StmConfig::multiversion`]: crate::config::StmConfig::multiversion
+///
+/// # Panics
+/// Panics if `f` cancels; use [`try_atomic_read_only`] for cancellable
+/// blocks.
+pub fn atomic_read_only<T>(heap: &Heap, f: impl FnMut(&mut Txn<'_>) -> TxResult<T>) -> T {
+    atomic_read_only_traced(heap, f).0
+}
+
+/// Like [`atomic_read_only`], but also returns the block's accumulated
+/// [`TxnTelemetry`].
+///
+/// # Panics
+/// Panics if `f` cancels.
+pub fn atomic_read_only_traced<T>(
+    heap: &Heap,
+    f: impl FnMut(&mut Txn<'_>) -> TxResult<T>,
+) -> (T, TxnTelemetry) {
+    let (v, telem) = run_atomic(heap, TxnKind::ReadOnly, f);
+    (v.expect("top-level atomic block cancelled; use try_atomic_read_only"), telem)
+}
+
+/// Runs `f` as a declared-read-only atomic block; returns `None` if the
+/// block cancelled or hit a provable deadlock.
+pub fn try_atomic_read_only<T>(heap: &Heap, f: impl FnMut(&mut Txn<'_>) -> TxResult<T>) -> Option<T> {
+    run_atomic(heap, TxnKind::ReadOnly, f).0
+}
+
 /// Like [`atomic`], but also returns the block's accumulated
 /// [`TxnTelemetry`] — attempts, conflicts, wait rounds and self-aborts
 /// summed over every re-execution until the commit.
@@ -379,6 +478,14 @@ pub fn atomic_traced<T>(
 /// stranded records.
 pub fn try_atomic_traced<T>(
     heap: &Heap,
+    f: impl FnMut(&mut Txn<'_>) -> TxResult<T>,
+) -> (Option<T>, TxnTelemetry) {
+    run_atomic(heap, TxnKind::ReadWrite, f)
+}
+
+fn run_atomic<T>(
+    heap: &Heap,
+    mut kind: TxnKind,
     mut f: impl FnMut(&mut Txn<'_>) -> TxResult<T>,
 ) -> (Option<T>, TxnTelemetry) {
     // One age ticket per atomic block, held across re-executions: this is
@@ -388,7 +495,7 @@ pub fn try_atomic_traced<T>(
     let mut attempt = 0u32;
     loop {
         heap.hit(SyncPoint::TxnBegin);
-        let mut txn = Txn::begin(heap, age);
+        let mut txn = Txn::begin(heap, age, kind);
         let guard = TokenGuard::push(heap, txn.owner_word());
         let result = match catch_unwind(AssertUnwindSafe(|| f(&mut txn))) {
             Ok(r) => r,
@@ -422,8 +529,15 @@ pub fn try_atomic_traced<T>(
                     }
                 }
             }
-            Err(Abort::Conflict) => {
+            Err(Abort::Conflict | Abort::Reclaimed) => {
                 telem.absorb(txn.telemetry());
+                // A declared-read-only attempt that wrote, or whose version
+                // ring overflowed past its snapshot, cannot be retried
+                // wait-free: fall back to the validated read-write path for
+                // the remaining attempts.
+                if txn.ro_demoted() {
+                    kind = TxnKind::ReadWrite;
+                }
                 txn.abort();
                 drop(guard);
                 backoff_wait(attempt);
@@ -480,6 +594,28 @@ mod tests {
     use super::*;
     use crate::config::{StmConfig, VersionGranularity, Versioning};
     use crate::heap::{FieldDef, Shape};
+
+    #[test]
+    fn torn_reference_is_a_structured_abort_not_a_panic() {
+        // A reference word that names no initialized object — what a
+        // crashed writer's half-written field looks like — must surface as
+        // `Abort::Reclaimed` (and re-execute), never as an engine panic.
+        let heap = Heap::new(StmConfig::default());
+        let s = heap.define_shape(Shape::new("N", vec![FieldDef::int("v")]));
+        let o = heap.alloc_public(s);
+        let torn = ObjRef::from_word(0xDEAD_BEEF).unwrap();
+        let mut first = true;
+        let (v, _telem) = try_atomic_traced(&heap, |tx| {
+            if std::mem::take(&mut first) {
+                assert_eq!(tx.read(torn, 0), Err(Abort::Reclaimed));
+                assert_eq!(tx.write(torn, 0, 1), Err(Abort::Reclaimed));
+                return Err(Abort::Reclaimed); // re-execute, as a zombie would
+            }
+            tx.read(o, 0)
+        });
+        assert_eq!(v, Some(0));
+        heap.audit().assert_clean();
+    }
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
