@@ -30,6 +30,11 @@
 //!                        # version rings off vs on (wait-free read-only
 //!                        # commits); writes BENCH_mv.json
 //!                        # (default 2000 ops/thread)
+//! repro overload [ops]   # progress guarantees past saturation: 1..16
+//!                        # hostile workers under deadlines, retry budgets,
+//!                        # escalation and admission control; asserts the
+//!                        # throughput plateau and zero hung workers; writes
+//!                        # BENCH_overload.json (default 400 ops/worker)
 //! ```
 
 use bench::experiments as ex;
@@ -70,6 +75,10 @@ fn main() {
             let ops: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
             ex::mv(ops)
         }
+        "overload" => {
+            let ops: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(400);
+            ex::overload(ops)
+        }
         "chaos" => {
             let mut first = 1u64;
             let mut count = 32u64;
@@ -95,7 +104,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment `{other}`; try: all, fig1..fig6, fig13..fig20, \
-                 contention, granularity, chaos, scale, isolation, mv"
+                 contention, granularity, chaos, scale, isolation, mv, overload"
             );
             std::process::exit(2);
         }

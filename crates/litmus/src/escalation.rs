@@ -1,0 +1,240 @@
+//! Litmus pins for serialized ("inevitable-lite") escalation.
+//!
+//! A block whose [`TxnPolicy::serialize_after`] threshold is met takes the
+//! heap's global serialization token; while it holds the token it never
+//! yields to a peer, and every abortable optimistic waiter yields to *it*.
+//! These tests pin the two contracts that make escalation a progress
+//! guarantee rather than a heuristic:
+//!
+//! * **isolation is unchanged** — an escalated block still observes exactly
+//!   its heap's isolation level (strong atomicity re-validates its optimistic
+//!   reads, snapshot isolation serves its begin-time snapshot under
+//!   first-committer-wins, quiescence-privatization validates like strong),
+//!   under both versioning engines;
+//! * **peers never abort it** — contention management never makes an
+//!   escalated block give way: a rival hammering the very record the
+//!   escalated block holds self-aborts and retries until the token holder
+//!   commits, and serializes strictly after it.
+//!
+//! Both scenarios are choreographed with [`Script`]s, so every interleaving
+//! claim here is deterministic, not probabilistic.
+//!
+//! [`TxnPolicy::serialize_after`]: stm_core::config::TxnPolicy::serialize_after
+//! [`Script`]: stm_core::syncpoint::Script
+
+#[cfg(test)]
+mod tests {
+    use crate::harness::{u, T1, T2};
+    use std::sync::Arc;
+    use stm_core::config::{IsolationLevel, StmConfig, TxnPolicy, Versioning};
+    use stm_core::heap::{FieldDef, Heap, ObjRef, Shape};
+    use stm_core::syncpoint::{as_actor, Script, SyncPoint};
+    use stm_core::txn::{try_atomic_with, try_atomic_with_traced};
+
+    /// A heap at `versioning` × `isolation` with two one-field objects;
+    /// `a` starts at 1, `b` at 0.
+    fn world(versioning: Versioning, isolation: IsolationLevel) -> (Arc<Heap>, ObjRef, ObjRef) {
+        let heap = Heap::new(StmConfig {
+            versioning,
+            isolation,
+            ..StmConfig::default()
+        });
+        let s = heap.define_shape(Shape::new("EscCell", vec![FieldDef::int("n")]));
+        let a = heap.alloc_public(s);
+        let b = heap.alloc_public(s);
+        heap.write_raw(a, 0, 1);
+        (heap, a, b)
+    }
+
+    fn escalated() -> TxnPolicy {
+        TxnPolicy { serialize_after: 0, ..TxnPolicy::default() }
+    }
+
+    /// Spins until `o` is held exclusively by the parked escalated writer: a
+    /// read-only probe with a one-retry budget errors exactly when the record
+    /// is owned (and, being read-only, commits nothing — it cannot perturb
+    /// first-committer-wins stamps or the writer's read validation).
+    fn await_owned(heap: &Arc<Heap>, o: ObjRef, label: &str) {
+        let probe = TxnPolicy::default().with_max_retries(1);
+        let mut tries = 0u32;
+        loop {
+            let r = try_atomic_with(heap, probe, |tx| tx.read(o, 0).map(|_| ()));
+            if r.is_err() {
+                return;
+            }
+            tries += 1;
+            assert!(tries < 100_000, "[{label}] escalated writer never parked");
+            std::thread::yield_now();
+        }
+    }
+
+    /// One cell of the isolation matrix: an escalated block reads `a`, is
+    /// wedged mid-flight holding `b`, a peer commits `a = 2` in the window,
+    /// and the block then finishes. Returns the committed `b` value and the
+    /// escalated block's attempt count; asserts the invariants common to all
+    /// cells.
+    fn run_visibility_cell(versioning: Versioning, isolation: IsolationLevel) -> (u64, u32) {
+        let label = format!("{versioning:?}/{}", isolation.label());
+        let (heap, a, b) = world(versioning, isolation);
+        // Eager: the in-place write of `b` acquires it inside the closure,
+        // and the block parks right after — the peer's commit then lands
+        // before this block's commit-time validation.
+        // Lazy: the block consumes LazyAfterValidate (so its validation
+        // provably precedes the peer's commit) and parks holding its locks
+        // before write-back.
+        let steps = match versioning {
+            Versioning::Eager => vec![(T2, u(8)), (T1, SyncPoint::EagerAfterWrite)],
+            Versioning::Lazy => vec![
+                (T1, SyncPoint::LazyAfterValidate),
+                (T2, u(8)),
+                (T1, SyncPoint::LazyBeforeWritebackEntry),
+            ],
+        };
+        let planned = steps.len();
+        let script = Arc::new(Script::new(steps));
+        heap.install_script(Arc::clone(&script));
+
+        let writer = {
+            let heap = Arc::clone(&heap);
+            std::thread::spawn(move || {
+                as_actor(T1, || {
+                    try_atomic_with_traced(&heap, escalated(), |tx| {
+                        let seen = tx.read(a, 0)?;
+                        tx.write(b, 0, seen + 100)
+                    })
+                })
+            })
+        };
+        match versioning {
+            Versioning::Eager => await_owned(&heap, b, &label),
+            Versioning::Lazy => {
+                // Wait for the writer to consume its LazyAfterValidate step.
+                let mut tries = 0u32;
+                while script.remaining() > planned - 1 {
+                    tries += 1;
+                    assert!(tries < 100_000_000, "[{label}] writer never validated");
+                    std::thread::yield_now();
+                }
+            }
+        }
+
+        // The peer commits into `a` while the escalated block is wedged. The
+        // deadline only caps the quiescence wait the privatization level
+        // forces (the wedged block cannot reach a consistent state until
+        // released); a capped quiescence wait never aborts the commit.
+        let peer = try_atomic_with(&heap, TxnPolicy::default().with_deadline(64), |tx| {
+            let v = tx.read(a, 0)?;
+            tx.write(a, 0, v + 1)
+        });
+        assert!(matches!(peer, Ok(Some(()))), "[{label}] peer commit failed: {peer:?}");
+        as_actor(T2, || heap.hit(u(8)));
+
+        let (r, telem) = writer.join().unwrap();
+        assert!(matches!(r, Ok(Some(()))), "[{label}] escalated block failed: {r:?}");
+        assert_eq!(telem.self_aborts, 0, "[{label}] an escalated block never yields");
+        assert_eq!(heap.read_raw(a, 0), 2, "[{label}] peer write committed");
+        let snap = heap.stats_snapshot();
+        assert_eq!(snap.escalations_to_serial, 1, "[{label}] exactly one escalation");
+        assert_eq!(script.remaining(), 0, "[{label}] script fully executed");
+        heap.clear_script();
+        heap.audit().assert_clean();
+        (heap.read_raw(b, 0), telem.attempts)
+    }
+
+    /// The escalated block observes each isolation level exactly:
+    ///
+    /// * eager + validated reads (strong, quiescence-privatization): the
+    ///   peer's commit invalidates the optimistic read of `a`, so the block
+    ///   re-executes once — while still holding the token — and publishes
+    ///   the *new* value (`b = 102`, 2 attempts);
+    /// * eager + snapshot isolation: the read came from the begin-time
+    ///   snapshot and the write sets are disjoint, so first-committer-wins
+    ///   passes and the *old* value is published (`b = 101`, 1 attempt);
+    /// * lazy (all levels): the block validated before the peer committed,
+    ///   so it serializes first and publishes the old value (`b = 101`,
+    ///   1 attempt).
+    #[test]
+    fn escalated_blocks_observe_each_isolation_level() {
+        for versioning in [Versioning::Eager, Versioning::Lazy] {
+            for isolation in IsolationLevel::ALL {
+                let (b, attempts) = run_visibility_cell(versioning, isolation);
+                let revalidates =
+                    versioning == Versioning::Eager && !isolation.snapshot_reads();
+                let want = if revalidates { (102, 2) } else { (101, 1) };
+                assert_eq!(
+                    (b, attempts),
+                    want,
+                    "{versioning:?}/{} escalated visibility",
+                    isolation.label()
+                );
+            }
+        }
+    }
+
+    /// A rival hammering the record an escalated block holds never aborts
+    /// it: the rival provably yields at least once while the block is
+    /// wedged, the block commits on its first and only attempt, and the
+    /// rival's write serializes strictly after it.
+    #[test]
+    fn escalated_blocks_are_never_aborted_by_peers() {
+        for versioning in [Versioning::Eager, Versioning::Lazy] {
+            for isolation in IsolationLevel::ALL {
+                let label = format!("{versioning:?}/{}", isolation.label());
+                let (heap, _a, b) = world(versioning, isolation);
+                let park = match versioning {
+                    Versioning::Eager => SyncPoint::EagerAfterWrite,
+                    Versioning::Lazy => SyncPoint::LazyAfterValidate,
+                };
+                let script = Arc::new(Script::new(vec![(T2, u(8)), (T1, park)]));
+                heap.install_script(Arc::clone(&script));
+
+                let writer = {
+                    let heap = Arc::clone(&heap);
+                    std::thread::spawn(move || {
+                        as_actor(T1, || {
+                            try_atomic_with_traced(&heap, escalated(), |tx| tx.write(b, 0, 7))
+                        })
+                    })
+                };
+                await_owned(&heap, b, &label);
+
+                // Only now unleash the rival, so its one commit can land
+                // nowhere but after the escalated block's.
+                let baseline = heap.stats_snapshot().total_self_aborts();
+                let rival = {
+                    let heap = Arc::clone(&heap);
+                    std::thread::spawn(move || {
+                        try_atomic_with_traced(&heap, TxnPolicy::default(), |tx| {
+                            tx.write(b, 0, 999)
+                        })
+                    })
+                };
+                let mut tries = 0u32;
+                while heap.stats_snapshot().total_self_aborts() <= baseline {
+                    tries += 1;
+                    assert!(tries < 100_000_000, "[{label}] rival never yielded");
+                    std::thread::yield_now();
+                }
+
+                as_actor(T2, || heap.hit(u(8)));
+                let (wr, wt) = writer.join().unwrap();
+                let (rr, rt) = rival.join().unwrap();
+                assert!(matches!(wr, Ok(Some(()))), "[{label}] escalated block: {wr:?}");
+                assert_eq!(wt.attempts, 1, "[{label}] token holder commits first try");
+                assert_eq!(wt.self_aborts, 0, "[{label}] token holder never yields");
+                assert!(matches!(rr, Ok(Some(()))), "[{label}] rival eventually commits: {rr:?}");
+                assert!(rt.self_aborts >= 1, "[{label}] rival yielded to the token holder");
+                assert_eq!(
+                    heap.read_raw(b, 0),
+                    999,
+                    "[{label}] rival serialized after the escalated block"
+                );
+                let snap = heap.stats_snapshot();
+                assert_eq!(snap.escalations_to_serial, 1, "[{label}] one escalation");
+                assert_eq!(script.remaining(), 0, "[{label}] script fully executed");
+                heap.clear_script();
+                heap.audit().assert_clean();
+            }
+        }
+    }
+}

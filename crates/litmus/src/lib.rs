@@ -18,6 +18,7 @@
 
 pub mod anomalies;
 pub mod crash;
+pub mod escalation;
 pub mod granular;
 pub mod harness;
 pub mod ordering;

@@ -234,6 +234,127 @@ impl BarrierMode {
     }
 }
 
+/// Per-transaction progress policy: deadlines, retry budgets, and the
+/// escalation ladder a starving block climbs before it is serialized.
+///
+/// A policy is attached to one atomic block via
+/// [`crate::txn::atomic_with`] / [`crate::txn::try_atomic_with`]; the
+/// heap-wide default is assembled from [`StmConfig::deadline`] and
+/// [`StmConfig::retry_budget`] by [`TxnPolicy::from_config`]. The default
+/// policy is fully permissive — no deadline, unbounded retries, escalation
+/// thresholds at `u32::MAX` — so existing entry points behave exactly as
+/// before.
+///
+/// * `deadline` — a budget of *wait rounds* (virtual time: every backoff or
+///   quiescence round spent blocked on a peer consumes one) across all
+///   attempts of the block. Once spent, the next wait site aborts the
+///   attempt with [`crate::txn::Abort::DeadlineExceeded`] instead of
+///   blocking. Conflict-free work never checks the deadline — even
+///   `deadline: Some(0)` commits if it never waits.
+/// * `max_retries` — a cap on re-executions: once a block has burned this
+///   many attempts the wrapper returns
+///   [`crate::txn::Abort::RetryExhausted`] instead of re-running.
+/// * `boost_after` — after this many attempts the block's Karma age is
+///   boosted below every normal age, so age-based contention management
+///   treats it as the oldest (highest-priority) transaction in the system.
+/// * `serialize_after` — after this many attempts the block escalates to
+///   serialized "inevitable-lite" mode: it takes a global per-heap token
+///   (one holder at a time) and its conflicts never self-abort on behalf of
+///   peers, so it cannot be starved. Validation failures can still retry
+///   it, but it retries while holding the token.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TxnPolicy {
+    /// Wait-round budget across all attempts; `None` = no deadline.
+    pub deadline: Option<u32>,
+    /// Maximum attempts before `RetryExhausted`; `None` = unbounded.
+    pub max_retries: Option<u32>,
+    /// Attempt count at which the Karma age is boosted to highest priority.
+    pub boost_after: u32,
+    /// Attempt count at which the block serializes on the global token.
+    pub serialize_after: u32,
+}
+
+impl Default for TxnPolicy {
+    /// Fully permissive: no deadline, unbounded retries, never escalates.
+    fn default() -> Self {
+        TxnPolicy {
+            deadline: None,
+            max_retries: None,
+            boost_after: u32::MAX,
+            serialize_after: u32::MAX,
+        }
+    }
+}
+
+impl TxnPolicy {
+    /// A hostile-environment preset: bounded waits and retries with the
+    /// full escalation ladder armed (boost at 4 attempts, serialize at 8,
+    /// give up after 32 attempts or 4096 wait rounds).
+    pub fn bounded() -> Self {
+        TxnPolicy {
+            deadline: Some(4096),
+            max_retries: Some(32),
+            boost_after: 4,
+            serialize_after: 8,
+        }
+    }
+
+    /// The heap-wide default policy implied by a configuration
+    /// ([`StmConfig::deadline`] + [`StmConfig::retry_budget`]; escalation is
+    /// per-block opt-in and stays off).
+    pub fn from_config(config: &StmConfig) -> Self {
+        TxnPolicy {
+            deadline: config.deadline,
+            max_retries: config.retry_budget,
+            ..TxnPolicy::default()
+        }
+    }
+
+    /// The same policy with a different deadline.
+    pub fn with_deadline(self, deadline: u32) -> Self {
+        TxnPolicy { deadline: Some(deadline), ..self }
+    }
+
+    /// The same policy with a different retry cap.
+    pub fn with_max_retries(self, max_retries: u32) -> Self {
+        TxnPolicy { max_retries: Some(max_retries), ..self }
+    }
+}
+
+/// Overload-shedding admission control (see [`crate::heap::Heap`]).
+///
+/// The heap keeps a sliding window of attempt outcomes (commits + aborts).
+/// Each time the window fills, the abort ratio over that window decides
+/// whether admission *closes* (ratio above `reject_above_permille`) or
+/// *reopens* (ratio back below `reopen_below_permille` — the gap between
+/// the two thresholds is the hysteresis band that stops the gate from
+/// flapping). While closed, new top-level transactions are rejected with
+/// [`crate::txn::Abort::Overloaded`] before they touch any shared state —
+/// a typed error the caller can queue or shed, never a hang. One in every
+/// eight rejected candidates is admitted anyway as a probe so the window
+/// keeps sampling live pressure and the gate can reopen as it drains.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct AdmissionConfig {
+    /// Attempt outcomes per sliding window (minimum 16).
+    pub window: u32,
+    /// Close admission when the windowed abort ratio exceeds this (‰).
+    pub reject_above_permille: u16,
+    /// Reopen admission when the ratio falls back below this (‰). Must be
+    /// below `reject_above_permille` for hysteresis to bite.
+    pub reopen_below_permille: u16,
+}
+
+impl Default for AdmissionConfig {
+    /// Close above 80% aborts over a 256-outcome window, reopen below 50%.
+    fn default() -> Self {
+        AdmissionConfig {
+            window: 256,
+            reject_above_permille: 800,
+            reopen_below_permille: 500,
+        }
+    }
+}
+
 /// Top-level STM configuration, fixed at heap construction.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StmConfig {
@@ -297,6 +418,17 @@ pub struct StmConfig {
     /// validated path. Orthogonal to [`StmConfig::isolation`]; defaults to
     /// the `STM_MULTIVERSION` environment variable.
     pub multiversion: bool,
+    /// Heap-wide default wait-round deadline for every atomic block (see
+    /// [`TxnPolicy::deadline`]). `None` (the default) leaves blocks
+    /// unbounded; per-block [`TxnPolicy`] overrides win.
+    pub deadline: Option<u32>,
+    /// Heap-wide default retry cap for every atomic block (see
+    /// [`TxnPolicy::max_retries`]). `None` (the default) keeps today's
+    /// unbounded re-execution loop.
+    pub retry_budget: Option<u32>,
+    /// Overload admission control. `None` (the default) admits every
+    /// transaction unconditionally.
+    pub admission: Option<AdmissionConfig>,
 }
 
 /// The cached `STM_MULTIVERSION` environment default (`1`/`on`/`true`
@@ -329,6 +461,9 @@ impl Default for StmConfig {
             watchdog: WatchdogConfig::default(),
             panic_safety: true,
             multiversion: multiversion_env_default(),
+            deadline: None,
+            retry_budget: None,
+            admission: None,
         }
     }
 }
@@ -367,6 +502,21 @@ impl StmConfig {
     /// The same configuration with multi-version read concurrency toggled.
     pub fn with_multiversion(self, multiversion: bool) -> Self {
         StmConfig { multiversion, ..self }
+    }
+
+    /// The same configuration with a heap-wide wait-round deadline.
+    pub fn with_deadline(self, deadline: u32) -> Self {
+        StmConfig { deadline: Some(deadline), ..self }
+    }
+
+    /// The same configuration with a heap-wide retry cap.
+    pub fn with_retry_budget(self, retry_budget: u32) -> Self {
+        StmConfig { retry_budget: Some(retry_budget), ..self }
+    }
+
+    /// The same configuration with overload admission control enabled.
+    pub fn with_admission(self, admission: AdmissionConfig) -> Self {
+        StmConfig { admission: Some(admission), ..self }
     }
 }
 
@@ -420,6 +570,49 @@ mod tests {
         let c = StmConfig::default().with_multiversion(true);
         assert!(c.multiversion);
         assert!(!c.with_multiversion(false).multiversion);
+    }
+
+    #[test]
+    fn default_policy_is_fully_permissive() {
+        let p = TxnPolicy::default();
+        assert_eq!(p.deadline, None);
+        assert_eq!(p.max_retries, None);
+        assert_eq!(p.boost_after, u32::MAX);
+        assert_eq!(p.serialize_after, u32::MAX);
+        // A default config implies the default (permissive) policy.
+        assert_eq!(TxnPolicy::from_config(&StmConfig::default()), p);
+    }
+
+    #[test]
+    fn policy_from_config_picks_up_heap_defaults() {
+        let cfg = StmConfig::default().with_deadline(7).with_retry_budget(3);
+        let p = TxnPolicy::from_config(&cfg);
+        assert_eq!(p.deadline, Some(7));
+        assert_eq!(p.max_retries, Some(3));
+        // Escalation stays per-block opt-in.
+        assert_eq!(p.serialize_after, u32::MAX);
+    }
+
+    #[test]
+    fn bounded_policy_arms_everything() {
+        let p = TxnPolicy::bounded();
+        assert!(p.deadline.is_some() && p.max_retries.is_some());
+        assert!(p.boost_after < p.serialize_after);
+        assert!(p.serialize_after < u32::MAX);
+        assert_eq!(p.with_deadline(9).deadline, Some(9));
+        assert_eq!(p.with_max_retries(9).max_retries, Some(9));
+    }
+
+    #[test]
+    fn admission_defaults_have_hysteresis() {
+        let a = AdmissionConfig::default();
+        assert!(a.reopen_below_permille < a.reject_above_permille);
+        assert!(a.window >= 16);
+        assert_eq!(StmConfig::default().admission, None);
+        assert_eq!(
+            StmConfig::default().with_admission(a).admission,
+            Some(a)
+        );
     }
 
     #[test]

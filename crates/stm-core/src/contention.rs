@@ -335,9 +335,43 @@ pub(crate) fn resolve(
     holder: Option<RecWord>,
     attempt: &mut u32,
 ) -> Result<(), ()> {
+    resolve_with(heap, site, me, holder, attempt, false)
+}
+
+/// [`resolve`] with an *unyielding* flag for escalated ("inevitable-lite")
+/// transactions holding the global serialization token: every decision to
+/// self-abort on behalf of a peer — the contention manager's and the
+/// watchdog's live-holder escape — coerces to a plain wait, so the holder of
+/// the token can never be starved out by contention management. Watchdog
+/// reclamation of *dead* holders still runs (waiting on a corpse helps
+/// nobody), and the open-nesting self-deadlock check fires before this
+/// funnel, so unyielding waits stay deadlock-free: peers still yield, and
+/// only one unyielding transaction exists per heap.
+#[inline]
+pub(crate) fn resolve_with(
+    heap: &Heap,
+    site: ConflictSite,
+    me: Option<OwnerToken>,
+    holder: Option<RecWord>,
+    attempt: &mut u32,
+    unyielding: bool,
+) -> Result<(), ()> {
     let stats: &Stats = heap.stats();
     if *attempt == 0 {
         stats.conflict_event(site);
+    }
+    // Serial-mode priority: while an escalated block holds the global
+    // serialization token, every abortable optimistic waiter yields its
+    // conflicts immediately instead of waiting. The token holder is
+    // unabortable, so a waiter holding something the serial transaction
+    // needs would otherwise wedge it until a deadline fired; yielding at
+    // once keeps the degraded mode's critical path at serial speed and is
+    // what makes escalation a progress *guarantee* rather than a priority
+    // hint.
+    if !unyielding && site.can_abort() && heap.serial_active() {
+        stats.cm_self_abort(site);
+        stats.record_wait_span(*attempt);
+        return Err(());
     }
     // Stuck-owner watchdog: a waiter that has burned through the spin budget
     // (set above every policy's worst-case legitimate wait) stops trusting
@@ -355,7 +389,7 @@ pub(crate) fn resolve(
             Some(h) => match heap.try_reclaim_orphan(h) {
                 ReclaimOutcome::Reclaimed { .. } => return Ok(()),
                 ReclaimOutcome::OwnerAlive | ReclaimOutcome::Unknown => {
-                    if site.can_abort() {
+                    if site.can_abort() && !unyielding {
                         stats.watchdog_self_abort();
                         stats.record_wait_span(*attempt);
                         return Err(());
@@ -363,7 +397,7 @@ pub(crate) fn resolve(
                 }
             },
             None => {
-                if site.can_abort() {
+                if site.can_abort() && !unyielding {
                     stats.watchdog_self_abort();
                     stats.record_wait_span(*attempt);
                     return Err(());
@@ -392,12 +426,13 @@ pub(crate) fn resolve(
         retry_budget: heap.config().conflict_retries,
     };
     match cm.decide(&ctx) {
-        CmDecision::SelfAbort if site.can_abort() => {
+        CmDecision::SelfAbort if site.can_abort() && !unyielding => {
             stats.cm_self_abort(site);
             stats.record_wait_span(*attempt);
             Err(())
         }
-        // Non-abortable party: a stray SelfAbort coerces to a plain wait.
+        // Non-abortable party (or the unyielding serialization-token
+        // holder): a stray SelfAbort coerces to a plain wait.
         CmDecision::SelfAbort => wait_once(heap, site, ctx.attempt, attempt),
         CmDecision::Wait { severity } => wait_once(heap, site, severity, attempt),
     }
@@ -413,6 +448,9 @@ fn wait_once(
     let stats = heap.stats();
     stats.cm_wait(site);
     stats.conflict_wait();
+    // The sleep-at-wait-site fault (delay-only): a hostile scheduler
+    // stretching exactly the rounds a deadline has to account for.
+    let _ = crate::fault::hook(heap, crate::fault::FaultSite::WaitSite);
     charge(CostKind::Backoff);
     backoff_wait(severity);
     *attempt = attempt.saturating_add(1);

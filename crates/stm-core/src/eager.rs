@@ -25,7 +25,7 @@ use crate::cost::{charge, CostKind};
 use crate::dea;
 use crate::fault::{self, FaultSite};
 use crate::heap::{Heap, ObjRef, Word};
-use crate::pipeline::{Acquired, CoreMark, ReadKind, SpanEntry, TxnCore, MAX_SPAN};
+use crate::pipeline::{Acquired, AttemptPolicy, CoreMark, ReadKind, SpanEntry, TxnCore, MAX_SPAN};
 use crate::stats::TxnTelemetry;
 use crate::syncpoint::SyncPoint;
 use crate::txn::{TxResult, TxnKind};
@@ -45,8 +45,8 @@ pub struct EagerTxn<'h> {
 }
 
 impl<'h> EagerTxn<'h> {
-    pub(crate) fn new(heap: &'h Heap, age: u64, kind: TxnKind) -> Self {
-        EagerTxn { core: TxnCore::begin(heap, age, kind) }
+    pub(crate) fn new(heap: &'h Heap, age: u64, kind: TxnKind, policy: AttemptPolicy) -> Self {
+        EagerTxn { core: TxnCore::begin(heap, age, kind, policy) }
     }
 
     pub(crate) fn heap(&self) -> &'h Heap {

@@ -56,15 +56,46 @@ pub enum FaultSite {
     /// Lazy engine, after buffering a write (no lock held). Delay, forced
     /// abort, or panic.
     PostBuffer,
+    /// Multiversion commit, between the commit-stamp draw and the in-order
+    /// [`crate::heap::Heap::si_publish`]. Delay only — a delay here widens
+    /// the unpublished-stamp window that the in-order publication invariant
+    /// (and the auditor's future-stamp sweep) must tolerate; aborting or
+    /// panicking would skip the publish and wedge every later publisher.
+    SiPublish,
+    /// Multiversion commit, before the version-ring install loop (stamp
+    /// drawn, slot stamped, versions not yet visible). Delay only, for the
+    /// same in-order-publication reason as [`FaultSite::SiPublish`].
+    MvInstall,
+    /// The read-only fast path's demotion point: a declared-read-only
+    /// transaction overflowed its version ring (or attempted a write) and
+    /// is falling back to the validated path. Delay, forced abort, or panic
+    /// — the attempt holds no locks, so rollback is trivial.
+    RoDemote,
+    /// A contention-manager wait round ([`crate::contention`]'s `wait_once`)
+    /// — the sleep-at-wait-site fault. Delay only: the waiter is already
+    /// blocked on a peer, so stretching the wait is exactly the hostile
+    /// schedule that deadline enforcement must survive.
+    WaitSite,
+    /// The [`crate::txn::atomic_with`] escalation point, as a starving block
+    /// serializes on the global token. Delay or panic (no forced abort: the
+    /// hook fires between attempts, outside any transaction, so there is
+    /// nothing to abort — but a crash *right there* must not strand the
+    /// token or the heap).
+    Escalation,
 }
 
 impl FaultSite {
     /// All sites, for reports.
-    pub const ALL: [FaultSite; 4] = [
+    pub const ALL: [FaultSite; 9] = [
         FaultSite::Protocol,
         FaultSite::OpenRead,
         FaultSite::PostWrite,
         FaultSite::PostBuffer,
+        FaultSite::SiPublish,
+        FaultSite::MvInstall,
+        FaultSite::RoDemote,
+        FaultSite::WaitSite,
+        FaultSite::Escalation,
     ];
 
     /// Short label for reports.
@@ -74,21 +105,43 @@ impl FaultSite {
             FaultSite::OpenRead => "open-read",
             FaultSite::PostWrite => "post-write",
             FaultSite::PostBuffer => "post-buffer",
+            FaultSite::SiPublish => "si-publish",
+            FaultSite::MvInstall => "mv-install",
+            FaultSite::RoDemote => "ro-demote",
+            FaultSite::WaitSite => "wait-site",
+            FaultSite::Escalation => "escalation",
         }
     }
 
     /// Whether a forced abort may fire here (only sites whose callers
-    /// propagate [`Abort`] through the transactional machinery).
+    /// propagate [`Abort`] through the transactional machinery, and where
+    /// skipping the rest of the path cannot break a protocol invariant —
+    /// the multiversion publish sites and wait rounds are delay-only).
     #[inline]
     fn allows_abort(self) -> bool {
-        !matches!(self, FaultSite::Protocol)
+        matches!(
+            self,
+            FaultSite::OpenRead
+                | FaultSite::PostWrite
+                | FaultSite::PostBuffer
+                | FaultSite::RoDemote
+        )
     }
 
     /// Whether an injected panic may fire here. Panics are confined to the
-    /// user closure's paths, where panic-safe rollback is well-defined.
+    /// user closure's paths (where panic-safe rollback is well-defined) and
+    /// to the between-attempts escalation point (where no transaction is in
+    /// flight).
     #[inline]
     fn allows_panic(self) -> bool {
-        !matches!(self, FaultSite::Protocol)
+        matches!(
+            self,
+            FaultSite::OpenRead
+                | FaultSite::PostWrite
+                | FaultSite::PostBuffer
+                | FaultSite::RoDemote
+                | FaultSite::Escalation
+        )
     }
 }
 
@@ -208,8 +261,14 @@ impl FaultInjector {
             // Severity 2..=9: enough to matter, bounded so campaigns finish.
             return Some((FaultAction::Delay(((draw >> 32) % 8) as u32 + 2), seq));
         }
-        if roll < abort_band && site.allows_abort() {
-            return Some((FaultAction::ForcedAbort, seq));
+        // Band membership is exclusive: a roll inside the abort band at a
+        // site that disallows aborts is inert — it must not spill into the
+        // panic band, or a site's allowlist would be bypassed.
+        if roll < abort_band {
+            if site.allows_abort() {
+                return Some((FaultAction::ForcedAbort, seq));
+            }
+            return None;
         }
         if roll < panic_band && site.allows_panic() {
             let cap = self.plan.max_panics;
@@ -292,6 +351,41 @@ mod tests {
         });
         for _ in 0..4096 {
             assert!(inj.decide(FaultSite::Protocol).is_none());
+        }
+    }
+
+    #[test]
+    fn publish_and_wait_sites_only_delay() {
+        // Aborting or panicking at these sites would skip a mandatory
+        // si_publish (wedging later publishers) or fire while blocked on a
+        // peer; only delays are ever drawn for them.
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 3,
+            delay_permille: 0,
+            abort_permille: 500,
+            panic_permille: 500,
+            max_panics: u32::MAX,
+        });
+        for _ in 0..4096 {
+            for site in [FaultSite::SiPublish, FaultSite::MvInstall, FaultSite::WaitSite] {
+                assert!(inj.decide(site).is_none(), "{site}");
+            }
+        }
+    }
+
+    #[test]
+    fn escalation_site_never_draws_forced_aborts() {
+        // The escalation hook fires between attempts — there is no
+        // transaction to force-abort, so the abort band must stay inert.
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 5,
+            delay_permille: 0,
+            abort_permille: 1000,
+            panic_permille: 0,
+            max_panics: u32::MAX,
+        });
+        for _ in 0..4096 {
+            assert!(inj.decide(FaultSite::Escalation).is_none());
         }
     }
 

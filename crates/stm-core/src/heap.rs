@@ -11,7 +11,7 @@
 //! graph — and which are `final` (the JIT elides their barriers, paper §6).
 
 use crate::audit::VersionHighWater;
-use crate::config::StmConfig;
+use crate::config::{AdmissionConfig, StmConfig};
 use crate::contention::ContentionManager;
 use crate::fault::FaultInjector;
 use crate::mv::MvTable;
@@ -340,6 +340,98 @@ thread_local! {
     static SLOT_CACHE: RefCell<SlotCacheCell> = const { RefCell::new(SlotCacheCell(None)) };
 }
 
+/// Normal birth tickets start here; a Karma priority boost subtracts this
+/// base, so boosted ages stay unique and ordered among themselves while
+/// sorting below (older than) every unboosted transaction in the system.
+pub(crate) const BOOST_BASE: u64 = 1 << 32;
+
+/// The heap-side half of [`AdmissionConfig`]: a sliding window of attempt
+/// outcomes whose abort ratio opens and closes the admission gate.
+///
+/// The window is maintained with relaxed atomics and evaluated by whichever
+/// recorder crosses the boundary; concurrent recorders may lose or
+/// double-count a few outcomes around a reset. That is deliberate — the
+/// monitor is a heuristic pressure gauge feeding a hysteresis gate, not an
+/// exact ledger, and keeping it contention-free matters more under exactly
+/// the overload it exists to detect.
+#[derive(Debug)]
+pub(crate) struct AdmissionMonitor {
+    config: AdmissionConfig,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    closed: AtomicBool,
+    rejects: AtomicU64,
+}
+
+impl AdmissionMonitor {
+    fn new(config: AdmissionConfig) -> Self {
+        AdmissionMonitor {
+            config,
+            commits: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+            rejects: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether a new top-level transaction may begin. While the gate is
+    /// closed, every eighth rejected candidate is admitted anyway as a
+    /// probe, so the window keeps sampling live pressure and the gate can
+    /// reopen as it drains (otherwise a closed gate with no running
+    /// transactions would never see another outcome).
+    fn admit(&self) -> bool {
+        if !self.closed.load(Ordering::Relaxed) {
+            return true;
+        }
+        self.rejects.fetch_add(1, Ordering::Relaxed) % 8 == 7
+    }
+
+    /// Feeds one attempt outcome into the window; the outcome that fills
+    /// the window evaluates the abort ratio against the hysteresis band and
+    /// resets the counters.
+    fn record(&self, aborted: bool) {
+        let (a, c) = if aborted {
+            (self.aborts.fetch_add(1, Ordering::Relaxed) + 1, self.commits.load(Ordering::Relaxed))
+        } else {
+            (self.aborts.load(Ordering::Relaxed), self.commits.fetch_add(1, Ordering::Relaxed) + 1)
+        };
+        let total = a + c;
+        if total < (self.config.window.max(16)) as u64 {
+            return;
+        }
+        let ratio = a * 1000 / total;
+        if self.closed.load(Ordering::Relaxed) {
+            if ratio < self.config.reopen_below_permille as u64 {
+                self.closed.store(false, Ordering::Relaxed);
+            }
+        } else if ratio > self.config.reject_above_permille as u64 {
+            self.closed.store(true, Ordering::Relaxed);
+        }
+        self.aborts.store(0, Ordering::Relaxed);
+        self.commits.store(0, Ordering::Relaxed);
+    }
+
+    fn closed(&self) -> bool {
+        self.closed.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII holder of the global serialization token (see
+/// [`crate::config::TxnPolicy::serialize_after`]): at most one atomic block
+/// per heap holds it, and while held the block's conflicts never self-abort
+/// on behalf of peers. Dropping releases the token — including when the
+/// holder unwinds, so an injected crash at the escalation point cannot
+/// strand it.
+pub(crate) struct SerialGuard<'h> {
+    heap: &'h Heap,
+}
+
+impl Drop for SerialGuard<'_> {
+    fn drop(&mut self) {
+        self.heap.serial_token.store(false, Ordering::Release);
+    }
+}
+
 /// The shared transactional heap.
 ///
 /// # Examples
@@ -413,6 +505,11 @@ pub struct Heap {
     fault: Option<FaultInjector>,
     /// Owner-liveness registry for the stuck-owner watchdog.
     pub(crate) liveness: Liveness,
+    /// Overload admission monitor (from [`StmConfig::admission`]).
+    admission: Option<AdmissionMonitor>,
+    /// The global serialization token for escalated ("inevitable-lite")
+    /// blocks; held through [`SerialGuard`].
+    serial_token: AtomicBool,
     /// High-water version marks maintained by [`Heap::audit`].
     pub(crate) audit_versions: VersionHighWater,
 }
@@ -432,6 +529,7 @@ impl Heap {
         let fault = config.fault.map(FaultInjector::new);
         let table = RecordTable::new(config.granularity);
         let mv = config.multiversion.then(MvTable::default);
+        let admission = config.admission.map(AdmissionMonitor::new);
         Arc::new_cyclic(|weak| Heap {
             heap_id: HEAP_IDS.fetch_add(1, Ordering::Relaxed),
             self_weak: weak.clone(),
@@ -448,7 +546,7 @@ impl Heap {
             desc_counter: AtomicUsize::new(1),
             races: Mutex::new(Vec::new()),
             cm,
-            age_counter: AtomicU64::new(1),
+            age_counter: AtomicU64::new(BOOST_BASE),
             ages: ShardMap::default(),
             si_clock: AtomicU64::new(0),
             si_visible: AtomicU64::new(0),
@@ -456,6 +554,8 @@ impl Heap {
             mv,
             fault,
             liveness: Liveness::default(),
+            admission,
+            serial_token: AtomicBool::new(false),
             audit_versions: VersionHighWater::default(),
         })
     }
@@ -600,8 +700,50 @@ impl Heap {
         self.cm.as_ref()
     }
 
+    /// Whether a new top-level transaction may begin right now. Always true
+    /// without an [`StmConfig::admission`] controller; with one, false while
+    /// the overload gate is closed (except for the occasional probe that
+    /// keeps the window sampling).
+    pub(crate) fn admit(&self) -> bool {
+        self.admission.as_ref().is_none_or(|m| m.admit())
+    }
+
+    /// Feeds one attempt outcome (commit or conflict-abort) into the
+    /// admission monitor's sliding window, if one is armed.
+    pub(crate) fn admission_record(&self, aborted: bool) {
+        if let Some(m) = &self.admission {
+            m.record(aborted);
+        }
+    }
+
+    /// Whether the overload admission gate is currently closed (load
+    /// shedding active). Always false without an admission controller.
+    pub fn admission_closed(&self) -> bool {
+        self.admission.as_ref().is_some_and(|m| m.closed())
+    }
+
+    /// Whether some escalated block currently holds the serialization
+    /// token. Optimistic transactions consult this to yield conflicts to
+    /// the (unabortable) token holder immediately instead of waiting it
+    /// out.
+    pub(crate) fn serial_active(&self) -> bool {
+        self.serial_token.load(Ordering::Relaxed)
+    }
+
+    /// Tries to take the global serialization token for an escalated block.
+    /// At most one holder per heap; `None` if another block holds it.
+    pub(crate) fn try_serialize(&self) -> Option<SerialGuard<'_>> {
+        self.serial_token
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+            .then(|| SerialGuard { heap: self })
+    }
+
     /// Draws a fresh birth ticket for an atomic block (monotonic; lower =
-    /// older). Used by age-based contention policies.
+    /// older). Used by age-based contention policies. Tickets start at
+    /// [`BOOST_BASE`] so a Karma priority boost (subtracting the base) maps
+    /// starving blocks into a reserved below-normal band, still unique and
+    /// ordered among themselves.
     pub(crate) fn issue_age(&self) -> u64 {
         self.age_counter.fetch_add(1, Ordering::Relaxed)
     }

@@ -27,7 +27,7 @@ use crate::cost::{charge, CostKind};
 use crate::dea;
 use crate::fault::{self, FaultSite};
 use crate::heap::{Heap, ObjRef, Word};
-use crate::pipeline::{CoreMark, SpanEntry, TxnCore, MAX_SPAN};
+use crate::pipeline::{AttemptPolicy, CoreMark, SpanEntry, TxnCore, MAX_SPAN};
 use crate::stats::TxnTelemetry;
 use crate::syncpoint::SyncPoint;
 use crate::txn::{TxResult, TxnKind};
@@ -50,8 +50,8 @@ pub struct LazyTxn<'h> {
 }
 
 impl<'h> LazyTxn<'h> {
-    pub(crate) fn new(heap: &'h Heap, age: u64, kind: TxnKind) -> Self {
-        LazyTxn { core: TxnCore::begin(heap, age, kind) }
+    pub(crate) fn new(heap: &'h Heap, age: u64, kind: TxnKind, policy: AttemptPolicy) -> Self {
+        LazyTxn { core: TxnCore::begin(heap, age, kind, policy) }
     }
 
     pub(crate) fn heap(&self) -> &'h Heap {

@@ -95,7 +95,8 @@ pub mod prelude {
     pub use crate::audit::{AuditFinding, AuditReport};
     pub use crate::barrier::{aggregate, read_access, read_barrier, write_access, write_barrier};
     pub use crate::config::{
-        BarrierMode, Granularity, StmConfig, VersionGranularity, Versioning,
+        AdmissionConfig, BarrierMode, Granularity, StmConfig, TxnPolicy, VersionGranularity,
+        Versioning,
     };
     pub use crate::contention::{CmDecision, ConflictSite, ContentionManager, ContentionPolicy};
     pub use crate::fault::{FaultPlan, FaultSite, InjectedPanic};
@@ -103,8 +104,9 @@ pub mod prelude {
     pub use crate::locks::SyncTable;
     pub use crate::stats::{StatsSnapshot, TxnTelemetry};
     pub use crate::txn::{
-        atomic, atomic_read_only, atomic_read_only_traced, atomic_traced, try_atomic,
-        try_atomic_read_only, try_atomic_traced, Abort, TxResult, Txn, TxnKind,
+        atomic, atomic_read_only, atomic_read_only_traced, atomic_traced, atomic_with, try_atomic,
+        try_atomic_read_only, try_atomic_traced, try_atomic_with, try_atomic_with_traced, Abort,
+        TxResult, Txn, TxnKind,
     };
     pub use crate::typed::{RefRecord, TArray, TCell, Transactable};
     pub use crate::watchdog::WatchdogConfig;

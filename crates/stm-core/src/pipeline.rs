@@ -28,7 +28,7 @@
 //! steady-state transaction touches no global mutex and performs no heap
 //! allocation.
 
-use crate::contention::{resolve, ConflictSite};
+use crate::contention::{resolve_with, ConflictSite};
 use crate::cost::{backoff_wait, charge, CostKind};
 use crate::fault::{self, FaultSite};
 use crate::heap::{Heap, ObjRef, Word};
@@ -146,6 +146,21 @@ pub(crate) struct CoreMark {
     on_commit_len: usize,
 }
 
+/// The progress-policy slice of one attempt, derived by the runner from the
+/// block's [`crate::config::TxnPolicy`]: the wait-round budget left for this
+/// attempt and whether the block holds the global serialization token.
+/// All-scalar and `Copy` — attempt state must never allocate (the
+/// steady-state lifecycle is pinned allocation-free).
+#[derive(Copy, Clone, Debug, Default)]
+pub(crate) struct AttemptPolicy {
+    /// Wait rounds this attempt may still burn before
+    /// [`Abort::DeadlineExceeded`]; `None` = unbounded.
+    pub(crate) wait_budget: Option<u32>,
+    /// The block escalated to serialized "inevitable-lite" mode: conflicts
+    /// never self-abort on behalf of peers.
+    pub(crate) unyielding: bool,
+}
+
 /// The engine-independent half of a transaction attempt.
 pub(crate) struct TxnCore<'h> {
     pub(crate) heap: &'h Heap,
@@ -194,12 +209,14 @@ pub(crate) struct TxnCore<'h> {
     /// aborts and the runner re-executes it as an ordinary read-write
     /// transaction (the "existing validated path" fallback).
     ro_demote: bool,
+    /// This attempt's progress policy (deadline remainder + escalation).
+    policy: AttemptPolicy,
 }
 
 impl<'h> TxnCore<'h> {
     /// Begins an attempt: owner token, age registration, liveness
     /// descriptor, quiescence slot, pooled scratch.
-    pub(crate) fn begin(heap: &'h Heap, age: u64, kind: TxnKind) -> Self {
+    pub(crate) fn begin(heap: &'h Heap, age: u64, kind: TxnKind, policy: AttemptPolicy) -> Self {
         charge(CostKind::TxnBegin);
         let owner = heap.fresh_owner();
         heap.register_age(owner, age);
@@ -260,6 +277,7 @@ impl<'h> TxnCore<'h> {
             si_rv,
             ro_active,
             ro_demote: false,
+            policy,
         }
     }
 
@@ -287,10 +305,46 @@ impl<'h> TxnCore<'h> {
             self.telem.deadlocks += 1;
             return Err(Abort::Deadlock);
         }
+        // Deadline enforcement: every wait site in the pipeline — optimistic
+        // reads, write acquisition, lazy commit locking, watchdog-phase
+        // spins — funnels through here, so one check covers them all. The
+        // check only fires when the attempt would actually wait, which
+        // keeps rollback well-defined and means conflict-free blocks never
+        // pay (or trip) their deadline.
+        if let Some(budget) = self.policy.wait_budget {
+            if self.telem.wait_rounds >= budget {
+                return Err(Abort::DeadlineExceeded);
+            }
+            // Deadline-aware impatience: a block under a wait budget never
+            // lets a single acquisition eat it. Attempt-count escalation
+            // (boost, then serialization) only engages on re-execution, so
+            // a waiter starved *within* one attempt — an older block
+            // patiently polling a fast-cycling younger peer — would
+            // otherwise burn its whole deadline without ever climbing the
+            // ladder. Once one conflict has eaten an eighth of the budget,
+            // self-abort and re-execute instead; the ladder resolves
+            // starvation far cheaper than waiting out the deadline would.
+            if !self.policy.unyielding && *attempt >= (budget / 8).max(4) {
+                // Counted exactly like a contention-manager self-abort so
+                // the stress-test identities (aborts = sum of causes,
+                // telemetry sees every self-abort) keep holding.
+                self.heap.stats.cm_self_abort(site);
+                self.heap.stats.record_wait_span(*attempt);
+                self.telem.self_aborts += 1;
+                return Err(Abort::Conflict);
+            }
+        }
         if *attempt == 0 {
             self.telem.conflicts += 1;
         }
-        match resolve(self.heap, site, Some(self.owner), Some(holder), attempt) {
+        match resolve_with(
+            self.heap,
+            site,
+            Some(self.owner),
+            Some(holder),
+            attempt,
+            self.policy.unyielding,
+        ) {
             Ok(()) => {
                 self.telem.wait_rounds += 1;
                 Ok(())
@@ -425,6 +479,12 @@ impl<'h> TxnCore<'h> {
         }
         heap.stats.mv_ring_overflow();
         self.ro_demote = true;
+        // Demotion fault site: the reader is abandoning the wait-free path
+        // with no locks held — a forced abort or panic here must leave the
+        // heap audit-clean and the fallback re-execution intact. Demotion is
+        // flagged first so an injected abort still falls back to the
+        // validated path.
+        fault::hook(heap, FaultSite::RoDemote)?;
         Err(Abort::Conflict)
     }
 
@@ -694,6 +754,12 @@ impl<'h> TxnCore<'h> {
                 }
             }
         }
+        // Commit-critical mv fault site (delay-only): stretches the window
+        // between stamp draw and publication. The stamp below MUST still be
+        // published — this hook can never abort or panic.
+        if mv {
+            let _ = fault::hook(self.heap, FaultSite::MvInstall);
+        }
         let stamp = self.heap.si_next_commit_stamp();
         for (r, _) in self.owned.values() {
             self.heap.si_stamp_slot(*r, stamp);
@@ -716,6 +782,9 @@ impl<'h> TxnCore<'h> {
             // All installs landed: make the stamp visible to wait-free
             // readers. Must be unconditional on every mv-heap stamp draw —
             // publication is in-order and a gap wedges later publishers.
+            // The delay-only fault just before widens the unpublished-stamp
+            // window that in-order publication has to absorb.
+            let _ = fault::hook(self.heap, FaultSite::SiPublish);
             self.heap.si_publish(stamp);
             // Periodic sweep of superseded versions, amortized over writer
             // commits (the ring also self-bounds by evicting on install).
@@ -763,7 +832,15 @@ impl<'h> TxnCore<'h> {
             // without the committer-side quiescence wait (the empty-write-
             // set short-circuit; also the wait-free read-only commit).
             let wrote = !self.spans.is_empty() || !self.private_writes.is_empty();
-            quiesce::finish_and_quiesce(self.heap, idx, wrote);
+            // The commit is past its serialization point, so the deadline
+            // can no longer abort it — what is left of the wait budget
+            // merely caps the residual quiescence wait (the caller opted
+            // into progress over ordering strength).
+            let wait_cap = self
+                .policy
+                .wait_budget
+                .map(|b| b.saturating_sub(self.telem.wait_rounds));
+            quiesce::finish_and_quiesce(self.heap, idx, wrote, wait_cap);
             self.heap.retire_txn_slot(idx);
         }
         self.clear();
@@ -779,7 +856,7 @@ impl<'h> TxnCore<'h> {
         charge(CostKind::TxnAbort);
         self.heap.stats.abort();
         if let Some(idx) = self.slot.take() {
-            quiesce::finish_and_quiesce(self.heap, idx, false);
+            quiesce::finish_and_quiesce(self.heap, idx, false, None);
             self.heap.retire_txn_slot(idx);
         }
         self.clear();

@@ -37,7 +37,13 @@ use std::sync::atomic::Ordering;
 /// `>= s` only if they started after us; if below `s`, they are waited out
 /// like any other laggard), so visiting a prefix is sound and visiting a
 /// concurrent append is harmless.
-pub(crate) fn finish_and_quiesce(heap: &Heap, idx: usize, committed: bool) {
+///
+/// `wait_cap` bounds the committer-side wait in rounds (the remainder of a
+/// [`crate::config::TxnPolicy::deadline`]): the commit itself is past its
+/// serialization point and *stands* regardless — a spent cap stops the
+/// residual ordering wait, it never aborts. `None` waits unbounded (the
+/// historical behaviour).
+pub(crate) fn finish_and_quiesce(heap: &Heap, idx: usize, committed: bool, wait_cap: Option<u32>) {
     let s = heap.serial.fetch_add(1, Ordering::AcqRel) + 1;
     let slot = heap.txn_slot(idx);
     slot.vserial.store(s, Ordering::Release);
@@ -48,11 +54,16 @@ pub(crate) fn finish_and_quiesce(heap: &Heap, idx: usize, committed: bool) {
     heap.hit(SyncPoint::QuiesceStart);
     let mut waited = false;
     let mut attempt = 0u32;
-    for (i, other) in heap.registry.iter() {
+    'slots: for (i, other) in heap.registry.iter() {
         if i == idx {
             continue;
         }
         while other.active.load(Ordering::Acquire) && other.vserial.load(Ordering::Acquire) < s {
+            // A committer whose deadline remainder is spent stops waiting:
+            // the caller traded residual ordering strength for progress.
+            if wait_cap.is_some_and(|cap| attempt >= cap) {
+                break 'slots;
+            }
             // A slot whose owner died mid-flight (panic with panic safety
             // off) will never reach another consistent state; its doomed
             // reads can no longer be acted on, so the committer skips it.
@@ -101,7 +112,7 @@ mod tests {
         // Another transaction is active and behind — an abort must not wait
         // for it.
         let _other = heap.claim_txn_slot(0);
-        finish_and_quiesce(&heap, mine, false);
+        finish_and_quiesce(&heap, mine, false, None);
         assert!(!heap.txn_slot(mine).active.load(Ordering::Acquire));
         assert_eq!(heap.stats().snapshot().quiescence_waits, 0);
     }
@@ -114,7 +125,7 @@ mod tests {
 
         let heap2 = Arc::clone(&heap);
         let committer = std::thread::spawn(move || {
-            finish_and_quiesce(&heap2, mine, true);
+            finish_and_quiesce(&heap2, mine, true, None);
         });
         std::thread::sleep(std::time::Duration::from_millis(30));
         assert!(!committer.is_finished(), "committer must quiesce-wait");
@@ -127,12 +138,25 @@ mod tests {
     }
 
     #[test]
+    fn commit_wait_is_bounded_by_the_deadline_remainder() {
+        // A lagging transaction never reaches a consistent state, but the
+        // committer carries a wait cap: it stops waiting (the commit stands)
+        // instead of hanging forever.
+        let heap = Heap::new(StmConfig { quiescence: true, ..StmConfig::default() });
+        let mine = heap.claim_txn_slot(0);
+        let _laggard = heap.claim_txn_slot(0);
+        finish_and_quiesce(&heap, mine, true, Some(3));
+        assert!(!heap.txn_slot(mine).active.load(Ordering::Acquire));
+        assert!(heap.stats().snapshot().quiescence_waits > 0, "it did wait first");
+    }
+
+    #[test]
     fn commit_skips_inactive_slots() {
         let heap = Heap::new(StmConfig { quiescence: true, ..StmConfig::default() });
         let mine = heap.claim_txn_slot(0);
         let other = heap.claim_txn_slot(0);
         heap.txn_slot(other).active.store(false, Ordering::Release);
-        finish_and_quiesce(&heap, mine, true); // returns immediately
+        finish_and_quiesce(&heap, mine, true, None); // returns immediately
     }
 
     #[test]
@@ -146,7 +170,7 @@ mod tests {
         heap.txn_slot(other).owner.store(dead.word(), Ordering::Release);
         heap.liveness.register(dead);
         heap.liveness.mark_dead(dead.word());
-        finish_and_quiesce(&heap, mine, true); // returns immediately
+        finish_and_quiesce(&heap, mine, true, None); // returns immediately
         assert!(
             heap.txn_slot(other).active.load(Ordering::Acquire),
             "slot untouched"
@@ -165,7 +189,7 @@ mod tests {
         heap.txn_slot(other).owner.store(gone.word(), Ordering::Release);
         // `gone` was never registered (or was registered and later
         // reclaimed) — either way it is not registered alive.
-        finish_and_quiesce(&heap, mine, true); // returns immediately
+        finish_and_quiesce(&heap, mine, true, None); // returns immediately
         assert!(heap.txn_slot(other).active.load(Ordering::Acquire));
     }
 }

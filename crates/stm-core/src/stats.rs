@@ -133,6 +133,20 @@ struct StatShard {
     /// fast path: no validation work beyond what isolation requires, no
     /// record releases, no committer-side quiescence wait.
     ro_fast_commits: AtomicU64,
+    // --- progress-policy and overload telemetry ---
+    /// Aborts raised because a block's wait-round deadline was spent at a
+    /// wait site (`Abort::DeadlineExceeded`).
+    deadline_aborts: AtomicU64,
+    /// Blocks whose retry budget ran out (`Abort::RetryExhausted`). Counted
+    /// once per block, not per attempt — the final attempt's abort is
+    /// already attributed to its own cause.
+    retries_exhausted: AtomicU64,
+    /// Transactions rejected by the overload admission controller before
+    /// touching any shared state (`Abort::Overloaded`).
+    admission_rejects: AtomicU64,
+    /// Blocks that escalated to serialized "inevitable-lite" mode (took the
+    /// global serialization token).
+    escalations_to_serial: AtomicU64,
 }
 
 impl Default for StatShard {
@@ -168,6 +182,10 @@ impl Default for StatShard {
             mv_version_installs: AtomicU64::new(0),
             mv_ring_overflows: AtomicU64::new(0),
             ro_fast_commits: AtomicU64::new(0),
+            deadline_aborts: AtomicU64::new(0),
+            retries_exhausted: AtomicU64::new(0),
+            admission_rejects: AtomicU64::new(0),
+            escalations_to_serial: AtomicU64::new(0),
         }
     }
 }
@@ -253,6 +271,10 @@ impl Stats {
         mv_version_install => mv_version_installs,
         mv_ring_overflow => mv_ring_overflows,
         ro_fast_commit => ro_fast_commits,
+        deadline_abort => deadline_aborts,
+        retry_exhausted => retries_exhausted,
+        admission_reject => admission_rejects,
+        escalation_to_serial => escalations_to_serial,
     }
 
     /// Records a fresh conflict event at `site`.
@@ -318,6 +340,10 @@ impl Stats {
             mv_version_installs: sum!(self, mv_version_installs),
             mv_ring_overflows: sum!(self, mv_ring_overflows),
             ro_fast_commits: sum!(self, ro_fast_commits),
+            deadline_aborts: sum!(self, deadline_aborts),
+            retries_exhausted: sum!(self, retries_exhausted),
+            admission_rejects: sum!(self, admission_rejects),
+            escalations_to_serial: sum!(self, escalations_to_serial),
         }
     }
 }
@@ -385,6 +411,14 @@ pub struct StatsSnapshot {
     pub mv_ring_overflows: u64,
     /// Commits through the read-only / empty-write-set fast path.
     pub ro_fast_commits: u64,
+    /// Aborts raised because a wait-round deadline was spent at a wait site.
+    pub deadline_aborts: u64,
+    /// Blocks whose retry budget ran out (one per block, not per attempt).
+    pub retries_exhausted: u64,
+    /// Transactions rejected by overload admission control.
+    pub admission_rejects: u64,
+    /// Blocks escalated to serialized "inevitable-lite" mode.
+    pub escalations_to_serial: u64,
 }
 
 impl StatsSnapshot {

@@ -29,11 +29,13 @@
 //! assert_eq!(heap.read_raw(b, 0), 30);
 //! ```
 
-use crate::config::Versioning;
+use crate::config::{TxnPolicy, Versioning};
 use crate::cost::backoff_wait;
 use crate::eager::EagerTxn;
-use crate::heap::{Heap, ObjRef, ShapeId, Word};
+use crate::fault::{self, FaultSite};
+use crate::heap::{Heap, ObjRef, SerialGuard, ShapeId, Word, BOOST_BASE};
 use crate::lazy::LazyTxn;
+use crate::pipeline::AttemptPolicy;
 use crate::stats::TxnTelemetry;
 use crate::syncpoint::SyncPoint;
 use crate::txnrec::RecWord;
@@ -67,6 +69,25 @@ pub enum Abort {
     /// have doomed this attempt anyway); it never dereferences the torn
     /// word.
     Reclaimed,
+    /// The block's wait-round deadline ([`crate::config::TxnPolicy::deadline`])
+    /// was spent: a wait site that would have blocked aborted the attempt
+    /// instead. The attempt rolls back cleanly (the heap stays audit-clean)
+    /// and the block does **not** re-execute — [`atomic_with`] /
+    /// [`try_atomic_with`] callers observe the typed error. Only raised
+    /// *before* the attempt's serialization point; once a commit is past
+    /// validation the deadline merely bounds residual quiescence waits.
+    DeadlineExceeded,
+    /// The block burned its retry budget
+    /// ([`crate::config::TxnPolicy::max_retries`]): the final attempt's
+    /// abort was an ordinary conflict, but the wrapper refuses to re-execute
+    /// and surfaces this instead of looping forever.
+    RetryExhausted,
+    /// The heap's admission controller ([`crate::config::AdmissionConfig`])
+    /// is shedding load: the windowed abort ratio crossed the overload
+    /// threshold and this block was rejected *before it touched any shared
+    /// state*. Callers should back off, queue, or shed the request; the
+    /// gate reopens (with hysteresis) as pressure drains.
+    Overloaded,
 }
 
 impl std::fmt::Display for Abort {
@@ -80,6 +101,15 @@ impl std::fmt::Display for Abort {
             }
             Abort::Reclaimed => {
                 write!(f, "followed a torn reference left by a crashed participant")
+            }
+            Abort::DeadlineExceeded => {
+                write!(f, "transaction deadline exceeded while waiting on a conflict")
+            }
+            Abort::RetryExhausted => {
+                write!(f, "transaction retry budget exhausted")
+            }
+            Abort::Overloaded => {
+                write!(f, "transaction rejected by overload admission control")
             }
         }
     }
@@ -168,10 +198,10 @@ pub struct Txn<'h> {
 }
 
 impl<'h> Txn<'h> {
-    fn begin(heap: &'h Heap, age: u64, kind: TxnKind) -> Self {
+    fn begin(heap: &'h Heap, age: u64, kind: TxnKind, ap: AttemptPolicy) -> Self {
         let inner = match heap.config.versioning {
-            Versioning::Eager => Inner::Eager(EagerTxn::new(heap, age, kind)),
-            Versioning::Lazy => Inner::Lazy(LazyTxn::new(heap, age, kind)),
+            Versioning::Eager => Inner::Eager(EagerTxn::new(heap, age, kind, ap)),
+            Versioning::Lazy => Inner::Lazy(LazyTxn::new(heap, age, kind, ap)),
         };
         Txn { inner }
     }
@@ -403,14 +433,26 @@ impl std::fmt::Debug for Txn<'_> {
 
 /// Runs `f` as an atomic block, re-executing until it commits.
 ///
+/// The block runs under [`TxnPolicy::from_config`] — fully permissive unless
+/// the heap's [`StmConfig::deadline`] / [`StmConfig::retry_budget`] opt into
+/// bounded progress, in which case policy stops surface as panics here; use
+/// [`atomic_with`] / [`try_atomic_with`] to observe them as typed errors.
+///
+/// [`StmConfig::deadline`]: crate::config::StmConfig::deadline
+/// [`StmConfig::retry_budget`]: crate::config::StmConfig::retry_budget
+///
 /// # Panics
 /// Panics if `f` cancels ([`Txn::cancel`]); use [`try_atomic`] for
-/// cancellable blocks.
+/// cancellable blocks. Panics if a heap-level progress policy stops the
+/// block; use [`atomic_with`] for policy-aware blocks.
 pub fn atomic<T>(heap: &Heap, f: impl FnMut(&mut Txn<'_>) -> TxResult<T>) -> T {
-    try_atomic(heap, f).expect("top-level atomic block cancelled; use try_atomic")
+    atomic_traced(heap, f).0
 }
 
-/// Runs `f` as an atomic block; returns `None` if the block cancelled.
+/// Runs `f` as an atomic block; returns `None` if the block cancelled, hit
+/// a provable deadlock, or was stopped by a heap-level progress policy
+/// (deadline, retry budget, or admission control — use [`try_atomic_with`]
+/// to distinguish those as typed errors).
 pub fn try_atomic<T>(heap: &Heap, f: impl FnMut(&mut Txn<'_>) -> TxResult<T>) -> Option<T> {
     try_atomic_traced(heap, f).0
 }
@@ -441,14 +483,21 @@ pub fn atomic_read_only_traced<T>(
     heap: &Heap,
     f: impl FnMut(&mut Txn<'_>) -> TxResult<T>,
 ) -> (T, TxnTelemetry) {
-    let (v, telem) = run_atomic(heap, TxnKind::ReadOnly, f);
-    (v.expect("top-level atomic block cancelled; use try_atomic_read_only"), telem)
+    let (v, telem) = run_atomic(heap, TxnKind::ReadOnly, TxnPolicy::from_config(&heap.config), f);
+    match v {
+        Ok(Some(v)) => (v, telem),
+        Ok(None) => panic!("top-level atomic block cancelled; use try_atomic_read_only"),
+        Err(e) => panic!("atomic block stopped by progress policy ({e}); use try_atomic_with"),
+    }
 }
 
 /// Runs `f` as a declared-read-only atomic block; returns `None` if the
-/// block cancelled or hit a provable deadlock.
+/// block cancelled, hit a provable deadlock, or was stopped by a heap-level
+/// progress policy.
 pub fn try_atomic_read_only<T>(heap: &Heap, f: impl FnMut(&mut Txn<'_>) -> TxResult<T>) -> Option<T> {
-    run_atomic(heap, TxnKind::ReadOnly, f).0
+    run_atomic(heap, TxnKind::ReadOnly, TxnPolicy::from_config(&heap.config), f)
+        .0
+        .unwrap_or(None)
 }
 
 /// Like [`atomic`], but also returns the block's accumulated
@@ -461,8 +510,12 @@ pub fn atomic_traced<T>(
     heap: &Heap,
     f: impl FnMut(&mut Txn<'_>) -> TxResult<T>,
 ) -> (T, TxnTelemetry) {
-    let (v, telem) = try_atomic_traced(heap, f);
-    (v.expect("top-level atomic block cancelled; use try_atomic_traced"), telem)
+    let (v, telem) = run_atomic(heap, TxnKind::ReadWrite, TxnPolicy::from_config(&heap.config), f);
+    match v {
+        Ok(Some(v)) => (v, telem),
+        Ok(None) => panic!("top-level atomic block cancelled; use try_atomic_traced"),
+        Err(e) => panic!("atomic block stopped by progress policy ({e}); use try_atomic_with"),
+    }
 }
 
 /// Runs `f` as an atomic block, accumulating [`TxnTelemetry`] across
@@ -480,22 +533,139 @@ pub fn try_atomic_traced<T>(
     heap: &Heap,
     f: impl FnMut(&mut Txn<'_>) -> TxResult<T>,
 ) -> (Option<T>, TxnTelemetry) {
-    run_atomic(heap, TxnKind::ReadWrite, f)
+    let (v, telem) = run_atomic(heap, TxnKind::ReadWrite, TxnPolicy::from_config(&heap.config), f);
+    // Policy stops (deadline / retry budget / admission) collapse to `None`
+    // on the legacy surface; callers that need to distinguish them use
+    // `try_atomic_with_traced`.
+    (v.unwrap_or(None), telem)
 }
 
+/// Runs `f` as an atomic block under an explicit progress [`TxnPolicy`].
+///
+/// This is the policy-aware front door: a spent
+/// [`deadline`](TxnPolicy::deadline) surfaces as
+/// [`Abort::DeadlineExceeded`], a burned
+/// [`retry budget`](TxnPolicy::max_retries) as [`Abort::RetryExhausted`],
+/// and an admission-control rejection ([`crate::config::AdmissionConfig`])
+/// as [`Abort::Overloaded`]. Every such stop has already rolled the attempt
+/// back cleanly — the heap stays audit-clean and no locks are stranded.
+///
+/// # Panics
+/// Panics if `f` cancels; use [`try_atomic_with`] for cancellable blocks.
+pub fn atomic_with<T>(
+    heap: &Heap,
+    policy: TxnPolicy,
+    f: impl FnMut(&mut Txn<'_>) -> TxResult<T>,
+) -> Result<T, Abort> {
+    let (v, _telem) = try_atomic_with_traced(heap, policy, f);
+    Ok(v?.expect("top-level atomic block cancelled; use try_atomic_with"))
+}
+
+/// Like [`atomic_with`], but `Ok(None)` reports a cancelled (or provably
+/// deadlocked) block instead of panicking.
+pub fn try_atomic_with<T>(
+    heap: &Heap,
+    policy: TxnPolicy,
+    f: impl FnMut(&mut Txn<'_>) -> TxResult<T>,
+) -> Result<Option<T>, Abort> {
+    try_atomic_with_traced(heap, policy, f).0
+}
+
+/// Like [`try_atomic_with`], but also returns the block's accumulated
+/// [`TxnTelemetry`] (attempts, conflicts, wait rounds — including rounds
+/// spent in policy escalation).
+pub fn try_atomic_with_traced<T>(
+    heap: &Heap,
+    policy: TxnPolicy,
+    f: impl FnMut(&mut Txn<'_>) -> TxResult<T>,
+) -> (Result<Option<T>, Abort>, TxnTelemetry) {
+    run_atomic(heap, TxnKind::ReadWrite, policy, f)
+}
+
+/// The atomic-block runner: re-executes `f` until it commits or the
+/// progress `policy` stops it.
+///
+/// `Ok(Some(v))` is a commit, `Ok(None)` a cancel or provable deadlock
+/// (terminal but not a policy matter), and `Err` a typed policy stop.
+///
+/// Progress machinery, in escalation order:
+/// 1. **Admission** — before touching any shared state, a heap with an
+///    [`crate::config::AdmissionConfig`] may shed this block entirely.
+/// 2. **Backoff** — aborted attempts re-execute after exponential backoff
+///    (the historical behaviour).
+/// 3. **Priority boost** — after [`TxnPolicy::boost_after`] failed attempts
+///    the block's age ticket drops below every unboosted ticket
+///    ([`BOOST_BASE`]), so the karma contention manager resolves conflicts
+///    in its favour.
+/// 4. **Serialized mode** — after [`TxnPolicy::serialize_after`] failed
+///    attempts the block takes the heap's single serialization token and
+///    re-executes *unyielding* (inevitable-lite): wait sites never
+///    self-abort, so peers back off instead. Deadlock freedom holds because
+///    the token is exclusive per heap and self-deadlocks are detected
+///    structurally before the unyielding coercion applies. Open-nested
+///    blocks never escalate (the enclosing block may hold the token).
+/// 5. **Deadline / retry budget** — a block whose cumulative wait rounds
+///    spend [`TxnPolicy::deadline`], or whose attempt count reaches
+///    [`TxnPolicy::max_retries`], stops with a typed error instead of
+///    looping forever.
 fn run_atomic<T>(
     heap: &Heap,
     mut kind: TxnKind,
+    policy: TxnPolicy,
     mut f: impl FnMut(&mut Txn<'_>) -> TxResult<T>,
-) -> (Option<T>, TxnTelemetry) {
+) -> (Result<Option<T>, Abort>, TxnTelemetry) {
+    let mut telem = TxnTelemetry::default();
+    // Open-nested blocks run on a thread already inside a transaction: they
+    // bypass admission (the enclosing block was already admitted) and never
+    // take the serialization token (the enclosing block may hold it).
+    let nested = ACTIVE_TOKENS.with(|t| !t.borrow().is_empty());
+    if !nested && !heap.admit() {
+        heap.stats.admission_reject();
+        return (Err(Abort::Overloaded), telem);
+    }
     // One age ticket per atomic block, held across re-executions: this is
     // what lets the karma policy favour long-suffering transactions.
-    let age = heap.issue_age();
-    let mut telem = TxnTelemetry::default();
+    let mut age = heap.issue_age();
+    let mut boosted = false;
+    let mut serial_guard: Option<SerialGuard<'_>> = None;
     let mut attempt = 0u32;
     loop {
+        // Escalation ladder, keyed on completed attempts. The boost moves
+        // this block's ticket below BOOST_BASE — older than every unboosted
+        // ticket, still unique among boosted ones (tickets are unique and
+        // the subtraction is order-preserving).
+        if !boosted && telem.attempts >= policy.boost_after {
+            age -= BOOST_BASE;
+            boosted = true;
+        }
+        if serial_guard.is_none() && !nested && telem.attempts >= policy.serialize_after {
+            // The escalation fault site sits outside any transaction: it
+            // may delay or panic (nothing is held), never abort.
+            let _ = fault::hook(heap, FaultSite::Escalation);
+            let mut spin = 0u32;
+            loop {
+                if let Some(g) = heap.try_serialize() {
+                    heap.stats.escalation_to_serial();
+                    serial_guard = Some(g);
+                    break;
+                }
+                // Waiting for a rival serialized block counts against the
+                // deadline like any other wait. No `deadline_abort` stat:
+                // there is no transaction to abort yet.
+                if policy.deadline.is_some_and(|d| telem.wait_rounds >= d) {
+                    return (Err(Abort::DeadlineExceeded), telem);
+                }
+                telem.wait_rounds = telem.wait_rounds.saturating_add(1);
+                backoff_wait(spin);
+                spin = spin.saturating_add(1);
+            }
+        }
         heap.hit(SyncPoint::TxnBegin);
-        let mut txn = Txn::begin(heap, age, kind);
+        let ap = AttemptPolicy {
+            wait_budget: policy.deadline.map(|d| d.saturating_sub(telem.wait_rounds)),
+            unyielding: serial_guard.is_some(),
+        };
+        let mut txn = Txn::begin(heap, age, kind, ap);
         let guard = TokenGuard::push(heap, txn.owner_word());
         let result = match catch_unwind(AssertUnwindSafe(|| f(&mut txn))) {
             Ok(r) => r,
@@ -517,17 +687,45 @@ fn run_atomic<T>(
                 let committed = txn.commit();
                 telem.absorb(txn.telemetry());
                 match committed {
-                    Ok(()) => return (Some(v), telem),
+                    Ok(()) => {
+                        heap.admission_record(false);
+                        return (Ok(Some(v)), telem);
+                    }
                     Err(Abort::Deadlock) => {
                         heap.stats.abort_deadlock();
-                        return (None, telem);
+                        return (Ok(None), telem);
+                    }
+                    // The engines roll a failed commit back internally; a
+                    // deadline spent at a commit-time wait site (e.g. lazy
+                    // acquisition) is terminal, anything else re-executes.
+                    Err(Abort::DeadlineExceeded) => {
+                        heap.stats.deadline_abort();
+                        heap.admission_record(true);
+                        return (Err(Abort::DeadlineExceeded), telem);
                     }
                     Err(_) => {
+                        heap.admission_record(true);
                         drop(guard);
+                        if policy.max_retries.is_some_and(|m| telem.attempts >= m) {
+                            heap.stats.retry_exhausted();
+                            return (Err(Abort::RetryExhausted), telem);
+                        }
                         backoff_wait(attempt);
                         attempt = attempt.saturating_add(1);
                     }
                 }
+            }
+            // A deadline raised at a wait site inside `f` — or a policy
+            // error a nested policy-aware block propagated out with `?` —
+            // rolls back and stops the block.
+            Err(e @ (Abort::DeadlineExceeded | Abort::RetryExhausted | Abort::Overloaded)) => {
+                telem.absorb(txn.telemetry());
+                if e == Abort::DeadlineExceeded {
+                    heap.stats.deadline_abort();
+                }
+                txn.abort();
+                heap.admission_record(true);
+                return (Err(e), telem);
             }
             Err(Abort::Conflict | Abort::Reclaimed) => {
                 telem.absorb(txn.telemetry());
@@ -539,7 +737,12 @@ fn run_atomic<T>(
                     kind = TxnKind::ReadWrite;
                 }
                 txn.abort();
+                heap.admission_record(true);
                 drop(guard);
+                if policy.max_retries.is_some_and(|m| telem.attempts >= m) {
+                    heap.stats.retry_exhausted();
+                    return (Err(Abort::RetryExhausted), telem);
+                }
                 backoff_wait(attempt);
                 attempt = attempt.saturating_add(1);
             }
@@ -548,41 +751,58 @@ fn run_atomic<T>(
                 let snapshot = txn.read_snapshot();
                 txn.abort();
                 drop(guard);
-                wait_for_change(heap, &snapshot);
+                let remaining = policy.deadline.map(|d| d.saturating_sub(telem.wait_rounds));
+                let (rounds, deadline_hit) = wait_for_change(heap, &snapshot, remaining);
+                telem.wait_rounds = telem.wait_rounds.saturating_add(rounds);
+                if deadline_hit {
+                    // The Retry attempt's abort was already recorded; the
+                    // deadline merely stops the wait for a wake-up.
+                    heap.admission_record(true);
+                    return (Err(Abort::DeadlineExceeded), telem);
+                }
                 attempt = 0;
             }
             Err(Abort::Cancel) => {
                 telem.absorb(txn.telemetry());
                 heap.stats.abort_cancel();
                 txn.abort();
-                return (None, telem);
+                return (Ok(None), telem);
             }
             Err(Abort::Deadlock) => {
                 telem.absorb(txn.telemetry());
                 heap.stats.abort_deadlock();
                 txn.abort();
-                return (None, telem);
+                return (Ok(None), telem);
             }
         }
     }
 }
 
-/// Blocks until any record in `snapshot` differs from its logged word.
+/// Blocks until any record in `snapshot` differs from its logged word, or
+/// until `deadline` rounds are spent. Returns the rounds waited and whether
+/// the deadline cut the wait short.
 ///
 /// An empty snapshot (a retry before any reads) can never be woken by a
 /// write; we back off once and re-execute, which matches the common
 /// "retry is a hint" reading and avoids a guaranteed deadlock.
-fn wait_for_change(heap: &Heap, snapshot: &[(ObjRef, RecWord)]) {
+fn wait_for_change(
+    heap: &Heap,
+    snapshot: &[(ObjRef, RecWord)],
+    deadline: Option<u32>,
+) -> (u32, bool) {
     if snapshot.is_empty() {
         backoff_wait(8);
-        return;
+        return (1, false);
     }
     let mut attempt = 0u32;
     loop {
         for &(r, logged) in snapshot {
             if heap.guard_load(r) != logged {
-                return;
+                return (attempt, false);
             }
+        }
+        if deadline.is_some_and(|d| attempt >= d) {
+            return (attempt, true);
         }
         backoff_wait(attempt);
         attempt = attempt.saturating_add(1);
@@ -976,6 +1196,158 @@ mod tests {
         let p = ObjRef::from_word(heap.read_raw(shared, 1)).unwrap();
         assert!(!heap.is_private(p), "published by transactional store");
         assert_eq!(heap.read_raw(p, 0), 11);
+    }
+
+    #[test]
+    fn deadline_exceeded_is_typed_and_rolls_back() {
+        // A parks inside a transaction holding the record's lock; B runs
+        // under a small deadline and must surface `DeadlineExceeded` (never
+        // hang), leaving the heap audit-clean.
+        let heap = heap_of(Versioning::Eager);
+        let s = counter_shape(&heap);
+        let c = heap.alloc_public(s);
+        let hold = Arc::new(std::sync::Barrier::new(2));
+        let release = Arc::new(std::sync::Barrier::new(2));
+        let holder = {
+            let (heap, hold, release) = (Arc::clone(&heap), Arc::clone(&hold), Arc::clone(&release));
+            std::thread::spawn(move || {
+                atomic(&heap, |tx| {
+                    tx.write(c, 0, 1)?;
+                    hold.wait();
+                    release.wait();
+                    Ok(())
+                });
+            })
+        };
+        hold.wait();
+        let policy = TxnPolicy::default().with_deadline(64);
+        let out = try_atomic_with(&heap, policy, |tx| tx.write(c, 0, 2));
+        release.wait();
+        holder.join().unwrap();
+        assert_eq!(out, Err(Abort::DeadlineExceeded));
+        let snap = heap.stats().snapshot();
+        assert_eq!(snap.deadline_aborts, 1);
+        assert_eq!(heap.read_raw(c, 0), 1, "the holder's commit stands");
+        heap.audit().assert_clean();
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_is_typed() {
+        let heap = heap_of(Versioning::Eager);
+        let s = counter_shape(&heap);
+        let c = heap.alloc_public(s);
+        let policy = TxnPolicy::default().with_max_retries(3);
+        let mut runs = 0u32;
+        let out: Result<Option<()>, Abort> = try_atomic_with(&heap, policy, |tx| {
+            runs += 1;
+            tx.write(c, 0, 9)?;
+            Err(Abort::Conflict) // a perpetually doomed block
+        });
+        assert_eq!(out, Err(Abort::RetryExhausted));
+        assert_eq!(runs, 3, "exactly max_retries attempts ran");
+        assert_eq!(heap.read_raw(c, 0), 0, "every attempt rolled back");
+        assert_eq!(heap.stats().snapshot().retries_exhausted, 1);
+        heap.audit().assert_clean();
+    }
+
+    #[test]
+    fn deadline_bounds_a_retry_wait() {
+        // `Txn::retry` with nobody around to wake it would wait forever;
+        // the deadline turns that into a typed stop.
+        let heap = heap_of(Versioning::Eager);
+        let s = counter_shape(&heap);
+        let flag = heap.alloc_public(s);
+        let policy = TxnPolicy::default().with_deadline(32);
+        let out: Result<Option<u64>, Abort> = try_atomic_with(&heap, policy, |tx| {
+            let v = tx.read(flag, 0)?;
+            if v == 0 {
+                return tx.retry();
+            }
+            Ok(v)
+        });
+        assert_eq!(out, Err(Abort::DeadlineExceeded));
+        heap.audit().assert_clean();
+    }
+
+    #[test]
+    fn admission_control_sheds_load_and_reopens() {
+        use crate::config::AdmissionConfig;
+        let heap = Heap::new(StmConfig {
+            admission: Some(AdmissionConfig {
+                window: 16,
+                reject_above_permille: 500,
+                reopen_below_permille: 300,
+            }),
+            ..StmConfig::default()
+        });
+        let s = counter_shape(&heap);
+        let c = heap.alloc_public(s);
+        // Saturate the window with aborts: each block burns one attempt and
+        // feeds the monitor one aborted outcome.
+        let doomed = TxnPolicy::default().with_max_retries(1);
+        for _ in 0..32 {
+            let _ = try_atomic_with(&heap, doomed, |tx| {
+                tx.read(c, 0)?;
+                Err::<(), _>(Abort::Conflict)
+            });
+        }
+        assert!(heap.admission_closed(), "the gate closed under pure aborts");
+        let out = try_atomic_with(&heap, TxnPolicy::default(), |tx| tx.read(c, 0));
+        assert_eq!(out, Err(Abort::Overloaded));
+        assert!(heap.stats().snapshot().admission_rejects >= 1);
+        // Probe admissions that commit drain the window and reopen the gate.
+        let mut reopened = false;
+        for _ in 0..2048 {
+            if try_atomic_with(&heap, TxnPolicy::default(), |tx| tx.read(c, 0)).is_ok()
+                && !heap.admission_closed()
+            {
+                reopened = true;
+                break;
+            }
+        }
+        assert!(reopened, "hysteresis reopened the gate");
+        heap.audit().assert_clean();
+    }
+
+    #[test]
+    fn escalation_takes_and_releases_the_serial_token() {
+        let heap = heap_of(Versioning::Eager);
+        let s = counter_shape(&heap);
+        let c = heap.alloc_public(s);
+        let policy = TxnPolicy { serialize_after: 0, ..TxnPolicy::default() };
+        let out = atomic_with(&heap, policy, |tx| {
+            let v = tx.read(c, 0)?;
+            tx.write(c, 0, v + 1)?;
+            Ok(v + 1)
+        });
+        assert_eq!(out, Ok(1));
+        assert_eq!(heap.stats().snapshot().escalations_to_serial, 1);
+        // The token was released: a second serialized block runs fine.
+        let out = atomic_with(&heap, policy, |tx| tx.read(c, 0));
+        assert_eq!(out, Ok(1));
+        heap.audit().assert_clean();
+    }
+
+    #[test]
+    fn open_nested_inside_escalated_block_does_not_deadlock() {
+        let heap = heap_of(Versioning::Eager);
+        let s = counter_shape(&heap);
+        let log = heap.alloc_public(s);
+        let data = heap.alloc_public(s);
+        let policy = TxnPolicy { serialize_after: 0, ..TxnPolicy::default() };
+        let out = atomic_with(&heap, policy, |tx| {
+            tx.write(data, 0, 5)?;
+            // The open-nested block must not try to take the serial token
+            // its enclosing block holds.
+            tx.open_nested(|otx| {
+                let v = otx.read(log, 0)?;
+                otx.write(log, 0, v + 1)
+            });
+            Ok(())
+        });
+        assert_eq!(out, Ok(()));
+        assert_eq!(heap.read_raw(log, 0), 1);
+        heap.audit().assert_clean();
     }
 
     #[test]

@@ -14,11 +14,12 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use stm_core::barrier::{read_barrier, write_barrier};
-use stm_core::config::{IsolationLevel, StmConfig, Versioning};
+use stm_core::config::{AdmissionConfig, IsolationLevel, StmConfig, TxnPolicy, Versioning};
 use stm_core::contention::{ConflictSite, ContentionPolicy};
 use stm_core::heap::{FieldDef, Heap, ObjRef, Shape};
 use stm_core::stats::TxnTelemetry;
-use stm_core::txn::atomic_traced;
+use stm_core::syncpoint::{as_actor, ActorId, Script, SyncPoint};
+use stm_core::txn::{atomic_traced, try_atomic_with_traced, Abort};
 
 const THREADS: usize = 4;
 const OPS_PER_THREAD: usize = 300;
@@ -166,10 +167,17 @@ fn run_config(policy: ContentionPolicy, versioning: Versioning, isolation: Isola
             + snap.aborts_validation
             + snap.aborts_deadlock
             + snap.faults_forced_aborts
-            + snap.panic_rollbacks,
+            + snap.panic_rollbacks
+            + snap.deadline_aborts,
         "{}: every abort is accounted for by exactly one cause counter",
         policy.label()
     );
+
+    // No progress policy is armed here, so none of its counters may move.
+    assert_eq!(snap.deadline_aborts, 0, "{}: no deadline set", policy.label());
+    assert_eq!(snap.retries_exhausted, 0, "{}: unbounded retries", policy.label());
+    assert_eq!(snap.admission_rejects, 0, "{}: no admission gate", policy.label());
+    assert_eq!(snap.escalations_to_serial, 0, "{}: escalation off", policy.label());
 
     // The per-block telemetry view and the heap-wide view agree (watchdog
     // self-aborts surface through the same engine path as cm self-aborts).
@@ -293,5 +301,261 @@ fn quiescence_privatization_keeps_exact_telemetry_under_stress() {
             versioning,
             IsolationLevel::QuiescencePrivatization,
         );
+    }
+}
+
+/// The hostile variant of the stress: every block runs under a tight
+/// [`TxnPolicy`] on a heap with the admission gate armed, then targeted
+/// single-threaded dances drive each progress-policy stop deterministically.
+/// The point is that the counter identities of the default-policy stress
+/// keep holding when deadline aborts, retry exhaustion, escalation and
+/// admission rejects are all in play — with every one of the four new
+/// counters provably nonzero.
+#[test]
+fn hostile_policy_stress_keeps_the_counter_identity() {
+    for versioning in [Versioning::Eager, Versioning::Lazy] {
+        let config = StmConfig {
+            versioning,
+            contention: ContentionPolicy::Karma,
+            admission: Some(AdmissionConfig {
+                window: 16,
+                reject_above_permille: 700,
+                reopen_below_permille: 300,
+            }),
+            ..StmConfig::default()
+        };
+        let (heap, objs) = small_world(config);
+        let total_telem = Arc::new(parking_lot::Mutex::new(TxnTelemetry::default()));
+        let committed = Arc::new(AtomicU64::new(0));
+
+        // Phase 1: the concurrent hammer, every block under a tight policy.
+        // Policy stops shed the op — the identities must hold regardless.
+        let tight = TxnPolicy {
+            deadline: Some(96),
+            max_retries: Some(8),
+            boost_after: 1,
+            serialize_after: 2,
+        };
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let heap = Arc::clone(&heap);
+                let objs = objs.to_vec();
+                let total_telem = Arc::clone(&total_telem);
+                let committed = Arc::clone(&committed);
+                std::thread::spawn(move || {
+                    let mut rng = 0x9E37_79B9u64.wrapping_mul(t as u64 + 1) | 1;
+                    let mut next = move || {
+                        rng ^= rng << 13;
+                        rng ^= rng >> 7;
+                        rng ^= rng << 17;
+                        rng
+                    };
+                    for _ in 0..OPS_PER_THREAD {
+                        let o = objs[next() as usize % objs.len()];
+                        let (r, telem) = try_atomic_with_traced(&heap, tight, |tx| {
+                            let v = tx.read(o, 0)?;
+                            tx.write(o, 0, v + 1)?;
+                            std::thread::yield_now();
+                            tx.read(o, 0).map(|_| ())
+                        });
+                        if matches!(r, Ok(Some(()))) {
+                            committed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        total_telem.lock().absorb(telem);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        // Reopens the admission gate with commit traffic (probe admissions
+        // feed the window even while it is closed), so the next targeted
+        // dance is guaranteed entry. Probes `objs[1]`, which no parked
+        // holder ever touches, so it also works mid-choreography — the
+        // await_parked spin feeds the window with its own conflict-aborts
+        // and can slam the gate shut just before the block under test.
+        let drain = |heap: &Arc<Heap>| {
+            let mut tries = 0u32;
+            while heap.admission_closed() {
+                let (r, telem) =
+                    try_atomic_with_traced(heap, TxnPolicy::default(), |tx| {
+                        tx.read(objs[1], 1).map(|_| ())
+                    });
+                if matches!(r, Ok(Some(()))) {
+                    committed.fetch_add(1, Ordering::Relaxed);
+                }
+                total_telem.lock().absorb(telem);
+                tries += 1;
+                assert!(tries < 10_000, "admission gate failed to reopen");
+            }
+        };
+
+        // The engine-specific syncpoint at which a transaction provably
+        // holds its record locks: eager acquires at write time, lazy only
+        // during commit (between validation and write-back).
+        const H: ActorId = ActorId(1);
+        const W: ActorId = ActorId(2);
+        // Two engine-specific points at which the holder provably owns its
+        // record locks: `acquired` is consumed as the script head (the
+        // observable "locks are down" event), `park` is where it then blocks
+        // until actor W's `User(8)` release. Probing with transactions
+        // instead would be racy twice over — probe conflict-aborts feed the
+        // admission window, and a hot probe loop can keep the record
+        // perpetually re-locked so the politely-waiting holder never
+        // acquires at all.
+        let (acquired, park) = match versioning {
+            Versioning::Eager => (SyncPoint::EagerAfterWrite, SyncPoint::EagerAfterValidate),
+            Versioning::Lazy => {
+                (SyncPoint::LazyAfterValidate, SyncPoint::LazyBeforeWritebackEntry)
+            }
+        };
+        let parked_script =
+            || Arc::new(Script::new(vec![(H, acquired), (W, SyncPoint::User(8)), (H, park)]));
+        // Parks a holder transaction at `park` (locks held) and returns its
+        // join handle; the script releases it when actor W hits `User(8)`.
+        let spawn_parked = |script: &Arc<Script>| {
+            heap.install_script(Arc::clone(script));
+            let heap = Arc::clone(&heap);
+            let o = objs[0];
+            std::thread::spawn(move || {
+                as_actor(H, || {
+                    try_atomic_with_traced(&heap, TxnPolicy::default(), |tx| tx.write(o, 1, 7))
+                })
+            })
+        };
+        // Waits until the holder has consumed the head `acquired` step —
+        // from then on it owns the record locks all the way to its park.
+        let await_parked = |script: &Arc<Script>| {
+            let mut tries = 0u64;
+            while script.remaining() > 2 {
+                tries += 1;
+                assert!(tries < 100_000_000, "holder never reached its acquire point");
+                std::thread::yield_now();
+            }
+        };
+        let note = |r: &Result<Option<()>, Abort>, telem: TxnTelemetry| {
+            if matches!(r, Ok(Some(()))) {
+                committed.fetch_add(1, Ordering::Relaxed);
+            }
+            total_telem.lock().absorb(telem);
+        };
+
+        // Phase 2: a parked holder forces a waiter under a deadline into a
+        // structured `DeadlineExceeded`.
+        drain(&heap);
+        {
+            let script = parked_script();
+            let holder = spawn_parked(&script);
+            await_parked(&script);
+            let (r, telem) = try_atomic_with_traced(
+                &heap,
+                TxnPolicy::default().with_deadline(64),
+                |tx| tx.write(objs[0], 1, 8),
+            );
+            assert_eq!(r, Err(Abort::DeadlineExceeded), "{versioning:?}");
+            note(&r, telem);
+            as_actor(W, || heap.hit(SyncPoint::User(8)));
+            let (hr, htel) = holder.join().unwrap();
+            assert!(matches!(hr, Ok(Some(()))), "the parked holder's commit must stand");
+            note(&hr, htel);
+            heap.clear_script();
+            assert_eq!(script.remaining(), 0, "park script fully executed");
+        }
+
+        // Phase 3: an escalated block takes the serialization token (and,
+        // uncontended, just commits).
+        drain(&heap);
+        {
+            let esc = TxnPolicy {
+                serialize_after: 0,
+                ..TxnPolicy::default()
+            };
+            let (r, telem) =
+                try_atomic_with_traced(&heap, esc, |tx| tx.write(objs[1], 1, 9));
+            total_telem.lock().absorb(telem);
+            assert!(matches!(r, Ok(Some(()))), "uncontended escalated block commits");
+            committed.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // Phase 4: against a parked holder, a small retry budget exhausts
+        // (every underlying abort is a contention-manager self-abort, so the
+        // cause identity is preserved); the abort traffic then slams the
+        // admission gate shut and the next entries are shed.
+        drain(&heap);
+        {
+            let script = parked_script();
+            let holder = spawn_parked(&script);
+            await_parked(&script);
+            let budget = TxnPolicy::default().with_max_retries(2);
+            let (r, telem) =
+                try_atomic_with_traced(&heap, budget, |tx| tx.write(objs[0], 1, 11));
+            assert_eq!(r, Err(Abort::RetryExhausted), "{versioning:?}");
+            note(&r, telem);
+            let mut tries = 0u32;
+            while !heap.admission_closed() {
+                let (r, telem) =
+                    try_atomic_with_traced(&heap, budget, |tx| tx.write(objs[0], 1, 12));
+                assert!(r.is_err(), "every waiter against the parked holder stops");
+                note(&r, telem);
+                tries += 1;
+                assert!(tries < 10_000, "admission gate failed to close");
+            }
+            let mut saw_overloaded = false;
+            for _ in 0..16 {
+                let (r, telem) =
+                    try_atomic_with_traced(&heap, budget, |tx| tx.write(objs[0], 1, 13));
+                let stop = r == Err(Abort::Overloaded);
+                note(&r, telem);
+                if stop {
+                    saw_overloaded = true;
+                    break;
+                }
+            }
+            assert!(saw_overloaded, "a closed gate must shed new entries");
+            as_actor(W, || heap.hit(SyncPoint::User(8)));
+            let (hr, htel) = holder.join().unwrap();
+            assert!(matches!(hr, Ok(Some(()))), "the parked holder's commit must stand");
+            note(&hr, htel);
+            heap.clear_script();
+            assert_eq!(script.remaining(), 0, "park script fully executed");
+        }
+
+        // The identities of the default-policy stress, now with all four
+        // progress-policy counters provably nonzero.
+        let snap = heap.stats_snapshot();
+        let telem = *total_telem.lock();
+        assert_eq!(
+            snap.commits,
+            committed.load(Ordering::Relaxed),
+            "one commit per successful block"
+        );
+        assert_eq!(
+            telem.attempts as u64,
+            snap.commits + snap.aborts,
+            "per-block attempt telemetry must equal heap-wide commits + aborts"
+        );
+        assert_eq!(
+            snap.aborts,
+            snap.total_self_aborts()
+                + snap.watchdog_self_aborts
+                + snap.aborts_validation
+                + snap.aborts_deadlock
+                + snap.faults_forced_aborts
+                + snap.panic_rollbacks
+                + snap.deadline_aborts,
+            "every abort is accounted for by exactly one cause counter"
+        );
+        assert_eq!(
+            telem.self_aborts as u64,
+            snap.total_self_aborts() + snap.watchdog_self_aborts,
+            "block telemetry must see every self-abort"
+        );
+        assert!(snap.deadline_aborts > 0, "the deadline dance fired");
+        assert!(snap.retries_exhausted > 0, "the budget dance fired");
+        assert!(snap.admission_rejects > 0, "the closed gate shed entries");
+        assert!(snap.escalations_to_serial > 0, "the escalated block took the token");
+        heap.audit().assert_clean();
     }
 }

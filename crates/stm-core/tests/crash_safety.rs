@@ -6,12 +6,13 @@
 //! stranded-record regression) live in the litmus crate; these tests pin
 //! the single-heap contracts that the chaos campaign builds on.
 
+use proptest::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use stm_core::config::{StmConfig, Versioning};
+use stm_core::config::{AdmissionConfig, StmConfig, TxnPolicy, Versioning};
 use stm_core::fault::{FaultPlan, InjectedPanic};
 use stm_core::heap::{FieldDef, Heap, ObjRef, Shape};
-use stm_core::txn::{atomic, try_atomic, try_atomic_traced, Abort};
+use stm_core::txn::{atomic, try_atomic, try_atomic_traced, try_atomic_with, Abort};
 
 fn cell_world(config: StmConfig) -> (Arc<Heap>, ObjRef) {
     let heap = Heap::new(config);
@@ -117,6 +118,122 @@ fn self_deadlock_is_recoverable() {
 fn deadlock_abort_displays_cause() {
     let msg = Abort::Deadlock.to_string();
     assert!(msg.contains("deadlock"), "Display names the cause: {msg}");
+}
+
+#[test]
+fn policy_aborts_display_their_causes() {
+    let msg = Abort::DeadlineExceeded.to_string();
+    assert!(msg.contains("deadline"), "Display names the cause: {msg}");
+    let msg = Abort::RetryExhausted.to_string();
+    assert!(msg.contains("retry budget"), "Display names the cause: {msg}");
+    let msg = Abort::Overloaded.to_string();
+    assert!(msg.contains("overload"), "Display names the cause: {msg}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any mix of policy-stopped blocks — retry budgets exhausting against a
+    /// closure that insists on conflicting, retry-waits burning a deadline,
+    /// escalated (serialized) blocks, plain traffic — against a twitchy
+    /// admission gate leaves the heap exactly as if the stopped blocks had
+    /// never run: speculative writes rolled back, records released, stats
+    /// attributing every stop to its cause, audit clean.
+    #[test]
+    fn policy_stops_leave_the_heap_audit_clean(
+        ops in prop::collection::vec(0u8..4, 1..48),
+        lazy in any::<bool>(),
+    ) {
+        let (heap, o) = cell_world(StmConfig {
+            versioning: if lazy { Versioning::Lazy } else { Versioning::Eager },
+            admission: Some(AdmissionConfig {
+                window: 16,
+                reject_above_permille: 500,
+                reopen_below_permille: 200,
+            }),
+            ..StmConfig::default()
+        });
+        let mut committed = 0u64;
+        let (mut exhausted, mut shed) = (0u64, 0u64);
+        let mut escalated = 0u64;
+        for kind in ops {
+            match kind {
+                // A doomed block: writes in place (or buffers), then raises a
+                // conflict; the retry budget turns the churn into a typed stop.
+                0 => {
+                    let r = try_atomic_with(
+                        &heap,
+                        TxnPolicy::default().with_max_retries(2),
+                        |tx| {
+                            tx.write(o, 1, 999)?;
+                            Err::<(), _>(Abort::Conflict)
+                        },
+                    );
+                    match r {
+                        Err(Abort::RetryExhausted) => exhausted += 1,
+                        Err(Abort::Overloaded) => shed += 1,
+                        other => prop_assert!(false, "doomed block returned {other:?}"),
+                    }
+                }
+                // A retry-wait under a deadline: nothing on this thread will
+                // ever change the read set, so the wait must end as a typed
+                // DeadlineExceeded rather than a hang.
+                1 => {
+                    let r = try_atomic_with(
+                        &heap,
+                        TxnPolicy::default().with_deadline(4),
+                        |tx| {
+                            let _ = tx.read(o, 0)?;
+                            tx.retry::<()>()
+                        },
+                    );
+                    match r {
+                        Err(Abort::DeadlineExceeded) => {}
+                        Err(Abort::Overloaded) => shed += 1,
+                        other => prop_assert!(false, "retry-wait returned {other:?}"),
+                    }
+                }
+                // An escalated (serialized) increment commits like any other
+                // block; uncontended, the token costs nothing.
+                2 => {
+                    let esc = TxnPolicy { serialize_after: 0, ..TxnPolicy::default() };
+                    let r = try_atomic_with(&heap, esc, |tx| {
+                        let v = tx.read(o, 0)?;
+                        tx.write(o, 0, v + 1)
+                    });
+                    match r {
+                        Ok(Some(())) => {
+                            committed += 1;
+                            escalated += 1;
+                        }
+                        Err(Abort::Overloaded) => shed += 1,
+                        other => prop_assert!(false, "escalated block returned {other:?}"),
+                    }
+                }
+                // Plain traffic rides along (and may be shed while closed).
+                _ => {
+                    let r = try_atomic_with(&heap, TxnPolicy::default(), |tx| {
+                        let v = tx.read(o, 0)?;
+                        tx.write(o, 0, v + 1)
+                    });
+                    match r {
+                        Ok(Some(())) => committed += 1,
+                        Err(Abort::Overloaded) => shed += 1,
+                        other => prop_assert!(false, "plain block returned {other:?}"),
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(heap.read_raw(o, 0), committed, "only commits increment");
+        prop_assert_eq!(heap.read_raw(o, 1), 0, "doomed writes always roll back");
+        let snap = heap.stats_snapshot();
+        prop_assert_eq!(snap.commits, committed);
+        prop_assert_eq!(snap.retries_exhausted, exhausted);
+        prop_assert_eq!(snap.admission_rejects, shed);
+        prop_assert_eq!(snap.escalations_to_serial, escalated);
+        let report = heap.audit();
+        prop_assert!(report.is_clean(), "audit dirty after policy stops:\n{report}");
+    }
 }
 
 /// Runs a seeded single-thread chaos workload and returns every observable

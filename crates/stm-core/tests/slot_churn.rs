@@ -12,9 +12,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use stm_core::config::{StmConfig, VersionGranularity, Versioning};
+use stm_core::config::{AdmissionConfig, StmConfig, TxnPolicy, VersionGranularity, Versioning};
 use stm_core::heap::{FieldDef, Heap, ObjRef, Shape};
-use stm_core::txn::{atomic, try_atomic};
+use stm_core::txn::{atomic, try_atomic, try_atomic_with, Abort};
 
 // ---------------------------------------------------------------------------
 // Counting allocator: the whole test binary routes through it, but the
@@ -308,5 +308,92 @@ proptest! {
             "single-threaded run grew {} slots", heap.txn_slot_count());
         let report = heap.audit();
         prop_assert!(report.is_clean(), "audit dirty after churn:\n{}", report);
+    }
+
+    /// Policy-stopped blocks (retry budgets, deadlines, admission shedding,
+    /// escalation) must retire their quiescence slots exactly like commits
+    /// and cancels do: any single-threaded mix leaves the slot table at its
+    /// single-thread bound and the audit clean.
+    #[test]
+    fn policy_stops_release_slots_and_stay_auditable(
+        ops in prop::collection::vec(0u8..4, 1..40),
+        lazy in any::<bool>(),
+    ) {
+        let heap = Heap::new(StmConfig {
+            versioning: if lazy { Versioning::Lazy } else { Versioning::Eager },
+            quiescence: true,
+            admission: Some(AdmissionConfig {
+                window: 16,
+                reject_above_permille: 500,
+                reopen_below_permille: 200,
+            }),
+            ..StmConfig::default()
+        });
+        let obj = alloc_counter(&heap);
+        let mut committed = 0u64;
+        for kind in ops {
+            match kind {
+                // Retry budget exhausting against a doomed closure.
+                0 => {
+                    let r = try_atomic_with(
+                        &heap,
+                        TxnPolicy::default().with_max_retries(1),
+                        |tx| {
+                            tx.write(obj, 0, 999)?;
+                            Err::<(), _>(Abort::Conflict)
+                        },
+                    );
+                    prop_assert!(
+                        matches!(r, Err(Abort::RetryExhausted) | Err(Abort::Overloaded)),
+                        "doomed block returned {r:?}"
+                    );
+                }
+                // A retry-wait whose deadline fires (nothing ever changes).
+                1 => {
+                    let r = try_atomic_with(
+                        &heap,
+                        TxnPolicy::default().with_deadline(2),
+                        |tx| {
+                            let _ = tx.read(obj, 0)?;
+                            tx.retry::<()>()
+                        },
+                    );
+                    prop_assert!(
+                        matches!(r, Err(Abort::DeadlineExceeded) | Err(Abort::Overloaded)),
+                        "retry-wait returned {r:?}"
+                    );
+                }
+                // An escalated (serialized) increment.
+                2 => {
+                    let esc = TxnPolicy { serialize_after: 0, ..TxnPolicy::default() };
+                    let r = try_atomic_with(&heap, esc, |tx| {
+                        let v = tx.read(obj, 0)?;
+                        tx.write(obj, 0, v + 1)
+                    });
+                    match r {
+                        Ok(Some(())) => committed += 1,
+                        Err(Abort::Overloaded) => {}
+                        other => prop_assert!(false, "escalated block returned {other:?}"),
+                    }
+                }
+                // Plain traffic (sheddable while the gate is closed).
+                _ => {
+                    let r = try_atomic_with(&heap, TxnPolicy::default(), |tx| {
+                        let v = tx.read(obj, 0)?;
+                        tx.write(obj, 0, v + 1)
+                    });
+                    match r {
+                        Ok(Some(())) => committed += 1,
+                        Err(Abort::Overloaded) => {}
+                        other => prop_assert!(false, "plain block returned {other:?}"),
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(heap.read_raw(obj, 0), committed, "stopped blocks rolled back");
+        prop_assert!(heap.txn_slot_count() <= 2,
+            "policy stops leaked slots: {}", heap.txn_slot_count());
+        let report = heap.audit();
+        prop_assert!(report.is_clean(), "audit dirty after policy stops:\n{}", report);
     }
 }

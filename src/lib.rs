@@ -60,11 +60,15 @@ pub use workloads as bench_workloads;
 pub mod prelude {
     pub use stm_core::barrier::{aggregate, read_barrier, write_barrier};
     pub use stm_core::config::{
-        BarrierMode, Granularity, IsolationLevel, StmConfig, VersionGranularity, Versioning,
+        AdmissionConfig, BarrierMode, Granularity, IsolationLevel, StmConfig, TxnPolicy,
+        VersionGranularity, Versioning,
     };
     pub use stm_core::contention::{CmDecision, ConflictSite, ContentionManager, ContentionPolicy};
     pub use stm_core::heap::{FieldDef, Heap, ObjRef, Shape, ShapeId, Word};
     pub use stm_core::locks::SyncTable;
     pub use stm_core::stats::{StatsSnapshot, TxnTelemetry};
-    pub use stm_core::txn::{atomic, atomic_traced, try_atomic, try_atomic_traced, Abort, TxResult, Txn};
+    pub use stm_core::txn::{
+        atomic, atomic_traced, atomic_with, try_atomic, try_atomic_traced, try_atomic_with,
+        try_atomic_with_traced, Abort, TxResult, Txn,
+    };
 }
