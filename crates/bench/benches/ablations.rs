@@ -2,13 +2,15 @@
 //! versioning granularity (per-field vs pair), commit-time quiescence
 //! (off vs on, idle vs with concurrent readers), bare begin/commit
 //! lifecycle latency (the lock-free slot registry's regression canary),
-//! and the §3.3 ordering-only read barrier vs the full eager read barrier.
+//! commit cost vs read-set size under the global vs thread-local version
+//! clock (the TL2 O(1)-commit canary), and the §3.3 ordering-only read
+//! barrier vs the full eager read barrier.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use stm_core::config::{StmConfig, VersionGranularity, Versioning};
+use stm_core::config::{ClockMode, StmConfig, VersionGranularity, Versioning};
 use stm_core::heap::{FieldDef, Heap, ObjRef, Shape};
 use stm_core::txn::atomic;
 
@@ -127,6 +129,34 @@ fn bench_lifecycle(c: &mut Criterion) {
                 })
             })
         });
+    }
+    // Commit cost vs read-set size: N reads plus one write, uncontended.
+    // On the global clock the commit draws `wv == rv + 1` and skips
+    // read-set revalidation (TL2), so latency must stay flat as N grows
+    // 4 -> 256; the thread-local clock cannot prove the skip and walks all
+    // N entries, so it scales linearly. The pair is the regression canary
+    // for the O(1) commit (see `repro clock` for the telemetry identity).
+    for (cname, clock) in [
+        ("global_clock", ClockMode::Global),
+        ("tl_clock", ClockMode::ThreadLocal),
+    ] {
+        for reads in [4usize, 16, 64, 256] {
+            let heap = Heap::new(StmConfig { clock, ..Default::default() });
+            let s = heap.define_shape(Shape::new("R", vec![FieldDef::int("v")]));
+            let pool: Vec<ObjRef> = (0..reads).map(|_| heap.alloc_public(s)).collect();
+            let target = heap.alloc_public(s);
+            g.bench_function(format!("commit_{cname}_reads{reads}"), |b| {
+                b.iter(|| {
+                    atomic(&heap, |tx| {
+                        let mut acc = 0u64;
+                        for &o in &pool {
+                            acc = acc.wrapping_add(tx.read(o, 0)?);
+                        }
+                        tx.write(target, 0, black_box(acc))
+                    })
+                })
+            });
+        }
     }
     g.finish();
 }

@@ -367,7 +367,7 @@ pub fn chaos(first_seed: u64, count: u64) -> String {
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
     use stm_core::config::{
-        AdmissionConfig, Granularity, IsolationLevel, StmConfig, TxnPolicy, Versioning,
+        AdmissionConfig, ClockMode, Granularity, IsolationLevel, StmConfig, TxnPolicy, Versioning,
     };
     use stm_core::contention::ContentionPolicy;
     use stm_core::fault::{FaultPlan, FaultSite, InjectedPanic};
@@ -413,13 +413,26 @@ pub fn chaos(first_seed: u64, count: u64) -> String {
     // quick escalation) with admission control armed — so every
     // deadline/budget/admission abort path and the serialized escalation
     // path face the same injected faults the lenient half does.
+    // The clock-mode axis: every configuration runs on the global clock
+    // and again on the thread-local (GV5) clock. A heap with multiversion
+    // on coerces the thread-local clock back to global; those cases
+    // exercise the coercion rather than being skipped.
     let mut cases = Vec::new();
     for multiversion in [false, true] {
         for isolation in IsolationLevel::ALL {
             for granularity in granularities {
                 for policy in ContentionPolicy::ALL {
-                    for hostile in [false, true] {
-                        cases.push((multiversion, isolation, granularity, policy, hostile));
+                    for clock in [ClockMode::Global, ClockMode::ThreadLocal] {
+                        for hostile in [false, true] {
+                            cases.push((
+                                multiversion,
+                                isolation,
+                                granularity,
+                                policy,
+                                clock,
+                                hostile,
+                            ));
+                        }
                     }
                 }
             }
@@ -428,13 +441,14 @@ pub fn chaos(first_seed: u64, count: u64) -> String {
 
     for seed in first_seed..first_seed + count {
         for versioning in [Versioning::Eager, Versioning::Lazy] {
-            for &(multiversion, isolation, granularity, policy, hostile) in &cases {
+            for &(multiversion, isolation, granularity, policy, clock, hostile) in &cases {
                 let heap = Heap::new(StmConfig {
                     versioning,
                     granularity,
                     contention: policy,
                     isolation,
                     multiversion,
+                    clock,
                     dea: true,
                     fault: Some(FaultPlan::seeded(seed)),
                     watchdog: WatchdogConfig { enabled: true, spin_budget: 64 },
@@ -483,6 +497,7 @@ pub fn chaos(first_seed: u64, count: u64) -> String {
                                 max_retries: Some(4),
                                 boost_after: 2,
                                 serialize_after: 3,
+                                isolation: None,
                             };
                             // Deadline-dominant companion: no retry budget to
                             // win the race, so the only stop this block can
@@ -571,7 +586,8 @@ pub fn chaos(first_seed: u64, count: u64) -> String {
                 if !report.is_clean() {
                     failures.push(format!(
                         "seed={seed} engine={versioning:?} isolation={} records={} \
-                         policy={} multiversion={multiversion} hostile={hostile}:\n{report}",
+                         policy={} multiversion={multiversion} clock={clock:?} \
+                         hostile={hostile}:\n{report}",
                         isolation.label(),
                         granularity.label(),
                         policy.label()
@@ -603,8 +619,8 @@ pub fn chaos(first_seed: u64, count: u64) -> String {
         out,
         "seeds {first_seed}..{} x {{eager, lazy}} x {{mv-off, mv-on}} x \
          {{strong, snapshot, quiescence}} x {{per-object, striped:64}} x \
-         {{aggressive, backoff, karma}} x {{lenient, hostile}} = {runs} runs \
-         ({THREADS} threads x {OPS} ops each)",
+         {{aggressive, backoff, karma}} x {{global, tl-clock}} x \
+         {{lenient, hostile}} = {runs} runs ({THREADS} threads x {OPS} ops each)",
         first_seed + count
     )
     .unwrap();
@@ -1377,6 +1393,7 @@ fn overload_case(workers: usize, ops_per_worker: u64) -> OverloadRow {
         max_retries: Some(16),
         boost_after: 1,
         serialize_after: 1,
+        isolation: None,
     };
     let latencies = Arc::new(Mutex::new(Vec::<u64>::new()));
     let finished = Arc::new(AtomicU64::new(0));
@@ -1824,6 +1841,224 @@ pub fn isolation_to(ops_per_thread: u64, artifact: &std::path::Path) -> String {
 }
 
 /// Runs every experiment (the `repro all` command).
+/// One measured cell of the clock validation-cost sweep.
+struct ClockRow {
+    mode: &'static str,
+    reads: usize,
+    threads: usize,
+    ops: u64,
+    makespan: u64,
+    commits: u64,
+    aborts: u64,
+    o1_validations: u64,
+    revalidations_skipped: u64,
+    rv_extensions: u64,
+    clock_cas_retries: u64,
+}
+
+impl ClockRow {
+    fn cycles_per_commit(&self) -> f64 {
+        self.makespan as f64 / self.commits.max(1) as f64
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"mode\":\"{}\",\"reads\":{},\"threads\":{},\"ops\":{},\
+             \"makespan_cycles\":{},\"cycles_per_commit\":{:.1},\"commits\":{},\
+             \"aborts\":{},\"o1_validations\":{},\"revalidations_skipped\":{},\
+             \"rv_extensions\":{},\"clock_cas_retries\":{}}}",
+            self.mode,
+            self.reads,
+            self.threads,
+            self.ops,
+            self.makespan,
+            self.cycles_per_commit(),
+            self.commits,
+            self.aborts,
+            self.o1_validations,
+            self.revalidations_skipped,
+            self.rv_extensions,
+            self.clock_cas_retries,
+        )
+    }
+}
+
+/// One cell of the clock sweep: every worker's transaction scans a shared
+/// `reads`-object pool (written once at seed time, then read-only) and
+/// writes one field of its own private target, so commits always succeed
+/// and the only cost that varies with `reads` is the read/validation path.
+/// On the global clock, commit proves `wv == rv + 1` and skips the
+/// read-set walk — O(1) regardless of `reads`; on the thread-local (GV5)
+/// clock the skip is unsound (stamps can duplicate), so every commit walks
+/// the whole read set.
+fn clock_case(
+    clock: stm_core::config::ClockMode,
+    reads: usize,
+    threads: usize,
+    ops_per_thread: u64,
+) -> ClockRow {
+    use std::sync::Arc;
+    use stm_core::config::{ClockMode, StmConfig};
+    use stm_core::heap::{FieldDef, Heap, Shape};
+    use stm_core::txn::atomic;
+    use workloads::scale::run_workers;
+
+    // Multiversion pinned off regardless of the ambient STM_MULTIVERSION:
+    // an mv heap coerces the thread-local clock back to global, which
+    // would silently turn the tl-clock column into a second global one.
+    let heap = Heap::new(StmConfig { clock, multiversion: false, ..StmConfig::default() });
+    let shape = heap.define_shape(Shape::new("Cell", vec![FieldDef::int("n")]));
+    let pool: Vec<_> = (0..reads).map(|_| heap.alloc_public(shape)).collect();
+    let targets: Vec<_> = (0..threads).map(|_| heap.alloc_public(shape)).collect();
+    // Seed the pool so every record carries a real commit stamp.
+    atomic(&heap, |tx| {
+        for (i, &o) in pool.iter().enumerate() {
+            tx.write(o, 0, i as u64 + 1)?;
+        }
+        Ok(())
+    });
+
+    let worker_heap = Arc::clone(&heap);
+    let (makespan, commits, aborts, _) = run_workers(&heap, threads, threads, move |t| {
+        let target = targets[t];
+        for i in 0..ops_per_thread {
+            atomic(&worker_heap, |tx| {
+                let mut sum = 0u64;
+                for &o in &pool {
+                    sum = sum.wrapping_add(tx.read(o, 0)?);
+                }
+                tx.write(target, 0, sum.wrapping_add(i))
+            });
+        }
+        0
+    });
+    heap.audit().assert_clean();
+    let snap = heap.stats().snapshot();
+    ClockRow {
+        mode: match clock {
+            ClockMode::Global => "global",
+            ClockMode::ThreadLocal => "tl-clock",
+        },
+        reads,
+        threads,
+        ops: threads as u64 * ops_per_thread,
+        makespan,
+        commits,
+        aborts,
+        o1_validations: snap.o1_validations,
+        revalidations_skipped: snap.revalidations_skipped,
+        rv_extensions: snap.rv_extensions,
+        clock_cas_retries: snap.clock_cas_retries,
+    }
+}
+
+/// The read-set sizes the clock sweep scales over.
+pub const CLOCK_READS: [usize; 4] = [4, 16, 64, 256];
+
+/// The global-version-clock validation-cost sweep: commit-time cost as a
+/// function of read-set size, before/after the TL2 commit skip. The
+/// thread-local (GV5) clock stands in for "before" — its duplicate-capable
+/// stamps force the full read-set walk at every commit — while the global
+/// clock commits O(1) via the `wv == rv + 1` skip. Writes
+/// `BENCH_clock.json` next to the report.
+pub fn clock(ops_per_thread: u64) -> String {
+    clock_to(ops_per_thread, std::path::Path::new("BENCH_clock.json"))
+}
+
+/// [`clock`] with an explicit artifact path (tests point it at a
+/// temporary directory).
+pub fn clock_to(ops_per_thread: u64, artifact: &std::path::Path) -> String {
+    use stm_core::config::ClockMode;
+
+    let mut rows: Vec<ClockRow> = Vec::new();
+    for mode in [ClockMode::Global, ClockMode::ThreadLocal] {
+        for threads in [1usize, 8] {
+            for reads in CLOCK_READS {
+                rows.push(clock_case(mode, reads, threads, ops_per_thread));
+            }
+        }
+    }
+
+    let mut out = String::new();
+    writeln!(out, "== Global version clock: commit validation cost vs read-set size ==\n")
+        .unwrap();
+    writeln!(
+        out,
+        "(simulated multiprocessor; {ops_per_thread} txns/thread, each scanning a\n\
+         read-only pool of N objects then writing a private target; global = TL2\n\
+         commit skip (`wv == rv + 1` proves the read set), tl-clock = GV5\n\
+         thread-local stamps, skip disabled, full read-set walk every commit)\n"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<9} {:>5} {:>4} {:>9} {:>13} {:>8} {:>10} {:>9} {:>8} {:>8}",
+        "mode", "reads", "thr", "commits", "cycles/commit", "aborts", "o1-checks", "skipped",
+        "extends", "cas-rty"
+    )
+    .unwrap();
+    for r in &rows {
+        writeln!(
+            out,
+            "{:<9} {:>5} {:>4} {:>9} {:>13.1} {:>8} {:>10} {:>9} {:>8} {:>8}",
+            r.mode,
+            r.reads,
+            r.threads,
+            r.commits,
+            r.cycles_per_commit(),
+            r.aborts,
+            r.o1_validations,
+            r.revalidations_skipped,
+            r.rv_extensions,
+            r.clock_cas_retries,
+        )
+        .unwrap();
+    }
+
+    // The flatness readout: per-commit cost growth from the smallest to
+    // the largest read set, single-threaded (deterministic under the cost
+    // model). The global slope is the bare read cost; the tl-clock slope
+    // adds the per-entry validation walk on top.
+    let slope = |mode: &str| {
+        let cell = |reads: usize| {
+            rows.iter()
+                .find(|r| r.mode == mode && r.threads == 1 && r.reads == reads)
+                .map(ClockRow::cycles_per_commit)
+                .unwrap_or(0.0)
+        };
+        let (lo, hi) = (CLOCK_READS[0], CLOCK_READS[CLOCK_READS.len() - 1]);
+        (cell(hi) - cell(lo)) / (hi - lo) as f64
+    };
+    let (gs, ts) = (slope("global"), slope("tl-clock"));
+    writeln!(
+        out,
+        "\nmarginal cycles per extra read (1 thread, {}..{} reads): \
+         global={gs:.2} tl-clock={ts:.2}",
+        CLOCK_READS[0],
+        CLOCK_READS[CLOCK_READS.len() - 1]
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "(the acceptance bar: the global slope is the read path alone — commit stays\n\
+         O(1) because every single-threaded commit takes the skip; the tl-clock slope\n\
+         is strictly steeper, paying one validation per read-set entry at commit)"
+    )
+    .unwrap();
+
+    let json = format!(
+        "{{\"experiment\":\"clock\",\"ops_per_thread\":{ops_per_thread},\"rows\":[\n  {}\n]}}\n",
+        rows.iter().map(ClockRow::json).collect::<Vec<_>>().join(",\n  ")
+    );
+    match std::fs::write(artifact, &json) {
+        Ok(()) => writeln!(out, "\nwrote {} ({} rows)", artifact.display(), rows.len()).unwrap(),
+        Err(e) => writeln!(out, "\nfailed to write {}: {e}", artifact.display()).unwrap(),
+    }
+    out
+}
+
+/// Every experiment in sequence — the `repro all` entry point
+/// (EXPERIMENTS.md's content, minus the long-running chaos campaign).
 pub fn all(scale: usize) -> String {
     let mut out = String::new();
     for part in [
@@ -1842,6 +2077,7 @@ pub fn all(scale: usize) -> String {
         self::scale(400),
         isolation(2000),
         mv(400),
+        clock(400),
     ] {
         out.push_str(&part);
         out.push('\n');
@@ -1893,7 +2129,7 @@ mod tests {
         // Two seeds keep the debug-build test quick; the CI chaos job runs
         // the full 32-seed campaign in release mode.
         let s = chaos(1, 2);
-        assert!(s.contains("audits: 288/288 clean"), "{s}");
+        assert!(s.contains("audits: 576/576 clean"), "{s}");
         assert!(s.contains("policy stops:"), "{s}");
     }
 
@@ -2027,6 +2263,53 @@ mod tests {
         assert!(json.contains("\"deadline_aborts\""), "{json}");
         assert!(json.contains("\"admission_rejects\""), "{json}");
         assert!(!json.contains("\"hung_workers\":1"), "{json}");
+    }
+
+    #[test]
+    fn clock_reports_o1_commits_and_emits_json() {
+        let dir = std::env::temp_dir().join("bench-clock-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let artifact = dir.join("BENCH_clock.json");
+        // Tiny op count: this test checks the O(1)-commit identities and
+        // the artifact shape, not performance.
+        let s = clock_to(60, &artifact);
+        assert!(s.contains("BENCH_clock.json"), "{s}");
+        assert!(s.contains("marginal cycles per extra read"), "{s}");
+        let json = std::fs::read_to_string(&artifact).expect("JSON artifact written");
+        assert!(json.contains("\"experiment\":\"clock\""), "{json}");
+        assert!(json.contains("\"mode\":\"global\""), "{json}");
+        assert!(json.contains("\"mode\":\"tl-clock\""), "{json}");
+        assert!(json.contains("\"reads\":256"), "{json}");
+
+        // The acceptance identities, re-measured deterministically at one
+        // thread: every global-clock commit takes the `wv == rv + 1` skip
+        // (commit is O(1) in read-set size), the thread-local clock never
+        // does, and the tl-clock per-commit cost therefore grows strictly
+        // faster with the read-set size than the global one.
+        use stm_core::config::ClockMode;
+        for reads in CLOCK_READS {
+            let g = clock_case(ClockMode::Global, reads, 1, 40);
+            assert_eq!(
+                g.revalidations_skipped, g.commits,
+                "global @ {reads} reads: every single-threaded commit must skip"
+            );
+            assert_eq!(g.aborts, 0, "global @ {reads} reads: disjoint writes never abort");
+            let t = clock_case(ClockMode::ThreadLocal, reads, 1, 40);
+            assert_eq!(
+                t.revalidations_skipped, 0,
+                "tl-clock @ {reads} reads: the skip must stay disabled"
+            );
+        }
+        let cpc = |mode: ClockMode, reads: usize| {
+            clock_case(mode, reads, 1, 40).cycles_per_commit()
+        };
+        let g_slope = cpc(ClockMode::Global, 256) - cpc(ClockMode::Global, 4);
+        let t_slope = cpc(ClockMode::ThreadLocal, 256) - cpc(ClockMode::ThreadLocal, 4);
+        assert!(
+            g_slope < t_slope,
+            "commit must be O(1) on the global clock: \
+             global growth {g_slope:.1} cycles !< tl-clock growth {t_slope:.1}"
+        );
     }
 
     #[test]

@@ -35,6 +35,11 @@
 //!                        # escalation and admission control; asserts the
 //!                        # throughput plateau and zero hung workers; writes
 //!                        # BENCH_overload.json (default 400 ops/worker)
+//! repro clock [ops]      # global-version-clock validation-cost sweep:
+//!                        # commit cost vs read-set size (4..256 reads),
+//!                        # TL2 O(1) skip (global) vs full read-set walk
+//!                        # (tl-clock); writes BENCH_clock.json
+//!                        # (default 2000 ops/thread)
 //! ```
 
 use bench::experiments as ex;
@@ -79,6 +84,10 @@ fn main() {
             let ops: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(400);
             ex::overload(ops)
         }
+        "clock" => {
+            let ops: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
+            ex::clock(ops)
+        }
         "chaos" => {
             let mut first = 1u64;
             let mut count = 32u64;
@@ -104,7 +113,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment `{other}`; try: all, fig1..fig6, fig13..fig20, \
-                 contention, granularity, chaos, scale, isolation, mv, overload"
+                 contention, granularity, chaos, scale, isolation, mv, overload, clock"
             );
             std::process::exit(2);
         }

@@ -1,0 +1,116 @@
+//! Deterministic pins for the global version clock (TL2 protocol) and the
+//! per-block isolation override.
+//!
+//! Two single-threaded choreographies, exact to the counter:
+//!
+//! * **Timestamp extension** — a non-transactional write barrier ticks the
+//!   global clock mid-transaction, so the next optimistic read observes a
+//!   stamp newer than the transaction's begin snapshot (`rv`). TL2 as
+//!   published would abort; the extension path re-anchors `rv` at the
+//!   current clock after proving the read set still holds, and the block
+//!   commits on its first attempt. The pin asserts the *exact* counter
+//!   values, so any change to when extension fires is a test failure, not
+//!   a silent behavioural drift.
+//!
+//! * **Scoped isolation override** — [`TxnPolicy::with_isolation`] runs one
+//!   block under snapshot isolation on a heap whose configured level is
+//!   strong atomicity. The block observes SI semantics (repeat reads served
+//!   from the pinned snapshot, blind to a concurrent barrier write); the
+//!   next default block on the same heap is strong again and sees the
+//!   barrier's value. The override is scoped to the block, not sticky.
+
+use crate::harness::Env;
+use crate::Mode;
+use stm_core::barrier::write_barrier;
+use stm_core::config::{IsolationLevel, TxnPolicy};
+use stm_core::txn::{atomic, try_atomic_with};
+
+/// The rv-extension determinism pin: one block, one extension, no aborts.
+pub fn rv_extension_is_deterministic() -> bool {
+    let env = Env::new(Mode::Strong);
+    let a = env.obj();
+    let b = env.obj();
+
+    let got = atomic(&env.heap, |tx| {
+        // First read anchors the snapshot: one O(1) validation.
+        let x = tx.read(a, 0)?;
+        // A non-transactional write barrier commits between our reads; it
+        // releases `b` at a fresh clock stamp strictly above our `rv`.
+        write_barrier(&env.heap, b, 0, 7);
+        // The read of `b` observes the newer stamp. Extension re-anchors
+        // `rv` (the read of `a` still validates exact-word), and the block
+        // continues instead of aborting.
+        let y = tx.read(b, 0)?;
+        Ok((x, y))
+    });
+    assert_eq!(got, (0, 7), "the extended block reads the barrier's value");
+
+    let snap = env.heap.stats_snapshot();
+    assert_eq!(snap.commits, 1, "one block, first attempt");
+    assert_eq!(snap.aborts, 0, "extension replaced the abort");
+    assert_eq!(snap.rv_extensions, 1, "exactly one extension");
+    assert_eq!(snap.o1_validations, 2, "both reads validated O(1)");
+    assert_eq!(
+        snap.revalidations_skipped, 1,
+        "commit trusted the per-read validations and skipped the read-set walk"
+    );
+    snap.rv_extensions == 1
+}
+
+/// The scoped-override pin: an SI block on a strong heap, then strong again.
+pub fn isolation_override_is_scoped() -> bool {
+    let env = Env::new(Mode::Strong);
+    let o = env.obj();
+
+    // Block 1: snapshot isolation for this block only. The repeat read is
+    // served from the pinned snapshot — the barrier write that lands
+    // between the two reads is invisible inside the block.
+    let si = TxnPolicy::default().with_isolation(IsolationLevel::SnapshotIsolation);
+    let r = try_atomic_with(&env.heap, si, |tx| {
+        let first = tx.read(o, 0)?;
+        write_barrier(&env.heap, o, 0, 41);
+        let second = tx.read(o, 0)?;
+        Ok((first, second))
+    });
+    assert_eq!(
+        r.expect("SI block is not shed").expect("SI block commits"),
+        (0, 0),
+        "snapshot isolation pins the first observation"
+    );
+    let mid = env.heap.stats_snapshot();
+    assert!(
+        mid.si_snapshot_reads > 0,
+        "the override block served its repeat read from the snapshot cache"
+    );
+    assert_eq!(mid.aborts, 0, "SI read-only block commits despite the rival write");
+
+    // Block 2: no override — the heap's strong level is back. The read
+    // validates O(1) against the clock and sees the barrier's value.
+    let v = atomic(&env.heap, |tx| tx.read(o, 0));
+    assert_eq!(v, 41, "the default block is strong again and sees current data");
+    let end = env.heap.stats_snapshot();
+    assert_eq!(
+        end.si_snapshot_reads, mid.si_snapshot_reads,
+        "the override ended with its block: no snapshot reads afterwards"
+    );
+    assert!(
+        end.o1_validations > mid.o1_validations,
+        "the default block validated on the O(1) clock path"
+    );
+    end.si_snapshot_reads == mid.si_snapshot_reads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rv_extension_determinism_pin() {
+        assert!(rv_extension_is_deterministic());
+    }
+
+    #[test]
+    fn scoped_isolation_override_pin() {
+        assert!(isolation_override_is_scoped());
+    }
+}

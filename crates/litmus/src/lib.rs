@@ -17,6 +17,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod anomalies;
+pub mod clock;
 pub mod crash;
 pub mod escalation;
 pub mod granular;

@@ -33,6 +33,7 @@ pub fn detect_idr_race() -> Vec<RaceEvent> {
                 tx.write(x, 0, v + 1)?;
                 h1.hit(u(1));
                 h1.hit(u(4));
+                hold_until_race_logged(&h1);
                 let v = tx.read(x, 0)?;
                 tx.write(x, 0, v + 1)
             });
@@ -44,6 +45,23 @@ pub fn detect_idr_race() -> Vec<RaceEvent> {
         },
     );
     heap.races()
+}
+
+/// Keeps the calling transaction's exclusive hold alive until a colliding
+/// barrier has actually logged its race. The scripts above order the
+/// *start* of the barrier relative to the transaction, but a race is only
+/// recorded if the barrier's first acquisition attempt observes the
+/// `Exclusive` word — and on a loaded one-CPU host the transaction can
+/// otherwise win the wakeup race and release before the barrier looks.
+/// Bounded so a logging regression fails the assertion instead of
+/// hanging.
+fn hold_until_race_logged(heap: &Heap) {
+    for _ in 0..1_000_000 {
+        if !heap.races().is_empty() {
+            return;
+        }
+        std::thread::yield_now();
+    }
 }
 
 /// A race-free strongly atomic program logs nothing: sequential
@@ -86,6 +104,7 @@ mod tests {
                     tx.write(y, 0, 5)?;
                     h1.hit(u(1));
                     h1.hit(u(4));
+                    hold_until_race_logged(&h1);
                     Ok(())
                 });
             },

@@ -382,7 +382,7 @@ impl Heap {
         // is a fixed array — so these three checks are what "no leaked
         // versions" means operationally.
         if let Some(mv) = &self.mv {
-            let clock = self.si_begin_stamp();
+            let clock = self.clock_now();
             let mut mv_marks = self.audit_versions.mv_marks.lock();
             mv.for_each(|obj, field, ring| {
                 let mut stamps = ring.stamps();
@@ -622,8 +622,8 @@ mod tests {
     fn mv_stamp_regression_is_found() {
         let heap = Heap::new(StmConfig::strong_default().with_multiversion(true));
         for _ in 0..5 {
-            let stamp = heap.si_next_commit_stamp();
-            heap.si_publish(stamp);
+            let stamp = heap.clock_tick();
+            heap.clock_publish(stamp);
         }
         let mv = heap.mv.as_ref().unwrap();
         mv.with_ring(0, 0, |ring| ring.install(5, 1));
@@ -643,8 +643,8 @@ mod tests {
     fn mv_duplicate_stamp_is_found() {
         let heap = Heap::new(StmConfig::strong_default().with_multiversion(true));
         for _ in 0..10 {
-            let stamp = heap.si_next_commit_stamp();
-            heap.si_publish(stamp);
+            let stamp = heap.clock_tick();
+            heap.clock_publish(stamp);
         }
         heap.mv.as_ref().unwrap().with_ring(0, 0, |ring| {
             ring.force_entry(0, 10, 1);

@@ -129,8 +129,9 @@ pub fn ordering_read_barrier(heap: &Heap, r: ObjRef, field: usize) -> Word {
 /// Acquires the record into the exclusive-anonymous state with a single
 /// atomic bit-test-and-reset, publishes any private object the written word
 /// references (reference fields only — the asterisked instructions of
-/// Figure 10(b)), performs the write, and releases by adding 9, which bumps
-/// the version and restores the shared tag.
+/// Figure 10(b)), performs the write, and releases at a fresh global-clock
+/// stamp, which bumps the version past every running transaction's read
+/// version and restores the shared tag.
 #[inline]
 pub fn write_barrier(heap: &Heap, r: ObjRef, field: usize, value: Word) {
     write_barrier_inner(heap, r, field, value, Ordering::Relaxed);
@@ -168,7 +169,7 @@ fn write_barrier_inner(heap: &Heap, r: ObjRef, field: usize, value: Word, ord: O
         // Records never become private (and striped slots carry no privacy
         // at all), so after the check above BTR on the guard is safe.
         match heap.guard(r).bit_test_and_reset() {
-            Ok(_prior) => {
+            Ok(prior) => {
                 heap.hit(SyncPoint::BarrierWriteAcquired);
                 // Publication check (reference types only): the object is
                 // public, so a private object written into it escapes now.
@@ -177,29 +178,32 @@ fn write_barrier_inner(heap: &Heap, r: ObjRef, field: usize, value: Word, ord: O
                 }
                 // Multiversion: the overwritten value is this field's
                 // pre-image; it seeds a still-empty ring so snapshot
-                // readers older than this write are still served.
+                // readers older than this write are still served. It has
+                // been current since the guard's last release stamp — the
+                // version BTR preserved in `prior`.
                 let pre = heap
                     .mv_enabled()
                     .then(|| obj.field(field).load(Ordering::Relaxed));
                 obj.field(field).store(value, ord);
-                // A barriered write is a committed write: it participates
-                // in first-committer-wins (snapshot isolation) and in the
-                // version rings (multiversion). Stamp and install while
-                // still exclusive-anonymous.
-                if heap.config.isolation.snapshot_reads() || heap.mv_enabled() {
-                    if let Some(pre) = pre {
-                        heap.mv_seed(r, field, heap.si_stamp_of(r), pre);
-                    }
-                    let stamp = heap.si_next_commit_stamp();
-                    heap.si_stamp_slot(r, stamp);
-                    if heap.mv_enabled() {
-                        heap.mv_install(r, field, stamp, value);
-                        // Every mv-heap stamp draw must publish (in-order
-                        // visibility; a gap wedges later publishers).
-                        heap.si_publish(stamp);
-                    }
+                // A barriered write is a committed write: it draws a clock
+                // tick and releases the guard stamped with it. The tick is
+                // unconditional — a release at an un-ticked version would
+                // pass a later transaction's `version <= rv` check and
+                // slip under its commit-time revalidation skip. The `max`
+                // covers thread-local clock mode, where a rival's stamp
+                // can run ahead of this thread's tick.
+                let tick = heap.clock_tick();
+                let stamp = tick.max(prior.version() as u64 + 1);
+                if let Some(pre) = pre {
+                    heap.mv_seed(r, field, prior.version() as u64, pre);
                 }
-                heap.guard(r).release_anon();
+                if heap.mv_enabled() {
+                    heap.mv_install(r, field, stamp, value);
+                    // Every mv-heap tick must publish (in-order
+                    // visibility; a gap wedges later publishers).
+                    heap.clock_publish(tick);
+                }
+                heap.guard(r).release_anon_at(stamp as usize);
                 heap.stats.write_barrier();
                 charge(CostKind::BarrierWrite);
                 if attempt > 0 {
@@ -249,9 +253,12 @@ impl<'h> OwnedObj<'h> {
         if !self.private && self.heap.mv_enabled() {
             // The overwritten value is the field's pre-image: seed a
             // still-empty ring before it is lost, and remember the field
-            // for the release-time install.
+            // for the release-time install. BTR preserved the guard's last
+            // release stamp in the held word — the pre-image has been
+            // current since then.
             let pre = self.heap.obj(self.r).field(field).load(Ordering::Relaxed);
-            self.heap.mv_seed(self.r, field, self.heap.si_stamp_of(self.r), pre);
+            let since = self.heap.guard_load(self.r).version() as u64;
+            self.heap.mv_seed(self.r, field, since, pre);
             self.mv_written.push(field);
         }
         self.heap.obj(self.r).field(field).store(value, Ordering::Relaxed);
@@ -281,30 +288,31 @@ pub fn aggregate<R>(heap: &Heap, r: ObjRef, f: impl FnOnce(&mut OwnedObj<'_>) ->
             return f(&mut owned);
         }
         match heap.guard(r).bit_test_and_reset() {
-            Ok(_prior) => {
+            Ok(prior) => {
                 heap.hit(SyncPoint::BarrierWriteAcquired);
                 charge(CostKind::BarrierAggregated);
                 heap.stats.write_barrier();
                 let mut owned = OwnedObj { heap, r, private: false, mv_written: Vec::new() };
                 let out = f(&mut owned);
-                // Aggregated barriers may write; stamp conservatively under
-                // snapshot isolation (see `write_barrier`), and install the
-                // written fields' committed values under multiversion.
-                if heap.config.isolation.snapshot_reads() || !owned.mv_written.is_empty() {
-                    let stamp = heap.si_next_commit_stamp();
-                    heap.si_stamp_slot(r, stamp);
-                    for &field in &owned.mv_written {
-                        let val = heap.obj(r).field(field).load(Ordering::Relaxed);
-                        heap.mv_install(r, field, stamp, val);
-                    }
-                    if heap.mv_enabled() {
-                        // Publish whenever a stamp is drawn on an mv heap —
-                        // even on the SI-gate-only path with no installs —
-                        // or later publishers wedge on the gap.
-                        heap.si_publish(stamp);
-                    }
+                // Aggregated barriers may write (and the non-mv heap has no
+                // record of whether this one did), so every release draws a
+                // clock tick and stamps the guard with it — exactly like
+                // `write_barrier`, and for the same revalidation-skip
+                // soundness reason. Written fields install at the stamp
+                // under multiversion.
+                let tick = heap.clock_tick();
+                let stamp = tick.max(prior.version() as u64 + 1);
+                for &field in &owned.mv_written {
+                    let val = heap.obj(r).field(field).load(Ordering::Relaxed);
+                    heap.mv_install(r, field, stamp, val);
                 }
-                heap.guard(r).release_anon();
+                if heap.mv_enabled() {
+                    // Publish whenever a tick is drawn on an mv heap — even
+                    // with no installs — or later publishers wedge on the
+                    // gap.
+                    heap.clock_publish(tick);
+                }
+                heap.guard(r).release_anon_at(stamp as usize);
                 if attempt > 0 {
                     heap.stats.record_wait_span(attempt);
                 }

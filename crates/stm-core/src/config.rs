@@ -202,6 +202,58 @@ impl Default for IsolationLevel {
     }
 }
 
+/// How the global version clock hands out commit stamps
+/// (see [`crate::clock::VersionClock`]).
+///
+/// * `Global` — every committing writer draws its write version with one
+///   atomic `fetch_add` on the shared counter (canonical TL2). Stamps are
+///   unique and gapless, which enables the commit-time `wv == rv + 1`
+///   revalidation skip and in-order multi-version publication.
+/// * `ThreadLocal` — the GV5-style contention fallback: a writer's stamp is
+///   `max(shared counter, its own last stamp) + 1` with *no* shared-counter
+///   write. Readers that observe a stamp ahead of the counter heal it via
+///   timestamp extension. The `wv == rv + 1` skip is disabled (stamps are
+///   not unique), and a multi-version heap coerces the mode back to
+///   `Global` (in-order publication needs gapless stamps).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ClockMode {
+    /// One shared `fetch_add` per commit (canonical TL2 clock).
+    Global,
+    /// GV5-style thread-local increment; no shared read-modify-write.
+    ThreadLocal,
+}
+
+impl ClockMode {
+    /// Both modes, for sweep axes.
+    pub const ALL: [ClockMode; 2] = [ClockMode::Global, ClockMode::ThreadLocal];
+
+    /// Short label for reports and experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClockMode::Global => "global",
+            ClockMode::ThreadLocal => "thread-local",
+        }
+    }
+}
+
+impl Default for ClockMode {
+    /// Defaults to `Global` unless the `STM_CLOCK` environment variable
+    /// overrides it (`thread-local`/`threadlocal`/`tl`/`gv5`, or `global`),
+    /// mirroring `STM_GRANULARITY`/`STM_ISOLATION` so a full test run can be
+    /// repeated under the fallback clock; read once and cached.
+    fn default() -> Self {
+        static ENV_DEFAULT: std::sync::OnceLock<ClockMode> = std::sync::OnceLock::new();
+        *ENV_DEFAULT.get_or_init(|| {
+            match std::env::var("STM_CLOCK").ok().as_deref() {
+                Some("thread-local") | Some("threadlocal") | Some("tl") | Some("gv5") => {
+                    ClockMode::ThreadLocal
+                }
+                _ => ClockMode::Global,
+            }
+        })
+    }
+}
+
 /// Which non-transactional accesses execute isolation barriers.
 ///
 /// This is a property of the *code* (the compiler decides per access site),
@@ -272,16 +324,30 @@ pub struct TxnPolicy {
     pub boost_after: u32,
     /// Attempt count at which the block serializes on the global token.
     pub serialize_after: u32,
+    /// Per-block isolation override: this block runs at the given level
+    /// instead of the heap's [`StmConfig::isolation`], so mixed workloads
+    /// can run cheap snapshot-isolation blocks next to strong ones on one
+    /// heap. `None` (the default) inherits the heap level.
+    ///
+    /// The override scopes the *transaction-side* protocol: the read path
+    /// (optimistic validated reads vs the pinned begin-time snapshot) and
+    /// the commit gate (read-set validity vs first-committer-wins). The
+    /// heap-level properties of `QuiescencePrivatization` — elided
+    /// non-transactional barriers and forced commit-time quiescence — stay
+    /// heap-wide, since they describe code outside any block.
+    pub isolation: Option<IsolationLevel>,
 }
 
 impl Default for TxnPolicy {
-    /// Fully permissive: no deadline, unbounded retries, never escalates.
+    /// Fully permissive: no deadline, unbounded retries, never escalates,
+    /// heap-inherited isolation.
     fn default() -> Self {
         TxnPolicy {
             deadline: None,
             max_retries: None,
             boost_after: u32::MAX,
             serialize_after: u32::MAX,
+            isolation: None,
         }
     }
 }
@@ -296,6 +362,7 @@ impl TxnPolicy {
             max_retries: Some(32),
             boost_after: 4,
             serialize_after: 8,
+            isolation: None,
         }
     }
 
@@ -318,6 +385,13 @@ impl TxnPolicy {
     /// The same policy with a different retry cap.
     pub fn with_max_retries(self, max_retries: u32) -> Self {
         TxnPolicy { max_retries: Some(max_retries), ..self }
+    }
+
+    /// The same policy running its block at `isolation` instead of the
+    /// heap's level (see [`TxnPolicy::isolation`] for exactly what the
+    /// override scopes).
+    pub fn with_isolation(self, isolation: IsolationLevel) -> Self {
+        TxnPolicy { isolation: Some(isolation), ..self }
     }
 }
 
@@ -429,6 +503,13 @@ pub struct StmConfig {
     /// Overload admission control. `None` (the default) admits every
     /// transaction unconditionally.
     pub admission: Option<AdmissionConfig>,
+    /// How the global version clock hands out commit stamps (canonical TL2
+    /// `Global`, or the GV5-style `ThreadLocal` contention fallback).
+    /// Defaults to the `STM_CLOCK` environment variable. Note that
+    /// [`crate::heap::Heap::new`] coerces `ThreadLocal` back to `Global` on
+    /// a multi-version heap — in-order version publication needs the unique,
+    /// gapless stamps only the global counter provides.
+    pub clock: ClockMode,
 }
 
 /// The cached `STM_MULTIVERSION` environment default (`1`/`on`/`true`
@@ -464,6 +545,7 @@ impl Default for StmConfig {
             deadline: None,
             retry_budget: None,
             admission: None,
+            clock: ClockMode::default(),
         }
     }
 }
@@ -517,6 +599,11 @@ impl StmConfig {
     /// The same configuration with overload admission control enabled.
     pub fn with_admission(self, admission: AdmissionConfig) -> Self {
         StmConfig { admission: Some(admission), ..self }
+    }
+
+    /// The same configuration with a different version-clock mode.
+    pub fn with_clock_mode(self, clock: ClockMode) -> Self {
+        StmConfig { clock, ..self }
     }
 }
 
@@ -613,6 +700,26 @@ mod tests {
             StmConfig::default().with_admission(a).admission,
             Some(a)
         );
+    }
+
+    #[test]
+    fn clock_mode_labels_and_builder() {
+        assert_eq!(ClockMode::Global.label(), "global");
+        assert_eq!(ClockMode::ThreadLocal.label(), "thread-local");
+        assert_eq!(ClockMode::ALL.len(), 2);
+        let c = StmConfig::default().with_clock_mode(ClockMode::ThreadLocal);
+        assert_eq!(c.clock, ClockMode::ThreadLocal);
+        assert_eq!(c.versioning, StmConfig::default().versioning);
+    }
+
+    #[test]
+    fn policy_isolation_override_is_opt_in() {
+        assert_eq!(TxnPolicy::default().isolation, None);
+        let p = TxnPolicy::default().with_isolation(IsolationLevel::SnapshotIsolation);
+        assert_eq!(p.isolation, Some(IsolationLevel::SnapshotIsolation));
+        // The rest of the policy is untouched.
+        assert_eq!(p.deadline, None);
+        assert_eq!(p.serialize_after, u32::MAX);
     }
 
     #[test]

@@ -169,12 +169,12 @@ impl<'h> EagerTxn<'h> {
             return Err(abort);
         }
         self.heap().hit(SyncPoint::EagerAfterValidate);
-        // Stamp written slots (and install multiversion entries) while
-        // still exclusive, so rival first-committer-wins checks and
-        // wait-free readers cannot miss this commit. The eager span log
-        // holds pre-images, which seed still-empty rings.
-        self.core.si_stamp_owned(true);
-        self.core.release_owned(true);
+        // Install multiversion entries while still exclusive, so wait-free
+        // readers cannot miss this commit; the release loop then stamps
+        // every written guard with the drawn write version. The eager span
+        // log holds pre-images, which seed still-empty rings.
+        self.core.mv_publish_owned(true);
+        self.core.release_owned(true, false);
         self.core.finish_commit();
         Ok(())
     }
@@ -195,7 +195,7 @@ impl<'h> EagerTxn<'h> {
         }
         // Version bump on release: concurrent optimistic readers that
         // observed the speculative values must fail validation.
-        self.core.release_owned(false);
+        self.core.release_owned(false, true);
         self.heap().hit(SyncPoint::EagerAfterRollback);
         self.core.finish_abort();
     }

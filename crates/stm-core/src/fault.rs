@@ -56,14 +56,14 @@ pub enum FaultSite {
     /// Lazy engine, after buffering a write (no lock held). Delay, forced
     /// abort, or panic.
     PostBuffer,
-    /// Multiversion commit, between the commit-stamp draw and the in-order
-    /// [`crate::heap::Heap::si_publish`]. Delay only — a delay here widens
+    /// Multiversion commit, between the write-version draw and its
+    /// in-order visibility publication. Delay only — a delay here widens
     /// the unpublished-stamp window that the in-order publication invariant
     /// (and the auditor's future-stamp sweep) must tolerate; aborting or
     /// panicking would skip the publish and wedge every later publisher.
     SiPublish,
-    /// Multiversion commit, before the version-ring install loop (stamp
-    /// drawn, slot stamped, versions not yet visible). Delay only, for the
+    /// Multiversion commit, before the version-ring install loop (write
+    /// version drawn, versions not yet visible). Delay only, for the
     /// same in-order-publication reason as [`FaultSite::SiPublish`].
     MvInstall,
     /// The read-only fast path's demotion point: a declared-read-only
@@ -357,7 +357,7 @@ mod tests {
     #[test]
     fn publish_and_wait_sites_only_delay() {
         // Aborting or panicking at these sites would skip a mandatory
-        // si_publish (wedging later publishers) or fire while blocked on a
+        // clock publish (wedging later publishers) or fire while blocked on a
         // peer; only delays are ever drawn for them.
         let inj = FaultInjector::new(FaultPlan {
             seed: 3,

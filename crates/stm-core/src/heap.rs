@@ -11,7 +11,8 @@
 //! graph — and which are `final` (the JIT elides their barriers, paper §6).
 
 use crate::audit::VersionHighWater;
-use crate::config::{AdmissionConfig, StmConfig};
+use crate::clock::VersionClock;
+use crate::config::{AdmissionConfig, ClockMode, StmConfig};
 use crate::contention::ContentionManager;
 use crate::fault::FaultInjector;
 use crate::mv::MvTable;
@@ -481,21 +482,14 @@ pub struct Heap {
     /// Sharded so age-based policies don't serialize every attempt in the
     /// process on one lock.
     ages: ShardMap<u64>,
-    /// Snapshot-isolation commit clock: bumped once per committed writer
-    /// (transactional or barriered) so first-committer-wins checks can
-    /// compare a transaction's begin time against later committed writes.
-    /// Only advanced under [`crate::config::IsolationLevel::SnapshotIsolation`].
-    pub(crate) si_clock: AtomicU64,
-    /// Multiversion visibility clock: the newest commit stamp whose version
-    /// installs are complete. Trails [`Heap::si_clock`]; advanced in stamp
-    /// order by [`Heap::si_publish`]. Read-only transactions take their
-    /// snapshot (`rv`) from this clock so no half-installed commit is ever
-    /// inside a snapshot.
-    pub(crate) si_visible: AtomicU64,
-    /// Guard-slot → clock value of the last committed write to that slot,
-    /// maintained only under snapshot isolation. Striping conservatively
-    /// aliases stamps exactly as it aliases conflicts.
-    pub(crate) si_stamps: ShardMap<u64>,
+    /// The global version clock (TL2 protocol; see [`crate::clock`]). One
+    /// source of time for everything: optimistic reads validate against a
+    /// begin-time sample of it (`version <= rv`), committing writers release
+    /// their records at a stamp drawn from it (the record-word version *is*
+    /// the commit timestamp), snapshot-isolation first-committer-wins
+    /// compares those stamps, and the multi-version visibility cursor is
+    /// its trailing `visible` half.
+    pub(crate) clock: VersionClock,
     /// Multi-version table: per-field bounded rings of committed
     /// `(stamp, value)` versions. `Some` iff [`StmConfig::multiversion`] is
     /// on; committing writers install into it (reusing the SI commit clock)
@@ -525,6 +519,13 @@ impl Heap {
         if config.isolation.elides_barriers() {
             config.quiescence = true;
         }
+        // Multi-version publication is strictly in-order over commit
+        // stamps, so it needs the unique, gapless stamps only the global
+        // counter provides: the thread-local clock is coerced back.
+        if config.multiversion && config.clock == ClockMode::ThreadLocal {
+            config.clock = ClockMode::Global;
+        }
+        let config_clock = config.clock;
         let cm = config.contention.build();
         let fault = config.fault.map(FaultInjector::new);
         let table = RecordTable::new(config.granularity);
@@ -548,9 +549,7 @@ impl Heap {
             cm,
             age_counter: AtomicU64::new(BOOST_BASE),
             ages: ShardMap::default(),
-            si_clock: AtomicU64::new(0),
-            si_visible: AtomicU64::new(0),
-            si_stamps: ShardMap::default(),
+            clock: VersionClock::new(config_clock),
             mv,
             fault,
             liveness: Liveness::default(),
@@ -942,59 +941,59 @@ impl Heap {
         self.table.slot_of_index(r.index())
     }
 
-    /// Snapshot isolation: the clock value a beginning transaction records
-    /// as its begin time. Writes stamped strictly later conflict with it
-    /// under first-committer-wins.
-    pub(crate) fn si_begin_stamp(&self) -> u64 {
-        self.si_clock.load(Ordering::Acquire)
+    /// The current global-clock value — the `rv` a beginning transaction
+    /// samples. Every read it then performs validates with one O(1)
+    /// compare against this; under snapshot isolation it doubles as the
+    /// begin stamp first-committer-wins measures against.
+    pub(crate) fn clock_now(&self) -> u64 {
+        self.clock.now()
     }
 
-    /// Snapshot isolation: a fresh commit stamp, strictly greater than any
-    /// begin stamp sampled before this call.
+    /// Draws a write version (`wv`) from the global clock. Committing
+    /// writers call this once, after every lock is held, and release each
+    /// written record at the drawn stamp — the record word carries the
+    /// commit timestamp from then on.
     ///
     /// On a multiversion heap every drawn stamp MUST subsequently be
-    /// published with [`Heap::si_publish`] (after the commit's version
+    /// published with [`Heap::clock_publish`] (after the commit's version
     /// installs), on a panic-free straight-line path: publication is
-    /// in-order, so one unpublished stamp wedges every later publisher.
-    pub(crate) fn si_next_commit_stamp(&self) -> u64 {
-        self.si_clock.fetch_add(1, Ordering::AcqRel) + 1
+    /// in-order, so one unpublished stamp stalls every later publisher.
+    pub(crate) fn clock_tick(&self) -> u64 {
+        self.clock.tick()
+    }
+
+    /// Advances the global clock to at least `target` (the timestamp-
+    /// extension healing step: a thread-local-mode stamp can run ahead of
+    /// the shared counter). Failed CAS attempts are folded into the
+    /// `clock_cas_retries` statistic. Returns the retry count.
+    pub(crate) fn clock_advance_to(&self, target: u64) -> u64 {
+        let retries = self.clock.advance_to(target);
+        if retries > 0 {
+            self.stats.clock_cas_retries_add(retries);
+        }
+        retries
     }
 
     /// Multiversion: marks commit stamp `stamp` *visible* — all of its
     /// version installs and in-place stores have landed. Publication is
     /// strictly in-order (stamp `n` waits for `n-1`), so
-    /// [`Heap::si_visible_stamp`] bounds a prefix-closed set of commits: a
-    /// read-only transaction whose `rv` comes from the visible clock can
-    /// never observe one field of a commit without the rest.
+    /// [`Heap::clock_visible`] bounds a prefix-closed set of commits: a
+    /// read-only transaction whose `rv` comes from the visible cursor can
+    /// never observe one field of a commit without the rest. Idempotent,
+    /// so an abort path publishing an orphaned stamp can never wedge or
+    /// double-advance.
     ///
     /// The wait is writer-vs-writer only and bounded: the predecessor is
     /// between its clock draw and its publish, a short panic-free span.
-    pub(crate) fn si_publish(&self, stamp: u64) {
-        while self.si_visible.load(Ordering::Acquire) != stamp - 1 {
-            std::hint::spin_loop();
-        }
-        self.si_visible.store(stamp, Ordering::Release);
+    pub(crate) fn clock_publish(&self, stamp: u64) {
+        self.clock.publish(stamp);
     }
 
     /// Multiversion: the newest commit stamp whose effects are fully
-    /// installed (see [`Heap::si_publish`]). Read-only transactions sample
-    /// this — not the allocation clock — as their `rv`.
-    pub(crate) fn si_visible_stamp(&self) -> u64 {
-        self.si_visible.load(Ordering::Acquire)
-    }
-
-    /// Snapshot isolation: records that the guard slot of `r` was written
-    /// by a commit at clock value `stamp`. Callers stamp while still owning
-    /// the record, so a rival's first-committer-wins check either sees the
-    /// stamp or is still blocked on the exclusive record.
-    pub(crate) fn si_stamp_slot(&self, r: ObjRef, stamp: u64) {
-        self.si_stamps.insert(self.slot_of(r), stamp);
-    }
-
-    /// Snapshot isolation: the last committed-write stamp of the guard slot
-    /// of `r` (zero if it was never written under SI).
-    pub(crate) fn si_stamp_of(&self, r: ObjRef) -> u64 {
-        self.si_stamps.with(self.slot_of(r), |t| *t).unwrap_or(0)
+    /// installed (see [`Heap::clock_publish`]). Read-only transactions
+    /// sample this — not the allocation cursor — as their `rv`.
+    pub(crate) fn clock_visible(&self) -> u64 {
+        self.clock.visible_now()
     }
 
     /// Whether the multi-version table is maintained

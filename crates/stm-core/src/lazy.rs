@@ -221,13 +221,13 @@ impl<'h> LazyTxn<'h> {
         }
         self.heap().hit(SyncPoint::LazyAfterWriteback);
 
-        // Stamp written slots (and install multiversion entries) while
-        // still exclusive, so rival first-committer-wins checks and
-        // wait-free readers cannot miss this commit. The lazy span log
-        // holds the new values (no pre-images survive write-back), so it
-        // seeds nothing.
-        self.core.si_stamp_owned(false);
-        self.core.release_owned(false);
+        // Install multiversion entries while still exclusive, so wait-free
+        // readers cannot miss this commit; the release loop then stamps
+        // every written guard with the drawn write version. The lazy span
+        // log holds the new values (no pre-images survive write-back), so
+        // it seeds nothing.
+        self.core.mv_publish_owned(false);
+        self.core.release_owned(false, false);
         self.core.finish_commit();
         Ok(())
     }

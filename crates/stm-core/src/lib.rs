@@ -66,6 +66,7 @@
 
 pub mod audit;
 pub mod barrier;
+pub mod clock;
 pub mod config;
 pub mod contention;
 pub mod cost;
@@ -95,8 +96,8 @@ pub mod prelude {
     pub use crate::audit::{AuditFinding, AuditReport};
     pub use crate::barrier::{aggregate, read_access, read_barrier, write_access, write_barrier};
     pub use crate::config::{
-        AdmissionConfig, BarrierMode, Granularity, StmConfig, TxnPolicy, VersionGranularity,
-        Versioning,
+        AdmissionConfig, BarrierMode, ClockMode, Granularity, IsolationLevel, StmConfig,
+        TxnPolicy, VersionGranularity, Versioning,
     };
     pub use crate::contention::{CmDecision, ConflictSite, ContentionManager, ContentionPolicy};
     pub use crate::fault::{FaultPlan, FaultSite, InjectedPanic};

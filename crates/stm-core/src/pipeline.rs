@@ -28,6 +28,7 @@
 //! steady-state transaction touches no global mutex and performs no heap
 //! allocation.
 
+use crate::config::{ClockMode, IsolationLevel};
 use crate::contention::{resolve_with, ConflictSite};
 use crate::cost::{backoff_wait, charge, CostKind};
 use crate::fault::{self, FaultSite};
@@ -159,6 +160,11 @@ pub(crate) struct AttemptPolicy {
     /// The block escalated to serialized "inevitable-lite" mode: conflicts
     /// never self-abort on behalf of peers.
     pub(crate) unyielding: bool,
+    /// Per-block isolation override ([`TxnPolicy::with_isolation`]):
+    /// `None` runs at the heap-wide level.
+    ///
+    /// [`TxnPolicy::with_isolation`]: crate::config::TxnPolicy::with_isolation
+    pub(crate) isolation: Option<IsolationLevel>,
 }
 
 /// The engine-independent half of a transaction attempt.
@@ -192,19 +198,37 @@ pub(crate) struct TxnCore<'h> {
     /// it — the lazily-materialized begin-time snapshot. Unused (and empty)
     /// at other isolation levels.
     si_cache: HashMap<(ObjRef, u32), Word>,
-    /// Snapshot-isolation begin stamp (`rv`): the commit-clock value
-    /// sampled at begin. A committed write stamped strictly later loses
-    /// first-committer-wins against it. Also the snapshot stamp of a
-    /// read-only transaction under [`StmConfig::multiversion`].
+    /// The effective isolation level of this attempt: the per-block
+    /// override ([`TxnPolicy::with_isolation`]) when present, otherwise the
+    /// heap-wide [`StmConfig::isolation`]. Every transaction-side isolation
+    /// decision reads this, never the heap config directly.
+    ///
+    /// [`TxnPolicy::with_isolation`]: crate::config::TxnPolicy::with_isolation
+    /// [`StmConfig::isolation`]: crate::config::StmConfig::isolation
+    iso: IsolationLevel,
+    /// The read version (TL2 `rv`): the global version clock sampled at
+    /// begin. Every optimistic read O(1)-validates `version <= rv`; under
+    /// snapshot isolation a committed write stamped strictly later loses
+    /// first-committer-wins against it; a wait-free read-only transaction
+    /// under [`StmConfig::multiversion`] snapshots at it. Timestamp
+    /// extension ([`TxnCore::extend_rv`]) may move it forward mid-attempt.
     ///
     /// [`StmConfig::multiversion`]: crate::config::StmConfig::multiversion
-    si_rv: u64,
+    rv: u64,
+    /// The write version (TL2 `wv`): the clock tick drawn at commit, after
+    /// every guard lock is held. Zero until drawn. Released guards carry
+    /// it as their new version stamp.
+    wv: u64,
+    /// The drawn `wv` has been published to the visibility clock
+    /// (multiversion heaps publish in order; the flag keeps the finish
+    /// paths' safety-net publish idempotent).
+    wv_published: bool,
     /// Wait-free snapshot-read mode is live: the block was declared
     /// [`TxnKind::ReadOnly`] and the heap maintains the multi-version
-    /// table. Reads are served at `si_rv` without logging or locking, and
+    /// table. Reads are served at `rv` without logging or locking, and
     /// commit validates nothing.
     ro_active: bool,
-    /// The wait-free path hit a wall — a ring overflowed past `si_rv`, or
+    /// The wait-free path hit a wall — a ring overflowed past `rv`, or
     /// the block wrote despite its read-only declaration. The attempt
     /// aborts and the runner re-executes it as an ordinary read-write
     /// transaction (the "existing validated path" fallback).
@@ -220,20 +244,17 @@ impl<'h> TxnCore<'h> {
         charge(CostKind::TxnBegin);
         let owner = heap.fresh_owner();
         heap.register_age(owner, age);
+        let iso = policy.isolation.unwrap_or(heap.config.isolation);
         let ro_active = kind == TxnKind::ReadOnly && heap.mv_enabled();
-        // A wait-free reader snapshots the *visibility* clock, not the
-        // allocation clock: a stamp is visible only once all its version
-        // installs landed, so `rv` never includes a half-installed commit
-        // (which a cross-field read could otherwise observe torn). Plain
-        // snapshot isolation keeps the allocation clock — its validation
-        // catches racing commits instead.
-        let si_rv = if ro_active {
-            heap.si_visible_stamp()
-        } else if heap.config.isolation.snapshot_reads() {
-            heap.si_begin_stamp()
-        } else {
-            0
-        };
+        // Every attempt samples its read version at begin. A wait-free
+        // reader snapshots the *visibility* clock, not the allocation
+        // clock: a stamp is visible only once all its version installs
+        // landed, so `rv` never includes a half-installed commit (which a
+        // cross-field read could otherwise observe torn). Everyone else
+        // keeps the allocation clock — optimistic reads O(1)-validate
+        // against it and snapshot isolation's first-committer-wins check
+        // measures from it.
+        let rv = if ro_active { heap.clock_visible() } else { heap.clock_now() };
         // Liveness is registered BEFORE the owner word is published in the
         // quiescence slot: a committer treats a slot owner that is not
         // registered alive as crashed and skips the slot, so registration
@@ -247,7 +268,7 @@ impl<'h> TxnCore<'h> {
             let idx = heap.claim_txn_slot(heap.serial.load(Ordering::Acquire));
             heap.txn_slot(idx).owner.store(owner.word(), Ordering::Release);
             if ro_active {
-                heap.txn_slot(idx).rv.store(si_rv + 1, Ordering::Release);
+                heap.txn_slot(idx).rv.store(rv + 1, Ordering::Release);
             }
             Some(idx)
         } else {
@@ -274,7 +295,10 @@ impl<'h> TxnCore<'h> {
             private_writes: scratch.private_writes,
             order: scratch.order,
             si_cache: scratch.si_cache,
-            si_rv,
+            iso,
+            rv,
+            wv: 0,
+            wv_published: false,
             ro_active,
             ro_demote: false,
             policy,
@@ -398,7 +422,7 @@ impl<'h> TxnCore<'h> {
         if self.ro_active {
             return self.ro_read(r, field);
         }
-        let si = self.heap.config.isolation.snapshot_reads();
+        let si = self.iso.snapshot_reads();
         // Snapshot isolation: repeated reads are served from the pinned
         // snapshot, not from shared memory — unless we own the guard slot
         // ourselves, in which case the lock-protected current value is the
@@ -424,6 +448,24 @@ impl<'h> TxnCore<'h> {
             if rec.is_shared() {
                 charge(CostKind::TxnOpenRead);
                 let val = obj.field(field).load(Ordering::Acquire);
+                if !si {
+                    // TL2 read protocol. The post-load double-check makes
+                    // the (record, value) pair atomic: a writer cycle
+                    // completing between the two loads moved the record
+                    // word, so re-read and retry. With it, `version <= rv`
+                    // proves the value belongs to the begin-time snapshot —
+                    // the O(1) validation that lets commit skip read-set
+                    // revalidation. A newer version is not yet a conflict:
+                    // timestamp extension re-anchors `rv` at the current
+                    // clock if the read set still holds.
+                    if self.heap.guard_load(r) != rec {
+                        continue;
+                    }
+                    if rec.version() as u64 > self.rv {
+                        self.extend_rv(rec.version() as u64)?;
+                    }
+                    self.heap.stats.o1_validation();
+                }
                 self.read_set.push((r, rec));
                 if si {
                     self.si_cache.insert((r, field as u32), val);
@@ -441,16 +483,40 @@ impl<'h> TxnCore<'h> {
         self.open_read_protocol(r, field)
     }
 
+    /// Timestamp extension (TL2 refinement): a read observed a guard
+    /// version newer than `rv`. Instead of aborting, re-anchor the
+    /// snapshot — heal the clock past the observed stamp (thread-local
+    /// mode stamps can run ahead of the shared counter), re-sample `rv`,
+    /// and prove every read taken so far is still exact-word valid at the
+    /// new snapshot. On success the attempt continues; on failure it holds
+    /// genuinely stale data and aborts.
+    ///
+    /// Order matters: the new `rv` is sampled *before* revalidation. A
+    /// rival committing between a revalidation and a later sample would
+    /// slip inside the extended window unvalidated — and could then be
+    /// hidden by the commit-time `wv == rv + 1` skip.
+    fn extend_rv(&mut self, needed: u64) -> TxResult<()> {
+        self.heap.clock_advance_to(needed);
+        let rv_new = self.heap.clock_now();
+        if !self.read_set_valid() {
+            self.heap.stats.abort_validation();
+            return Err(Abort::Conflict);
+        }
+        self.rv = rv_new;
+        self.heap.stats.rv_extension();
+        Ok(())
+    }
+
     /// The wait-free snapshot read of a declared read-only transaction
     /// under multiversion: serve the newest committed version of the field
-    /// with stamp at most `si_rv`. Never logs, never locks, never spins —
+    /// with stamp at most `rv`. Never logs, never locks, never spins —
     /// each arm is a bounded number of loads:
     ///
     /// 1. a private object is ours alone — plain load;
-    /// 2. a shared, unowned record whose slot stamp is at most `si_rv`
+    /// 2. a shared, unowned record whose version stamp is at most `rv`
     ///    holds its newest committed version in place — direct load,
     ///    double-checked against the record word;
-    /// 3. otherwise the version ring serves the newest version `<= si_rv`;
+    /// 3. otherwise the version ring serves the newest version `<= rv`;
     /// 4. if even the ring has only newer versions (this reader outlived
     ///    the bounded history), the attempt is demoted: it aborts and
     ///    re-executes on the ordinary validated path instead of spinning.
@@ -460,11 +526,12 @@ impl<'h> TxnCore<'h> {
         if rec.is_private() {
             return Ok((heap.obj(r).field(field).load(Ordering::Relaxed), ReadKind::Private));
         }
-        // Direct path: the slot-stamp load precedes the value load, so a
-        // writer cycle completing in between bumps the record version and
-        // fails the double-check; a cycle completing before the first
-        // record load already published its (newer) stamp.
-        if rec.is_shared() && heap.si_stamp_of(r) <= self.si_rv {
+        // Direct path: the record's version *is* its commit stamp. The
+        // record load precedes the value load, so a writer cycle completing
+        // in between bumps the version and fails the double-check; a cycle
+        // completing before the first record load already carries its
+        // (newer) stamp.
+        if rec.is_shared() && rec.version() as u64 <= self.rv {
             let val = heap.obj(r).field(field).load(Ordering::Acquire);
             if heap.guard_load(r) == rec {
                 charge(CostKind::TxnOpenRead);
@@ -472,7 +539,7 @@ impl<'h> TxnCore<'h> {
                 return Ok((val, ReadKind::Shared));
             }
         }
-        if let Some(val) = heap.mv_read_at(r, field, self.si_rv) {
+        if let Some(val) = heap.mv_read_at(r, field, self.rv) {
             charge(CostKind::TxnOpenRead);
             heap.stats.mv_snapshot_read();
             return Ok((val, ReadKind::Shared));
@@ -605,7 +672,7 @@ impl<'h> TxnCore<'h> {
         // Snapshot isolation reads from a pinned snapshot, so versions
         // moving under the read set is expected, not a conflict: the only
         // commit-time gate is the first-committer-wins write check.
-        if self.heap.config.isolation.snapshot_reads() {
+        if self.iso.snapshot_reads() {
             return true;
         }
         for &(r, logged) in &self.read_set {
@@ -650,6 +717,40 @@ impl<'h> TxnCore<'h> {
     /// first-committer-wins write check.
     pub(crate) fn validate_for_commit(&mut self) -> TxResult<()> {
         self.si_commit_check()?;
+        // Draw the write version now — strictly after every guard lock is
+        // held (eager acquires during execution; lazy acquires just before
+        // calling here). This is the TL2 ordering that makes the skip
+        // below sound: any rival whose writes we could have missed either
+        // ticked the clock before our `wv` or is still blocked on one of
+        // our locks.
+        //
+        // On a multiversion heap the draw is deferred to
+        // [`TxnCore::mv_publish_owned`] instead: mv publication is
+        // in-order, so a tick drawn here would sit unpublished across the
+        // whole write-back — and any stall in that window (a parked
+        // syncpoint script, an injected delay) wedges every rival
+        // committer spin-waiting to publish behind the gap. Deferring
+        // costs mv heaps the `wv == rv + 1` skip below; their read-only
+        // traffic already commits wait-free off the snapshot, so the skip
+        // has little left to buy there.
+        if !self.owned.is_empty() && !self.heap.mv_enabled() {
+            self.wv = self.heap.clock_tick();
+        }
+        if self.iso.snapshot_reads() {
+            return Ok(());
+        }
+        // TL2 revalidation skip: under the global clock, ticks are unique,
+        // so `wv == rv + 1` proves *no* release of any kind — commit,
+        // abort, barrier, reclaim — drew a stamp since `rv` was sampled.
+        // Every optimistic read already O(1)-validated `version <= rv`, so
+        // the read set cannot have moved. (Thread-local mode never skips:
+        // its ticks don't totally order rival commits.)
+        if self.wv != 0 && self.heap.config.clock == ClockMode::Global && self.wv == self.rv + 1 {
+            if !self.read_set.is_empty() {
+                self.heap.stats.revalidation_skipped();
+            }
+            return Ok(());
+        }
         if self.read_set_valid() {
             Ok(())
         } else {
@@ -665,12 +766,24 @@ impl<'h> TxnCore<'h> {
     /// `aborts_validation` cause, so the abort-accounting identity the
     /// contention-stress suite asserts is unchanged.
     fn si_commit_check(&mut self) -> TxResult<()> {
-        if !self.heap.config.isolation.snapshot_reads() {
+        if !self.iso.snapshot_reads() {
             return Ok(());
         }
-        for (r, _) in self.owned.values() {
+        // The guard word we displaced at acquisition carries the slot's
+        // last release stamp — the record version *is* the commit stamp
+        // now — so the check needs no side table and no extra load.
+        for (_, prior) in self.owned.values() {
             charge(CostKind::TxnValidateEntry);
-            if self.heap.si_stamp_of(*r) > self.si_rv {
+            if prior.version() as u64 > self.rv {
+                // GV5 healing: under the thread-local clock a stamp can run
+                // ahead of the shared counter, so "newer than my snapshot"
+                // may just mean "drawn by a thread whose private clock is
+                // ahead". Advance the shared counter to the observed stamp
+                // before aborting — the retry's fresh `rv` then covers it,
+                // so the same stamp can never conflict twice and progress
+                // is guaranteed. (A no-op on the global clock, where every
+                // stamp came from the counter itself.)
+                self.heap.clock_advance_to(prior.version() as u64);
                 self.heap.stats.si_write_conflict();
                 self.heap.stats.abort_validation();
                 return Err(Abort::Conflict);
@@ -688,45 +801,53 @@ impl<'h> TxnCore<'h> {
     ///   begin-time snapshot, consistent by construction — **no
     ///   validation, no locks, no aborts** ([`ro_fast_commits`] counts
     ///   these).
-    /// * Inferred read-only (never wrote): the read set must still
-    ///   validate — under strong atomicity the reads were optimistic — but
-    ///   the commit skips commit stamping, the release loop, and (via
+    /// * Inferred read-only (never wrote), validated isolation: every read
+    ///   already passed the O(1) `version <= rv` check (with its post-load
+    ///   double-check), so the whole execution is a consistent snapshot at
+    ///   `rv` — commit-time revalidation proves nothing more and is
+    ///   skipped ([`revalidations_skipped`] counts these). The commit also
+    ///   skips stamping, the release loop, and (via
     ///   [`TxnCore::finish_commit`]) the quiescence wait.
     ///
     /// [`ro_fast_commits`]: crate::stats::StatsSnapshot::ro_fast_commits
+    /// [`revalidations_skipped`]: crate::stats::StatsSnapshot::revalidations_skipped
     pub(crate) fn try_fast_commit(&mut self) -> TxResult<bool> {
         if !self.spans.is_empty() || !self.owned.is_empty() || !self.private_writes.is_empty() {
             return Ok(false);
         }
         if self.ro_active {
             self.heap.stats.ro_fast_commit();
-        } else if !self.read_set_valid() {
-            self.heap.stats.abort_validation();
-            return Err(Abort::Conflict);
+        } else if !self.iso.snapshot_reads() && !self.read_set.is_empty() {
+            self.heap.stats.revalidation_skipped();
         }
         self.finish_commit();
         Ok(true)
     }
 
-    /// Stamps every owned guard slot at one fresh commit-clock tick and,
-    /// under multiversion, installs the committed values into the version
-    /// rings. Must run *before* [`TxnCore::release_owned`]: while the
-    /// records are still exclusively ours, a rival committer's
-    /// first-committer-wins check either sees the stamp already or is still
-    /// blocked acquiring the record, and a wait-free reader either sees the
-    /// new stamp or an unchanged record word. No-op when neither snapshot
-    /// isolation nor multiversion needs the clock.
+    /// Multiversion publication: installs the committed values into the
+    /// version rings at `wv` and publishes `wv` to the visibility clock.
+    /// Must run *before* [`TxnCore::release_owned`]: while the records are
+    /// still exclusively ours, a wait-free reader either goes to the ring
+    /// or sees an unchanged record word. The commit stamp itself needs no
+    /// separate publication any more — the release loop writes `wv` into
+    /// the guard words directly. No-op off multiversion heaps.
     ///
     /// `pre_images` is set by the eager engine, whose span log holds the
     /// values each field had *before* this transaction: they seed
     /// still-empty rings so readers older than this commit are served. The
     /// lazy engine's span log holds the new values (pre-images are gone by
     /// write-back), so it seeds nothing.
-    pub(crate) fn si_stamp_owned(&self, pre_images: bool) {
-        let mv = self.heap.mv_enabled();
-        if (!mv && !self.heap.config.isolation.snapshot_reads()) || self.owned.is_empty() {
+    pub(crate) fn mv_publish_owned(&mut self, pre_images: bool) {
+        if !self.heap.mv_enabled() || self.owned.is_empty() {
             return;
         }
+        // On mv heaps the write version is drawn here, not at validation:
+        // this is the first point where nothing stoppable separates the
+        // tick from its in-order publication below.
+        if self.wv == 0 {
+            self.wv = self.heap.clock_tick();
+        }
+        let wv = self.wv;
         // Dedup by scanning earlier span entries instead of a HashSet:
         // spans are short and this path must stay allocation-free in
         // steady state (slot_churn pins it, with mv as the ambient
@@ -736,16 +857,23 @@ impl<'h> TxnCore<'h> {
                 .iter()
                 .all(|p| p.obj != obj || field < p.base as usize || field >= p.base as usize + p.len as usize)
         };
-        if mv && pre_images {
-            // Seed before the slot stamps move: the pre-image is valid
-            // since the slot's *previous* commit stamp. Only the first span
-            // entry per field is the true pre-image (repeated writes log
-            // repeated undo entries).
+        if pre_images {
+            // Seed before release: the pre-image has been current since
+            // the guard's previous release stamp — the version we
+            // displaced at acquisition. Only the first span entry per
+            // field is the true pre-image (repeated writes log repeated
+            // undo entries).
             for (ei, e) in self.spans.iter().enumerate() {
                 if self.heap.is_private(e.obj) {
                     continue;
                 }
-                let prev = self.heap.si_stamp_of(e.obj);
+                let prev = match self.owned.get(&self.heap.slot_of(e.obj)) {
+                    Some(&(_, prior)) => prior.version() as u64,
+                    // Written while private and published without the
+                    // guard landing (best-effort acquisition): no sound
+                    // valid-since stamp, so seed nothing.
+                    None => continue,
+                };
                 for i in 0..e.len as usize {
                     let field = e.base as usize + i;
                     if first_covering(ei, e.obj, field) {
@@ -755,55 +883,83 @@ impl<'h> TxnCore<'h> {
             }
         }
         // Commit-critical mv fault site (delay-only): stretches the window
-        // between stamp draw and publication. The stamp below MUST still be
-        // published — this hook can never abort or panic.
-        if mv {
-            let _ = fault::hook(self.heap, FaultSite::MvInstall);
-        }
-        let stamp = self.heap.si_next_commit_stamp();
-        for (r, _) in self.owned.values() {
-            self.heap.si_stamp_slot(*r, stamp);
-        }
-        if mv {
-            // Install the committed values — memory is current for both
-            // engines here (eager wrote in place; lazy ran write-back).
-            for (ei, e) in self.spans.iter().enumerate() {
-                if self.heap.is_private(e.obj) {
-                    continue;
-                }
-                for i in 0..e.len as usize {
-                    let field = e.base as usize + i;
-                    if first_covering(ei, e.obj, field) {
-                        let val = self.heap.obj(e.obj).field(field).load(Ordering::Relaxed);
-                        self.heap.mv_install(e.obj, field, stamp, val);
-                    }
+        // between the wv draw and publication. The stamp below MUST still
+        // be published — this hook can never abort or panic.
+        let _ = fault::hook(self.heap, FaultSite::MvInstall);
+        // Install the committed values — memory is current for both
+        // engines here (eager wrote in place; lazy ran write-back).
+        for (ei, e) in self.spans.iter().enumerate() {
+            if self.heap.is_private(e.obj) {
+                continue;
+            }
+            for i in 0..e.len as usize {
+                let field = e.base as usize + i;
+                if first_covering(ei, e.obj, field) {
+                    let val = self.heap.obj(e.obj).field(field).load(Ordering::Relaxed);
+                    self.heap.mv_install(e.obj, field, wv, val);
                 }
             }
-            // All installs landed: make the stamp visible to wait-free
-            // readers. Must be unconditional on every mv-heap stamp draw —
-            // publication is in-order and a gap wedges later publishers.
-            // The delay-only fault just before widens the unpublished-stamp
-            // window that in-order publication has to absorb.
-            let _ = fault::hook(self.heap, FaultSite::SiPublish);
-            self.heap.si_publish(stamp);
-            // Periodic sweep of superseded versions, amortized over writer
-            // commits (the ring also self-bounds by evicting on install).
-            if stamp & 0xff == 0 {
-                self.heap.mv_gc();
-            }
+        }
+        // All installs landed: make the stamp visible to wait-free
+        // readers. Must be unconditional on every mv-heap tick —
+        // publication is in-order and a gap wedges later publishers.
+        // The delay-only fault just before widens the unpublished-stamp
+        // window that in-order publication has to absorb.
+        let _ = fault::hook(self.heap, FaultSite::SiPublish);
+        self.heap.clock_publish(wv);
+        self.wv_published = true;
+        // Periodic sweep of superseded versions, amortized over writer
+        // commits (the ring also self-bounds by evicting on install).
+        if wv & 0xff == 0 {
+            self.heap.mv_gc();
         }
     }
 
-    /// Releases every owned guard with a version bump (paper Figure 8,
-    /// "Txn end" edge). Used on commit and on eager abort — in both cases
-    /// concurrent optimistic readers that observed this transaction's
-    /// values must fail validation.
-    pub(crate) fn release_owned(&mut self, charge_entries: bool) {
+    /// Releases every owned guard, stamping it with this transaction's
+    /// write version (paper Figure 8, "Txn end" edge). Used on commit and
+    /// on eager abort — in both cases concurrent optimistic readers that
+    /// observed this transaction's values must fail validation, and the
+    /// released word must carry a fresh clock stamp: a release at an
+    /// un-ticked version would pass a later transaction's `version <= rv`
+    /// check even though it landed after that transaction began, breaking
+    /// the commit-time revalidation skip. An abort that never drew a write
+    /// version draws one here. The `max` guards thread-local clock mode,
+    /// where a rival's stamp can run ahead of our tick — the released
+    /// version must still exceed the displaced one so exact-word
+    /// validation can never confuse the two.
+    ///
+    /// `aborting` arms the GV5 abort rule for the thread-local clock:
+    /// an aborting release publishes its (thread-local, likely ahead)
+    /// stamps into the shared counter. Without this the snapshot-isolation
+    /// retry loop livelocks — the first-committer-wins check heals the
+    /// counter to the stamp it observed, but the abort's own release then
+    /// re-stamps the record one past it, so every retry begins with `rv`
+    /// exactly one behind the record and conflicts again, forever. With it
+    /// the retry's begin-time `rv` covers the abort's own stamps, so any
+    /// given stamp can make a transaction lose at most once. Committing
+    /// releases deliberately skip this — never touching the shared counter
+    /// on commit is the entire point of the thread-local mode, and a
+    /// commit's stamps running ahead cost rivals at most one healing
+    /// abort each.
+    pub(crate) fn release_owned(&mut self, charge_entries: bool, aborting: bool) {
+        if self.owned.is_empty() {
+            return;
+        }
+        if self.wv == 0 {
+            self.wv = self.heap.clock_tick();
+        }
+        let wv = self.wv;
+        let mut released_max = 0u64;
         for (_, (r, prior)) in self.owned.drain() {
             if charge_entries {
                 charge(CostKind::TxnCommitEntry);
             }
-            self.heap.guard(r).release_txn(prior);
+            let stamp = wv.max(prior.version() as u64 + 1);
+            released_max = released_max.max(stamp);
+            self.heap.guard(r).release_txn_at(stamp as usize);
+        }
+        if aborting && self.heap.config.clock == ClockMode::ThreadLocal {
+            self.heap.clock_advance_to(released_max);
         }
     }
 
@@ -816,10 +972,24 @@ impl<'h> TxnCore<'h> {
         }
     }
 
+    /// Safety net for the visibility clock: a multiversion heap publishes
+    /// every drawn tick in order, so a write version drawn by an attempt
+    /// that then failed (validation, injected fault, lazy acquisition
+    /// loss) must still be published or every later publisher wedges
+    /// behind the gap. Idempotent — [`TxnCore::mv_publish_owned`] already
+    /// published the happy path.
+    fn publish_wv(&mut self) {
+        if self.wv != 0 && !self.wv_published && self.heap.mv_enabled() {
+            self.heap.clock_publish(self.wv);
+            self.wv_published = true;
+        }
+    }
+
     /// Commit epilogue: statistics, `on_commit` handlers, quiescence,
     /// bookkeeping teardown. The caller has already validated, written
     /// back (lazy), and released.
     pub(crate) fn finish_commit(&mut self) {
+        self.publish_wv();
         charge(CostKind::TxnCommit);
         self.heap.stats.commit();
         for h in self.on_commit.drain(..) {
@@ -850,6 +1020,7 @@ impl<'h> TxnCore<'h> {
     /// order), statistics, quiescence, bookkeeping teardown. The caller has
     /// already rolled back its data (eager undo replay) and released.
     pub(crate) fn finish_abort(&mut self) {
+        self.publish_wv();
         for h in self.on_abort.drain(..).rev() {
             h();
         }

@@ -147,6 +147,24 @@ struct StatShard {
     /// Blocks that escalated to serialized "inevitable-lite" mode (took the
     /// global serialization token).
     escalations_to_serial: AtomicU64,
+
+    // --- global-version-clock telemetry ---
+    /// Optimistic reads validated with the O(1) `version <= rv` compare
+    /// (the TL2 read protocol; snapshot-isolation and wait-free
+    /// multi-version reads validate differently and are not counted here).
+    o1_validations: AtomicU64,
+    /// Successful timestamp extensions: a read observed a version newer
+    /// than `rv`, the read set revalidated against the re-sampled clock,
+    /// and the transaction continued instead of aborting.
+    rv_extensions: AtomicU64,
+    /// Commits that skipped read-set revalidation entirely — either the
+    /// drawn write version proved no rival committed since begin
+    /// (`wv == rv + 1`, global clock mode), or a read-only commit whose
+    /// every read was already O(1)-validated at read time.
+    revalidations_skipped: AtomicU64,
+    /// Failed CAS attempts while advancing the global clock (timestamp
+    /// extension healing a thread-local-mode stamp past the counter).
+    clock_cas_retries: AtomicU64,
 }
 
 impl Default for StatShard {
@@ -186,6 +204,10 @@ impl Default for StatShard {
             retries_exhausted: AtomicU64::new(0),
             admission_rejects: AtomicU64::new(0),
             escalations_to_serial: AtomicU64::new(0),
+            o1_validations: AtomicU64::new(0),
+            rv_extensions: AtomicU64::new(0),
+            revalidations_skipped: AtomicU64::new(0),
+            clock_cas_retries: AtomicU64::new(0),
         }
     }
 }
@@ -275,6 +297,15 @@ impl Stats {
         retry_exhausted => retries_exhausted,
         admission_reject => admission_rejects,
         escalation_to_serial => escalations_to_serial,
+        o1_validation => o1_validations,
+        rv_extension => rv_extensions,
+        revalidation_skipped => revalidations_skipped,
+    }
+
+    /// Adds `n` failed clock-CAS attempts (batched per advance call).
+    #[inline]
+    pub fn clock_cas_retries_add(&self, n: u64) {
+        self.shard().clock_cas_retries.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records a fresh conflict event at `site`.
@@ -344,6 +375,10 @@ impl Stats {
             retries_exhausted: sum!(self, retries_exhausted),
             admission_rejects: sum!(self, admission_rejects),
             escalations_to_serial: sum!(self, escalations_to_serial),
+            o1_validations: sum!(self, o1_validations),
+            rv_extensions: sum!(self, rv_extensions),
+            revalidations_skipped: sum!(self, revalidations_skipped),
+            clock_cas_retries: sum!(self, clock_cas_retries),
         }
     }
 }
@@ -419,6 +454,15 @@ pub struct StatsSnapshot {
     pub admission_rejects: u64,
     /// Blocks escalated to serialized "inevitable-lite" mode.
     pub escalations_to_serial: u64,
+    /// Optimistic reads validated with the O(1) `version <= rv` compare.
+    pub o1_validations: u64,
+    /// Timestamp extensions that revalidated and continued instead of
+    /// aborting.
+    pub rv_extensions: u64,
+    /// Commits that proved read-set revalidation unnecessary and skipped it.
+    pub revalidations_skipped: u64,
+    /// Failed CAS attempts while advancing the global version clock.
+    pub clock_cas_retries: u64,
 }
 
 impl StatsSnapshot {

@@ -664,6 +664,7 @@ fn run_atomic<T>(
         let ap = AttemptPolicy {
             wait_budget: policy.deadline.map(|d| d.saturating_sub(telem.wait_rounds)),
             unyielding: serial_guard.is_some(),
+            isolation: policy.isolation,
         };
         let mut txn = Txn::begin(heap, age, kind, ap);
         let guard = TokenGuard::push(heap, txn.owner_word());

@@ -95,6 +95,10 @@ pub const PRIVATE_WORD: usize = usize::MAX;
 /// Adding 9 to an exclusive-anonymous word increments the version (bit 3
 /// upward) and restores the shared tag: `(v<<3|010) + 9 == ((v+1)<<3|011)`.
 pub const RELEASE_INCREMENT: usize = 9;
+/// The largest version number a record word can carry (61 bits on a 64-bit
+/// platform). The stamped release primitives mask to this, so a clock stamp
+/// past the tag-bit boundary wraps exactly like the `add 9` release does.
+pub const MAX_VERSION: usize = usize::MAX >> 3;
 
 /// A packed transaction-record word (paper Figure 7).
 ///
@@ -323,6 +327,33 @@ impl TxnRecord {
         );
     }
 
+    /// Transaction-end release at an explicit version (the TL2 protocol:
+    /// the stored version is the commit's global-clock write stamp, so the
+    /// record word *is* the commit timestamp an O(1) `version <= rv` read
+    /// check compares against). Masks to [`MAX_VERSION`], wrapping at the
+    /// tag-bit boundary exactly like [`TxnRecord::release_anon`].
+    ///
+    /// The caller must own the record.
+    #[inline]
+    pub fn release_txn_at(&self, version: usize) {
+        self.word
+            .store(RecWord::shared(version & MAX_VERSION).raw(), Ordering::Release);
+    }
+
+    /// Anonymous-owner release at an explicit version (non-transactional
+    /// write barriers releasing at a fresh clock stamp). See
+    /// [`TxnRecord::release_txn_at`].
+    #[inline]
+    pub fn release_anon_at(&self, version: usize) {
+        debug_assert_eq!(
+            self.load_relaxed().raw() & TAG_MASK,
+            TAG_EXCL_ANON,
+            "release_anon_at on record not in exclusive-anonymous state"
+        );
+        self.word
+            .store(RecWord::shared(version & MAX_VERSION).raw(), Ordering::Release);
+    }
+
     /// Restores the exact pre-acquisition shared word (used by the lazy STM
     /// when commit validation fails before any memory was written back: no
     /// values changed, so the version must not change either).
@@ -543,6 +574,33 @@ mod tests {
             r.load().state(),
             RecState::Shared { version: prior.version() + 1 }
         );
+    }
+
+    #[test]
+    fn stamped_releases_store_the_given_version() {
+        let r = TxnRecord::new_shared();
+        let prior = r.load();
+        r.try_acquire_txn(prior, OwnerToken::from_id(4)).unwrap();
+        r.release_txn_at(1234);
+        assert_eq!(r.load().state(), RecState::Shared { version: 1234 });
+
+        r.bit_test_and_reset().unwrap();
+        r.release_anon_at(5678);
+        assert_eq!(r.load().state(), RecState::Shared { version: 5678 });
+    }
+
+    #[test]
+    fn stamped_release_wraps_at_tag_bit_boundary() {
+        // A stamp past the 61-bit version space masks back in, mirroring
+        // the wraparound of the `add 9` release — and never manufactures
+        // the private (all-ones) word.
+        let r = TxnRecord::new_shared();
+        let prior = r.load();
+        r.try_acquire_txn(prior, OwnerToken::from_id(4)).unwrap();
+        r.release_txn_at(MAX_VERSION.wrapping_add(3));
+        let w = r.load();
+        assert!(!w.is_private());
+        assert_eq!(w.state(), RecState::Shared { version: 2 });
     }
 
     #[test]

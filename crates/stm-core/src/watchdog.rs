@@ -219,13 +219,31 @@ impl Liveness {
             while let Some(u) = inner.undo.pop() {
                 u.store_vals(heap, Ordering::Relaxed);
             }
+            // One fresh clock tick covers the whole reclaim batch: the
+            // released versions must exceed every running transaction's
+            // read version (optimistic readers of the speculative values
+            // must fail validation, and the commit-time revalidation skip
+            // must see the tick). Published on mv heaps like every tick.
+            let tick = if inner.owned.is_empty() { 0 } else { heap.clock_tick() };
+            let mut released_max = 0u64;
             for (r, prior) in inner.owned.drain(..) {
                 // The descriptor mirrors acquisitions per guard *slot*, so
                 // this releases each striped slot exactly once too.
                 debug_assert_eq!(heap.guard(r).load().raw(), holder.raw());
-                heap.guard(r).release_txn(prior);
+                let stamp = tick.max(prior.version() as u64 + 1);
+                released_max = released_max.max(stamp);
+                heap.guard(r).release_txn_at(stamp as usize);
                 heap.stats().orphan_reclaim();
                 records += 1;
+            }
+            // A reclaim is an abort on the dead owner's behalf: under the
+            // thread-local clock its stamps follow the GV5 abort rule and
+            // land in the shared counter (see `TxnCore::release_owned`).
+            if records > 0 && heap.config().clock == crate::config::ClockMode::ThreadLocal {
+                heap.clock_advance_to(released_max);
+            }
+            if tick != 0 && heap.mv_enabled() {
+                heap.clock_publish(tick);
             }
         }
         self.map.remove(holder.raw());

@@ -1,0 +1,196 @@
+//! Property suite for the global version clock (TL2 protocol).
+//!
+//! Two families of properties:
+//!
+//! * **Wraparound at the tag-bit boundary** — the clock counts in `u64`
+//!   but a record word only carries `usize::MAX >> 3` version bits, so a
+//!   stamp released into a record is masked. Mirroring the Figure-7
+//!   version-overflow suite ([`txnrec_props`]), stamps drawn around the
+//!   boundary must keep the record shared-tagged (never private or
+//!   exclusive) while the clock itself stays strictly monotonic — the
+//!   projection wraps, the time source never goes backwards.
+//!
+//! * **Cross-mode equivalence** — on conflict-free workloads the
+//!   [`ClockMode::ThreadLocal`] (GV5-style) clock must be observationally
+//!   identical to [`ClockMode::Global`]: same commit results, same final
+//!   heap state, zero aborts under both. The modes may only diverge in
+//!   *cost* (CAS traffic, skipped revalidations), never in outcome.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use stm_core::clock::{VersionClock, CLOCK_INITIAL};
+use stm_core::config::{ClockMode, StmConfig, Versioning};
+use stm_core::heap::{FieldDef, Heap, ObjRef, Shape};
+use stm_core::txn::atomic;
+use stm_core::txnrec::{RecState, TxnRecord, MAX_VERSION};
+
+/// One step of the conflict-free workload: each transaction touches only
+/// its own object, so no pair of steps ever conflicts regardless of
+/// interleaving — and here they run sequentially anyway.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Read every field of object `obj`, returning the sum.
+    Scan { obj: usize },
+    /// Read-modify-write `delta` into field `field` of object `obj`.
+    Rmw { obj: usize, field: usize, delta: u64 },
+    /// Blind write of `value` into field `field` of object `obj`.
+    Put { obj: usize, field: usize, value: u64 },
+}
+
+const OBJECTS: usize = 4;
+const FIELDS: usize = 2;
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..OBJECTS).prop_map(|obj| Step::Scan { obj }),
+        (0..OBJECTS, 0..FIELDS, 1u64..100).prop_map(|(obj, field, delta)| Step::Rmw {
+            obj,
+            field,
+            delta
+        }),
+        (0..OBJECTS, 0..FIELDS, 0u64..1000).prop_map(|(obj, field, value)| Step::Put {
+            obj,
+            field,
+            value
+        }),
+    ]
+}
+
+fn world(clock: ClockMode, versioning: Versioning) -> (Arc<Heap>, Vec<ObjRef>) {
+    let heap = Heap::new(StmConfig { clock, versioning, ..StmConfig::default() });
+    let shape = heap.define_shape(Shape::new(
+        "Cell",
+        vec![FieldDef::int("f0"), FieldDef::int("f1")],
+    ));
+    let objs = (0..OBJECTS).map(|_| heap.alloc_public(shape)).collect();
+    (heap, objs)
+}
+
+/// Runs the step sequence and returns (per-step results, final heap image).
+fn run(clock: ClockMode, versioning: Versioning, steps: &[Step]) -> (Vec<u64>, Vec<u64>) {
+    let (heap, objs) = world(clock, versioning);
+    let results = steps
+        .iter()
+        .map(|step| match *step {
+            Step::Scan { obj } => atomic(&heap, |tx| {
+                let mut sum = 0u64;
+                for f in 0..FIELDS {
+                    sum = sum.wrapping_add(tx.read(objs[obj], f)?);
+                }
+                Ok(sum)
+            }),
+            Step::Rmw { obj, field, delta } => atomic(&heap, |tx| {
+                let v = tx.read(objs[obj], field)?;
+                tx.write(objs[obj], field, v.wrapping_add(delta))?;
+                Ok(v)
+            }),
+            Step::Put { obj, field, value } => atomic(&heap, |tx| {
+                tx.write(objs[obj], field, value)?;
+                Ok(value)
+            }),
+        })
+        .collect();
+    let mut image = Vec::with_capacity(OBJECTS * FIELDS);
+    for &o in &objs {
+        for f in 0..FIELDS {
+            image.push(heap.read_raw(o, f));
+        }
+    }
+    heap.audit().assert_clean();
+    let snap = heap.stats_snapshot();
+    assert_eq!(snap.aborts, 0, "a conflict-free sequential workload never aborts");
+    (results, image)
+}
+
+proptest! {
+    /// Stamps drawn around the tag-bit boundary stay strictly monotonic at
+    /// the clock, and their record projection wraps to a shared-tagged word
+    /// — never private, never exclusive — exactly like the Figure-7
+    /// release-increment overflow.
+    #[test]
+    fn wraparound_at_the_tag_bit_boundary_keeps_records_shared(
+        below in 0u64..8,
+        ticks in 1usize..16,
+    ) {
+        let start = MAX_VERSION as u64 - below;
+        let clock = VersionClock::with_start(ClockMode::Global, start);
+        let mut prev = clock.now();
+        for _ in 0..ticks {
+            let stamp = clock.tick();
+            // The clock itself never wraps: u64 time is strictly monotonic
+            // even while the record projection wraps below.
+            prop_assert!(stamp > prev, "clock went backwards: {stamp} after {prev}");
+            prev = stamp;
+
+            // Releasing a record at this stamp masks it into the version
+            // bits without corrupting the tag (full BTR-acquire/release
+            // cycle, the Figure-8 non-transactional protocol).
+            let rec = TxnRecord::new_shared();
+            rec.bit_test_and_reset().expect("fresh shared record acquires");
+            rec.release_anon_at(stamp as usize);
+            let expected = stamp as usize & MAX_VERSION;
+            prop_assert_eq!(rec.load().state(), RecState::Shared { version: expected });
+            prop_assert!(rec.load().is_shared());
+            prop_assert!(!rec.load().is_private(), "wrap must not manufacture the private word");
+        }
+        // The visibility cursor crosses the same boundary in order.
+        for s in start + 1..=prev {
+            clock.publish(s);
+        }
+        prop_assert_eq!(clock.visible_now(), prev);
+    }
+
+    /// ThreadLocal stamps drawn at the boundary heal into the shared
+    /// counter without ever moving it backwards.
+    #[test]
+    fn thread_local_healing_is_monotonic_at_the_boundary(below in 0u64..8, draws in 1usize..8) {
+        let start = MAX_VERSION as u64 - below;
+        let clock = VersionClock::with_start(ClockMode::ThreadLocal, start);
+        let mut last = start;
+        for _ in 0..draws {
+            let stamp = clock.tick();
+            prop_assert!(stamp > last, "thread-local stamps strictly increase");
+            last = stamp;
+            clock.advance_to(stamp);
+            prop_assert_eq!(clock.now(), stamp, "healing lands exactly on the stamp");
+        }
+        clock.advance_to(start); // never backwards
+        prop_assert_eq!(clock.now(), last);
+    }
+
+    /// Global and ThreadLocal clocks are observationally equivalent on
+    /// conflict-free workloads: identical per-transaction results and an
+    /// identical final heap image, under both versioning engines.
+    #[test]
+    fn clock_modes_agree_on_conflict_free_workloads(
+        steps in proptest::collection::vec(step_strategy(), 1..24),
+    ) {
+        for versioning in [Versioning::Eager, Versioning::Lazy] {
+            let (global_results, global_image) =
+                run(ClockMode::Global, versioning, &steps);
+            let (tl_results, tl_image) =
+                run(ClockMode::ThreadLocal, versioning, &steps);
+            prop_assert_eq!(
+                &global_results, &tl_results,
+                "per-transaction results diverged under {:?}", versioning
+            );
+            prop_assert_eq!(
+                &global_image, &tl_image,
+                "final heap image diverged under {:?}", versioning
+            );
+        }
+    }
+
+    /// Both modes share time zero: a fresh clock starts at
+    /// [`CLOCK_INITIAL`], matching a fresh record's version, so "never
+    /// written" and "written at the beginning of time" are the same
+    /// observation under either mode.
+    #[test]
+    fn both_modes_start_at_clock_initial(_x in 0u8..1) {
+        let g = VersionClock::new(ClockMode::Global);
+        let t = VersionClock::new(ClockMode::ThreadLocal);
+        prop_assert_eq!(g.now(), CLOCK_INITIAL);
+        prop_assert_eq!(t.now(), CLOCK_INITIAL);
+        prop_assert_eq!(g.visible_now(), CLOCK_INITIAL);
+    }
+}

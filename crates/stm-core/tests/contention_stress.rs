@@ -14,7 +14,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use stm_core::barrier::{read_barrier, write_barrier};
-use stm_core::config::{AdmissionConfig, IsolationLevel, StmConfig, TxnPolicy, Versioning};
+use stm_core::config::{
+    AdmissionConfig, ClockMode, IsolationLevel, StmConfig, TxnPolicy, Versioning,
+};
 use stm_core::contention::{ConflictSite, ContentionPolicy};
 use stm_core::heap::{FieldDef, Heap, ObjRef, Shape};
 use stm_core::stats::TxnTelemetry;
@@ -124,10 +126,20 @@ fn run_policy(policy: ContentionPolicy, versioning: Versioning) {
 }
 
 fn run_config(policy: ContentionPolicy, versioning: Versioning, isolation: IsolationLevel) {
+    run_config_clocked(policy, versioning, isolation, ClockMode::Global);
+}
+
+fn run_config_clocked(
+    policy: ContentionPolicy,
+    versioning: Versioning,
+    isolation: IsolationLevel,
+    clock: ClockMode,
+) {
     let config = StmConfig {
         versioning,
         contention: policy,
         isolation,
+        clock,
         ..StmConfig::default()
     };
     let (heap, objs) = small_world(config);
@@ -239,6 +251,27 @@ fn run_config(policy: ContentionPolicy, versioning: Versioning, isolation: Isola
         }
     }
 
+    // Clock-protocol invariants. Validated-mode blocks (strong and
+    // quiescence levels) pass every optimistic read through the O(1)
+    // `version <= rv` check; snapshot-isolation blocks read through the
+    // pinned snapshot instead. The `wv == rv + 1` revalidation skip is a
+    // global-clock uniqueness argument, so the thread-local clock must
+    // never take it.
+    if isolation != IsolationLevel::SnapshotIsolation {
+        assert!(
+            snap.o1_validations > 0,
+            "{}: validated reads must take the O(1) clock check",
+            policy.label()
+        );
+    }
+    if clock == ClockMode::ThreadLocal {
+        assert_eq!(
+            snap.revalidations_skipped, 0,
+            "{}: duplicate-capable thread-local stamps must disable the commit skip",
+            policy.label()
+        );
+    }
+
     // The aggressive policy never waits at transactional sites.
     if policy == ContentionPolicy::Aggressive {
         for site in [ConflictSite::TxnRead, ConflictSite::TxnWrite, ConflictSite::TxnCommit] {
@@ -304,6 +337,84 @@ fn quiescence_privatization_keeps_exact_telemetry_under_stress() {
     }
 }
 
+/// The clock-mode axis: the whole identity holds under the GV5-style
+/// thread-local clock, where stamps may duplicate across threads, gaps are
+/// normal, and the commit-time revalidation skip is disabled (asserted
+/// inside [`run_config_clocked`]).
+#[test]
+fn thread_local_clock_keeps_exact_telemetry_under_stress() {
+    for versioning in [Versioning::Eager, Versioning::Lazy] {
+        run_config_clocked(
+            ContentionPolicy::Backoff,
+            versioning,
+            IsolationLevel::StrongAtomicity,
+            ClockMode::ThreadLocal,
+        );
+    }
+}
+
+/// The global-clock fast paths are *provably exercised* inside the stress
+/// identity: after the concurrent hammer (which asserts the exact
+/// commit/abort accounting), two deterministic single-threaded blocks
+/// force one commit-skip and one timestamp extension each, so the
+/// assertion can demand strict nonzero counts without racing.
+#[test]
+fn clock_skip_and_extension_fire_in_the_stress_identity() {
+    use stm_core::barrier::write_barrier;
+    use stm_core::txn::atomic;
+
+    for versioning in [Versioning::Eager, Versioning::Lazy] {
+        // Pinned mv-off: a multiversion heap defers its wv draw to
+        // publication and forgoes the `wv == rv + 1` commit skip, so the
+        // ambient STM_MULTIVERSION=1 pass would starve the skip counter
+        // this test exists to drive.
+        let config = StmConfig {
+            versioning,
+            contention: ContentionPolicy::Backoff,
+            multiversion: false,
+            ..StmConfig::default()
+        };
+        let (heap, objs) = small_world(config);
+        hammer(&heap, &objs);
+
+        // Deterministic skip: a single-threaded read-modify-write draws
+        // `wv` with no rival tick in between, so `wv == rv + 1` and commit
+        // skips the read-set walk.
+        atomic(&heap, |tx| {
+            let v = tx.read(objs[0], 1)?;
+            tx.write(objs[0], 1, v + 1)
+        });
+        // Deterministic extension: a write barrier ticks the clock between
+        // two reads of different records, so the second read observes a
+        // stamp past `rv` and extends instead of aborting.
+        atomic(&heap, |tx| {
+            let x = tx.read(objs[0], 1)?;
+            write_barrier(&heap, objs[1], 1, 9);
+            let y = tx.read(objs[1], 1)?;
+            tx.write(objs[0], 1, x.wrapping_add(y))
+        });
+
+        let snap = heap.stats_snapshot();
+        assert!(snap.revalidations_skipped > 0, "{versioning:?}: commit skip never fired");
+        assert!(snap.rv_extensions > 0, "{versioning:?}: timestamp extension never fired");
+        assert!(snap.o1_validations > 0, "{versioning:?}: O(1) read checks never fired");
+        // The abort-cause identity of the main stress still balances with
+        // the two extra blocks on top.
+        assert_eq!(
+            snap.aborts,
+            snap.total_self_aborts()
+                + snap.watchdog_self_aborts
+                + snap.aborts_validation
+                + snap.aborts_deadlock
+                + snap.faults_forced_aborts
+                + snap.panic_rollbacks
+                + snap.deadline_aborts,
+            "{versioning:?}: every abort still accounted for after the deterministic drives"
+        );
+        heap.audit().assert_clean();
+    }
+}
+
 /// The hostile variant of the stress: every block runs under a tight
 /// [`TxnPolicy`] on a heap with the admission gate armed, then targeted
 /// single-threaded dances drive each progress-policy stop deterministically.
@@ -335,6 +446,7 @@ fn hostile_policy_stress_keeps_the_counter_identity() {
             max_retries: Some(8),
             boost_after: 1,
             serialize_after: 2,
+            isolation: None,
         };
         let handles: Vec<_> = (0..THREADS)
             .map(|t| {

@@ -60,8 +60,8 @@ pub use workloads as bench_workloads;
 pub mod prelude {
     pub use stm_core::barrier::{aggregate, read_barrier, write_barrier};
     pub use stm_core::config::{
-        AdmissionConfig, BarrierMode, Granularity, IsolationLevel, StmConfig, TxnPolicy,
-        VersionGranularity, Versioning,
+        AdmissionConfig, BarrierMode, ClockMode, Granularity, IsolationLevel, StmConfig,
+        TxnPolicy, VersionGranularity, Versioning,
     };
     pub use stm_core::contention::{CmDecision, ConflictSite, ContentionManager, ContentionPolicy};
     pub use stm_core::heap::{FieldDef, Heap, ObjRef, Shape, ShapeId, Word};
