@@ -40,6 +40,11 @@
 //!                        # TL2 O(1) skip (global) vs full read-set walk
 //!                        # (tl-clock); writes BENCH_clock.json
 //!                        # (default 2000 ops/thread)
+//! repro vm [scale]       # bytecode-VM shootout: tree-walking interpreter
+//!                        # vs bytecode VM vs VM+passes (elision + NAIT +
+//!                        # aggregation) over the scaled TMIR suite; asserts
+//!                        # the VM speedup and the strict barrier reduction;
+//!                        # writes BENCH_vm.json (default scale 32)
 //! ```
 
 use bench::experiments as ex;
@@ -88,6 +93,10 @@ fn main() {
             let ops: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
             ex::clock(ops)
         }
+        "vm" => {
+            let scale: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(32);
+            ex::vm(scale)
+        }
         "chaos" => {
             let mut first = 1u64;
             let mut count = 32u64;
@@ -113,7 +122,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment `{other}`; try: all, fig1..fig6, fig13..fig20, \
-                 contention, granularity, chaos, scale, isolation, mv, overload, clock"
+                 contention, granularity, chaos, scale, isolation, mv, overload, clock, vm"
             );
             std::process::exit(2);
         }

@@ -169,6 +169,18 @@ impl Removal {
         n
     }
 
+    /// Applies NAIT removals directly to a compiled bytecode program,
+    /// rewriting each removable barrier opcode to its elided form; returns
+    /// opcodes rewritten. Same verdicts as [`Removal::apply_nait`] — the
+    /// bytecode carries the identical [`SiteId`]s, so whole-program facts
+    /// plug into the instruction stream without a recompile.
+    pub fn apply_nait_bytecode(&self, cp: &mut tmir::bytecode::CompiledProgram) -> usize {
+        let non_txn: HashSet<SiteId> = self.non_txn_sites.iter().map(|(s, _)| *s).collect();
+        tmir::bytecode::elide_sites(cp, |s| {
+            self.init_sites.contains(&s) || (self.nait.contains(&s) && non_txn.contains(&s))
+        })
+    }
+
     /// Applies TL removals to a barrier table; returns barriers removed.
     pub fn apply_tl(&self, table: &mut BarrierTable) -> usize {
         let mut n = 0;

@@ -85,23 +85,23 @@ pub struct VmResult {
     pub stats: StatsSnapshot,
 }
 
-enum VmErr {
+pub(crate) enum VmErr {
     Trap(String),
     Stm(Abort),
 }
 
 impl VmErr {
-    fn trap(m: impl Into<String>) -> Self {
+    pub(crate) fn trap(m: impl Into<String>) -> Self {
         VmErr::Trap(m.into())
     }
 }
 
-enum Flow {
+pub(crate) enum Flow {
     Normal,
     Return(Word),
 }
 
-type ThreadResult = Result<Word, String>;
+pub(crate) type ThreadResult = Result<Word, String>;
 
 /// The shared virtual machine. Create with [`Vm::new`], execute with
 /// [`Vm::run`].
@@ -180,6 +180,12 @@ impl Vm {
         &self.heap
     }
 
+    /// The static cells, in declaration order — the GC roots for
+    /// [`crate::vm::heap_dump`].
+    pub fn statics(&self) -> &[ObjRef] {
+        &self.statics
+    }
+
     /// Runs `init` (if declared) then `main`, joins any threads the program
     /// left running, and returns the collected output.
     ///
@@ -240,7 +246,7 @@ impl Vm {
     }
 }
 
-fn into_trap(e: VmErr) -> Trap {
+pub(crate) fn into_trap(e: VmErr) -> Trap {
     match e {
         VmErr::Trap(message) => Trap { message },
         VmErr::Stm(a) => Trap { message: format!("transaction control escaped: {a}") },
@@ -749,7 +755,7 @@ impl Interp {
     }
 }
 
-fn bin_op(op: BinOp, l: Word, r: Word) -> Result<Word, String> {
+pub(crate) fn bin_op(op: BinOp, l: Word, r: Word) -> Result<Word, String> {
     let (a, b) = (l as i64, r as i64);
     Ok(match op {
         BinOp::Add => a.wrapping_add(b) as Word,

@@ -34,6 +34,8 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ast;
+pub mod bytecode;
+pub mod compile;
 pub mod interp;
 pub mod jitopt;
 pub mod lex;
@@ -41,8 +43,12 @@ pub mod parse;
 pub mod pretty;
 pub mod sites;
 pub mod types;
+pub mod vm;
 
 pub use ast::{Program, SiteId};
+pub use bytecode::{CompiledProgram, PassOptions, PassReport};
+pub use compile::compile;
 pub use interp::{run_source, Vm, VmConfig, VmResult};
 pub use sites::{Access, BarrierKind, BarrierTable, SiteInfo};
 pub use types::{check, Checked};
+pub use vm::{BcVmConfig, BytecodeVm};

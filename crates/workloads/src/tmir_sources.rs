@@ -497,6 +497,61 @@ fn main() {
 }
 "#;
 
+/// Replaces `needle` in `src` exactly once, panicking if the splice point
+/// has drifted out of the benchmark source.
+fn splice(src: &str, needle: &str, replacement: &str) -> String {
+    assert!(src.contains(needle), "scale splice point `{needle}` missing from source");
+    src.replacen(needle, replacement, 1)
+}
+
+/// [`JVM98`] with its driver loop scaled by `scale` (identical source, and
+/// therefore identical access sites, at `scale == 1`).
+pub fn jvm98_scaled(scale: u32) -> String {
+    let rounds = 6 * scale.max(1);
+    splice(JVM98, "while (round < 6)", &format!("while (round < {rounds})"))
+}
+
+/// [`TSP`] with `scale`× as many work units in the shared queue.
+pub fn tsp_scaled(scale: u32) -> String {
+    let units = 4 * scale.max(1);
+    splice(TSP, "queue_total = 4;", &format!("queue_total = {units};"))
+}
+
+/// [`OO7`] with each worker performing `scale`× as many operations.
+pub fn oo7_scaled(scale: u32) -> String {
+    let ops = 10 * scale.max(1);
+    let s = splice(OO7, "spawn worker(10)", &format!("spawn worker({ops})"));
+    splice(&s, "spawn worker(10)", &format!("spawn worker({ops})"))
+}
+
+/// [`JBB`] with each worker running `scale`× as many transactions.
+pub fn jbb_scaled(scale: u32) -> String {
+    let iters = 20 * scale.max(1);
+    splice(JBB, "while (i < 20)", &format!("while (i < {iters})"))
+}
+
+/// The four benchmark programs at the given scale, parsed and checked.
+/// Scaling only widens driver loops — the set of access sites (and hence
+/// every static barrier count) is identical at every scale.
+///
+/// # Panics
+/// Panics if a source fails to parse or check (covered by tests).
+pub fn scaled_suite(scale: u32) -> Vec<(&'static str, Checked)> {
+    [
+        ("jvm98", jvm98_scaled(scale)),
+        ("tsp", tsp_scaled(scale)),
+        ("oo7", oo7_scaled(scale)),
+        ("jbb", jbb_scaled(scale)),
+    ]
+    .into_iter()
+    .map(|(name, src)| {
+        let checked = check(parse(&src).unwrap_or_else(|e| panic!("{name}: {e}")))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        (name, checked)
+    })
+    .collect()
+}
+
 /// The four Figure 13 benchmark programs, parsed and checked.
 ///
 /// # Panics
@@ -581,6 +636,40 @@ mod tests {
             counts.read_union < counts.read_total,
             "the non-txn audit of txn data keeps some barriers: {counts:?}"
         );
+    }
+
+    #[test]
+    fn scaled_sources_typecheck_at_every_scale() {
+        for scale in [1, 10, 100] {
+            assert_eq!(scaled_suite(scale).len(), 4, "scale {scale}");
+        }
+    }
+
+    #[test]
+    fn scale_one_is_the_unscaled_source() {
+        assert_eq!(jvm98_scaled(1), JVM98);
+        assert_eq!(tsp_scaled(1), TSP);
+        assert_eq!(oo7_scaled(1), OO7);
+        assert_eq!(jbb_scaled(1), JBB);
+    }
+
+    #[test]
+    fn bytecode_vm_agrees_with_interpreter_on_suite() {
+        use tmir::vm::{BcVmConfig, BytecodeVm};
+        use tmir::{compile, PassOptions};
+        for (name, checked) in scaled_suite(1) {
+            let interp = Vm::new(checked.clone(), VmConfig::default())
+                .run()
+                .unwrap_or_else(|e| panic!("{name} interp: {e}"));
+            let mut table = BarrierTable::strong(&checked.program);
+            let (_, removal) = analyze_and_remove(&checked.program);
+            removal.apply_nait(&mut table);
+            let mut cp = compile(&checked, &table);
+            tmir::bytecode::optimize(&mut cp, PassOptions::all());
+            let vm = BytecodeVm::new(cp, BcVmConfig::default());
+            let res = vm.run().unwrap_or_else(|e| panic!("{name} vm: {e}"));
+            assert_eq!(interp.output, res.output, "{name}: VM output diverges");
+        }
     }
 
     #[test]

@@ -1,13 +1,14 @@
 //! The compiler pipeline end to end: parse a TMIR program, type-check it,
-//! start from full strong-atomicity barriers, run the JIT optimizations
-//! (paper §6) and the whole-program NAIT analysis (paper §5), and execute
-//! at each stage — counting the barriers that actually run.
+//! compile it to bytecode with full strong-atomicity barriers, run the JIT
+//! optimizations (paper §6) as bytecode passes and the whole-program NAIT
+//! analysis (paper §5) as opcode rewrites, and execute each stage on the
+//! dispatch-loop VM — counting the barriers that actually run.
 //!
 //! Run with: `cargo run --example analysis_pipeline`
 
-use tmir::interp::{Vm, VmConfig};
-use tmir::jitopt::{optimize, JitOptions};
 use tmir::sites::BarrierTable;
+use tmir::vm::{BcVmConfig, BytecodeVm};
+use tmir::{compile, CompiledProgram, PassOptions};
 use tmir_analysis::nait::analyze_and_remove;
 
 const PROGRAM: &str = r#"
@@ -50,42 +51,67 @@ fn main() {
 }
 "#;
 
-fn run_with(table: BarrierTable, checked: tmir::Checked, label: &str) {
-    let vm = Vm::new(checked, VmConfig { table, ..VmConfig::default() });
+fn run_on_vm(cp: CompiledProgram, label: &str) -> Vec<i64> {
+    let vm = BytecodeVm::new(cp, BcVmConfig::default());
     let out = vm.run().expect("program runs");
-    let s = out.stats;
+    let b = vm.barrier_stats();
     println!(
-        "{label:<28} output={:?}  executed barriers: {} reads, {} writes",
-        out.output, s.read_barriers, s.write_barriers
+        "{label:<28} output={:?}  dynamic barriers: {} executed, {} elided, \
+         {} aggregated in {} regions",
+        out.output, b.executed, b.elided, b.aggregated, b.regions
     );
+    out.output
 }
 
 fn main() {
     let program = tmir::parse::parse(PROGRAM).expect("parses");
     let checked = tmir::types::check(program).expect("type-checks");
 
-    // Stage 0: unoptimized strong atomicity.
+    // Stage 0: unoptimized strong atomicity, compiled to bytecode.
     let table = BarrierTable::strong(&checked.program);
     let (r0, w0) = table.counts();
-    println!("static sites barriered: {} reads, {} writes\n", r0, w0);
-    run_with(table.clone(), checked.clone(), "strong, no opts");
-
-    // Stage 1: JIT optimizations (final fields, escape analysis,
-    // aggregation).
-    let mut jit_checked = checked.clone();
-    let mut jit_table = table.clone();
-    let report = optimize(&mut jit_checked, &mut jit_table, JitOptions::all());
+    let cp0 = compile(&checked, &table);
     println!(
-        "\nJIT: {} immutable elided, {} escape elided, {} sites into {} regions",
-        report.immutable_elided, report.escape_elided, report.aggregated_sites, report.regions
+        "static sites barriered: {r0} reads, {w0} writes ({} bytecode instructions)\n",
+        cp0.insn_count()
     );
-    run_with(jit_table.clone(), jit_checked.clone(), "+ JIT opts");
+    run_on_vm(cp0, "strong, no passes");
 
-    // Stage 2: whole-program NAIT on top.
-    let (_, removal) = analyze_and_remove(&jit_checked.program);
-    let removed = removal.apply_nait(&mut jit_table);
+    // Stage 1: the JIT optimizations as bytecode passes (final fields,
+    // escape analysis, then Figure-14 aggregation over what remains).
+    let mut cp1 = compile(&checked, &table);
+    let elim = tmir::bytecode::optimize(&mut cp1, PassOptions::elim_only());
+    let agg = tmir::bytecode::optimize(
+        &mut cp1,
+        PassOptions { immutable: false, escape: false, aggregate: true },
+    );
+    println!(
+        "\nbytecode passes: {} immutable elided, {} escape elided, {} opcodes into {} regions",
+        elim.immutable_elided, elim.escape_elided, agg.aggregated_sites, agg.regions
+    );
+    run_on_vm(cp1, "+ bytecode passes");
+
+    // Stage 2: whole-program NAIT on top — the analysis works on the same
+    // site ids the opcodes carry, so its verdicts rewrite the instruction
+    // stream directly, no recompile.
+    let mut cp2 = compile(&checked, &table);
+    tmir::bytecode::optimize(&mut cp2, PassOptions::elim_only());
+    let (_, removal) = analyze_and_remove(&checked.program);
+    let removed = removal.apply_nait_bytecode(&mut cp2);
+    tmir::bytecode::optimize(
+        &mut cp2,
+        PassOptions { immutable: false, escape: false, aggregate: true },
+    );
     let counts = removal.report();
-    println!("\nNAIT: removed {removed} more barriers statically");
+    println!("\nNAIT: rewrote {removed} more barrier opcodes to elided form");
     print!("{}", counts.render("pipeline"));
-    run_with(jit_table, jit_checked, "+ NAIT");
+    let out = run_on_vm(cp2, "+ NAIT");
+
+    // The tree-walker remains the reference semantics: same program, same
+    // answer.
+    let reference = tmir::interp::Vm::new(checked, tmir::interp::VmConfig::default())
+        .run()
+        .expect("reference runs");
+    assert_eq!(out, reference.output, "VM and interpreter agree");
+    println!("\nreference interpreter agrees: output={:?}", reference.output);
 }
